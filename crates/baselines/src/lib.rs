@@ -1,0 +1,26 @@
+//! # kamsta-baselines — competitor distributed MST algorithms
+//!
+//! Reimplementations of the two systems the paper compares against
+//! (Sec. VII), built on the same `kamsta-comm` substrate so that the
+//! comparison isolates *algorithm structure* (DESIGN.md S6):
+//!
+//! * [`sparse_matrix`] — the Awerbuch–Shiloach MSF of Baer et al. \[37\]:
+//!   2D-partitioned edge matrix, per-round global candidate reductions,
+//!   hook + pointer-doubling shortcuts over a block-distributed parent
+//!   array. Structurally it touches *all* edges every round and cannot
+//!   exploit locality ("only the processors on the diagonal of the matrix
+//!   possess local edges") — the reasons the paper gives for its
+//!   slowness.
+//! * [`mnd_mst`] — the multi-node algorithm of Panja & Vadhiyar \[19\]:
+//!   local MSF computation (discarding non-MSF local edges is safe by the
+//!   cycle property), then hierarchical merging in fixed-size PE groups
+//!   until one PE holds the remaining graph. Exploits locality well but
+//!   concentrates growing merged graphs on group leaders and cannot split
+//!   high-degree vertices (no shared vertices) — the reasons the paper
+//!   gives for its scalability collapse.
+
+mod mnd;
+mod sparse_matrix;
+
+pub use mnd::{mnd_mst, MndConfig};
+pub use sparse_matrix::sparse_matrix;

@@ -1,0 +1,41 @@
+//! Criterion end-to-end MST benchmarks: the paper's algorithms and the
+//! competitor baselines on a locality-rich and a locality-free family
+//! (real wall time of the simulation; the figure binaries report modeled
+//! time).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kamsta::{Algorithm, GraphConfig, MstConfig, Runner};
+
+fn bench_mst(c: &mut Criterion) {
+    let configs = [
+        ("2D-RGG", GraphConfig::Rgg2D { n: 1 << 14, m: 1 << 17 }),
+        ("GNM", GraphConfig::Gnm { n: 1 << 14, m: 1 << 17 }),
+    ];
+    let algos = [
+        Algorithm::Boruvka,
+        Algorithm::FilterBoruvka,
+        Algorithm::SparseMatrix,
+        Algorithm::MndMst,
+    ];
+    for (family, config) in configs {
+        let mut group = c.benchmark_group(format!("mst_{family}_p8"));
+        group.sample_size(10);
+        for algo in algos {
+            group.bench_with_input(
+                BenchmarkId::from_parameter(algo.label()),
+                &algo,
+                |b, &algo| {
+                    let runner = Runner::new(8, 1).with_mst_config(MstConfig {
+                        base_case_constant: 512,
+                        ..MstConfig::default()
+                    });
+                    b.iter(|| runner.run_generated(config, algo, 42));
+                },
+            );
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_mst);
+criterion_main!(benches);

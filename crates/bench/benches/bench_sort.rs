@@ -1,0 +1,43 @@
+//! Criterion micro-bench: the two distributed sorters across the
+//! small/large regimes behind the paper's selection rule (Sec. VI-C).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kamsta_comm::{Machine, MachineConfig};
+use kamsta_sort::{hypercube_quicksort, sample_sort};
+
+fn run_sort(p: usize, per_pe: usize, hypercube: bool) {
+    Machine::run(MachineConfig::new(p), move |comm| {
+        let base = comm.rank() as u64;
+        let data: Vec<u64> = (0..per_pe as u64)
+            .map(|i| (base * 2_654_435_761).wrapping_add(i * 40_503) % 1_000_000)
+            .collect();
+        if hypercube {
+            hypercube_quicksort(comm, data, 42)
+        } else {
+            sample_sort(comm, data, 42)
+        }
+    });
+}
+
+fn bench_sort(c: &mut Criterion) {
+    // The paper's threshold is 512 elements/PE: hypercube below, sample
+    // sort above.
+    let mut group = c.benchmark_group("distributed_sort_p16");
+    group.sample_size(10);
+    for per_pe in [256usize, 4096, 65536] {
+        group.bench_with_input(
+            BenchmarkId::new("hypercube", per_pe),
+            &per_pe,
+            |b, &n| b.iter(|| run_sort(16, n, true)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("sample_sort", per_pe),
+            &per_pe,
+            |b, &n| b.iter(|| run_sort(16, n, false)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sort);
+criterion_main!(benches);

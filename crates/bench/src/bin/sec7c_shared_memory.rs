@@ -1,0 +1,61 @@
+//! **Sec. VII-C**: comparison with shared-memory algorithms. The paper
+//! compares against MASTIFF on a 128-core server; our stand-in for the
+//! state-of-the-art single-node code is the rayon parallel Borůvka with
+//! min-priority-write (DESIGN.md S7). The qualitative claim to
+//! reproduce: the distributed algorithms are a modest factor slower at
+//! small core counts and overtake as cores grow.
+
+use kamsta::{Algorithm, Machine, MachineConfig, WEdge};
+use kamsta_bench::{bench_mst_config, core_series, env_usize, standin_instances, Table, Variant};
+use kamsta_graph::InputGraph;
+
+fn main() {
+    let scale = env_usize("KAMSTA_STRONG_SCALE", 13) as u32;
+    let max_cores = env_usize("KAMSTA_MAX_CORES", 64);
+    println!("# Sec. VII-C — distributed algorithms vs. shared-memory parallel Borůvka");
+    println!("# shared-memory column: wall seconds on this host; distributed: modeled seconds\n");
+
+    let mut table = Table::new(&[
+        "instance",
+        "shared-mem (s)",
+        "cores",
+        "boruvka-1 (s)",
+        "filterBoruvka-1 (s)",
+    ]);
+    for (name, _, config) in standin_instances(scale).into_iter().take(3) {
+        // Materialise the full graph once for the shared-memory run.
+        let out = Machine::run(MachineConfig::new(4), move |comm| {
+            let input = InputGraph::generate(comm, config, 42);
+            input
+                .graph
+                .edges
+                .iter()
+                .map(|e| e.wedge())
+                .collect::<Vec<WEdge>>()
+        });
+        let full: Vec<WEdge> = out.results.into_iter().flatten().collect();
+        let t0 = std::time::Instant::now();
+        let msf = kamsta::core::shared::par_boruvka(&full);
+        let shared_secs = t0.elapsed().as_secs_f64();
+        let shared_weight: u64 = msf.iter().map(|e| e.w as u64).sum();
+
+        for cores in core_series(max_cores) {
+            let b = Variant { algo: Algorithm::Boruvka, threads: 1 }
+                .run(cores, config, bench_mst_config(), 42)
+                .unwrap();
+            let f = Variant { algo: Algorithm::FilterBoruvka, threads: 1 }
+                .run(cores, config, bench_mst_config(), 42)
+                .unwrap();
+            assert_eq!(b.msf_weight, shared_weight, "{name}: weight mismatch");
+            table.row(vec![
+                name.to_string(),
+                format!("{shared_secs:.4}"),
+                cores.to_string(),
+                format!("{:.4}", b.modeled_time),
+                format!("{:.4}", f.modeled_time),
+            ]);
+        }
+    }
+    table.print();
+    println!("\n# paper shape: shared memory wins at ~256 cores; distributed overtakes from ~1-4k cores");
+}

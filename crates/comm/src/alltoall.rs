@@ -1,0 +1,453 @@
+//! Personalized (sparse) all-to-all exchange in four flavours.
+//!
+//! This module implements Sec. VI-A of the paper ("Reducing Startup
+//! Overhead of All-To-All Exchanges"):
+//!
+//! * **direct** — the `MPI_Alltoallv` analogue: one logical message per
+//!   destination, startup cost `α·p`;
+//! * **two-level grid** — PEs arranged in a `⌊√p⌋ × ⌈p/c⌉` virtual grid; a
+//!   message from `i` to `j` travels via the intermediate PE in row
+//!   `row(j)`, column `col(i)`, cutting startup cost to `O(α√p)` at the
+//!   price of doubled volume. Includes the paper's incomplete-last-row
+//!   rule;
+//! * **hypercube** — `log p` pairwise phases (the `d = log p` end of the
+//!   generalisation discussed in the paper, \[45\]);
+//! * **auto** ([`crate::Comm::sparse_alltoallv`]) — the paper's threshold
+//!   rule: use the grid variant when the average bytes per message is below
+//!   500 bytes, direct otherwise.
+
+use crate::comm::{bytes_of, Comm};
+
+/// Strategy selector for [`Comm::sparse_alltoallv`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum AlltoallKind {
+    /// Threshold rule from Sec. VI-A (500 bytes average message size).
+    #[default]
+    Auto,
+    /// Always direct (`α·p` startups) — the paper's "one-level" baseline.
+    Direct,
+    /// Always two-level grid (`α·√p` startups, 2× volume).
+    Grid,
+    /// Hypercube (`α·log p` startups, `log p`× volume); requires
+    /// power-of-two `p`, otherwise falls back to the grid variant.
+    Hypercube,
+}
+
+/// The virtual two-dimensional PE grid of Sec. VI-A.
+///
+/// `c = ⌊√p⌋` columns and `r = ⌈p/c⌉` rows, so `c ≤ r ≤ c + 2`. PE `i`
+/// lives at column `i mod c`, row `i / c`. The last row may be incomplete.
+#[derive(Clone, Copy, Debug)]
+pub struct GridTopology {
+    pub p: usize,
+    pub c: usize,
+    pub r: usize,
+}
+
+impl GridTopology {
+    pub fn new(p: usize) -> Self {
+        assert!(p > 0);
+        let c = (p as f64).sqrt().floor() as usize;
+        let c = c.max(1);
+        let r = p.div_ceil(c);
+        debug_assert!(c <= r && r <= c + 2, "paper invariant c <= r <= c+2");
+        Self { p, c, r }
+    }
+
+    #[inline]
+    pub fn col(&self, i: usize) -> usize {
+        i % self.c
+    }
+
+    #[inline]
+    pub fn row(&self, i: usize) -> usize {
+        i / self.c
+    }
+
+    /// True if the last row of the grid is incomplete (`p != c·r`).
+    #[inline]
+    pub fn has_incomplete_row(&self) -> bool {
+        self.p != self.c * self.r
+    }
+
+    /// True if PE `j` is a member of the incomplete last row.
+    #[inline]
+    pub fn in_incomplete_row(&self, j: usize) -> bool {
+        self.has_incomplete_row() && self.row(j) == self.r - 1
+    }
+
+    /// The row PE `j` is (virtually) a member of for the second exchange:
+    /// its own row, or row `col(j)` if `j` sits in the incomplete last row
+    /// (the paper's special rule).
+    #[inline]
+    pub fn virtual_row(&self, j: usize) -> usize {
+        if self.in_incomplete_row(j) {
+            self.col(j)
+        } else {
+            self.row(j)
+        }
+    }
+
+    /// Intermediate PE for a message from `i` to `j`: row `virtual_row(j)`,
+    /// column `col(i)`.
+    #[inline]
+    pub fn intermediate(&self, i: usize, j: usize) -> usize {
+        let t = self.virtual_row(j) * self.c + self.col(i);
+        debug_assert!(t < self.p, "intermediate must be a real PE");
+        t
+    }
+
+    /// PEs that may send to `t` in the first exchange: the members of
+    /// `t`'s column.
+    pub fn phase1_senders(&self, t: usize) -> Vec<usize> {
+        let col = self.col(t);
+        (0..self.r)
+            .map(|q| q * self.c + col)
+            .filter(|&i| i < self.p)
+            .collect()
+    }
+
+    /// PEs that may send to `j` in the second exchange: the members of
+    /// `j`'s virtual row.
+    pub fn phase2_senders(&self, j: usize) -> Vec<usize> {
+        let vr = self.virtual_row(j);
+        (0..self.c)
+            .map(|q| vr * self.c + q)
+            .filter(|&t| t < self.p)
+            .collect()
+    }
+}
+
+/// One PE's buckets in a personalized exchange: `bufs[j]` is the payload
+/// destined for PE `j`. Must have length `p`.
+pub type Buckets<T> = Vec<Vec<T>>;
+
+/// Source-tagged payload list used while routing indirectly.
+type Tagged<T> = Vec<(u32, Vec<T>)>;
+
+type ExchangeSlot<T> = Vec<parking_lot::Mutex<Option<Vec<T>>>>;
+
+impl Comm {
+    /// Raw data-plane exchange: deliver `bufs[j]` to PE `j`, reading only
+    /// from the PEs in `recv_from`. Performs no cost charging; the public
+    /// wrappers charge according to their communication pattern.
+    fn raw_exchange<T: Send + 'static>(
+        &self,
+        bufs: Buckets<T>,
+        recv_from: &[usize],
+    ) -> Vec<(usize, Vec<T>)> {
+        let p = self.size();
+        assert_eq!(bufs.len(), p, "need one bucket per destination PE");
+        let publication: ExchangeSlot<T> = bufs
+            .into_iter()
+            .map(|b| parking_lot::Mutex::new(Some(b)))
+            .collect();
+        self.slots().put_shared(self.rank(), publication);
+        self.sync();
+        let mut received = Vec::with_capacity(recv_from.len());
+        for &src in recv_from {
+            let senders_slot = self.slots().read_shared::<ExchangeSlot<T>>(src);
+            let data = senders_slot[self.rank()]
+                .lock()
+                .take()
+                .expect("each bucket is taken exactly once");
+            received.push((src, data));
+        }
+        self.sync();
+        self.slots().clear(self.rank());
+        received
+    }
+
+    /// Direct (one-level) all-to-all: the `MPI_Alltoallv` analogue.
+    ///
+    /// Returns `recv` with `recv[i]` = payload sent by PE `i` to this PE.
+    /// Cost: `α·p + β·max(bytes out, bytes in)`.
+    pub fn alltoallv_direct<T: Send + 'static>(&self, bufs: Buckets<T>) -> Buckets<T> {
+        let p = self.size();
+        let out_bytes: u64 = bufs.iter().map(|b| bytes_of::<T>(b.len())).sum();
+        let all: Vec<usize> = (0..p).collect();
+        let received = self.raw_exchange(bufs, &all);
+        let mut recv: Buckets<T> = (0..p).map(|_| Vec::new()).collect();
+        let mut in_bytes = 0u64;
+        for (src, data) in received {
+            in_bytes += bytes_of::<T>(data.len());
+            recv[src] = data;
+        }
+        self.charge_comm(p as u64, out_bytes.max(in_bytes));
+        recv
+    }
+
+    /// Two-level grid all-to-all (Sec. VI-A). Startup `O(α√p)`, twice the
+    /// communication volume of the direct variant.
+    pub fn alltoallv_grid<T: Send + 'static>(&self, bufs: Buckets<T>) -> Buckets<T> {
+        let p = self.size();
+        if p <= 2 {
+            return self.alltoallv_direct(bufs);
+        }
+        let grid = GridTopology::new(p);
+        let me = self.rank();
+
+        // Phase 1: forward each destination bucket to its intermediate,
+        // tagged with (final destination, original source).
+        let mut phase1: Buckets<(u32, u32, Vec<T>)> = (0..p).map(|_| Vec::new()).collect();
+        let mut out1 = 0u64;
+        for (j, data) in bufs.into_iter().enumerate() {
+            if data.is_empty() {
+                continue;
+            }
+            out1 += bytes_of::<T>(data.len());
+            let t = grid.intermediate(me, j);
+            phase1[t].push((j as u32, me as u32, data));
+        }
+        let senders1 = grid.phase1_senders(me);
+        let recv1 = self.raw_exchange(phase1, &senders1);
+        let mut in1 = 0u64;
+
+        // Regroup by final destination for phase 2.
+        let mut phase2: Buckets<(u32, Vec<T>)> = (0..p).map(|_| Vec::new()).collect();
+        for (_src, items) in recv1 {
+            for (dest, orig_src, data) in items {
+                in1 += bytes_of::<T>(data.len());
+                phase2[dest as usize].push((orig_src, data));
+            }
+        }
+        self.charge_comm(senders1.len() as u64, out1.max(in1));
+
+        let senders2 = grid.phase2_senders(me);
+        let out2 = in1; // everything received in phase 1 is forwarded
+        let recv2 = self.raw_exchange(phase2, &senders2);
+        let mut recv: Buckets<T> = (0..p).map(|_| Vec::new()).collect();
+        let mut in2 = 0u64;
+        for (_t, items) in recv2 {
+            for (orig_src, data) in items {
+                in2 += bytes_of::<T>(data.len());
+                let bucket = &mut recv[orig_src as usize];
+                if bucket.is_empty() {
+                    *bucket = data;
+                } else {
+                    bucket.extend(data);
+                }
+            }
+        }
+        self.charge_comm(senders2.len() as u64, out2.max(in2));
+        recv
+    }
+
+    /// Hypercube all-to-all: `log p` pairwise phases, each moving all data
+    /// whose destination differs in the current bit (Johnsson & Ho, ref. 45 of the paper;
+    /// the `d = log p` end of the paper's generalised grid).
+    ///
+    /// Requires power-of-two `p`; other sizes fall back to the grid
+    /// variant.
+    pub fn alltoallv_hypercube<T: Send + 'static>(&self, bufs: Buckets<T>) -> Buckets<T> {
+        let p = self.size();
+        if !p.is_power_of_two() {
+            return self.alltoallv_grid(bufs);
+        }
+        if p == 1 {
+            return bufs;
+        }
+        let me = self.rank();
+        let dims = crate::ceil_log2(p);
+        // carried[j] = accumulated payload currently held here destined for j
+        let mut carried: Vec<Vec<(u32, Vec<T>)>> = (0..p).map(|_| Vec::new()).collect();
+        for (j, data) in bufs.into_iter().enumerate() {
+            if !data.is_empty() || j == me {
+                carried[j].push((me as u32, data));
+            }
+        }
+        for d in 0..dims {
+            let bit = 1usize << d;
+            let partner = me ^ bit;
+            // Everything whose destination's bit d differs from mine moves.
+            let mut outgoing: Vec<(u32, Tagged<T>)> = Vec::new();
+            let mut out_bytes = 0u64;
+            for (j, bucket) in carried.iter_mut().enumerate() {
+                if (j & bit) != (me & bit) && !bucket.is_empty() {
+                    let items = std::mem::take(bucket);
+                    out_bytes += items
+                        .iter()
+                        .map(|(_, v)| bytes_of::<T>(v.len()))
+                        .sum::<u64>();
+                    outgoing.push((j as u32, items));
+                }
+            }
+            let incoming = self
+                .exchange(Some((partner, outgoing)), Some(partner))
+                .expect("hypercube partner always sends");
+            let mut in_bytes = 0u64;
+            for (j, items) in incoming {
+                in_bytes += items
+                    .iter()
+                    .map(|(_, v)| bytes_of::<T>(v.len()))
+                    .sum::<u64>();
+                carried[j as usize].extend(items);
+            }
+            self.charge_comm(0, out_bytes.max(in_bytes)); // α charged by exchange
+        }
+        let mut recv: Buckets<T> = (0..p).map(|_| Vec::new()).collect();
+        for (src, data) in std::mem::take(&mut carried[me]) {
+            let bucket = &mut recv[src as usize];
+            if bucket.is_empty() {
+                *bucket = data;
+            } else {
+                bucket.extend(data);
+            }
+        }
+        recv
+    }
+
+    /// d-dimensional generalisation of the grid all-to-all (Sec. VI-A:
+    /// "For larger p, the grid approach can easily be generalized to
+    /// dimensions 2 < d ≤ log(p)"). Messages are routed digit by digit
+    /// through a `side^d` torus, cutting startups to `O(d·p^(1/d))` at
+    /// `d×` the volume. Requires `p = side^d` exactly; other shapes fall
+    /// back to the 2D grid (`d = 2`) or direct (`d < 2`).
+    pub fn alltoallv_dd<T: Send + 'static>(&self, bufs: Buckets<T>, d: u32) -> Buckets<T> {
+        let p = self.size();
+        if d < 2 || p < 4 {
+            return self.alltoallv_direct(bufs);
+        }
+        let side = (p as f64).powf(1.0 / d as f64).round() as usize;
+        if side < 2 || side.pow(d) != p {
+            return self.alltoallv_grid(bufs);
+        }
+        let me = self.rank();
+        let digit = |x: usize, k: u32| (x / side.pow(k)) % side;
+        // carried: (final_dest, original_src, payload)
+        let mut carried: Vec<(u32, u32, Vec<T>)> = bufs
+            .into_iter()
+            .enumerate()
+            .filter(|(_, data)| !data.is_empty())
+            .map(|(j, data)| (j as u32, me as u32, data))
+            .collect();
+        // Route the highest digit first, mirroring the 2D row-then-column
+        // scheme. In round k every PE talks only to the `side` PEs that
+        // differ in digit k.
+        for k in (0..d).rev() {
+            let mut out: Buckets<(u32, u32, Vec<T>)> = (0..p).map(|_| Vec::new()).collect();
+            let mut out_bytes = 0u64;
+            let mut keep = Vec::new();
+            for (dest, src, data) in carried {
+                let want = digit(dest as usize, k);
+                if want == digit(me, k) {
+                    keep.push((dest, src, data));
+                } else {
+                    // Step to the PE with digit k corrected, other digits
+                    // unchanged.
+                    let t = me as isize
+                        + (want as isize - digit(me, k) as isize) * side.pow(k) as isize;
+                    out_bytes += bytes_of::<T>(data.len());
+                    out[t as usize].push((dest, src, data));
+                }
+            }
+            // Partners: PEs agreeing with me on all digits except k.
+            let partners: Vec<usize> = (0..side)
+                .map(|v| {
+                    (me as isize + (v as isize - digit(me, k) as isize) * side.pow(k) as isize)
+                        as usize
+                })
+                .collect();
+            let received = self.raw_exchange(out, &partners);
+            let mut in_bytes = 0u64;
+            carried = keep;
+            for (_, items) in received {
+                for item in items {
+                    in_bytes += bytes_of::<T>(item.2.len());
+                    carried.push(item);
+                }
+            }
+            self.charge_comm(side as u64, out_bytes.max(in_bytes));
+        }
+        let mut recv: Buckets<T> = (0..p).map(|_| Vec::new()).collect();
+        for (dest, src, data) in carried {
+            debug_assert_eq!(dest as usize, me);
+            let bucket = &mut recv[src as usize];
+            if bucket.is_empty() {
+                *bucket = data;
+            } else {
+                bucket.extend(data);
+            }
+        }
+        recv
+    }
+
+    /// Sparse all-to-all with the paper's automatic strategy selection:
+    /// measure the global average bytes per message and use the two-level
+    /// grid when it is below the threshold (500 bytes on the paper's
+    /// system), the direct exchange otherwise.
+    pub fn sparse_alltoallv<T: Send + 'static>(&self, bufs: Buckets<T>) -> Buckets<T> {
+        match self.alltoall_kind {
+            AlltoallKind::Direct => return self.alltoallv_direct(bufs),
+            AlltoallKind::Grid => return self.alltoallv_grid(bufs),
+            AlltoallKind::Hypercube => return self.alltoallv_hypercube(bufs),
+            AlltoallKind::Auto => {}
+        }
+        let p = self.size();
+        if p <= 8 {
+            return self.alltoallv_direct(bufs);
+        }
+        let out_bytes: u64 = bufs.iter().map(|b| bytes_of::<T>(b.len())).sum();
+        let total = self.allreduce_sum(out_bytes);
+        let avg_per_message = total / (p as u64 * p as u64);
+        if avg_per_message < self.grid_threshold_bytes as u64 {
+            self.alltoallv_grid(bufs)
+        } else {
+            self.alltoallv_direct(bufs)
+        }
+    }
+}
+
+/// Convenience used by algorithm crates: deliver keyed items to explicit
+/// destination PEs. `items` is a list of `(dest, item)`; the result is the
+/// list of items delivered to this PE (sender order preserved within each
+/// source).
+pub fn route<T: Send + 'static>(comm: &Comm, items: Vec<(usize, T)>) -> Vec<T> {
+    let p = comm.size();
+    let mut bufs: Buckets<T> = (0..p).map(|_| Vec::new()).collect();
+    for (dest, item) in items {
+        bufs[dest].push(item);
+    }
+    comm.sparse_alltoallv(bufs)
+        .into_iter()
+        .flatten()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_topology_invariants() {
+        for p in 1..200 {
+            let g = GridTopology::new(p);
+            assert!(g.c * g.r >= p);
+            assert!(g.c <= g.r && g.r <= g.c + 2, "p={p}: c={}, r={}", g.c, g.r);
+            for j in 0..p {
+                for i in 0..p {
+                    let t = g.intermediate(i, j);
+                    assert!(t < p, "p={p} i={i} j={j} t={t}");
+                    // Intermediate shares column with the sender...
+                    assert_eq!(g.col(t), g.col(i));
+                    // ...and row with the receiver's virtual row.
+                    assert_eq!(g.row(t), g.virtual_row(j));
+                    // Phase partner lists are consistent with the routing.
+                    assert!(g.phase1_senders(t).contains(&i));
+                    assert!(g.phase2_senders(j).contains(&t));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn grid_partner_counts_are_sqrt_scale() {
+        let g = GridTopology::new(1024);
+        assert_eq!(g.c, 32);
+        assert_eq!(g.r, 32);
+        for pe in [0usize, 31, 512, 1023] {
+            assert!(g.phase1_senders(pe).len() <= g.r);
+            assert!(g.phase2_senders(pe).len() <= g.c);
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! A central barrier with integrated BSP clock synchronisation.
+//!
+//! All blackboard collectives are built from this barrier. On top of plain
+//! rendezvous it computes the maximum of the participating PEs' modeled
+//! clocks and hands it back to every PE, which is exactly the BSP superstep
+//! rule: nobody proceeds (in modeled time) before the slowest PE arrives.
+//!
+//! The implementation parks waiters on a condvar rather than spinning so
+//! that heavily oversubscribed runs (thousands of PE threads on a couple of
+//! dozen cores) do not melt down. A poison flag aborts all waiters if any
+//! PE panics, turning deadlocks into clean test failures.
+
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+#[derive(Debug)]
+struct State {
+    /// PEs arrived in the current round.
+    count: usize,
+    /// Round counter; waiters wait for it to change.
+    epoch: u64,
+    /// Max clock gathered while the current round fills up.
+    gathering_max: f64,
+    /// Max clock of the *completed* round, read by released waiters.
+    released_max: f64,
+}
+
+/// Sense-less central barrier (epoch-counting) with clock max-reduction.
+#[derive(Debug)]
+pub struct ClockBarrier {
+    n: usize,
+    state: Mutex<State>,
+    cv: Condvar,
+    poisoned: AtomicBool,
+}
+
+impl ClockBarrier {
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "barrier needs at least one participant");
+        Self {
+            n,
+            state: Mutex::new(State {
+                count: 0,
+                epoch: 0,
+                gathering_max: 0.0,
+                released_max: 0.0,
+            }),
+            cv: Condvar::new(),
+            poisoned: AtomicBool::new(false),
+        }
+    }
+
+    #[allow(dead_code)] // diagnostic surface used by tests
+    pub fn participants(&self) -> usize {
+        self.n
+    }
+
+    /// Mark the barrier poisoned (a PE panicked); wakes all waiters.
+    pub fn poison(&self) {
+        self.poisoned.store(true, Ordering::SeqCst);
+        // Grab the lock so no waiter can miss the flag between checking it
+        // and parking.
+        let _g = self.state.lock();
+        self.cv.notify_all();
+    }
+
+    #[allow(dead_code)] // diagnostic surface used by tests
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::SeqCst)
+    }
+
+    /// Wait for all `n` participants; returns the maximum `clock` value
+    /// passed by any participant of this round.
+    ///
+    /// Panics if the barrier is poisoned, propagating a peer PE's failure.
+    pub fn wait(&self, clock: f64) -> f64 {
+        let mut s = self.state.lock();
+        if self.poisoned.load(Ordering::SeqCst) {
+            panic!("barrier poisoned: a peer PE panicked");
+        }
+        if clock > s.gathering_max {
+            s.gathering_max = clock;
+        }
+        s.count += 1;
+        if s.count == self.n {
+            // Last arriver releases the round.
+            s.count = 0;
+            s.released_max = s.gathering_max;
+            s.gathering_max = 0.0;
+            s.epoch = s.epoch.wrapping_add(1);
+            let m = s.released_max;
+            drop(s);
+            self.cv.notify_all();
+            m
+        } else {
+            let my_epoch = s.epoch;
+            while s.epoch == my_epoch {
+                // Bounded waits so a poisoned barrier cannot deadlock.
+                self.cv.wait_for(&mut s, Duration::from_millis(50));
+                if self.poisoned.load(Ordering::SeqCst) {
+                    panic!("barrier poisoned: a peer PE panicked");
+                }
+            }
+            s.released_max
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn single_participant_is_trivial() {
+        let b = ClockBarrier::new(1);
+        assert_eq!(b.wait(3.0), 3.0);
+        assert_eq!(b.wait(1.0), 1.0);
+    }
+
+    #[test]
+    fn max_clock_is_returned_to_everyone() {
+        let n = 8;
+        let b = Arc::new(ClockBarrier::new(n));
+        let handles: Vec<_> = (0..n)
+            .map(|i| {
+                let b = Arc::clone(&b);
+                std::thread::spawn(move || b.wait(i as f64))
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), (n - 1) as f64);
+        }
+    }
+
+    #[test]
+    fn repeated_rounds_do_not_mix_clocks() {
+        let n = 4;
+        let b = Arc::new(ClockBarrier::new(n));
+        let handles: Vec<_> = (0..n)
+            .map(|i| {
+                let b = Arc::clone(&b);
+                std::thread::spawn(move || {
+                    let r1 = b.wait(i as f64);
+                    let r2 = b.wait(100.0 + i as f64);
+                    (r1, r2)
+                })
+            })
+            .collect();
+        for h in handles {
+            let (r1, r2) = h.join().unwrap();
+            assert_eq!(r1, 3.0);
+            assert_eq!(r2, 103.0);
+        }
+    }
+
+    #[test]
+    fn poison_wakes_waiters() {
+        let b = Arc::new(ClockBarrier::new(2));
+        let b2 = Arc::clone(&b);
+        let waiter = std::thread::spawn(move || {
+            let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| b2.wait(0.0)));
+            res.is_err()
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        b.poison();
+        assert!(waiter.join().unwrap(), "waiter should observe poisoning");
+    }
+}

@@ -1,0 +1,525 @@
+//! The per-PE communicator handle and the basic collective operations.
+//!
+//! Every operation on [`Comm`] is *collective*: all PEs of the communicator
+//! must call it in the same order (standard MPI semantics). Collectives are
+//! built from the blackboard ([`crate::slots::Slots`]) and the clock-synced
+//! barrier; the modeled α-β cost of each operation follows the complexity
+//! stated in Sec. II-A of the paper (e.g. `O(α log p + βℓ)` for broadcast,
+//! (all)reduce and prefix sums).
+
+use crate::alltoall::AlltoallKind;
+use crate::barrier::ClockBarrier;
+use crate::cost::{Clock, CostModel, PeStats};
+use crate::slots::Slots;
+use std::sync::Arc;
+
+/// State shared by all PEs of one communicator.
+#[derive(Debug)]
+pub(crate) struct CommShared {
+    pub(crate) barrier: ClockBarrier,
+    pub(crate) slots: Slots,
+}
+
+impl CommShared {
+    pub(crate) fn new(p: usize) -> Self {
+        Self {
+            barrier: ClockBarrier::new(p),
+            slots: Slots::new(p),
+        }
+    }
+}
+
+/// A PE's handle on one communicator (MPI communicator analogue).
+///
+/// Cheap to pass by reference into algorithm code; [`Comm::split`] derives
+/// sub-communicators that share the PE's modeled clock.
+pub struct Comm {
+    rank: usize,
+    size: usize,
+    shared: Arc<CommShared>,
+    clock: Arc<Clock>,
+    cost: CostModel,
+    pub(crate) alltoall_kind: AlltoallKind,
+    pub(crate) grid_threshold_bytes: usize,
+}
+
+impl std::fmt::Debug for Comm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Comm")
+            .field("rank", &self.rank)
+            .field("size", &self.size)
+            .finish()
+    }
+}
+
+pub(crate) fn bytes_of<T>(n: usize) -> u64 {
+    (n * std::mem::size_of::<T>()) as u64
+}
+
+impl Comm {
+    pub(crate) fn new(
+        rank: usize,
+        size: usize,
+        shared: Arc<CommShared>,
+        clock: Arc<Clock>,
+        cost: CostModel,
+        alltoall_kind: AlltoallKind,
+        grid_threshold_bytes: usize,
+    ) -> Self {
+        Self {
+            rank,
+            size,
+            shared,
+            clock,
+            cost,
+            alltoall_kind,
+            grid_threshold_bytes,
+        }
+    }
+
+    /// This PE's rank within the communicator, `0..size`.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of PEs in the communicator.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// The machine cost model in effect.
+    #[inline]
+    pub fn cost(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Hybrid threads per PE (`t` in the paper's `boruvka-t` naming).
+    #[inline]
+    pub fn threads_per_pe(&self) -> usize {
+        self.cost.threads_per_pe
+    }
+
+    /// The PE's modeled clock.
+    #[inline]
+    pub fn clock(&self) -> &Clock {
+        &self.clock
+    }
+
+    /// Snapshot of this PE's cost statistics.
+    pub fn stats(&self) -> PeStats {
+        self.clock.stats()
+    }
+
+    #[inline]
+    pub(crate) fn log2p(&self) -> u64 {
+        crate::ceil_log2(self.size).max(1) as u64
+    }
+
+    /// Charge `ops` units of local work (γ-term, divided by the hybrid
+    /// speedup). Algorithms call this at their local kernels so that the
+    /// modeled clock reflects computation as well as communication.
+    #[inline]
+    pub fn charge_local(&self, ops: u64) {
+        self.clock.advance(self.cost.local_time(ops));
+        self.clock.record_local(ops);
+    }
+
+    /// Charge a communication event of `msgs` message startups and `bytes`
+    /// bottleneck volume onto this PE's clock.
+    #[inline]
+    pub fn charge_comm(&self, msgs: u64, bytes: u64) {
+        self.clock.advance(self.cost.comm_time(msgs, bytes));
+        self.clock.record_comm(msgs, bytes);
+    }
+
+    /// Internal rendezvous: synchronises threads *and* max-syncs modeled
+    /// clocks, but charges nothing. Collectives are built from this.
+    pub(crate) fn sync(&self) {
+        let synced = self.shared.barrier.wait(self.clock.now());
+        self.clock.set(synced);
+    }
+
+    /// Explicit barrier (collective). Charges `α·log p`.
+    pub fn barrier(&self) {
+        self.charge_comm(self.log2p(), 0);
+        self.sync();
+    }
+
+    // ------------------------------------------------------------------
+    // rooted / replicated collectives
+    // ------------------------------------------------------------------
+
+    /// Broadcast `value` from `root` to all PEs (collective).
+    ///
+    /// Non-root PEs pass `None`. Cost: `α log p + β·bytes`.
+    pub fn broadcast<T: Clone + Send + Sync + 'static>(
+        &self,
+        root: usize,
+        value: Option<T>,
+    ) -> T {
+        debug_assert!(root < self.size);
+        if self.rank == root {
+            let v = value.expect("root must supply a value to broadcast");
+            self.shared.slots.put_shared(root, v);
+        }
+        self.sync();
+        let arc = self.shared.slots.read_shared::<T>(root);
+        self.sync();
+        if self.rank == root {
+            self.shared.slots.clear(root);
+        }
+        self.charge_comm(self.log2p(), bytes_of::<T>(1));
+        (*arc).clone()
+    }
+
+    /// Broadcast a vector from `root`; cost `α log p + β·len·size_of::<T>()`.
+    pub fn broadcast_vec<T: Clone + Send + Sync + 'static>(
+        &self,
+        root: usize,
+        value: Option<Vec<T>>,
+    ) -> Vec<T> {
+        debug_assert!(root < self.size);
+        if self.rank == root {
+            let v = value.expect("root must supply a value to broadcast");
+            self.shared.slots.put_shared(root, v);
+        }
+        self.sync();
+        let arc = self.shared.slots.read_shared::<Vec<T>>(root);
+        self.sync();
+        if self.rank == root {
+            self.shared.slots.clear(root);
+        }
+        self.charge_comm(self.log2p(), bytes_of::<T>(arc.len()));
+        (*arc).clone()
+    }
+
+    /// Gather one value per PE at `root` (rank order). Returns `Some` on the
+    /// root, `None` elsewhere.
+    pub fn gather<T: Send + 'static>(&self, root: usize, value: T) -> Option<Vec<T>> {
+        debug_assert!(root < self.size);
+        self.shared.slots.put(self.rank, value);
+        self.sync();
+        let out = if self.rank == root {
+            let mut all = Vec::with_capacity(self.size);
+            for r in 0..self.size {
+                all.push(self.shared.slots.take::<T>(r));
+            }
+            Some(all)
+        } else {
+            None
+        };
+        self.sync();
+        let total = bytes_of::<T>(self.size);
+        if self.rank == root {
+            self.charge_comm(self.log2p(), total);
+        } else {
+            self.charge_comm(self.log2p(), bytes_of::<T>(1));
+        }
+        out
+    }
+
+    /// Gather a vector per PE at `root`, concatenated in rank order.
+    pub fn gatherv<T: Send + 'static>(&self, root: usize, value: Vec<T>) -> Option<Vec<T>> {
+        debug_assert!(root < self.size);
+        let own = bytes_of::<T>(value.len());
+        self.shared.slots.put(self.rank, value);
+        self.sync();
+        let out = if self.rank == root {
+            let mut all = Vec::new();
+            for r in 0..self.size {
+                all.extend(self.shared.slots.take::<Vec<T>>(r));
+            }
+            Some(all)
+        } else {
+            None
+        };
+        self.sync();
+        match &out {
+            Some(all) => self.charge_comm(self.log2p(), bytes_of::<T>(all.len())),
+            None => self.charge_comm(self.log2p(), own),
+        }
+        out
+    }
+
+    /// All PEs obtain the vector of every PE's `value`, in rank order.
+    /// Cost: `α log p + β·p·size_of::<T>()` (ℓ = total message length).
+    pub fn allgather<T: Clone + Send + Sync + 'static>(&self, value: T) -> Vec<T> {
+        let all = self.allgather_uncharged(value);
+        self.charge_comm(self.log2p(), bytes_of::<T>(self.size));
+        all
+    }
+
+    /// Allgather without cost charging — for simulation plumbing whose
+    /// real-world counterpart needs no communication (e.g. [`Comm::split`]
+    /// membership derived from static structure).
+    fn allgather_uncharged<T: Clone + Send + Sync + 'static>(&self, value: T) -> Vec<T> {
+        self.shared.slots.put_shared(self.rank, value);
+        self.sync();
+        let mut all = Vec::with_capacity(self.size);
+        for r in 0..self.size {
+            all.push((*self.shared.slots.read_shared::<T>(r)).clone());
+        }
+        self.sync();
+        self.shared.slots.clear(self.rank);
+        all
+    }
+
+    /// All PEs obtain the concatenation (rank order) of every PE's vector.
+    /// Cost: `α log p + β·ℓ` with ℓ the sum of all message lengths
+    /// (the allgather/gossiping bound from Sec. II-A).
+    pub fn allgatherv<T: Clone + Send + Sync + 'static>(&self, value: Vec<T>) -> Vec<T> {
+        self.shared.slots.put_shared(self.rank, value);
+        self.sync();
+        let mut all = Vec::new();
+        for r in 0..self.size {
+            let part = self.shared.slots.read_shared::<Vec<T>>(r);
+            all.extend(part.iter().cloned());
+        }
+        self.sync();
+        self.shared.slots.clear(self.rank);
+        self.charge_comm(self.log2p(), bytes_of::<T>(all.len()));
+        all
+    }
+
+    // ------------------------------------------------------------------
+    // reductions and scans
+    // ------------------------------------------------------------------
+
+    /// Reduce all PEs' values with `op` at `root` (deterministic rank-order
+    /// fold). Cost: `α log p + β·size_of::<T>()`.
+    pub fn reduce<T, F>(&self, root: usize, value: T, op: F) -> Option<T>
+    where
+        T: Clone + Send + Sync + 'static,
+        F: Fn(&T, &T) -> T,
+    {
+        let gathered = self.gather(root, value);
+        gathered.map(|vals| {
+            let mut it = vals.into_iter();
+            let first = it.next().expect("communicator is non-empty");
+            it.fold(first, |acc, x| op(&acc, &x))
+        })
+    }
+
+    /// All-reduce: every PE obtains `op` folded over all values in rank
+    /// order (deterministic even for non-commutative `op`).
+    /// Cost: `α log p + β·size_of::<T>()`.
+    pub fn allreduce<T, F>(&self, value: T, op: F) -> T
+    where
+        T: Clone + Send + Sync + 'static,
+        F: Fn(&T, &T) -> T,
+    {
+        let all = self.allgather(value);
+        // The allgather already charged α log p + β·p·s; the extra fold is
+        // local and negligible for scalars.
+        let mut it = all.into_iter();
+        let first = it.next().expect("communicator is non-empty");
+        it.fold(first, |acc, x| op(&acc, &x))
+    }
+
+    /// Convenience: global sum of a `u64`.
+    pub fn allreduce_sum(&self, value: u64) -> u64 {
+        self.allreduce(value, |a, b| a + b)
+    }
+
+    /// Convenience: global maximum of a `u64`.
+    pub fn allreduce_max(&self, value: u64) -> u64 {
+        self.allreduce(value, |a, b| *a.max(b))
+    }
+
+    /// Convenience: global minimum of a `u64`.
+    pub fn allreduce_min(&self, value: u64) -> u64 {
+        self.allreduce(value, |a, b| *a.min(b))
+    }
+
+    /// Element-wise vector all-reduce — the primitive behind the replicated
+    /// base case (Sec. IV-D: "the lightest edge for each vertex can then be
+    /// computed using an allReduce-operation with vector length n′").
+    ///
+    /// Implemented as a hypercube butterfly with fold-in/fold-out for
+    /// non-power-of-two `p`, so simulation work per PE is `O(ℓ log p)`
+    /// rather than `O(ℓ·p)`. Charged at the recursive-halving bound
+    /// `α log p + 2β·ℓ`.
+    ///
+    /// All PEs must pass vectors of equal length. `op` must be associative
+    /// and commutative (element-wise min/max/sum style).
+    pub fn allreduce_vec<T, F>(&self, mut value: Vec<T>, op: F) -> Vec<T>
+    where
+        T: Clone + Send + 'static,
+        F: Fn(&T, &T) -> T,
+    {
+        let p = self.size;
+        let len = value.len();
+        self.charge_comm(self.log2p(), 2 * bytes_of::<T>(len));
+        if p == 1 {
+            return value;
+        }
+        let q = crate::floor_pow2(p);
+        let extras = p - q; // ranks q..p fold into ranks 0..extras
+        // Fold-in: rank q+r sends to r.
+        if self.rank >= q {
+            let dest = self.rank - q;
+            self.exchange(Some((dest, std::mem::take(&mut value))), None::<usize>);
+        } else if self.rank < extras {
+            let src = self.rank + q;
+            let other = self
+                .exchange::<Vec<T>>(None, Some(src))
+                .expect("fold-in partner must send");
+            combine_elementwise(&mut value, &other, &op, self.rank < src);
+        } else {
+            self.exchange(None::<(usize, Vec<T>)>, None);
+        }
+        // Butterfly among ranks 0..q.
+        let dims = crate::ceil_log2(q);
+        for d in 0..dims {
+            if self.rank < q {
+                let partner = self.rank ^ (1 << d);
+                let other = self
+                    .exchange(Some((partner, value.clone())), Some(partner))
+                    .expect("butterfly partner must send");
+                combine_elementwise(&mut value, &other, &op, self.rank < partner);
+            } else {
+                self.exchange(None::<(usize, Vec<T>)>, None);
+            }
+        }
+        // Fold-out: rank r sends the result back to q+r.
+        if self.rank >= q {
+            let src = self.rank - q;
+            value = self
+                .exchange(None, Some(src))
+                .expect("fold-out partner must send");
+        } else if self.rank < extras {
+            let dest = self.rank + q;
+            self.exchange(Some((dest, value.clone())), None);
+        } else {
+            self.exchange(None::<(usize, Vec<T>)>, None);
+        }
+        value
+    }
+
+    /// Exclusive prefix "sum" with `op` over rank order; rank 0 receives
+    /// `identity`. Cost: `α log p + β·size_of::<T>()`.
+    pub fn exscan<T, F>(&self, value: T, identity: T, op: F) -> T
+    where
+        T: Clone + Send + Sync + 'static,
+        F: Fn(&T, &T) -> T,
+    {
+        let all = self.allgather(value);
+        all[..self.rank]
+            .iter()
+            .fold(identity, |acc, x| op(&acc, x))
+    }
+
+    /// Exclusive prefix sum of `u64` values (the common case: computing
+    /// global offsets of distributed sequences).
+    pub fn exscan_sum(&self, value: u64) -> u64 {
+        self.exscan(value, 0, |a, b| a + b)
+    }
+
+    // ------------------------------------------------------------------
+    // point-to-point (paired) exchange
+    // ------------------------------------------------------------------
+
+    /// Paired send/receive, collective over the communicator: *every* PE
+    /// must call this each round, passing `None`s if idle. Used by the
+    /// hypercube building blocks.
+    ///
+    /// `send` is `(destination, payload)`; `recv_from` names the rank whose
+    /// payload to take. Cost per side: `α + β·payload bytes`.
+    pub fn exchange<V: Send + 'static>(
+        &self,
+        send: Option<(usize, V)>,
+        recv_from: Option<usize>,
+    ) -> Option<V> {
+        let sent = send.is_some();
+        if let Some((dest, payload)) = send {
+            debug_assert!(dest < self.size, "exchange dest out of range");
+            debug_assert_ne!(dest, self.rank, "self-exchange is a protocol bug");
+            self.shared.slots.put(self.rank, payload);
+        }
+        self.sync();
+        let received = recv_from.map(|src| {
+            debug_assert_ne!(src, self.rank);
+            self.shared.slots.take::<V>(src)
+        });
+        self.sync();
+        if sent || received.is_some() {
+            self.charge_comm(1, 0); // β charged by callers who know sizes
+        }
+        received
+    }
+
+    // ------------------------------------------------------------------
+    // sub-communicators
+    // ------------------------------------------------------------------
+
+    /// Split the communicator into disjoint groups by `color`; within each
+    /// group, ranks are assigned by ascending `(key, old rank)` — MPI
+    /// `Comm_split` semantics. Collective.
+    ///
+    /// Charges no modeled cost: the algorithms in this workspace derive
+    /// colors from statically known structure (hypercube bit masks, grid
+    /// coordinates), which real implementations resolve without
+    /// communication; the exchange below is simulation plumbing.
+    pub fn split(&self, color: usize, key: usize) -> Comm {
+        let infos = self.allgather_uncharged((color, key, self.rank));
+        let mut members: Vec<(usize, usize)> = infos
+            .iter()
+            .filter(|(c, _, _)| *c == color)
+            .map(|(_, k, r)| (*k, *r))
+            .collect();
+        members.sort_unstable();
+        let my_new_rank = members
+            .iter()
+            .position(|&(_, r)| r == self.rank)
+            .expect("caller must be a member of its own color group");
+        let group_size = members.len();
+        let leader_global = members[0].1;
+
+        if self.rank == leader_global {
+            self.shared
+                .slots
+                .put_shared(self.rank, CommShared::new(group_size));
+        }
+        self.sync();
+        let group_shared = self.shared.slots.read_shared::<CommShared>(leader_global);
+        self.sync();
+        if self.rank == leader_global {
+            self.shared.slots.clear(self.rank);
+        }
+
+        Comm::new(
+            my_new_rank,
+            group_size,
+            group_shared,
+            Arc::clone(&self.clock),
+            self.cost,
+            self.alltoall_kind,
+            self.grid_threshold_bytes,
+        )
+    }
+
+    // internal accessors for the alltoall module
+    pub(crate) fn slots(&self) -> &Slots {
+        &self.shared.slots
+    }
+}
+
+/// Element-wise combine; `self_first` fixes the operand order so all PEs of
+/// a butterfly round compute bit-identical results even for non-commutative
+/// tie-breaking ops.
+fn combine_elementwise<T, F>(acc: &mut [T], other: &[T], op: &F, self_first: bool)
+where
+    T: Clone,
+    F: Fn(&T, &T) -> T,
+{
+    assert_eq!(
+        acc.len(),
+        other.len(),
+        "allreduce_vec requires equal-length vectors on all PEs"
+    );
+    for (a, b) in acc.iter_mut().zip(other.iter()) {
+        *a = if self_first { op(a, b) } else { op(b, a) };
+    }
+}

@@ -1,0 +1,99 @@
+//! # kamsta-comm — simulated distributed-memory SPMD runtime
+//!
+//! This crate is the substrate underneath the distributed MST algorithms of
+//! Sanders & Schimek, *Engineering Massively Parallel MST Algorithms*
+//! (IPDPS 2023). The paper's algorithms are bulk-synchronous MPI programs;
+//! here each *processing element* (PE) is an OS thread executing the same
+//! rank program against a [`Comm`] handle that provides the MPI-style
+//! collective operations the paper relies on:
+//!
+//! * [`Comm::barrier`], [`Comm::broadcast`], [`Comm::gather`],
+//!   [`Comm::allgather`], [`Comm::allgatherv`]
+//! * [`Comm::reduce`], [`Comm::allreduce`], [`Comm::allreduce_vec`]
+//!   (the vector allreduce that powers the replicated base case)
+//! * [`Comm::exscan`] (exclusive prefix sums)
+//! * personalized all-to-all in five flavours: direct
+//!   ([`Comm::alltoallv_direct`]), **two-level grid**
+//!   ([`Comm::alltoallv_grid`], Sec. VI-A of the paper), its
+//!   d-dimensional generalisation ([`Comm::alltoallv_dd`]), hypercube
+//!   ([`Comm::alltoallv_hypercube`]) and the threshold-based automatic
+//!   selection ([`Comm::sparse_alltoallv`])
+//! * sub-communicators ([`Comm::split`]), used by the 2D-partitioned
+//!   sparse-matrix baseline
+//!
+//! ## Cost model
+//!
+//! Because the paper's evaluation ran on up to 2^16 cores of SuperMUC-NG,
+//! which we do not have, every collective additionally charges a modeled
+//! **α-β-γ cost** onto a per-PE clock ([`Clock`]): `α` per message startup,
+//! `β` per byte of the PE's bottleneck communication volume and `γ` per unit
+//! of local work ([`Comm::charge_local`]). Clocks are max-synchronised at
+//! every barrier, giving BSP semantics: the modeled time of a run is the
+//! bottleneck PE's accumulated time. Benchmarks report this modeled time
+//! alongside real wall time; see `DESIGN.md` (substitution S2).
+//!
+//! ## Example
+//!
+//! ```
+//! use kamsta_comm::{Machine, MachineConfig};
+//!
+//! let cfg = MachineConfig::new(4);
+//! let out = Machine::run(cfg, |comm| {
+//!     let rank = comm.rank() as u64;
+//!     comm.allreduce(rank, |a, b| a + b)
+//! });
+//! assert_eq!(out.results, vec![6, 6, 6, 6]);
+//! ```
+
+mod alltoall;
+mod barrier;
+mod comm;
+mod cost;
+mod machine;
+mod slots;
+
+pub use alltoall::{route, AlltoallKind, Buckets, GridTopology};
+pub use comm::Comm;
+pub use cost::{Clock, CostModel, PeStats};
+pub use machine::{Machine, MachineConfig, RunOutput};
+
+/// Bytes occupied by `n` elements of type `T` — the unit used for β-cost
+/// accounting throughout the workspace.
+#[inline]
+pub fn bytes_for<T>(n: usize) -> u64 {
+    (n * std::mem::size_of::<T>()) as u64
+}
+
+/// Integer ceiling of log2; `ceil_log2(1) == 0`.
+#[inline]
+pub fn ceil_log2(x: usize) -> u32 {
+    debug_assert!(x > 0);
+    usize::BITS - (x - 1).leading_zeros()
+}
+
+/// Largest power of two `<= x` (x > 0).
+#[inline]
+pub fn floor_pow2(x: usize) -> usize {
+    debug_assert!(x > 0);
+    1 << (usize::BITS - 1 - x.leading_zeros())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log2_helpers() {
+        assert_eq!(ceil_log2(1), 0);
+        assert_eq!(ceil_log2(2), 1);
+        assert_eq!(ceil_log2(3), 2);
+        assert_eq!(ceil_log2(4), 2);
+        assert_eq!(ceil_log2(5), 3);
+        assert_eq!(ceil_log2(1024), 10);
+        assert_eq!(floor_pow2(1), 1);
+        assert_eq!(floor_pow2(2), 2);
+        assert_eq!(floor_pow2(3), 2);
+        assert_eq!(floor_pow2(4), 4);
+        assert_eq!(floor_pow2(1023), 512);
+    }
+}

@@ -1,0 +1,224 @@
+//! The machine: spawns one thread per PE and runs an SPMD rank program.
+
+use crate::alltoall::AlltoallKind;
+use crate::comm::{Comm, CommShared};
+use crate::cost::{Clock, CostModel, PeStats};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Configuration of a simulated distributed machine run.
+#[derive(Clone, Debug)]
+pub struct MachineConfig {
+    /// Number of processing elements (MPI ranks in the paper).
+    pub pes: usize,
+    /// Machine cost parameters, including hybrid threads per PE.
+    pub cost: CostModel,
+    /// All-to-all strategy (Sec. VI-A); `Auto` applies the 500-byte rule.
+    pub alltoall: AlltoallKind,
+    /// Threshold for the automatic grid/direct decision, in average bytes
+    /// per message (paper: 500 on SuperMUC-NG).
+    pub grid_threshold_bytes: usize,
+    /// Stack size per PE thread.
+    pub stack_size: usize,
+}
+
+impl MachineConfig {
+    /// A machine with `pes` PEs and default cost parameters.
+    pub fn new(pes: usize) -> Self {
+        Self {
+            pes,
+            cost: CostModel::default(),
+            alltoall: AlltoallKind::Auto,
+            grid_threshold_bytes: 500,
+            stack_size: 4 << 20,
+        }
+    }
+
+    /// Set hybrid threads per PE (the paper's `-1` / `-8` variants).
+    pub fn with_threads(mut self, t: usize) -> Self {
+        self.cost.threads_per_pe = t.max(1);
+        self
+    }
+
+    /// Override the all-to-all strategy.
+    pub fn with_alltoall(mut self, kind: AlltoallKind) -> Self {
+        self.alltoall = kind;
+        self
+    }
+
+    /// Override the cost model.
+    pub fn with_cost(mut self, cost: CostModel) -> Self {
+        let t = self.cost.threads_per_pe;
+        self.cost = cost;
+        self.cost.threads_per_pe = t;
+        self
+    }
+
+    /// Total simulated cores: `pes × threads_per_pe` (the paper scales
+    /// inputs by cores, not ranks).
+    pub fn cores(&self) -> usize {
+        self.pes * self.cost.threads_per_pe
+    }
+}
+
+/// Results of a machine run.
+#[derive(Debug)]
+pub struct RunOutput<R> {
+    /// Per-PE return values, indexed by rank.
+    pub results: Vec<R>,
+    /// Per-PE cost statistics, indexed by rank.
+    pub stats: Vec<PeStats>,
+    /// BSP completion time: the maximum modeled clock over all PEs.
+    pub modeled_time: f64,
+    /// Real wall-clock time of the simulation (not the modeled machine).
+    pub wall: Duration,
+}
+
+impl<R> RunOutput<R> {
+    /// Total messages across PEs.
+    pub fn total_messages(&self) -> u64 {
+        self.stats.iter().map(|s| s.messages).sum()
+    }
+
+    /// Total bytes across PEs.
+    pub fn total_bytes(&self) -> u64 {
+        self.stats.iter().map(|s| s.bytes).sum()
+    }
+}
+
+/// The simulated distributed machine.
+pub struct Machine;
+
+impl Machine {
+    /// Run `rank_fn` on `cfg.pes` PEs; blocks until all PEs return.
+    ///
+    /// `rank_fn` receives this PE's [`Comm`] for the world communicator.
+    /// If any PE panics, the barrier is poisoned (unblocking peers) and the
+    /// panic is propagated to the caller.
+    pub fn run<F, R>(cfg: MachineConfig, rank_fn: F) -> RunOutput<R>
+    where
+        F: Fn(&Comm) -> R + Send + Sync,
+        R: Send,
+    {
+        assert!(cfg.pes > 0, "machine needs at least one PE");
+        let p = cfg.pes;
+        let shared = Arc::new(CommShared::new(p));
+        let clocks: Vec<Arc<Clock>> = (0..p).map(|_| Arc::new(Clock::new())).collect();
+        let start = Instant::now();
+
+        let mut results: Vec<Option<R>> = (0..p).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let rank_fn = &rank_fn;
+            let shared_ref = &shared;
+            let cfg_ref = &cfg;
+            let handles: Vec<_> = results
+                .iter_mut()
+                .zip(clocks.iter())
+                .enumerate()
+                .map(|(rank, (result_slot, clock))| {
+                    let clock = Arc::clone(clock);
+                    std::thread::Builder::new()
+                        .name(format!("pe-{rank}"))
+                        .stack_size(cfg_ref.stack_size)
+                        .spawn_scoped(scope, move || {
+                            let comm = Comm::new(
+                                rank,
+                                p,
+                                Arc::clone(shared_ref),
+                                clock,
+                                cfg_ref.cost,
+                                cfg_ref.alltoall,
+                                cfg_ref.grid_threshold_bytes,
+                            );
+                            let out = std::panic::catch_unwind(
+                                std::panic::AssertUnwindSafe(|| rank_fn(&comm)),
+                            );
+                            match out {
+                                Ok(r) => *result_slot = Some(r),
+                                Err(payload) => {
+                                    shared_ref.barrier.poison();
+                                    std::panic::resume_unwind(payload);
+                                }
+                            }
+                        })
+                        .expect("failed to spawn PE thread")
+                })
+                .collect();
+            // Scoped threads are joined on scope exit; join explicitly to
+            // surface the *first* panic deterministically by rank order.
+            let mut first_panic = None;
+            for h in handles {
+                if let Err(e) = h.join() {
+                    first_panic.get_or_insert(e);
+                }
+            }
+            if let Some(e) = first_panic {
+                std::panic::resume_unwind(e);
+            }
+        });
+
+        let wall = start.elapsed();
+        let stats: Vec<PeStats> = clocks.iter().map(|c| c.stats()).collect();
+        let modeled_time = stats.iter().map(|s| s.modeled_time).fold(0.0, f64::max);
+        RunOutput {
+            results: results
+                .into_iter()
+                .map(|r| r.expect("PE finished without result"))
+                .collect(),
+            stats,
+            modeled_time,
+            wall,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_returns_results_by_rank() {
+        let out = Machine::run(MachineConfig::new(5), |comm| comm.rank() * 10);
+        assert_eq!(out.results, vec![0, 10, 20, 30, 40]);
+        assert_eq!(out.stats.len(), 5);
+    }
+
+    #[test]
+    fn cores_scales_with_threads() {
+        let cfg = MachineConfig::new(8).with_threads(8);
+        assert_eq!(cfg.cores(), 64);
+        assert_eq!(cfg.cost.threads_per_pe, 8);
+    }
+
+    #[test]
+    fn single_pe_machine_works() {
+        let out = Machine::run(MachineConfig::new(1), |comm| {
+            comm.barrier();
+            comm.allreduce_sum(7)
+        });
+        assert_eq!(out.results, vec![7]);
+    }
+
+    #[test]
+    fn pe_panic_propagates() {
+        let res = std::panic::catch_unwind(|| {
+            Machine::run(MachineConfig::new(4), |comm| {
+                if comm.rank() == 2 {
+                    panic!("pe 2 exploded");
+                }
+                // Peers block on a barrier; poisoning must release them.
+                comm.barrier();
+            })
+        });
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn modeled_time_is_max_over_pes() {
+        let out = Machine::run(MachineConfig::new(3), |comm| {
+            comm.charge_local(1_000_000 * (comm.rank() as u64 + 1));
+        });
+        let g = CostModel::default().gamma;
+        assert!((out.modeled_time - 3_000_000.0 * g).abs() < 1e-9);
+    }
+}

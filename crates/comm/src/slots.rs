@@ -1,0 +1,138 @@
+//! The blackboard: one publication slot per PE.
+//!
+//! All collectives follow the same two-superstep discipline:
+//!
+//! 1. every PE *publishes* (at most) one typed value into its own slot,
+//! 2. barrier,
+//! 3. PEs *read* (clone via `Arc`) or *take* (move) from peers' slots,
+//! 4. barrier,
+//! 5. publishers clear their slot.
+//!
+//! Because writes and reads are separated by a barrier, every slot access
+//! is uncontended in the steady state; the mutex is only a formality that
+//! keeps the code `unsafe`-free. Type erasure through `Box<dyn Any>` lets a
+//! single blackboard serve every element type.
+
+use parking_lot::Mutex;
+use std::any::Any;
+use std::sync::Arc;
+
+type Slot = Mutex<Option<Box<dyn Any + Send>>>;
+
+#[derive(Default)]
+pub struct Slots {
+    slots: Vec<Slot>,
+}
+
+impl std::fmt::Debug for Slots {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Slots({})", self.slots.len())
+    }
+}
+
+impl Slots {
+    pub fn new(n: usize) -> Self {
+        Self {
+            slots: (0..n).map(|_| Mutex::new(None)).collect(),
+        }
+    }
+
+    /// Publish `value` into slot `rank`. The slot must be empty — a full
+    /// slot means two collectives overlapped, which is a protocol bug.
+    pub fn put<T: Send + 'static>(&self, rank: usize, value: T) {
+        let prev = self.slots[rank].lock().replace(Box::new(value));
+        debug_assert!(prev.is_none(), "slot {rank} was not cleared");
+    }
+
+    /// Publish a shared value that several PEs will read.
+    pub fn put_shared<T: Send + Sync + 'static>(&self, rank: usize, value: T) {
+        self.put(rank, Arc::new(value));
+    }
+
+    /// Move the value out of slot `rank`.
+    pub fn take<T: Send + 'static>(&self, rank: usize) -> T {
+        let boxed = self.slots[rank]
+            .lock()
+            .take()
+            .unwrap_or_else(|| panic!("slot {rank} empty on take"));
+        *boxed
+            .downcast::<T>()
+            .unwrap_or_else(|_| panic!("slot {rank} type mismatch on take"))
+    }
+
+    /// Clone the shared handle out of slot `rank` without clearing it.
+    pub fn read_shared<T: Send + Sync + 'static>(&self, rank: usize) -> Arc<T> {
+        let guard = self.slots[rank].lock();
+        let boxed = guard
+            .as_ref()
+            .unwrap_or_else(|| panic!("slot {rank} empty on read"));
+        boxed
+            .downcast_ref::<Arc<T>>()
+            .unwrap_or_else(|| panic!("slot {rank} type mismatch on read"))
+            .clone()
+    }
+
+    /// Drop whatever is in slot `rank` (publisher-side cleanup).
+    pub fn clear(&self, rank: usize) {
+        *self.slots[rank].lock() = None;
+    }
+
+    /// True if the slot currently holds a value (testing aid).
+    #[allow(dead_code)]
+    pub fn is_occupied(&self, rank: usize) -> bool {
+        self.slots[rank].lock().is_some()
+    }
+
+    #[allow(dead_code)]
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    #[allow(dead_code)]
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_take_roundtrip() {
+        let s = Slots::new(2);
+        s.put(0, vec![1u32, 2, 3]);
+        assert!(s.is_occupied(0));
+        assert!(!s.is_occupied(1));
+        let v: Vec<u32> = s.take(0);
+        assert_eq!(v, vec![1, 2, 3]);
+        assert!(!s.is_occupied(0));
+    }
+
+    #[test]
+    fn shared_read_is_non_destructive() {
+        let s = Slots::new(1);
+        s.put_shared(0, String::from("hello"));
+        let a = s.read_shared::<String>(0);
+        let b = s.read_shared::<String>(0);
+        assert_eq!(*a, "hello");
+        assert_eq!(*b, "hello");
+        s.clear(0);
+        assert!(!s.is_occupied(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty on take")]
+    fn take_from_empty_panics() {
+        let s = Slots::new(1);
+        let _: u32 = s.take(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "type mismatch")]
+    fn type_mismatch_panics() {
+        let s = Slots::new(1);
+        s.put(0, 1u32);
+        let _: u64 = s.take(0);
+    }
+}

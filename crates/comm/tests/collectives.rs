@@ -1,0 +1,347 @@
+//! Semantics tests for every collective, across odd/even/power-of-two PE
+//! counts and all all-to-all strategies.
+
+use kamsta_comm::{route, AlltoallKind, Machine, MachineConfig};
+
+const PE_COUNTS: &[usize] = &[1, 2, 3, 4, 5, 7, 8, 13, 16];
+
+#[test]
+fn barrier_syncs_modeled_clocks() {
+    for &p in PE_COUNTS {
+        let out = Machine::run(MachineConfig::new(p), |comm| {
+            comm.charge_local(1_000 * (comm.rank() as u64 + 1));
+            comm.barrier();
+            comm.clock().now()
+        });
+        let max = out.results.iter().cloned().fold(0.0, f64::max);
+        for (r, t) in out.results.iter().enumerate() {
+            assert!(
+                (t - max).abs() < 1e-12,
+                "p={p}: rank {r} clock {t} != synced max {max}"
+            );
+        }
+    }
+}
+
+#[test]
+fn broadcast_from_every_root() {
+    for &p in PE_COUNTS {
+        for root in [0, p / 2, p - 1] {
+            let out = Machine::run(MachineConfig::new(p), move |comm| {
+                let v = if comm.rank() == root {
+                    Some(vec![root as u64, 42, 7])
+                } else {
+                    None
+                };
+                comm.broadcast_vec(root, v)
+            });
+            for r in out.results {
+                assert_eq!(r, vec![root as u64, 42, 7]);
+            }
+        }
+    }
+}
+
+#[test]
+fn broadcast_scalar() {
+    let out = Machine::run(MachineConfig::new(6), |comm| {
+        let v = if comm.rank() == 3 { Some(99u32) } else { None };
+        comm.broadcast(3, v)
+    });
+    assert!(out.results.iter().all(|&v| v == 99));
+}
+
+#[test]
+fn gather_collects_in_rank_order() {
+    for &p in PE_COUNTS {
+        let out = Machine::run(MachineConfig::new(p), |comm| {
+            comm.gather(0, comm.rank() as u64 * 2)
+        });
+        let expected: Vec<u64> = (0..p as u64).map(|r| r * 2).collect();
+        assert_eq!(out.results[0], Some(expected));
+        for r in 1..p {
+            assert_eq!(out.results[r], None);
+        }
+    }
+}
+
+#[test]
+fn gatherv_concatenates_in_rank_order() {
+    let out = Machine::run(MachineConfig::new(4), |comm| {
+        let mine: Vec<u32> = (0..comm.rank() as u32).collect();
+        comm.gatherv(2, mine)
+    });
+    assert_eq!(out.results[2], Some(vec![0, 0, 1, 0, 1, 2]));
+    assert_eq!(out.results[0], None);
+}
+
+#[test]
+fn allgather_and_allgatherv() {
+    for &p in PE_COUNTS {
+        let out = Machine::run(MachineConfig::new(p), |comm| {
+            let flat = comm.allgather(comm.rank() as u32);
+            let varying: Vec<u32> = vec![comm.rank() as u32; comm.rank() + 1];
+            let concat = comm.allgatherv(varying);
+            (flat, concat)
+        });
+        let expect_flat: Vec<u32> = (0..p as u32).collect();
+        let mut expect_concat = Vec::new();
+        for r in 0..p as u32 {
+            expect_concat.extend(vec![r; r as usize + 1]);
+        }
+        for (flat, concat) in out.results {
+            assert_eq!(flat, expect_flat);
+            assert_eq!(concat, expect_concat);
+        }
+    }
+}
+
+#[test]
+fn reductions_scalar() {
+    for &p in PE_COUNTS {
+        let out = Machine::run(MachineConfig::new(p), |comm| {
+            let sum = comm.allreduce_sum(comm.rank() as u64 + 1);
+            let max = comm.allreduce_max(comm.rank() as u64);
+            let min = comm.allreduce_min(comm.rank() as u64 + 5);
+            let red = comm.reduce(0, comm.rank() as u64, |a, b| a + b);
+            (sum, max, min, red)
+        });
+        let n = p as u64;
+        for (r, (sum, max, min, red)) in out.results.into_iter().enumerate() {
+            assert_eq!(sum, n * (n + 1) / 2);
+            assert_eq!(max, n - 1);
+            assert_eq!(min, 5);
+            if r == 0 {
+                assert_eq!(red, Some(n * (n - 1) / 2));
+            } else {
+                assert_eq!(red, None);
+            }
+        }
+    }
+}
+
+#[test]
+fn allreduce_is_deterministic_for_noncommutative_op() {
+    // Rank-order fold: (((v0 op v1) op v2) ...) — subtraction exposes any
+    // ordering nondeterminism.
+    for &p in PE_COUNTS {
+        let out = Machine::run(MachineConfig::new(p), |comm| {
+            comm.allreduce(comm.rank() as i64 + 10, |a, b| a - b)
+        });
+        let vals: Vec<i64> = (0..p as i64).map(|r| r + 10).collect();
+        let expected = vals[1..].iter().fold(vals[0], |acc, x| acc - x);
+        assert!(out.results.iter().all(|&v| v == expected));
+    }
+}
+
+#[test]
+fn allreduce_vec_elementwise_min_and_sum() {
+    for &p in PE_COUNTS {
+        let len = 100;
+        let out = Machine::run(MachineConfig::new(p), move |comm| {
+            let r = comm.rank() as u64;
+            // vec[i] = (rank * 31 + i) % 97 — min over ranks is checkable
+            let mine: Vec<u64> = (0..len).map(|i| (r * 31 + i) % 97).collect();
+            let mins = comm.allreduce_vec(mine.clone(), |a, b| *a.min(b));
+            let sums = comm.allreduce_vec(mine, |a, b| a + b);
+            (mins, sums)
+        });
+        let mut expect_min = vec![u64::MAX; len as usize];
+        let mut expect_sum = vec![0u64; len as usize];
+        for r in 0..p as u64 {
+            for i in 0..len {
+                let v = (r * 31 + i) % 97;
+                let idx = i as usize;
+                expect_min[idx] = expect_min[idx].min(v);
+                expect_sum[idx] += v;
+            }
+        }
+        for (mins, sums) in out.results {
+            assert_eq!(mins, expect_min, "p={p}");
+            assert_eq!(sums, expect_sum, "p={p}");
+        }
+    }
+}
+
+#[test]
+fn exscan_computes_exclusive_prefixes() {
+    for &p in PE_COUNTS {
+        let out = Machine::run(MachineConfig::new(p), |comm| {
+            comm.exscan_sum(comm.rank() as u64 + 1)
+        });
+        for (r, v) in out.results.into_iter().enumerate() {
+            let expected: u64 = (1..=r as u64).sum();
+            assert_eq!(v, expected, "p={p} rank={r}");
+        }
+    }
+}
+
+fn alltoall_payload(_p: usize, src: usize, dst: usize) -> Vec<u64> {
+    // Deterministic, size varies with (src, dst) to exercise imbalance.
+    let n = (src * 7 + dst * 3) % 5;
+    (0..n).map(|k| (src * 1000 + dst * 10 + k) as u64).collect()
+}
+
+fn check_alltoall(p: usize, kind: AlltoallKind) {
+    let out = Machine::run(
+        MachineConfig::new(p).with_alltoall(kind),
+        move |comm| {
+            let me = comm.rank();
+            let bufs: Vec<Vec<u64>> = (0..p).map(|dst| alltoall_payload(p, me, dst)).collect();
+            match kind {
+                AlltoallKind::Direct => comm.alltoallv_direct(bufs),
+                AlltoallKind::Grid => comm.alltoallv_grid(bufs),
+                AlltoallKind::Hypercube => comm.alltoallv_hypercube(bufs),
+                AlltoallKind::Auto => comm.sparse_alltoallv(bufs),
+            }
+        },
+    );
+    for (me, recv) in out.results.into_iter().enumerate() {
+        assert_eq!(recv.len(), p);
+        for (src, got) in recv.into_iter().enumerate() {
+            assert_eq!(
+                got,
+                alltoall_payload(p, src, me),
+                "p={p} kind={kind:?} src={src} dst={me}"
+            );
+        }
+    }
+}
+
+#[test]
+fn alltoall_direct_all_sizes() {
+    for &p in PE_COUNTS {
+        check_alltoall(p, AlltoallKind::Direct);
+    }
+}
+
+#[test]
+fn alltoall_grid_all_sizes() {
+    // Include sizes with incomplete last rows (e.g. 5: c=2,r=3; 13: c=3,r=5).
+    for &p in PE_COUNTS {
+        check_alltoall(p, AlltoallKind::Grid);
+    }
+    for p in [6, 10, 11, 12, 15, 20, 23, 24, 25] {
+        check_alltoall(p, AlltoallKind::Grid);
+    }
+}
+
+#[test]
+fn alltoall_hypercube_power_of_two_and_fallback() {
+    for p in [1, 2, 4, 8, 16, 32] {
+        check_alltoall(p, AlltoallKind::Hypercube);
+    }
+    // Non-power-of-two falls back to grid; must still be correct.
+    for p in [3, 5, 6, 7, 12] {
+        check_alltoall(p, AlltoallKind::Hypercube);
+    }
+}
+
+#[test]
+fn alltoall_auto_all_sizes() {
+    for &p in PE_COUNTS {
+        check_alltoall(p, AlltoallKind::Auto);
+    }
+}
+
+#[test]
+fn grid_uses_fewer_message_startups_than_direct_at_scale() {
+    // The point of Fig. 2: α·p vs α·√p startups for tiny messages.
+    let p = 64;
+    let run = |kind: AlltoallKind| {
+        Machine::run(MachineConfig::new(p).with_alltoall(kind), move |comm| {
+            let bufs: Vec<Vec<u64>> = (0..p).map(|d| vec![d as u64]).collect();
+            match kind {
+                AlltoallKind::Direct => comm.alltoallv_direct(bufs),
+                _ => comm.alltoallv_grid(bufs),
+            };
+        })
+    };
+    let direct = run(AlltoallKind::Direct);
+    let grid = run(AlltoallKind::Grid);
+    assert!(
+        grid.total_messages() < direct.total_messages() / 2,
+        "grid {} vs direct {}",
+        grid.total_messages(),
+        direct.total_messages()
+    );
+    assert!(grid.modeled_time < direct.modeled_time);
+    // ...at the cost of roughly doubled volume.
+    assert!(grid.total_bytes() >= direct.total_bytes());
+}
+
+#[test]
+fn route_delivers_keyed_items() {
+    let p = 6;
+    let out = Machine::run(MachineConfig::new(p), move |comm| {
+        let me = comm.rank();
+        // Everyone sends its rank to every even PE.
+        let items: Vec<(usize, u64)> = (0..p).filter(|d| d % 2 == 0).map(|d| (d, me as u64)).collect();
+        let mut got = route(comm, items);
+        got.sort_unstable();
+        got
+    });
+    for (r, got) in out.results.into_iter().enumerate() {
+        if r % 2 == 0 {
+            assert_eq!(got, (0..p as u64).collect::<Vec<_>>());
+        } else {
+            assert!(got.is_empty());
+        }
+    }
+}
+
+#[test]
+fn split_forms_row_communicators() {
+    let p = 12;
+    let cols = 4;
+    let out = Machine::run(MachineConfig::new(p), move |comm| {
+        let row = comm.rank() / cols;
+        let row_comm = comm.split(row, comm.rank());
+        let members = row_comm.allgather(comm.rank());
+        (row_comm.rank(), row_comm.size(), members)
+    });
+    for (r, (new_rank, size, members)) in out.results.into_iter().enumerate() {
+        assert_eq!(size, cols);
+        assert_eq!(new_rank, r % cols);
+        let row = r / cols;
+        let expected: Vec<usize> = (0..cols).map(|c| row * cols + c).collect();
+        assert_eq!(members, expected);
+    }
+}
+
+#[test]
+fn split_then_collectives_in_group() {
+    let p = 9;
+    let out = Machine::run(MachineConfig::new(p), move |comm| {
+        let color = comm.rank() % 3;
+        let sub = comm.split(color, comm.rank());
+        sub.allreduce_sum(comm.rank() as u64)
+    });
+    for (r, sum) in out.results.into_iter().enumerate() {
+        let color = r % 3;
+        let expected: u64 = (0..p as u64).filter(|x| x % 3 == color as u64).sum();
+        assert_eq!(sum, expected);
+    }
+}
+
+#[test]
+fn exchange_pairs() {
+    let out = Machine::run(MachineConfig::new(8), |comm| {
+        let partner = comm.rank() ^ 1;
+        comm.exchange(Some((partner, comm.rank() as u64)), Some(partner))
+            .unwrap()
+    });
+    for (r, got) in out.results.into_iter().enumerate() {
+        assert_eq!(got, (r ^ 1) as u64);
+    }
+}
+
+#[test]
+fn stats_track_messages_and_bytes() {
+    let out = Machine::run(MachineConfig::new(4), |comm| {
+        comm.allgather(comm.rank() as u64);
+    });
+    assert!(out.total_messages() > 0);
+    assert!(out.total_bytes() > 0);
+    assert!(out.modeled_time > 0.0);
+}

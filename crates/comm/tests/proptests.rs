@@ -1,0 +1,94 @@
+//! Property tests for the collective operations: arbitrary payloads and
+//! PE counts must round-trip exactly.
+
+use kamsta_comm::{AlltoallKind, Machine, MachineConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn allgatherv_concatenates(
+        p in 1usize..8,
+        chunks in prop::collection::vec(prop::collection::vec(any::<u32>(), 0..20), 1..8),
+    ) {
+        let chunks_run = chunks.clone();
+        let out = Machine::run(MachineConfig::new(p), move |comm| {
+            let mine = chunks_run.get(comm.rank()).cloned().unwrap_or_default();
+            comm.allgatherv(mine)
+        });
+        let expected: Vec<u32> = chunks.iter().take(p).flatten().copied().collect();
+        for r in out.results {
+            prop_assert_eq!(&r, &expected);
+        }
+    }
+
+    #[test]
+    fn exscan_prefixes(
+        p in 1usize..9,
+        vals in prop::collection::vec(any::<u32>(), 1..9),
+    ) {
+        let vals_run = vals.clone();
+        let out = Machine::run(MachineConfig::new(p), move |comm| {
+            let v = vals_run.get(comm.rank()).copied().unwrap_or(0) as u64;
+            comm.exscan_sum(v)
+        });
+        for (rank, got) in out.results.into_iter().enumerate() {
+            let expected: u64 = (0..rank)
+                .map(|r| vals.get(r).copied().unwrap_or(0) as u64)
+                .sum();
+            prop_assert_eq!(got, expected);
+        }
+    }
+
+    #[test]
+    fn alltoall_strategies_agree(
+        p in 2usize..10,
+        salt in any::<u64>(),
+    ) {
+        let run = |kind: AlltoallKind| {
+            Machine::run(MachineConfig::new(p).with_alltoall(kind), move |comm| {
+                let me = comm.rank() as u64;
+                let bufs: Vec<Vec<u64>> = (0..p)
+                    .map(|d| {
+                        let n = ((salt ^ (me * 31 + d as u64)) % 5) as usize;
+                        (0..n as u64).map(|k| salt ^ (me * 1000 + d as u64 * 10 + k)).collect()
+                    })
+                    .collect();
+                match kind {
+                    AlltoallKind::Direct => comm.alltoallv_direct(bufs),
+                    AlltoallKind::Grid => comm.alltoallv_grid(bufs),
+                    AlltoallKind::Hypercube => comm.alltoallv_hypercube(bufs),
+                    AlltoallKind::Auto => comm.sparse_alltoallv(bufs),
+                }
+            })
+            .results
+        };
+        let direct = run(AlltoallKind::Direct);
+        prop_assert_eq!(&run(AlltoallKind::Grid), &direct);
+        prop_assert_eq!(&run(AlltoallKind::Hypercube), &direct);
+        prop_assert_eq!(&run(AlltoallKind::Auto), &direct);
+    }
+
+    #[test]
+    fn allreduce_vec_min_matches_reference(
+        p in 1usize..8,
+        len in 1usize..40,
+        salt in any::<u64>(),
+    ) {
+        let out = Machine::run(MachineConfig::new(p), move |comm| {
+            let r = comm.rank() as u64;
+            let mine: Vec<u64> = (0..len as u64).map(|i| (salt ^ (r * 131 + i * 7)) % 1000).collect();
+            comm.allreduce_vec(mine, |a, b| *a.min(b))
+        });
+        let mut expected = vec![u64::MAX; len];
+        for r in 0..p as u64 {
+            for (i, e) in expected.iter_mut().enumerate() {
+                *e = (*e).min((salt ^ (r * 131 + i as u64 * 7)) % 1000);
+            }
+        }
+        for res in out.results {
+            prop_assert_eq!(&res, &expected);
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! Per-phase instrumentation matching the phase taxonomy of the paper's
+//! Fig. 6 ("normalized running times of different steps of our
+//! algorithms").
+
+use kamsta_comm::Comm;
+use std::time::Instant;
+
+/// The phases of Fig. 6, in display order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Phase {
+    LocalPreprocessing,
+    GraphSetupMinEdges,
+    ContractComponents,
+    ExchangeLabelsRelabel,
+    Redistribute,
+    BaseCaseRedistributeMst,
+    PartitionFilter,
+    Misc,
+}
+
+impl Phase {
+    pub const ALL: [Phase; 8] = [
+        Phase::LocalPreprocessing,
+        Phase::GraphSetupMinEdges,
+        Phase::ContractComponents,
+        Phase::ExchangeLabelsRelabel,
+        Phase::Redistribute,
+        Phase::BaseCaseRedistributeMst,
+        Phase::PartitionFilter,
+        Phase::Misc,
+    ];
+
+    /// Label as printed in Fig. 6's legend.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Phase::LocalPreprocessing => "localPreprocessing",
+            Phase::GraphSetupMinEdges => "graphSetup+minEdges",
+            Phase::ContractComponents => "contractComponents",
+            Phase::ExchangeLabelsRelabel => "exchangeLabels+relabel",
+            Phase::Redistribute => "redistribute",
+            Phase::BaseCaseRedistributeMst => "basecase+redistributeMST",
+            Phase::PartitionFilter => "partition+filter(setup)",
+            Phase::Misc => "misc",
+        }
+    }
+
+    fn index(&self) -> usize {
+        Phase::ALL.iter().position(|p| p == self).unwrap()
+    }
+}
+
+/// Accumulated per-phase modeled and wall time for one PE.
+#[derive(Clone, Debug, Default)]
+pub struct PhaseTimes {
+    /// Modeled seconds per phase (α-β-γ clock deltas).
+    pub modeled: [f64; 8],
+    /// Wall-clock seconds per phase (simulation time; indicative only).
+    pub wall: [f64; 8],
+}
+
+impl PhaseTimes {
+    pub fn total_modeled(&self) -> f64 {
+        self.modeled.iter().sum()
+    }
+
+    /// Per-phase share of the total modeled time (Fig. 6's normalisation).
+    pub fn normalized(&self) -> [f64; 8] {
+        let total = self.total_modeled().max(f64::MIN_POSITIVE);
+        let mut out = [0.0; 8];
+        for (o, m) in out.iter_mut().zip(self.modeled.iter()) {
+            *o = m / total;
+        }
+        out
+    }
+
+    /// Merge per-PE times into the bottleneck profile (element-wise max):
+    /// the modeled BSP clock advances with the slowest PE per phase.
+    pub fn reduce_max(comm: &Comm, mine: &PhaseTimes) -> PhaseTimes {
+        let merged_m = comm.allreduce(mine.modeled.to_vec(), |a, b| {
+            a.iter().zip(b).map(|(x, y)| x.max(*y)).collect()
+        });
+        let merged_w = comm.allreduce(mine.wall.to_vec(), |a, b| {
+            a.iter().zip(b).map(|(x, y)| x.max(*y)).collect()
+        });
+        PhaseTimes {
+            modeled: merged_m.try_into().unwrap(),
+            wall: merged_w.try_into().unwrap(),
+        }
+    }
+}
+
+/// Phase-scoped timer wrapping a PE's communicator.
+pub struct Phased<'a> {
+    comm: &'a Comm,
+    pub times: PhaseTimes,
+}
+
+impl<'a> Phased<'a> {
+    pub fn new(comm: &'a Comm) -> Self {
+        Self {
+            comm,
+            times: PhaseTimes::default(),
+        }
+    }
+
+    pub fn comm(&self) -> &'a Comm {
+        self.comm
+    }
+
+    /// Run `f`, attributing its modeled-clock delta and wall time to
+    /// `phase`.
+    pub fn measure<R>(&mut self, phase: Phase, f: impl FnOnce(&Comm) -> R) -> R {
+        let clock_before = self.comm.clock().now();
+        let wall_before = Instant::now();
+        let out = f(self.comm);
+        let i = phase.index();
+        self.times.modeled[i] += self.comm.clock().now() - clock_before;
+        self.times.wall[i] += wall_before.elapsed().as_secs_f64();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kamsta_comm::{Machine, MachineConfig};
+
+    #[test]
+    fn phases_have_unique_labels_and_indices() {
+        let labels: std::collections::HashSet<&str> =
+            Phase::ALL.iter().map(|p| p.label()).collect();
+        assert_eq!(labels.len(), 8);
+        for (i, p) in Phase::ALL.iter().enumerate() {
+            assert_eq!(p.index(), i);
+        }
+    }
+
+    #[test]
+    fn measure_attributes_modeled_time() {
+        let out = Machine::run(MachineConfig::new(2), |comm| {
+            let mut ph = Phased::new(comm);
+            ph.measure(Phase::Redistribute, |c| c.charge_local(1_000_000));
+            ph.measure(Phase::Misc, |c| c.charge_local(500_000));
+            ph.times
+        });
+        for t in out.results {
+            assert!(t.modeled[Phase::Redistribute.index()] > 0.0);
+            assert!(t.modeled[Phase::Misc.index()] > 0.0);
+            assert!(
+                t.modeled[Phase::Redistribute.index()]
+                    > t.modeled[Phase::Misc.index()]
+            );
+            let norm = t.normalized();
+            assert!((norm.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn reduce_max_takes_bottleneck() {
+        let out = Machine::run(MachineConfig::new(3), |comm| {
+            let mut ph = Phased::new(comm);
+            ph.measure(Phase::Misc, |c| {
+                c.charge_local(1_000_000 * (c.rank() as u64 + 1))
+            });
+            PhaseTimes::reduce_max(comm, &ph.times)
+        });
+        let gamma = kamsta_comm::CostModel::default().gamma;
+        for t in out.results {
+            assert!((t.modeled[7] - 3_000_000.0 * gamma).abs() < 1e-9);
+        }
+    }
+}

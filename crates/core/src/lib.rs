@@ -1,0 +1,27 @@
+//! # kamsta-core — massively parallel MST algorithms
+//!
+//! The paper's primary contribution (Sanders & Schimek, IPDPS 2023):
+//!
+//! * [`dist::boruvka_mst`] — the scalable distributed Borůvka algorithm
+//!   (Algorithm 1): local preprocessing, minimum-edge selection, pointer-
+//!   doubling component contraction with shared-vertex handling, ghost
+//!   label exchange, relabel/redistribute, and the replicated-vertex base
+//!   case.
+//! * [`dist::filter_mst`] — the Filter-Borůvka algorithm (Algorithm 2):
+//!   quicksort-style weight partitioning with distributed filtering
+//!   through a block-distributed representative array.
+//! * [`seq`] — sequential references (Kruskal, Jarník-Prim, Borůvka,
+//!   Filter-Kruskal) for correctness and baselines.
+//! * [`shared`] — rayon shared-memory Borůvka with min-priority-write
+//!   (the hybrid-threading kernels and the Sec. VII-C stand-in).
+//! * [`verify_msf`] — MSF verification against the Kruskal reference.
+//! * [`instrument`] — the Fig. 6 phase taxonomy.
+
+pub mod dist;
+pub mod instrument;
+pub mod seq;
+pub mod shared;
+mod verify;
+
+pub use instrument::{Phase, PhaseTimes, Phased};
+pub use verify::verify_msf;

@@ -1,0 +1,107 @@
+//! Sequential Borůvka's algorithm [7] (Sec. II-C of the paper).
+//!
+//! In each round, every component selects its lightest incident edge
+//! (under the unique-weight order); the selected edges are MST edges by
+//! the cut property, components are contracted and the process repeats.
+//! At most `log n` rounds.
+
+use super::{UnionFind, VertexIndex};
+use kamsta_graph::WEdge;
+
+/// Compute the minimum spanning forest via Borůvka rounds over a
+/// union-find (contraction by set merging rather than relabeling).
+pub fn boruvka(edges: &[WEdge]) -> Vec<WEdge> {
+    let idx = VertexIndex::build(edges);
+    let n = idx.len();
+    let mut uf = UnionFind::new(n);
+    let mut msf: Vec<WEdge> = Vec::new();
+    if n == 0 {
+        return msf;
+    }
+    // best[c] = index of the lightest edge incident to component c.
+    let mut best: Vec<u32> = vec![u32::MAX; n];
+    loop {
+        for b in best.iter_mut() {
+            *b = u32::MAX;
+        }
+        let mut any = false;
+        for (k, e) in edges.iter().enumerate() {
+            let cu = uf.find(idx.dense(e.u));
+            let cv = uf.find(idx.dense(e.v));
+            if cu == cv {
+                continue;
+            }
+            any = true;
+            for c in [cu, cv] {
+                let cur = best[c as usize];
+                if cur == u32::MAX
+                    || e.weight_key() < edges[cur as usize].weight_key()
+                {
+                    best[c as usize] = k as u32;
+                }
+            }
+        }
+        if !any {
+            break;
+        }
+        // Hook the selected edges; a 2-cycle pair selects the same edge
+        // twice, which the union-find absorbs (second union is a no-op).
+        for &b in &best {
+            if b == u32::MAX {
+                continue;
+            }
+            let e = &edges[b as usize];
+            if uf.union(idx.dense(e.u), idx.dense(e.v)) {
+                msf.push(*e);
+            }
+        }
+    }
+    msf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq::kruskal;
+    use crate::seq::testutil::{random_connected_graph, symmetric};
+    use crate::seq::{canonical_msf, msf_weight};
+
+    #[test]
+    fn matches_kruskal() {
+        for seed in 0..6 {
+            let edges = random_connected_graph(70, 150, seed);
+            assert_eq!(
+                canonical_msf(&boruvka(&edges)),
+                canonical_msf(&kruskal(&edges)),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn symmetric_directed_input() {
+        let und = random_connected_graph(50, 80, 9);
+        let sym = symmetric(&und);
+        assert_eq!(
+            msf_weight(&boruvka(&sym)),
+            msf_weight(&kruskal(&und))
+        );
+    }
+
+    #[test]
+    fn round_count_is_logarithmic() {
+        // A path of 64 vertices with strictly increasing weights contracts
+        // fully; this is a smoke test that the loop terminates quickly and
+        // produces the full tree.
+        let edges: Vec<WEdge> = (1..64).map(|i| WEdge::new(i - 1, i, i as u32)).collect();
+        let msf = boruvka(&edges);
+        assert_eq!(msf.len(), 63);
+    }
+
+    #[test]
+    fn disconnected_and_trivial_inputs() {
+        assert!(boruvka(&[]).is_empty());
+        let two = vec![WEdge::new(0, 1, 1), WEdge::new(7, 8, 2)];
+        assert_eq!(boruvka(&two).len(), 2);
+    }
+}

@@ -1,0 +1,121 @@
+//! Filter-Kruskal [8] — "in many respects the best practical sequential
+//! algorithm" (Sec. I), and the origin of the filtering idea that
+//! Filter-Borůvka (Sec. V) lifts to the distributed setting.
+//!
+//! Quicksort-style recursion: partition edges around a pivot weight,
+//! recurse on the light half, *filter* heavy edges whose endpoints already
+//! share a component, recurse on the survivors. Expected work `O(m)` for
+//! random weights.
+
+use super::{UnionFind, VertexIndex};
+use kamsta_graph::WEdge;
+
+/// Below this many edges, plain Kruskal on the remaining slice wins.
+const BASE_CASE: usize = 64;
+
+/// Compute the minimum spanning forest with Filter-Kruskal.
+pub fn filter_kruskal(edges: &[WEdge]) -> Vec<WEdge> {
+    let idx = VertexIndex::build(edges);
+    let mut uf = UnionFind::new(idx.len());
+    let mut work: Vec<WEdge> = edges.to_vec();
+    let mut msf = Vec::new();
+    rec(&mut work, &idx, &mut uf, &mut msf, 0);
+    msf
+}
+
+fn kruskal_base(slice: &mut [WEdge], idx: &VertexIndex, uf: &mut UnionFind, msf: &mut Vec<WEdge>) {
+    slice.sort_unstable_by_key(|e| e.weight_key());
+    for e in slice {
+        if uf.union(idx.dense(e.u), idx.dense(e.v)) {
+            msf.push(*e);
+        }
+    }
+}
+
+fn rec(
+    edges: &mut Vec<WEdge>,
+    idx: &VertexIndex,
+    uf: &mut UnionFind,
+    msf: &mut Vec<WEdge>,
+    depth: u32,
+) {
+    if edges.len() <= BASE_CASE || depth > 64 {
+        kruskal_base(edges, idx, uf, msf);
+        return;
+    }
+    // Median-of-three pivot on weights.
+    let a = edges[0].w;
+    let b = edges[edges.len() / 2].w;
+    let c = edges[edges.len() - 1].w;
+    let pivot = a.max(b).min(a.min(b).max(c));
+
+    let mut light: Vec<WEdge> = Vec::new();
+    let mut heavy: Vec<WEdge> = Vec::new();
+    for e in edges.drain(..) {
+        if e.w <= pivot {
+            light.push(e);
+        } else {
+            heavy.push(e);
+        }
+    }
+    if light.is_empty() || heavy.is_empty() {
+        // Degenerate pivot (many equal weights): fall back to the base.
+        let mut rest = if light.is_empty() { heavy } else { light };
+        kruskal_base(&mut rest, idx, uf, msf);
+        return;
+    }
+    rec(&mut light, idx, uf, msf, depth + 1);
+    // Filter: drop heavy edges already inside a component of the partial
+    // forest.
+    heavy.retain(|e| uf.find(idx.dense(e.u)) != uf.find(idx.dense(e.v)));
+    rec(&mut heavy, idx, uf, msf, depth + 1);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq::kruskal;
+    use crate::seq::testutil::random_connected_graph;
+    use crate::seq::{canonical_msf, msf_weight};
+
+    #[test]
+    fn matches_kruskal_on_random_graphs() {
+        for seed in 0..8 {
+            let edges = random_connected_graph(120, 600, seed);
+            assert_eq!(
+                canonical_msf(&filter_kruskal(&edges)),
+                canonical_msf(&kruskal(&edges)),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn dense_graph_filters_most_edges() {
+        // Dense random graph: the filter should not change the answer.
+        let edges = random_connected_graph(60, 3000, 3);
+        assert_eq!(
+            msf_weight(&filter_kruskal(&edges)),
+            msf_weight(&kruskal(&edges))
+        );
+    }
+
+    #[test]
+    fn uniform_weights_degenerate_pivot() {
+        // All weights equal — the pivot cannot split; must still work.
+        let edges: Vec<WEdge> = (1..200u64)
+            .map(|i| WEdge::new(i - 1, i, 7))
+            .chain((0..100u64).map(|i| WEdge::new(i, i + 50, 7)))
+            .collect();
+        let msf = filter_kruskal(&edges);
+        assert_eq!(msf.len(), 199);
+        assert_eq!(msf_weight(&msf), 199 * 7);
+    }
+
+    #[test]
+    fn small_inputs_hit_base_case() {
+        let edges = vec![WEdge::new(0, 1, 2), WEdge::new(1, 2, 1)];
+        assert_eq!(filter_kruskal(&edges).len(), 2);
+        assert!(filter_kruskal(&[]).is_empty());
+    }
+}

@@ -1,0 +1,87 @@
+//! Kruskal's algorithm [12] — the canonical MSF reference.
+
+use super::{UnionFind, VertexIndex};
+use kamsta_graph::WEdge;
+
+/// Compute the minimum spanning forest. Accepts undirected or symmetric
+/// directed edge lists; each MSF edge is reported once, in the direction
+/// it first appears in weight order. Uses the unique-weight total order
+/// `(w, min, max)` so the MSF is unique and deterministic.
+pub fn kruskal(edges: &[WEdge]) -> Vec<WEdge> {
+    let idx = VertexIndex::build(edges);
+    let mut order: Vec<&WEdge> = edges.iter().collect();
+    order.sort_unstable_by_key(|e| e.weight_key());
+    let mut uf = UnionFind::new(idx.len());
+    let mut msf = Vec::new();
+    for e in order {
+        if msf.len() + 1 == idx.len() {
+            break; // spanning tree complete
+        }
+        if uf.union(idx.dense(e.u), idx.dense(e.v)) {
+            msf.push(*e);
+        }
+    }
+    msf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq::testutil::{random_connected_graph, symmetric};
+    use crate::seq::{canonical_msf, msf_weight};
+
+    #[test]
+    fn textbook_example() {
+        // Triangle with a pendant: MST = {(0,1,1), (1,2,2), (2,3,4)}.
+        let edges = vec![
+            WEdge::new(0, 1, 1),
+            WEdge::new(1, 2, 2),
+            WEdge::new(0, 2, 3),
+            WEdge::new(2, 3, 4),
+        ];
+        let msf = kruskal(&edges);
+        assert_eq!(msf_weight(&msf), 7);
+        assert_eq!(msf.len(), 3);
+    }
+
+    #[test]
+    fn forest_for_disconnected_graph() {
+        let edges = vec![
+            WEdge::new(0, 1, 1),
+            WEdge::new(2, 3, 2),
+            WEdge::new(3, 4, 3),
+            WEdge::new(2, 4, 9),
+        ];
+        let msf = kruskal(&edges);
+        assert_eq!(msf.len(), 3, "two components → n − #cc edges");
+        assert_eq!(msf_weight(&msf), 6);
+    }
+
+    #[test]
+    fn symmetric_input_gives_same_forest() {
+        let und = random_connected_graph(100, 200, 7);
+        let sym = symmetric(&und);
+        let a = canonical_msf(&kruskal(&und));
+        let b = canonical_msf(&kruskal(&sym));
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 99);
+    }
+
+    #[test]
+    fn parallel_edges_pick_lightest() {
+        let edges = vec![
+            WEdge::new(0, 1, 5),
+            WEdge::new(0, 1, 2),
+            WEdge::new(1, 0, 8),
+        ];
+        let msf = kruskal(&edges);
+        assert_eq!(msf, vec![WEdge::new(0, 1, 2)]);
+    }
+
+    #[test]
+    fn empty_and_single_edge() {
+        assert!(kruskal(&[]).is_empty());
+        let one = vec![WEdge::new(3, 4, 9)];
+        assert_eq!(kruskal(&one), one);
+    }
+}

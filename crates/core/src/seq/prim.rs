@@ -1,0 +1,108 @@
+//! The Jarník-Prim algorithm [11] with a binary heap.
+
+use super::VertexIndex;
+use kamsta_graph::WEdge;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Compute the minimum spanning forest by growing trees from arbitrary
+/// roots. Accepts undirected or symmetric directed inputs.
+pub fn prim(edges: &[WEdge]) -> Vec<WEdge> {
+    let idx = VertexIndex::build(edges);
+    let n = idx.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    // Build adjacency over dense ids (both directions).
+    let mut adj: Vec<Vec<(u32, u32)>> = vec![Vec::new(); n]; // (dense dst, weight)
+    for e in edges {
+        let (du, dv) = (idx.dense(e.u), idx.dense(e.v));
+        if du != dv {
+            adj[du as usize].push((dv, e.w));
+            adj[dv as usize].push((du, e.w));
+        }
+    }
+    let mut in_tree = vec![false; n];
+    let mut msf = Vec::with_capacity(n.saturating_sub(1));
+    // (weight, tie-break endpoints, from, to) — the unique-weight order.
+    type Item = Reverse<(u32, u64, u64, u32, u32)>;
+    let mut heap: BinaryHeap<Item> = BinaryHeap::new();
+
+    fn push_edges(
+        adj: &[Vec<(u32, u32)>],
+        in_tree: &[bool],
+        idx: &VertexIndex,
+        from: u32,
+        heap: &mut BinaryHeap<Item>,
+    ) {
+        for &(to, w) in &adj[from as usize] {
+            if !in_tree[to as usize] {
+                let (a, b) = (idx.original(from), idx.original(to));
+                heap.push(Reverse((w, a.min(b), a.max(b), from, to)));
+            }
+        }
+    }
+
+    for start in 0..n as u32 {
+        if in_tree[start as usize] {
+            continue;
+        }
+        in_tree[start as usize] = true;
+        push_edges(&adj, &in_tree, &idx, start, &mut heap);
+        while let Some(Reverse((w, _, _, from, to))) = heap.pop() {
+            if in_tree[to as usize] {
+                continue;
+            }
+            in_tree[to as usize] = true;
+            msf.push(WEdge::new(idx.original(from), idx.original(to), w));
+            push_edges(&adj, &in_tree, &idx, to, &mut heap);
+        }
+    }
+    msf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq::kruskal;
+    use crate::seq::testutil::{random_connected_graph, symmetric};
+    use crate::seq::{canonical_msf, msf_weight};
+
+    #[test]
+    fn matches_kruskal_on_random_graphs() {
+        for seed in 0..5 {
+            let edges = random_connected_graph(80, 160, seed);
+            let a = msf_weight(&kruskal(&edges));
+            let b = msf_weight(&prim(&edges));
+            assert_eq!(a, b, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn identical_forest_under_unique_weights() {
+        let edges = random_connected_graph(60, 120, 42);
+        // weight_key ties are broken identically, so the canonical MSFs
+        // must be exactly equal, not just equal-weight.
+        assert_eq!(
+            canonical_msf(&kruskal(&edges)),
+            canonical_msf(&prim(&edges))
+        );
+    }
+
+    #[test]
+    fn disconnected_input_gives_forest() {
+        let und = vec![WEdge::new(0, 1, 3), WEdge::new(5, 6, 2)];
+        let sym = symmetric(&und);
+        let msf = prim(&sym);
+        assert_eq!(msf.len(), 2);
+        assert_eq!(msf_weight(&msf), 5);
+    }
+
+    #[test]
+    fn handles_self_loops_gracefully() {
+        let edges = vec![WEdge::new(0, 0, 1), WEdge::new(0, 1, 2)];
+        let msf = prim(&edges);
+        assert_eq!(msf.len(), 1);
+        assert_eq!(msf[0].w, 2);
+    }
+}

@@ -1,0 +1,102 @@
+//! Min-priority-write: lock-free "write x if it has higher priority than
+//! the current value" via a CAS loop — the GBBS/parlay primitive the
+//! paper borrows for multithreaded minimum-edge computation.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Sentinel meaning "empty".
+pub const EMPTY: u64 = u64::MAX;
+
+/// One atomic slot holding the index of the current minimum candidate.
+#[derive(Debug)]
+pub struct MinWriteSlot {
+    inner: AtomicU64,
+}
+
+impl Default for MinWriteSlot {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MinWriteSlot {
+    pub fn new() -> Self {
+        Self {
+            inner: AtomicU64::new(EMPTY),
+        }
+    }
+
+    /// Reset to empty (single-threaded phase).
+    pub fn reset(&self) {
+        self.inner.store(EMPTY, Ordering::Relaxed);
+    }
+
+    /// Current value, or `EMPTY`.
+    pub fn load(&self) -> u64 {
+        self.inner.load(Ordering::Relaxed)
+    }
+
+    /// Write `candidate` iff `less(candidate, current)` under the caller's
+    /// priority order; loops on CAS contention. `less` must be a strict
+    /// total order for termination.
+    pub fn write_min(&self, candidate: u64, less: impl Fn(u64, u64) -> bool) {
+        let mut cur = self.inner.load(Ordering::Relaxed);
+        loop {
+            if cur != EMPTY && !less(candidate, cur) {
+                return;
+            }
+            match self.inner.compare_exchange_weak(
+                cur,
+                candidate,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rayon::prelude::*;
+
+    #[test]
+    fn sequential_min_write() {
+        let slot = MinWriteSlot::new();
+        assert_eq!(slot.load(), EMPTY);
+        slot.write_min(5, |a, b| a < b);
+        slot.write_min(9, |a, b| a < b);
+        slot.write_min(2, |a, b| a < b);
+        assert_eq!(slot.load(), 2);
+        slot.reset();
+        assert_eq!(slot.load(), EMPTY);
+    }
+
+    #[test]
+    fn concurrent_writers_converge_to_min() {
+        let slot = MinWriteSlot::new();
+        (0..10_000u64).into_par_iter().for_each(|i| {
+            // Scrambled write order.
+            let v = (i * 2_654_435_761) % 100_000;
+            slot.write_min(v, |a, b| a < b);
+        });
+        let expected = (0..10_000u64)
+            .map(|i| (i * 2_654_435_761) % 100_000)
+            .min()
+            .unwrap();
+        assert_eq!(slot.load(), expected);
+    }
+
+    #[test]
+    fn custom_priority_order() {
+        // Priority by decreasing value (max-write).
+        let slot = MinWriteSlot::new();
+        for v in [3u64, 9, 1, 7] {
+            slot.write_min(v, |a, b| a > b);
+        }
+        assert_eq!(slot.load(), 9);
+    }
+}

@@ -1,0 +1,14 @@
+//! Shared-memory parallel Borůvka with the Min-Priority-Write technique
+//! (Sec. VI-B: "Our multithreaded implementation uses the
+//! Min-Priority-Write approach for minimum edge computation … from a fast
+//! shared-memory MST algorithm \[15\]").
+//!
+//! This module doubles as the repository's stand-in for state-of-the-art
+//! single-node MST codes in the Sec. VII-C comparison (DESIGN.md S7), and
+//! provides the multithreaded kernels used inside hybrid PEs.
+
+mod min_write;
+mod par_boruvka;
+
+pub use min_write::MinWriteSlot;
+pub use par_boruvka::par_boruvka;

@@ -1,0 +1,158 @@
+//! Rayon-parallel Borůvka over an edge list: min-priority-write minimum
+//! edge selection, parallel hooking, pointer jumping and edge relabeling.
+
+use super::min_write::{MinWriteSlot, EMPTY};
+use crate::seq::VertexIndex;
+use kamsta_graph::WEdge;
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Compute the minimum spanning forest in parallel. Accepts undirected or
+/// symmetric directed inputs; each MSF edge is reported once.
+pub fn par_boruvka(edges: &[WEdge]) -> Vec<WEdge> {
+    let idx = VertexIndex::build(edges);
+    let n = idx.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    // Working edge set over dense endpoints, keeping original endpoints
+    // for output. (cur_u, cur_v, original edge)
+    let mut work: Vec<(u32, u32, WEdge)> = edges
+        .par_iter()
+        .filter(|e| e.u != e.v)
+        .map(|e| (idx.dense(e.u), idx.dense(e.v), *e))
+        .collect();
+    let mut msf: Vec<WEdge> = Vec::new();
+    let best: Vec<MinWriteSlot> = (0..n).map(|_| MinWriteSlot::new()).collect();
+
+    while !work.is_empty() {
+        // 1. Min-priority-write the lightest incident edge per vertex.
+        best.par_iter().for_each(|s| s.reset());
+        let key = |k: u64| {
+            let e = &work[k as usize].2;
+            e.weight_key()
+        };
+        work.par_iter().enumerate().for_each(|(k, (u, v, _))| {
+            let less = |a: u64, b: u64| key(a) < key(b);
+            best[*u as usize].write_min(k as u64, less);
+            best[*v as usize].write_min(k as u64, less);
+        });
+
+        // 2. Hook: parent = other endpoint of the chosen edge; resolve
+        //    2-cycles by keeping the smaller endpoint as root.
+        let parent: Vec<AtomicU64> = (0..n)
+            .map(|v| AtomicU64::new(v as u64))
+            .collect();
+        (0..n).into_par_iter().for_each(|v| {
+            let b = best[v].load();
+            if b == EMPTY {
+                return;
+            }
+            let (u, w, _) = work[b as usize];
+            let other = if u as usize == v { w } else { u };
+            parent[v].store(other as u64, Ordering::Relaxed);
+        });
+        // 2-cycle resolution: if parent[parent[v]] == v, smaller id wins.
+        (0..n).into_par_iter().for_each(|v| {
+            let p = parent[v].load(Ordering::Relaxed) as usize;
+            if p != v && parent[p].load(Ordering::Relaxed) as usize == v && v < p {
+                parent[v].store(v as u64, Ordering::Relaxed);
+            }
+        });
+
+        // 3. Emit MST edges: every non-root vertex's chosen edge. In a
+        //    2-cycle exactly one side stays non-root, so the undirected
+        //    edge is emitted once.
+        let new_edges: Vec<WEdge> = (0..n)
+            .into_par_iter()
+            .filter_map(|v| {
+                let p = parent[v].load(Ordering::Relaxed) as usize;
+                if p == v {
+                    return None;
+                }
+                let b = best[v].load();
+                Some(work[b as usize].2)
+            })
+            .collect();
+        if new_edges.is_empty() {
+            break;
+        }
+        msf.extend(new_edges);
+
+        // 4. Pointer jumping to the component roots.
+        let mut jump: Vec<u32> = (0..n as u32)
+            .map(|v| parent[v as usize].load(Ordering::Relaxed) as u32)
+            .collect();
+        loop {
+            let next: Vec<u32> = jump.par_iter().map(|&p| jump[p as usize]).collect();
+            if next == jump {
+                break;
+            }
+            jump = next;
+        }
+        // Relabel surviving edges to component roots; drop self-loops.
+        work = work
+            .into_par_iter()
+            .filter_map(|(u, v, orig)| {
+                let (nu, nv) = (jump[u as usize], jump[v as usize]);
+                if nu == nv {
+                    None
+                } else {
+                    Some((nu, nv, orig))
+                }
+            })
+            .collect();
+    }
+    msf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq::testutil::{random_connected_graph, symmetric};
+    use crate::seq::{canonical_msf, kruskal, msf_weight};
+
+    #[test]
+    fn matches_kruskal() {
+        for seed in 0..6 {
+            let edges = random_connected_graph(90, 250, seed);
+            assert_eq!(
+                canonical_msf(&par_boruvka(&edges)),
+                canonical_msf(&kruskal(&edges)),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn symmetric_directed_input() {
+        let und = random_connected_graph(64, 100, 11);
+        let sym = symmetric(&und);
+        assert_eq!(
+            msf_weight(&par_boruvka(&sym)),
+            msf_weight(&kruskal(&und))
+        );
+    }
+
+    #[test]
+    fn large_graph_smoke() {
+        let edges = random_connected_graph(5_000, 20_000, 3);
+        let msf = par_boruvka(&edges);
+        assert_eq!(msf.len(), 4_999);
+        assert_eq!(msf_weight(&msf), msf_weight(&kruskal(&edges)));
+    }
+
+    #[test]
+    fn disconnected_and_empty() {
+        assert!(par_boruvka(&[]).is_empty());
+        let two = vec![WEdge::new(0, 1, 4), WEdge::new(10, 11, 2)];
+        assert_eq!(par_boruvka(&two).len(), 2);
+    }
+
+    #[test]
+    fn self_loops_are_ignored() {
+        let edges = vec![WEdge::new(0, 0, 1), WEdge::new(0, 1, 5)];
+        let msf = par_boruvka(&edges);
+        assert_eq!(msf, vec![WEdge::new(0, 1, 5)]);
+    }
+}

@@ -1,0 +1,111 @@
+//! MSF verification: structural checks plus weight comparison against the
+//! Kruskal reference. Used pervasively by the test suite and available to
+//! library users for output validation.
+
+use crate::seq::{kruskal, msf_weight, UnionFind, VertexIndex};
+use kamsta_graph::WEdge;
+
+/// Verify that `msf` is a minimum spanning forest of `graph` (an
+/// undirected or symmetric directed edge list). Checks:
+///
+/// 1. every MSF edge exists in the graph (same endpoints and weight),
+/// 2. the MSF is acyclic,
+/// 3. it spans: MSF components == graph components,
+/// 4. total weight equals the Kruskal reference (by the matroid exchange
+///    property, equal weight + spanning + acyclic ⇒ minimum).
+pub fn verify_msf(graph: &[WEdge], msf: &[WEdge]) -> Result<(), String> {
+    let idx = VertexIndex::build(graph);
+
+    // 1. Edge existence (direction-insensitive).
+    let mut canon: Vec<(u64, u64, u32)> = graph
+        .iter()
+        .map(|e| (e.u.min(e.v), e.u.max(e.v), e.w))
+        .collect();
+    canon.sort_unstable();
+    for e in msf {
+        let key = (e.u.min(e.v), e.u.max(e.v), e.w);
+        if canon.binary_search(&key).is_err() {
+            return Err(format!("MSF edge {e:?} does not exist in the graph"));
+        }
+    }
+
+    // 2. Acyclic.
+    let mut uf = UnionFind::new(idx.len());
+    for e in msf {
+        if !uf.union(idx.dense(e.u), idx.dense(e.v)) {
+            return Err(format!("MSF contains a cycle through {e:?}"));
+        }
+    }
+
+    // 3. Spanning: same number of components as the graph.
+    let mut guf = UnionFind::new(idx.len());
+    for e in graph {
+        guf.union(idx.dense(e.u), idx.dense(e.v));
+    }
+    if uf.components() != guf.components() {
+        return Err(format!(
+            "MSF has {} components but the graph has {}",
+            uf.components(),
+            guf.components()
+        ));
+    }
+
+    // 4. Minimum weight.
+    let reference = msf_weight(&kruskal(graph));
+    let got = msf_weight(msf);
+    if reference != got {
+        return Err(format!(
+            "MSF weight {got} differs from reference {reference}"
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq::testutil::random_connected_graph;
+
+    #[test]
+    fn accepts_reference_forest() {
+        let g = random_connected_graph(50, 100, 1);
+        let msf = kruskal(&g);
+        assert!(verify_msf(&g, &msf).is_ok());
+    }
+
+    #[test]
+    fn rejects_foreign_edge() {
+        let g = vec![WEdge::new(0, 1, 1), WEdge::new(1, 2, 2)];
+        let bad = vec![WEdge::new(0, 2, 1), WEdge::new(1, 2, 2)];
+        assert!(verify_msf(&g, &bad).unwrap_err().contains("does not exist"));
+    }
+
+    #[test]
+    fn rejects_cycle() {
+        let g = vec![
+            WEdge::new(0, 1, 1),
+            WEdge::new(1, 2, 2),
+            WEdge::new(0, 2, 3),
+        ];
+        let bad = g.clone();
+        assert!(verify_msf(&g, &bad).unwrap_err().contains("cycle"));
+    }
+
+    #[test]
+    fn rejects_non_spanning() {
+        let g = vec![WEdge::new(0, 1, 1), WEdge::new(1, 2, 2)];
+        let bad = vec![WEdge::new(0, 1, 1)];
+        assert!(verify_msf(&g, &bad).unwrap_err().contains("components"));
+    }
+
+    #[test]
+    fn rejects_suboptimal_tree() {
+        let g = vec![
+            WEdge::new(0, 1, 1),
+            WEdge::new(1, 2, 2),
+            WEdge::new(0, 2, 3),
+        ];
+        let bad = vec![WEdge::new(0, 1, 1), WEdge::new(0, 2, 3)];
+        assert!(verify_msf(&g, &bad).unwrap_err().contains("weight"));
+    }
+}

@@ -1,0 +1,190 @@
+//! Failure-path and stress tests for the distributed algorithms:
+//! degenerate inputs, multigraphs, extreme skew, more PEs than data.
+
+use kamsta_comm::{Machine, MachineConfig};
+use kamsta_core::dist::{boruvka_mst, filter_mst, MstConfig};
+use kamsta_core::verify_msf;
+use kamsta_graph::io::distribute_from_root;
+use kamsta_graph::{InputGraph, WEdge};
+
+fn cfg() -> MstConfig {
+    MstConfig {
+        base_case_constant: 4,
+        filter_min_edges_per_pe: 8,
+        ..MstConfig::default()
+    }
+}
+
+/// Run both algorithms on a replicated edge list and verify.
+fn check(p: usize, edges: Vec<WEdge>) {
+    let for_run = edges.clone();
+    let out = Machine::run(MachineConfig::new(p), move |comm| {
+        let slice = distribute_from_root(comm, (comm.rank() == 0).then(|| for_run.clone()));
+        let input = InputGraph::from_sorted_edges(comm, slice);
+        let b = boruvka_mst(comm, &input, &cfg());
+        let (f, _) = filter_mst(comm, &input, &cfg());
+        (
+            b.edges.iter().map(|e| e.wedge()).collect::<Vec<_>>(),
+            f.edges.iter().map(|e| e.wedge()).collect::<Vec<_>>(),
+        )
+    });
+    let msf_b: Vec<WEdge> = out.results.iter().flat_map(|(b, _)| b.clone()).collect();
+    let msf_f: Vec<WEdge> = out.results.iter().flat_map(|(_, f)| f.clone()).collect();
+    verify_msf(&edges, &msf_b).unwrap_or_else(|e| panic!("boruvka p={p}: {e}"));
+    verify_msf(&edges, &msf_f).unwrap_or_else(|e| panic!("filter p={p}: {e}"));
+}
+
+fn sym(pairs: &[(u64, u64, u32)]) -> Vec<WEdge> {
+    let mut out = Vec::new();
+    for &(u, v, w) in pairs {
+        out.push(WEdge::new(u, v, w));
+        out.push(WEdge::new(v, u, w));
+    }
+    out.sort_unstable();
+    out
+}
+
+#[test]
+fn empty_graph() {
+    let out = Machine::run(MachineConfig::new(3), |comm| {
+        let input = InputGraph::from_sorted_edges(comm, Vec::new());
+        let b = boruvka_mst(comm, &input, &cfg());
+        b.edges.len()
+    });
+    assert!(out.results.iter().all(|&n| n == 0));
+}
+
+#[test]
+fn single_edge_many_pes() {
+    check(6, sym(&[(0, 1, 5)]));
+}
+
+#[test]
+fn multigraph_parallel_input_edges() {
+    // The same pair with several weights — input-level multigraph.
+    let mut edges = sym(&[(0, 1, 5), (1, 2, 2), (0, 2, 9)]);
+    edges.extend(sym(&[(0, 1, 3), (1, 2, 7)]));
+    edges.sort_unstable();
+    check(4, edges);
+}
+
+#[test]
+fn star_graph_shared_hub_across_pes() {
+    // Vertex 0 has degree 40: its edge range spans every PE, exercising
+    // the shared-vertex machinery hard.
+    let pairs: Vec<(u64, u64, u32)> = (1..=40).map(|k| (0, k, (k % 13 + 1) as u32)).collect();
+    check(5, sym(&pairs));
+}
+
+#[test]
+fn double_star_two_hubs() {
+    let mut pairs: Vec<(u64, u64, u32)> =
+        (1..=20).map(|k| (0, k, (k % 7 + 1) as u32)).collect();
+    pairs.extend((1..=20).map(|k| (100, 100 + k, (k % 5 + 1) as u32)));
+    pairs.push((0, 100, 200));
+    check(4, sym(&pairs));
+}
+
+#[test]
+fn all_equal_weights() {
+    let pairs: Vec<(u64, u64, u32)> = (0..30)
+        .map(|k| (k, (k + 1) % 30, 7))
+        .chain((0..15).map(|k| (k, k + 15, 7)))
+        .collect();
+    check(4, sym(&pairs));
+}
+
+#[test]
+fn more_pes_than_edges() {
+    check(12, sym(&[(0, 1, 1), (1, 2, 2), (5, 6, 3)]));
+}
+
+#[test]
+fn long_path_many_rounds() {
+    // A path forces Θ(log n) Borůvka rounds with alternating weights.
+    let pairs: Vec<(u64, u64, u32)> = (0..200)
+        .map(|k| (k, k + 1, ((k * 37) % 251 + 1) as u32))
+        .collect();
+    check(6, sym(&pairs));
+}
+
+#[test]
+fn two_cliques_one_bridge() {
+    let mut pairs = Vec::new();
+    for i in 0..12u64 {
+        for j in (i + 1)..12 {
+            pairs.push((i, j, ((i * 12 + j) % 100 + 10) as u32));
+            pairs.push((100 + i, 100 + j, ((i * 7 + j) % 100 + 10) as u32));
+        }
+    }
+    pairs.push((5, 105, 255));
+    check(4, sym(&pairs));
+}
+
+#[test]
+fn duplicate_edges_straddling_pe_boundary() {
+    // Regression: identical duplicate directed edges (same u, v, w) can
+    // end up on different PEs when a high-degree vertex's edge range
+    // spans a boundary. The push-based label exchange routed by
+    // home-of-reverse-edge delivered to only one holder; the pull-based
+    // protocol must serve both.
+    let mut edges = Vec::new();
+    // Hub vertex 10 with many duplicated incident edges.
+    for k in 0..12u64 {
+        let v = 20 + k;
+        for _ in 0..3 {
+            edges.push(WEdge::new(10, v, (k % 5 + 1) as u32));
+            edges.push(WEdge::new(v, 10, (k % 5 + 1) as u32));
+        }
+    }
+    // A few spokes between the leaves to create contraction chains.
+    for k in 0..11u64 {
+        edges.push(WEdge::new(20 + k, 21 + k, 9));
+        edges.push(WEdge::new(21 + k, 20 + k, 9));
+    }
+    edges.sort_unstable();
+    for p in [2, 3, 5, 7] {
+        // NOTE: verify_msf needs a simple-graph reference; dedup copies
+        // for the reference but feed the multigraph to the algorithms.
+        let mut simple = edges.clone();
+        simple.dedup();
+        let for_run = edges.clone();
+        let out = Machine::run(MachineConfig::new(p), move |comm| {
+            let slice =
+                distribute_from_root(comm, (comm.rank() == 0).then(|| for_run.clone()));
+            let input = InputGraph::from_sorted_edges(comm, slice);
+            let b = boruvka_mst(comm, &input, &cfg());
+            let (f, _) = filter_mst(comm, &input, &cfg());
+            (
+                b.edges.iter().map(|e| e.wedge()).collect::<Vec<_>>(),
+                f.edges.iter().map(|e| e.wedge()).collect::<Vec<_>>(),
+            )
+        });
+        let msf_b: Vec<WEdge> = out.results.iter().flat_map(|(b, _)| b.clone()).collect();
+        let msf_f: Vec<WEdge> = out.results.iter().flat_map(|(_, f)| f.clone()).collect();
+        verify_msf(&simple, &msf_b).unwrap_or_else(|e| panic!("boruvka p={p}: {e}"));
+        verify_msf(&simple, &msf_f).unwrap_or_else(|e| panic!("filter p={p}: {e}"));
+    }
+}
+
+#[test]
+fn disconnected_many_components() {
+    // 10 components of 3 vertices each.
+    let mut pairs = Vec::new();
+    for c in 0..10u64 {
+        let base = c * 10;
+        pairs.push((base, base + 1, (c + 1) as u32));
+        pairs.push((base + 1, base + 2, (c + 2) as u32));
+    }
+    let edges = sym(&pairs);
+    let for_run = edges.clone();
+    let out = Machine::run(MachineConfig::new(4), move |comm| {
+        let slice = distribute_from_root(comm, (comm.rank() == 0).then(|| for_run.clone()));
+        let input = InputGraph::from_sorted_edges(comm, slice);
+        let b = boruvka_mst(comm, &input, &cfg());
+        b.edges.iter().map(|e| e.wedge()).collect::<Vec<_>>()
+    });
+    let msf: Vec<WEdge> = out.results.into_iter().flatten().collect();
+    verify_msf(&edges, &msf).unwrap();
+    assert_eq!(msf.len(), 20, "10 components × 2 edges each");
+}

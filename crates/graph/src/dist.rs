@@ -1,0 +1,450 @@
+//! The distributed graph data structure (Sec. II-B).
+//!
+//! The edge sequence `E` is lexicographically sorted and 1D-partitioned:
+//! PE `i` holds a contiguous subsequence `E_i`. An array of size `p`
+//! holding `minlex(E_i)` for every PE is replicated on each PE, allowing
+//! localisation of the *home PE* of a vertex or edge by binary search.
+//!
+//! A vertex whose edges span a PE boundary is *shared*; from the point of
+//! view of a PE, a non-local vertex appearing in `E_i` is a *ghost*.
+
+use crate::edge::{CEdge, VertexId, WEdge};
+use kamsta_comm::Comm;
+
+/// Sentinel locator entry for trailing empty PEs.
+const LOCATOR_MAX: WEdge = WEdge::new(VertexId::MAX, VertexId::MAX, u32::MAX);
+
+/// A 1D-partitioned, lexicographically sorted distributed edge list with
+/// the replicated `minlex` locator.
+#[derive(Clone, Debug)]
+pub struct DistGraph {
+    /// This PE's contiguous slice of the global edge sequence, locally
+    /// sorted by `(u, v, w)`.
+    pub edges: Vec<CEdge>,
+    /// Replicated: effective first edge of each PE. Empty PEs inherit the
+    /// next non-empty PE's first edge (trailing empties get a sentinel),
+    /// which keeps home lookup a single `partition_point`.
+    locator: Vec<WEdge>,
+    /// Global number of distinct vertices appearing in edges.
+    pub n_global: u64,
+    /// Global number of (directed) edges.
+    pub m_global: u64,
+    /// True if this PE's first vertex also appears on an earlier PE.
+    pub first_shared: bool,
+    /// True if this PE's last vertex also appears on a later PE.
+    pub last_shared: bool,
+    /// Replicated, sorted list of all globally shared vertices (at most
+    /// `p − 1`). Lets any PE decide shared-ness of any vertex locally —
+    /// the property pointer doubling exploits (Sec. IV-B).
+    shared_vertices: Vec<VertexId>,
+    rank: usize,
+    p: usize,
+}
+
+impl DistGraph {
+    /// Establish the distributed graph structure from this PE's slice of a
+    /// globally sorted edge sequence — the allgather-on-first-edge step of
+    /// Sec. IV-C. Collective.
+    ///
+    /// Debug builds verify the local sortedness invariant.
+    pub fn establish(comm: &Comm, edges: Vec<CEdge>) -> Self {
+        debug_assert!(
+            edges.windows(2).all(|w| w[0] <= w[1]),
+            "edge slice must be locally sorted"
+        );
+        let p = comm.size();
+        let first: Option<WEdge> = edges.first().map(|e| e.wedge());
+        let firsts = comm.allgather(first);
+
+        // Fill-back rule for empty PEs.
+        let mut locator = vec![LOCATOR_MAX; p];
+        let mut next = LOCATOR_MAX;
+        for i in (0..p).rev() {
+            if let Some(e) = firsts[i] {
+                next = e;
+            }
+            locator[i] = next;
+        }
+
+        // Shared-vertex flags: compare boundary sources between
+        // consecutive non-empty PEs.
+        let bounds: Option<(VertexId, VertexId)> = match (edges.first(), edges.last()) {
+            (Some(f), Some(l)) => Some((f.u, l.u)),
+            _ => None,
+        };
+        let all_bounds = comm.allgather(bounds);
+        let mut first_shared = false;
+        let mut last_shared = false;
+        if let Some((my_first, my_last)) = bounds {
+            if let Some(b) = all_bounds[..comm.rank()].iter().rev().flatten().next() {
+                first_shared = b.1 == my_first;
+            }
+            if let Some(b) = all_bounds[comm.rank() + 1..].iter().flatten().next() {
+                last_shared = b.0 == my_last;
+            }
+        }
+
+        // Replicated shared-vertex list: boundary vertices spanning
+        // consecutive non-empty PEs (everyone computes the same list).
+        let mut shared_vertices = Vec::new();
+        let mut prev_last: Option<VertexId> = None;
+        for b in all_bounds.iter().flatten() {
+            if prev_last == Some(b.0) {
+                shared_vertices.push(b.0);
+            }
+            prev_last = Some(b.1);
+        }
+        shared_vertices.dedup();
+
+        // Count distinct vertices: local distinct sources, minus one if the
+        // first is already counted by an earlier PE.
+        let mut local_distinct = 0u64;
+        let mut prev: Option<VertexId> = None;
+        for e in &edges {
+            if prev != Some(e.u) {
+                local_distinct += 1;
+                prev = Some(e.u);
+            }
+        }
+        comm.charge_local(edges.len() as u64);
+        let dedup = u64::from(first_shared);
+        let n_global = comm.allreduce_sum(local_distinct - dedup);
+        let m_global = comm.allreduce_sum(edges.len() as u64);
+
+        Self {
+            edges,
+            locator,
+            n_global,
+            m_global,
+            first_shared,
+            last_shared,
+            shared_vertices,
+            rank: comm.rank(),
+            p,
+        }
+    }
+
+    /// True if `v` is shared between PEs anywhere in the machine —
+    /// decidable locally from replicated state (at most `p − 1` entries).
+    pub fn is_shared_global(&self, v: VertexId) -> bool {
+        self.shared_vertices.binary_search(&v).is_ok()
+    }
+
+    /// The replicated list of globally shared vertices, ascending.
+    pub fn shared_vertices(&self) -> &[VertexId] {
+        &self.shared_vertices
+    }
+
+    /// Number of PEs the graph is partitioned over.
+    #[inline]
+    pub fn pes(&self) -> usize {
+        self.p
+    }
+
+    /// This PE's rank (mirrors the building communicator).
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Home PE of a directed edge: the unique PE whose slice contains it
+    /// (assuming it exists in the graph). `O(log p)` binary search on the
+    /// replicated locator.
+    pub fn home_of_edge(&self, e: &WEdge) -> usize {
+        let idx = self.locator.partition_point(|first| first <= e);
+        idx.saturating_sub(1)
+    }
+
+    /// Home PE of a vertex: the *last* PE holding edges with source `v`
+    /// (for non-shared vertices this is the unique owner).
+    pub fn home_of_vertex(&self, v: VertexId) -> usize {
+        let idx = self.locator.partition_point(|first| first.u <= v);
+        idx.saturating_sub(1)
+    }
+
+    /// True if `v` appears as a source of one of this PE's edges.
+    pub fn is_local_vertex(&self, v: VertexId) -> bool {
+        self.edges
+            .binary_search_by(|e| {
+                e.u.cmp(&v)
+                    .then(std::cmp::Ordering::Greater) // find any edge with src == v
+            })
+            .err()
+            .map(|pos| pos < self.edges.len() && self.edges[pos].u == v)
+            .unwrap_or(false)
+    }
+
+    /// True if `v` is one of this PE's boundary vertices shared with a
+    /// neighbouring PE. Purely local (Sec. IV-B: "This property can be
+    /// determined locally from the distributed graph data structure").
+    pub fn is_shared(&self, v: VertexId) -> bool {
+        (self.first_shared && self.edges.first().is_some_and(|e| e.u == v))
+            || (self.last_shared && self.edges.last().is_some_and(|e| e.u == v))
+    }
+
+    /// Iterate over local vertices as `(source, edge index range)`
+    /// segments — the segmented view behind `MIN EDGES` (Sec. IV).
+    pub fn vertex_segments(&self) -> VertexSegments<'_> {
+        VertexSegments {
+            edges: &self.edges,
+            pos: 0,
+        }
+    }
+
+    /// The distinct local vertices (sources) on this PE, ascending.
+    pub fn local_vertices(&self) -> Vec<VertexId> {
+        self.vertex_segments().map(|(v, _)| v).collect()
+    }
+
+    /// Number of local vertices *not* shared with a previous PE — the
+    /// count whose global sum drives the base-case switch (Sec. IV-D
+    /// counts each shared vertex once).
+    pub fn owned_vertex_count(&self) -> u64 {
+        let mut cnt = 0u64;
+        let mut prev = None;
+        for e in &self.edges {
+            if prev != Some(e.u) {
+                cnt += 1;
+                prev = Some(e.u);
+            }
+        }
+        cnt - u64::from(self.first_shared)
+    }
+}
+
+/// Iterator over `(source vertex, local edge range)` segments of a sorted
+/// edge slice.
+pub struct VertexSegments<'a> {
+    edges: &'a [CEdge],
+    pos: usize,
+}
+
+impl Iterator for VertexSegments<'_> {
+    type Item = (VertexId, std::ops::Range<usize>);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.pos >= self.edges.len() {
+            return None;
+        }
+        let start = self.pos;
+        let v = self.edges[start].u;
+        let mut end = start + 1;
+        while end < self.edges.len() && self.edges[end].u == v {
+            end += 1;
+        }
+        self.pos = end;
+        Some((v, start..end))
+    }
+}
+
+/// Assign global-position ids to a distributed (sorted) edge sequence:
+/// the id of an edge is its global rank in the sequence. Collective.
+pub fn assign_ids(comm: &Comm, edges: Vec<WEdge>) -> Vec<CEdge> {
+    let offset = comm.exscan_sum(edges.len() as u64);
+    comm.charge_local(edges.len() as u64);
+    edges
+        .into_iter()
+        .enumerate()
+        .map(|(k, e)| CEdge::from_wedge(e, offset + k as u64))
+        .collect()
+}
+
+/// Replicated table of each PE's first global edge id, for routing MST
+/// edge ids back to their home PEs (`REDISTRIBUTE MST`). Collective.
+pub fn id_offsets(comm: &Comm, local_len: usize) -> Vec<u64> {
+    let counts = comm.allgather(local_len as u64);
+    let mut offsets = Vec::with_capacity(counts.len());
+    let mut acc = 0u64;
+    for c in counts {
+        offsets.push(acc);
+        acc += c;
+    }
+    offsets
+}
+
+/// Home PE of a global edge id, given the replicated [`id_offsets`] table.
+pub fn home_of_id(offsets: &[u64], id: u64) -> usize {
+    offsets.partition_point(|&o| o <= id).saturating_sub(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kamsta_comm::{Machine, MachineConfig};
+
+    /// A tiny path graph 0-1-2-3-4 split over PEs, with both edge
+    /// directions, sorted, partitioned so vertex 2 is shared.
+    fn path_slice(rank: usize) -> Vec<CEdge> {
+        // Global sorted sequence (u,v,w):
+        // (0,1,1) (1,0,1) (1,2,2) | (2,1,2) (2,3,3) | (3,2,3) (3,4,4) (4,3,4)
+        let all = [
+            (0, 1, 1),
+            (1, 0, 1),
+            (1, 2, 2),
+            (2, 1, 2),
+            (2, 3, 3),
+            (3, 2, 3),
+            (3, 4, 4),
+            (4, 3, 4),
+        ];
+        // Split so vertex 3's edges span PEs 1 and 2 (3 is shared).
+        let ranges = [(0, 3), (3, 6), (6, 8)];
+        let (lo, hi) = ranges[rank];
+        all[lo..hi]
+            .iter()
+            .enumerate()
+            .map(|(k, &(u, v, w))| CEdge::new(u, v, w, (lo + k) as u64))
+            .collect()
+    }
+
+    #[test]
+    fn establish_counts_and_flags() {
+        let out = Machine::run(MachineConfig::new(3), |comm| {
+            let g = DistGraph::establish(comm, path_slice(comm.rank()));
+            (
+                g.n_global,
+                g.m_global,
+                g.first_shared,
+                g.last_shared,
+                g.owned_vertex_count(),
+            )
+        });
+        for (rank, (n, m, first_shared, last_shared, owned)) in
+            out.results.into_iter().enumerate()
+        {
+            assert_eq!(n, 5, "5 distinct vertices");
+            assert_eq!(m, 8, "8 directed edges");
+            match rank {
+                0 => {
+                    assert!(!first_shared && !last_shared);
+                    assert_eq!(owned, 2); // 0 and 1 (1 is NOT shared: PE1 starts at 2)
+                }
+                1 => {
+                    assert!(!first_shared && last_shared); // 3 continues on PE2
+                    assert_eq!(owned, 2); // 2 and 3
+                }
+                2 => {
+                    assert!(first_shared && !last_shared); // 3 started on PE1
+                    assert_eq!(owned, 1); // 4 (3 counted by PE1)
+                }
+                _ => unreachable!(),
+            }
+        }
+    }
+
+    #[test]
+    fn home_lookups() {
+        let out = Machine::run(MachineConfig::new(3), |comm| {
+            let g = DistGraph::establish(comm, path_slice(comm.rank()));
+            let edge_homes: Vec<usize> = [
+                WEdge::new(0, 1, 1),
+                WEdge::new(2, 1, 2),
+                WEdge::new(3, 2, 3),
+                WEdge::new(4, 3, 4),
+            ]
+            .iter()
+            .map(|e| g.home_of_edge(e))
+            .collect();
+            let vertex_homes: Vec<usize> =
+                (0..5).map(|v| g.home_of_vertex(v)).collect();
+            (edge_homes, vertex_homes)
+        });
+        for (edge_homes, vertex_homes) in out.results {
+            // (3,2,3) sits on PE 1 (vertex 3 spans PEs 1 and 2).
+            assert_eq!(edge_homes, vec![0, 1, 1, 2]);
+            // vertex 3 is shared between PE1 and PE2; home = last holder.
+            assert_eq!(vertex_homes, vec![0, 0, 1, 2, 2]);
+        }
+    }
+
+    #[test]
+    fn global_shared_list_is_replicated() {
+        let out = Machine::run(MachineConfig::new(3), |comm| {
+            let g = DistGraph::establish(comm, path_slice(comm.rank()));
+            (
+                g.shared_vertices().to_vec(),
+                (0..5).map(|v| g.is_shared_global(v)).collect::<Vec<bool>>(),
+            )
+        });
+        for (list, flags) in out.results {
+            assert_eq!(list, vec![3], "vertex 3 spans PEs 1 and 2");
+            assert_eq!(flags, vec![false, false, false, true, false]);
+        }
+    }
+
+    #[test]
+    fn shared_detection_is_local() {
+        let out = Machine::run(MachineConfig::new(3), |comm| {
+            let g = DistGraph::establish(comm, path_slice(comm.rank()));
+            (0..5).map(|v| g.is_shared(v)).collect::<Vec<bool>>()
+        });
+        // Vertex 3 spans PEs 1 and 2; from each holder's view it is shared.
+        assert_eq!(out.results[0], vec![false; 5]);
+        assert_eq!(out.results[1], vec![false, false, false, true, false]);
+        assert_eq!(out.results[2], vec![false, false, false, true, false]);
+    }
+
+    #[test]
+    fn segments_and_local_vertices() {
+        let out = Machine::run(MachineConfig::new(3), |comm| {
+            let g = DistGraph::establish(comm, path_slice(comm.rank()));
+            let segs: Vec<(u64, usize)> = g
+                .vertex_segments()
+                .map(|(v, r)| (v, r.len()))
+                .collect();
+            (segs, g.local_vertices())
+        });
+        assert_eq!(out.results[0].0, vec![(0, 1), (1, 2)]);
+        assert_eq!(out.results[1].0, vec![(2, 2), (3, 1)]);
+        assert_eq!(out.results[2].0, vec![(3, 1), (4, 1)]);
+        assert_eq!(out.results[1].1, vec![2, 3]);
+    }
+
+    #[test]
+    fn empty_pe_locator_fill() {
+        let out = Machine::run(MachineConfig::new(4), |comm| {
+            // PEs 1 and 3 empty.
+            let edges = match comm.rank() {
+                0 => vec![CEdge::new(0, 1, 1, 0), CEdge::new(1, 0, 1, 1)],
+                2 => vec![CEdge::new(5, 6, 2, 2), CEdge::new(6, 5, 2, 3)],
+                _ => vec![],
+            };
+            let g = DistGraph::establish(comm, edges);
+            (
+                g.n_global,
+                g.home_of_edge(&WEdge::new(5, 6, 2)),
+                g.home_of_vertex(6),
+                g.home_of_vertex(0),
+            )
+        });
+        for (n, home_e, home_v6, home_v0) in out.results {
+            assert_eq!(n, 4);
+            assert_eq!(home_e, 2);
+            assert_eq!(home_v6, 2);
+            assert_eq!(home_v0, 0);
+        }
+    }
+
+    #[test]
+    fn id_assignment_and_routing() {
+        let out = Machine::run(MachineConfig::new(3), |comm| {
+            let n = comm.rank() + 1; // 1, 2, 3 edges
+            let edges: Vec<WEdge> = (0..n)
+                .map(|k| WEdge::new(comm.rank() as u64, k as u64, 1))
+                .collect();
+            let with_ids = assign_ids(comm, edges);
+            let offsets = id_offsets(comm, n);
+            let ids: Vec<u64> = with_ids.iter().map(|e| e.id).collect();
+            (ids, offsets)
+        });
+        assert_eq!(out.results[0].0, vec![0]);
+        assert_eq!(out.results[1].0, vec![1, 2]);
+        assert_eq!(out.results[2].0, vec![3, 4, 5]);
+        let offsets = &out.results[0].1;
+        assert_eq!(offsets, &vec![0, 1, 3]);
+        assert_eq!(home_of_id(offsets, 0), 0);
+        assert_eq!(home_of_id(offsets, 1), 1);
+        assert_eq!(home_of_id(offsets, 2), 1);
+        assert_eq!(home_of_id(offsets, 5), 2);
+    }
+}

@@ -1,0 +1,334 @@
+//! Threshold random hyperbolic graphs (paper: RHG, power-law exponent γ).
+//!
+//! Vertices are points on a hyperbolic disk of radius `R`: the radial
+//! coordinate follows density `α·sinh(αr)/(cosh(αR)−1)` with
+//! `α = (γ−1)/2`, the angle is uniform. Two vertices connect iff their
+//! hyperbolic distance is at most `R`. This yields a power-law degree
+//! distribution with exponent γ and strong clustering — the paper uses
+//! γ = 3.0 and notes RHGs sit between the high-locality geometric
+//! families and the locality-free GNM/RMAT.
+//!
+//! Communication-free generation dices the disk into `B` equal-mass
+//! annular bands × `A` angular sectors with exactly `k` points per cell
+//! (regularised field, same idea as the RGG generator); vertex ids are
+//! sector-major so block partitioning preserves angular locality. The
+//! disk radius `R` is calibrated to the target average degree by a
+//! deterministic Monte-Carlo binary search that every PE replays
+//! identically.
+
+use super::{sort_local, weight_of};
+use crate::edge::WEdge;
+use crate::hash::{hash3, unit_f64};
+use kamsta_comm::Comm;
+use std::f64::consts::PI;
+
+/// RHG parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct RhgParams {
+    /// Target vertex count (rounded slightly by the cell dicing).
+    pub n: u64,
+    /// Target number of directed edges; the average degree `m/n` drives
+    /// the disk-radius calibration.
+    pub m: u64,
+    /// Power-law exponent γ > 2.
+    pub gamma: f64,
+}
+
+/// Radial quantile function: `F⁻¹(q)` for the hyperbolic radial law.
+#[inline]
+fn radius_for_quantile(q: f64, alpha: f64, big_r: f64) -> f64 {
+    let c = (alpha * big_r).cosh() - 1.0;
+    (1.0 + q * c).acosh() / alpha
+}
+
+/// Hyperbolic distance test: `d((r1,θ1),(r2,θ2)) ≤ R`.
+#[inline]
+fn connected(r1: f64, r2: f64, dtheta: f64, cosh_big_r: f64) -> bool {
+    let cosh_d = r1.cosh() * r2.cosh() - r1.sinh() * r2.sinh() * dtheta.cos();
+    cosh_d <= cosh_big_r
+}
+
+/// Largest angular separation at which radii `r1, r2` can connect.
+fn theta_max(r1: f64, r2: f64, big_r: f64, cosh_big_r: f64) -> f64 {
+    if r1 + r2 <= big_r {
+        return PI;
+    }
+    let denom = r1.sinh() * r2.sinh();
+    if denom <= 0.0 {
+        return PI;
+    }
+    let cos_t = (r1.cosh() * r2.cosh() - cosh_big_r) / denom;
+    cos_t.clamp(-1.0, 1.0).acos()
+}
+
+/// Monte-Carlo estimate of the expected degree for disk radius `R`.
+fn expected_degree(n: u64, alpha: f64, big_r: f64, seed: u64) -> f64 {
+    const SAMPLES: u64 = 4000;
+    let cosh_big_r = big_r.cosh();
+    let mut hits = 0u64;
+    for s in 0..SAMPLES {
+        let r1 = radius_for_quantile(unit_f64(hash3(seed, s, 0)), alpha, big_r);
+        let r2 = radius_for_quantile(unit_f64(hash3(seed, s, 1)), alpha, big_r);
+        let dtheta = PI * unit_f64(hash3(seed, s, 2));
+        if connected(r1, r2, dtheta, cosh_big_r) {
+            hits += 1;
+        }
+    }
+    (n.saturating_sub(1)) as f64 * hits as f64 / SAMPLES as f64
+}
+
+/// Calibrate the disk radius to the target average degree. Deterministic,
+/// so all PEs agree without communication.
+fn calibrate_radius(n: u64, alpha: f64, target_deg: f64, seed: u64) -> f64 {
+    let mut lo = 0.5f64;
+    let mut hi = 2.0 * (n.max(2) as f64).ln() + 20.0;
+    for _ in 0..48 {
+        let mid = 0.5 * (lo + hi);
+        // Expected degree decreases as the disk grows.
+        if expected_degree(n, alpha, mid, seed) > target_deg {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// The diced disk: `A` sectors × `B` equal-mass bands × `k` points/cell.
+struct Disk {
+    a: u64,
+    b: u64,
+    k: u64,
+    alpha: f64,
+    big_r: f64,
+    cosh_big_r: f64,
+    /// Inner radius of each band (quantile boundaries), length `b + 1`.
+    band_lo: Vec<f64>,
+    seed: u64,
+}
+
+/// A generated point: radius, angle, vertex id.
+#[derive(Clone, Copy, Debug)]
+struct Point {
+    r: f64,
+    theta: f64,
+    id: u64,
+}
+
+impl Disk {
+    fn new(params: &RhgParams, seed: u64) -> Self {
+        assert!(params.gamma > 2.0, "RHG needs γ > 2");
+        assert!(params.n >= 2);
+        let alpha = (params.gamma - 1.0) / 2.0;
+        let target_deg = (params.m as f64 / params.n as f64).max(1.0);
+        let big_r = calibrate_radius(params.n, alpha, target_deg, seed ^ 0xCA11_B8A7);
+        let b = 16u64.min(params.n.max(4) / 4).max(2);
+        // Sector count is a pure function of n (NOT the PE count) so the
+        // generated graph is partition-invariant.
+        let a = ((params.n as f64 / (b as f64 * 4.0)).ceil() as u64).max(1);
+        let k = ((params.n as f64 / (a * b) as f64).round() as u64).max(1);
+        let band_lo: Vec<f64> = (0..=b)
+            .map(|i| radius_for_quantile(i as f64 / b as f64, alpha, big_r))
+            .collect();
+        Self {
+            a,
+            b,
+            k,
+            alpha,
+            big_r,
+            cosh_big_r: big_r.cosh(),
+            band_lo,
+            seed,
+        }
+    }
+
+    fn n_actual(&self) -> u64 {
+        self.a * self.b * self.k
+    }
+
+    fn sector_width(&self) -> f64 {
+        2.0 * PI / self.a as f64
+    }
+
+    /// Points of cell `(sector s, band b)`: pure function of the seed.
+    fn points(&self, s: u64, band: u64) -> Vec<Point> {
+        let cell = s * self.b + band;
+        let width = self.sector_width();
+        (0..self.k)
+            .map(|j| {
+                let qa = unit_f64(hash3(self.seed, cell, 2 * j));
+                let qr = unit_f64(hash3(self.seed, cell, 2 * j + 1));
+                let theta = (s as f64 + qa) * width;
+                let q = (band as f64 + qr) / self.b as f64;
+                let r = radius_for_quantile(q, self.alpha, self.big_r);
+                Point {
+                    r,
+                    theta,
+                    id: cell * self.k + j,
+                }
+            })
+            .collect()
+    }
+}
+
+/// Generate this PE's slice of the RHG. Collective.
+pub fn rhg(comm: &Comm, params: RhgParams, seed: u64) -> Vec<WEdge> {
+    let disk = Disk::new(&params, seed);
+    let my_sectors = super::block_range(disk.a, comm.size(), comm.rank());
+    let width = disk.sector_width();
+    let mut edges = Vec::new();
+    let mut work = 0u64;
+
+    for s in my_sectors {
+        for band in 0..disk.b {
+            let mine = disk.points(s, band);
+            if mine.is_empty() {
+                continue;
+            }
+            for band2 in 0..disk.b {
+                // Conservative window: the widest angular separation any
+                // point of my band can bridge to any point of band2.
+                let window = theta_max(
+                    disk.band_lo[band as usize],
+                    disk.band_lo[band2 as usize],
+                    disk.big_r,
+                    disk.cosh_big_r,
+                );
+                let span = ((window / width).ceil() as i64 + 1).min(disk.a as i64);
+                let full_circle = 2 * span + 1 >= disk.a as i64;
+                let deltas: Vec<i64> = if full_circle {
+                    (0..disk.a as i64).collect()
+                } else {
+                    (-span..=span).collect()
+                };
+                for ds in deltas {
+                    let s2 = if full_circle {
+                        ds as u64
+                    } else {
+                        (s as i64 + ds).rem_euclid(disk.a as i64) as u64
+                    };
+                    let theirs = disk.points(s2, band2);
+                    work += (mine.len() * theirs.len()) as u64;
+                    for p1 in &mine {
+                        for p2 in &theirs {
+                            if p1.id == p2.id {
+                                continue;
+                            }
+                            let mut dt = (p1.theta - p2.theta).abs();
+                            if dt > PI {
+                                dt = 2.0 * PI - dt;
+                            }
+                            if connected(p1.r, p2.r, dt, disk.cosh_big_r) {
+                                edges.push(WEdge::new(
+                                    p1.id,
+                                    p2.id,
+                                    weight_of(p1.id, p2.id, seed),
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    comm.charge_local(work + edges.len() as u64);
+    sort_local(comm, &mut edges);
+    edges
+}
+
+/// Actual vertex count after cell dicing.
+pub fn rhg_actual_n(params: &RhgParams, seed: u64) -> u64 {
+    Disk::new(params, seed).n_actual()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kamsta_comm::{Machine, MachineConfig};
+    use std::collections::{HashMap, HashSet};
+
+    fn generate_all(p: usize, n: u64, m: u64, gamma: f64, seed: u64) -> Vec<WEdge> {
+        Machine::run(MachineConfig::new(p), move |comm| {
+            rhg(comm, RhgParams { n, m, gamma }, seed)
+        })
+        .results
+        .into_iter()
+        .flatten()
+        .collect()
+    }
+
+    #[test]
+    fn symmetric_sorted_simple() {
+        let all = generate_all(4, 1000, 8000, 3.0, 5);
+        assert!(all.windows(2).all(|w| w[0] <= w[1]), "globally sorted");
+        let set: HashSet<WEdge> = all.iter().copied().collect();
+        assert_eq!(set.len(), all.len(), "no duplicates");
+        for e in &all {
+            assert!(set.contains(&e.reversed()), "missing back edge of {e:?}");
+            assert!(!e.is_self_loop());
+        }
+    }
+
+    #[test]
+    fn partition_invariant() {
+        let a = generate_all(1, 600, 4000, 3.0, 9);
+        let b = generate_all(5, 600, 4000, 3.0, 9);
+        assert_eq!(a, b, "same graph regardless of PE count");
+    }
+
+    #[test]
+    fn average_degree_near_target() {
+        let n = 2000u64;
+        let m = 16_000u64;
+        let all = generate_all(3, n, m, 3.0, 7);
+        let got = all.len() as f64;
+        assert!(
+            got > 0.4 * m as f64 && got < 2.5 * m as f64,
+            "directed edges {got} vs target {m}"
+        );
+    }
+
+    #[test]
+    fn degree_distribution_has_heavy_tail() {
+        let all = generate_all(2, 3000, 24_000, 3.0, 3);
+        let mut deg: HashMap<u64, u64> = HashMap::new();
+        for e in &all {
+            *deg.entry(e.u).or_insert(0) += 1;
+        }
+        let max_deg = *deg.values().max().unwrap();
+        let avg = all.len() as f64 / deg.len() as f64;
+        assert!(
+            max_deg as f64 > 6.0 * avg,
+            "power law should produce hubs: max {max_deg}, avg {avg}"
+        );
+    }
+
+    #[test]
+    fn radial_quantile_is_monotone() {
+        let alpha = 1.0;
+        let big_r = 10.0;
+        let mut prev = -1.0;
+        for i in 0..=20 {
+            let r = radius_for_quantile(i as f64 / 20.0, alpha, big_r);
+            assert!(r >= prev);
+            assert!((0.0..=big_r + 1e-9).contains(&r));
+            prev = r;
+        }
+        assert!(radius_for_quantile(0.0, alpha, big_r).abs() < 1e-12);
+        assert!((radius_for_quantile(1.0, alpha, big_r) - big_r).abs() < 1e-9);
+    }
+
+    #[test]
+    fn calibration_hits_target_degree() {
+        let n = 5000;
+        let alpha = 1.0;
+        for target in [4.0, 16.0] {
+            let r = calibrate_radius(n, alpha, target, 42);
+            let got = expected_degree(n, alpha, r, 42);
+            assert!(
+                (got - target).abs() / target < 0.25,
+                "target {target}, calibrated degree {got}"
+            );
+        }
+    }
+}

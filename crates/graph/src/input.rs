@@ -1,0 +1,111 @@
+//! The prepared input graph: distributed structure + the varint-compressed
+//! original edge list used to map MST edge ids back to original edges
+//! (Sec. VI-C).
+
+use crate::dist::{assign_ids, home_of_id, id_offsets, DistGraph};
+use crate::edge::{CEdge, WEdge};
+use crate::gen::GraphConfig;
+use crate::varint::CompressedEdges;
+use kamsta_comm::Comm;
+
+/// A fully prepared MST input: the distributed graph plus the compressed
+/// id→edge mapping and its routing table.
+pub struct InputGraph {
+    pub graph: DistGraph,
+    /// Varint-compressed copy of this PE's slice of the initial edge list.
+    pub compressed: CompressedEdges,
+    /// Replicated: first global edge id held by each PE.
+    pub id_offsets: Vec<u64>,
+}
+
+impl InputGraph {
+    /// Prepare an input from this PE's slice of a globally sorted edge
+    /// list: assign global-position ids, compress the original list, and
+    /// establish the distributed structure. Collective.
+    pub fn from_sorted_edges(comm: &Comm, edges: Vec<WEdge>) -> Self {
+        let with_ids = assign_ids(comm, edges);
+        let offsets = id_offsets(comm, with_ids.len());
+        let compressed = CompressedEdges::compress(&with_ids, offsets[comm.rank()]);
+        let graph = DistGraph::establish(comm, with_ids);
+        Self {
+            graph,
+            compressed,
+            id_offsets: offsets,
+        }
+    }
+
+    /// Generate one of the paper's graph families and prepare it.
+    /// Collective.
+    pub fn generate(comm: &Comm, config: GraphConfig, seed: u64) -> Self {
+        let edges = config.generate(comm, seed);
+        Self::from_sorted_edges(comm, edges)
+    }
+
+    /// `REDISTRIBUTE MST`: route identified MST edge ids back to their
+    /// original home PEs and decode them from the compressed list.
+    /// Returns this PE's original edges that belong to the MSF, sorted.
+    /// Collective.
+    pub fn redistribute_mst(&self, comm: &Comm, ids: Vec<u64>) -> Vec<CEdge> {
+        let items: Vec<(usize, u64)> = ids
+            .into_iter()
+            .map(|id| (home_of_id(&self.id_offsets, id), id))
+            .collect();
+        let mut mine = kamsta_comm::route(comm, items);
+        mine.sort_unstable();
+        mine.dedup();
+        comm.charge_local(self.compressed.len() as u64);
+        self.compressed.lookup_sorted(&mine)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kamsta_comm::{Machine, MachineConfig};
+
+    #[test]
+    fn prepares_generated_graph() {
+        let out = Machine::run(MachineConfig::new(4), |comm| {
+            let input = InputGraph::generate(
+                comm,
+                GraphConfig::Grid2D { rows: 8, cols: 8 },
+                7,
+            );
+            (
+                input.graph.n_global,
+                input.graph.m_global,
+                input.compressed.len() as u64,
+                input.graph.edges.len() as u64,
+            )
+        });
+        for (n, m, clen, elen) in out.results {
+            assert_eq!(n, 64);
+            assert_eq!(m, 2 * (8 * 7 + 7 * 8));
+            assert_eq!(clen, elen, "compressed copy covers the local slice");
+        }
+    }
+
+    #[test]
+    fn mst_id_redistribution_roundtrip() {
+        let out = Machine::run(MachineConfig::new(3), |comm| {
+            let input = InputGraph::generate(
+                comm,
+                GraphConfig::Grid2D { rows: 4, cols: 4 },
+                3,
+            );
+            // Pretend some scattered ids were identified as MST edges:
+            // every PE claims ids it does not own.
+            let total = input.graph.m_global;
+            let claim: Vec<u64> = (0..total)
+                .filter(|id| id % 3 == comm.rank() as u64)
+                .collect();
+            let mine = input.redistribute_mst(comm, claim);
+            // Every returned edge must be an original local edge.
+            let ok = mine.iter().all(|e| input.graph.edges.contains(e));
+            (mine.len() as u64, ok)
+        });
+        let total: u64 = out.results.iter().map(|(l, _)| l).sum();
+        assert_eq!(total, 2 * (4 * 3 + 3 * 4), "all ids delivered home");
+        assert!(out.results.iter().all(|(_, ok)| *ok));
+    }
+}

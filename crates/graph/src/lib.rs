@@ -1,0 +1,23 @@
+//! # kamsta-graph — distributed weighted graphs
+//!
+//! The graph substrate of the KaMSTa reproduction: edge types with the
+//! paper's lexicographic and unique-weight orders, the 1D-partitioned
+//! distributed edge list with its replicated `minlex` locator
+//! ([`DistGraph`], Sec. II-B), varint-compressed original-edge storage
+//! ([`CompressedEdges`], Sec. VI-C), KaGen-style communication-free
+//! generators for the six evaluation families ([`gen`], Sec. VII), and
+//! DIMACS IO for real-world instances.
+
+pub mod dist;
+pub mod edge;
+pub mod gen;
+pub mod hash;
+mod input;
+pub mod io;
+pub mod varint;
+
+pub use dist::{assign_ids, home_of_id, id_offsets, DistGraph, VertexSegments};
+pub use edge::{lighter, CEdge, HasWeightKey, VertexId, WEdge, Weight};
+pub use gen::GraphConfig;
+pub use input::InputGraph;
+pub use varint::CompressedEdges;

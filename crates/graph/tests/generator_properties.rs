@@ -1,0 +1,85 @@
+//! Cross-family generator properties: every family must produce a
+//! symmetric, self-loop-free, globally sorted distributed edge list whose
+//! content does not depend on how many PEs generated it (the invariant
+//! that makes the paper's `-1` vs `-8` thread comparisons meaningful).
+
+use kamsta_comm::{Machine, MachineConfig};
+use kamsta_graph::{GraphConfig, WEdge};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+fn families(seed: u64) -> Vec<GraphConfig> {
+    let _ = seed;
+    vec![
+        GraphConfig::Grid2D { rows: 9, cols: 7 },
+        GraphConfig::Rgg2D { n: 250, m: 1800 },
+        GraphConfig::Rgg3D { n: 250, m: 1800 },
+        GraphConfig::Gnm { n: 180, m: 1500 },
+        GraphConfig::Rhg { n: 220, m: 1700, gamma: 3.0 },
+        GraphConfig::Rmat { scale: 7, m: 900 },
+        GraphConfig::RoadLike { rows: 10, cols: 9 },
+    ]
+}
+
+fn generate(p: usize, config: GraphConfig, seed: u64) -> Vec<WEdge> {
+    let mut all: Vec<WEdge> = Machine::run(MachineConfig::new(p), move |comm| {
+        config.generate(comm, seed)
+    })
+    .results
+    .into_iter()
+    .flatten()
+    .collect();
+    // RMAT may contain duplicates by design; canonicalise the multiset
+    // as a sorted list for comparisons.
+    all.sort_unstable();
+    all
+}
+
+#[test]
+fn all_families_symmetric_and_loop_free() {
+    for config in families(3) {
+        let all = generate(4, config, 3);
+        assert!(!all.is_empty(), "{config:?} generated nothing");
+        let set: HashSet<(u64, u64, u32)> =
+            all.iter().map(|e| (e.u, e.v, e.w)).collect();
+        for e in &all {
+            assert!(!e.is_self_loop(), "{config:?}: self-loop {e:?}");
+            assert!(
+                set.contains(&(e.v, e.u, e.w)),
+                "{config:?}: missing back edge of {e:?}"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn partition_invariance_for_every_family(
+        seed in 0u64..1000,
+        pa in 1usize..6,
+        pb in 6usize..10,
+    ) {
+        for config in families(seed) {
+            let a = generate(pa, config, seed);
+            let b = generate(pb, config, seed);
+            prop_assert_eq!(
+                &a, &b,
+                "{:?} differs between p={} and p={}", config, pa, pb
+            );
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_random_graphs(seed in 0u64..500) {
+        for config in [
+            GraphConfig::Gnm { n: 200, m: 1600 },
+            GraphConfig::Rmat { scale: 7, m: 900 },
+        ] {
+            let a = generate(3, config, seed);
+            let b = generate(3, config, seed + 1);
+            prop_assert_ne!(a, b, "{:?}: seed must matter", config);
+        }
+    }
+}

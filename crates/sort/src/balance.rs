@@ -1,0 +1,141 @@
+//! Order-preserving rebalancing and global sortedness checks.
+
+use kamsta_comm::Comm;
+
+/// Redistribute a globally ordered sequence so PE `i` ends up with the
+/// contiguous block `[i·N/p, (i+1)·N/p)` of global positions — the output
+/// contract of the paper's `REDISTRIBUTE` (Sec. IV-C re-establishes the
+/// distributed graph data structure on balanced, sorted edges).
+/// Preserves global order. Collective.
+pub fn rebalance<T: Send + 'static>(comm: &Comm, data: Vec<T>) -> Vec<T> {
+    let p = comm.size();
+    if p == 1 {
+        return data;
+    }
+    let n = data.len() as u64;
+    let counts = comm.allgather(n);
+    let total: u64 = counts.iter().sum();
+    let my_offset: u64 = counts[..comm.rank()].iter().sum();
+
+    // Target block of PE i: [i·total/p, (i+1)·total/p).
+    let target_start = |i: usize| (i as u64 * total) / p as u64;
+
+    let mut bufs: Vec<Vec<T>> = (0..p).map(|_| Vec::new()).collect();
+    for (k, item) in data.into_iter().enumerate() {
+        let pos = my_offset + k as u64;
+        // Find destination PE: the i with target_start(i) <= pos < target_start(i+1).
+        // pos·p/total is within 1 of the right PE; fix up locally.
+        let mut dest = ((pos.saturating_mul(p as u64)) / total.max(1)) as usize;
+        dest = dest.min(p - 1);
+        while dest > 0 && pos < target_start(dest) {
+            dest -= 1;
+        }
+        while dest + 1 < p && pos >= target_start(dest + 1) {
+            dest += 1;
+        }
+        bufs[dest].push(item);
+    }
+    // Receiving in source-rank order preserves global order because source
+    // ranks hold ascending global position ranges.
+    comm.alltoallv_direct(bufs).into_iter().flatten().collect()
+}
+
+/// Check that the distributed sequence is globally sorted (each PE locally
+/// sorted, and boundaries between consecutive non-empty PEs in order).
+/// Returns the same verdict on every PE. Collective.
+pub fn is_globally_sorted<T: Ord + Clone + Send + Sync + 'static>(
+    comm: &Comm,
+    data: &[T],
+) -> bool {
+    let locally_sorted = data.windows(2).all(|w| w[0] <= w[1]);
+    let boundary: Option<(T, T)> = match (data.first(), data.last()) {
+        (Some(f), Some(l)) => Some((f.clone(), l.clone())),
+        _ => None,
+    };
+    let bounds = comm.allgather(boundary);
+    let all_local = comm.allreduce(locally_sorted, |a, b| *a && *b);
+    if !all_local {
+        return false;
+    }
+    let mut prev_last: Option<&T> = None;
+    for (first, last) in bounds.iter().flatten() {
+        if let Some(pl) = prev_last {
+            if pl > first {
+                return false;
+            }
+        }
+        prev_last = Some(last);
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kamsta_comm::{Machine, MachineConfig};
+
+    #[test]
+    fn rebalance_evens_out_skewed_distribution() {
+        let p = 5;
+        let out = Machine::run(MachineConfig::new(p), move |comm| {
+            // All data starts on PE 0, globally ordered.
+            let data: Vec<u64> = if comm.rank() == 0 { (0..103).collect() } else { vec![] };
+            rebalance(comm, data)
+        });
+        let mut flat = Vec::new();
+        for (i, chunk) in out.results.iter().enumerate() {
+            let lo = (i as u64 * 103) / 5;
+            let hi = ((i as u64 + 1) * 103) / 5;
+            assert_eq!(chunk.len() as u64, hi - lo, "PE {i} block size");
+            flat.extend_from_slice(chunk);
+        }
+        assert_eq!(flat, (0..103).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn rebalance_preserves_order_from_mixed_sources() {
+        let p = 4;
+        let out = Machine::run(MachineConfig::new(p), move |comm| {
+            let r = comm.rank() as u64;
+            // PE r holds [100r, 100r + 10r) — increasing sizes.
+            let data: Vec<u64> = (0..10 * r).map(|k| 100 * r + k).collect();
+            rebalance(comm, data)
+        });
+        let flat: Vec<u64> = out.results.into_iter().flatten().collect();
+        let mut expected = Vec::new();
+        for r in 0u64..4 {
+            expected.extend((0..10 * r).map(|k| 100 * r + k));
+        }
+        assert_eq!(flat, expected);
+    }
+
+    #[test]
+    fn sortedness_checker_accepts_and_rejects() {
+        let out = Machine::run(MachineConfig::new(3), |comm| {
+            let r = comm.rank() as u64;
+            let good: Vec<u64> = (10 * r..10 * r + 5).collect();
+            let ok = is_globally_sorted(comm, &good);
+            // Equal boundary values across PEs still count as sorted.
+            let flat = vec![2u64, 2, 2];
+            let ok_flat = is_globally_sorted(comm, &flat);
+            // Globally decreasing blocks must be rejected.
+            let bad: Vec<u64> = (100 - 10 * r..105 - 10 * r).collect();
+            let not_ok = is_globally_sorted(comm, &bad);
+            (ok, ok_flat, not_ok)
+        });
+        for (ok, ok_flat, not_ok) in out.results {
+            assert!(ok);
+            assert!(ok_flat);
+            assert!(!not_ok);
+        }
+    }
+
+    #[test]
+    fn empty_pes_are_tolerated() {
+        let out = Machine::run(MachineConfig::new(4), |comm| {
+            let data: Vec<u32> = if comm.rank() == 2 { vec![5, 6] } else { vec![] };
+            is_globally_sorted(comm, &data)
+        });
+        assert!(out.results.into_iter().all(|b| b));
+    }
+}

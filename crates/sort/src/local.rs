@@ -1,0 +1,49 @@
+//! Local sorting kernels with hybrid (rayon) parallelism.
+
+use kamsta_comm::Comm;
+use rayon::prelude::*;
+
+/// Sort a local slice, charging `γ·n·log n` local work. Uses the rayon
+/// parallel sort when the PE runs with more than one hybrid thread
+/// (the paper's OpenMP threads, Sec. VI).
+pub fn local_sort<T: Ord + Send>(comm: &Comm, data: &mut [T]) {
+    let n = data.len();
+    if n > 1 {
+        let logn = kamsta_comm::ceil_log2(n) as u64;
+        comm.charge_local(n as u64 * logn.max(1));
+    }
+    if comm.threads_per_pe() > 1 && n > 4096 {
+        data.par_sort_unstable();
+    } else {
+        data.sort_unstable();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kamsta_comm::{Machine, MachineConfig};
+
+    #[test]
+    fn sorts_and_charges() {
+        let out = Machine::run(MachineConfig::new(2), |comm| {
+            let mut v = vec![5u32, 3, 9, 1, 1, 0];
+            local_sort(comm, &mut v);
+            (v, comm.stats().local_ops)
+        });
+        for (v, ops) in out.results {
+            assert_eq!(v, vec![0, 1, 1, 3, 5, 9]);
+            assert!(ops > 0);
+        }
+    }
+
+    #[test]
+    fn parallel_path_sorts_large_input() {
+        let out = Machine::run(MachineConfig::new(1).with_threads(4), |comm| {
+            let mut v: Vec<u64> = (0..10_000).map(|i| (i * 2_654_435_761) % 65_536).collect();
+            local_sort(comm, &mut v);
+            v.windows(2).all(|w| w[0] <= w[1])
+        });
+        assert!(out.results[0]);
+    }
+}

@@ -1,0 +1,81 @@
+//! K-way merging of sorted runs (receive-side of the sample sort).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Merge sorted runs into one sorted vector.
+///
+/// Uses a binary heap of run heads (`O(n log k)`); runs must each be
+/// sorted. Stable across runs in run-index order for equal elements, which
+/// keeps distributed sorts deterministic.
+pub fn multiway_merge<T: Ord>(mut runs: Vec<Vec<T>>) -> Vec<T> {
+    match runs.len() {
+        0 => return Vec::new(),
+        1 => return runs.pop().unwrap(),
+        _ => {}
+    }
+    let total: usize = runs.iter().map(Vec::len).sum();
+    let mut iters: Vec<std::vec::IntoIter<T>> =
+        runs.into_iter().map(Vec::into_iter).collect();
+    let mut heap: BinaryHeap<Reverse<(T, usize)>> = BinaryHeap::with_capacity(iters.len());
+    for (k, it) in iters.iter_mut().enumerate() {
+        if let Some(v) = it.next() {
+            heap.push(Reverse((v, k)));
+        }
+    }
+    let mut out = Vec::with_capacity(total);
+    while let Some(Reverse((v, k))) = heap.pop() {
+        out.push(v);
+        if let Some(next) = iters[k].next() {
+            heap.push(Reverse((next, k)));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merges_disjoint_runs() {
+        let runs = vec![vec![1, 4, 7], vec![2, 5, 8], vec![3, 6, 9]];
+        assert_eq!(multiway_merge(runs), (1..=9).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn merges_overlapping_runs_with_duplicates() {
+        let runs = vec![vec![1, 1, 3], vec![1, 2, 3], vec![]];
+        assert_eq!(multiway_merge(runs), vec![1, 1, 1, 2, 3, 3]);
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        assert_eq!(multiway_merge::<u8>(vec![]), Vec::<u8>::new());
+        assert_eq!(multiway_merge(vec![vec![2, 9]]), vec![2, 9]);
+        assert_eq!(
+            multiway_merge(vec![vec![], vec![5], vec![]]),
+            vec![5]
+        );
+    }
+
+    #[test]
+    fn random_runs_match_flat_sort() {
+        let mut state = 12345u64;
+        let mut rng = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 33) as u32
+        };
+        let mut runs = Vec::new();
+        let mut flat = Vec::new();
+        for _ in 0..10 {
+            let len = (rng() % 50) as usize;
+            let mut run: Vec<u32> = (0..len).map(|_| rng() % 1000).collect();
+            run.sort_unstable();
+            flat.extend_from_slice(&run);
+            runs.push(run);
+        }
+        flat.sort_unstable();
+        assert_eq!(multiway_merge(runs), flat);
+    }
+}

@@ -1,0 +1,144 @@
+//! End-to-end correctness of the distributed sorters: the rank-order
+//! concatenation of outputs must be the sorted multiset of all inputs.
+
+use kamsta_comm::{Machine, MachineConfig};
+use kamsta_sort::{
+    hypercube_quicksort, is_globally_sorted, rebalance, sample_sort, sort_auto,
+};
+
+/// Deterministic pseudo-random input for PE `rank`.
+fn input_for(rank: usize, n: usize, salt: u64) -> Vec<u64> {
+    let mut state = salt
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(rank as u64 + 1);
+    (0..n)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 24
+        })
+        .collect()
+}
+
+fn check_sorter(p: usize, per_pe: usize, salt: u64, which: &str) {
+    let which_owned = which.to_string();
+    let out = Machine::run(MachineConfig::new(p), move |comm| {
+        let data = input_for(comm.rank(), per_pe, salt);
+        let sorted = match which_owned.as_str() {
+            "hypercube" => hypercube_quicksort(comm, data, 42),
+            "sample" => sample_sort(comm, data, 42),
+            "auto" => sort_auto(comm, data, 42),
+            _ => unreachable!(),
+        };
+        let ok = is_globally_sorted(comm, &sorted);
+        (sorted, ok)
+    });
+    let mut flat: Vec<u64> = Vec::new();
+    let mut expected: Vec<u64> = Vec::new();
+    for (rank, (chunk, ok)) in out.results.into_iter().enumerate() {
+        assert!(ok, "{which} p={p}: checker rejected output");
+        flat.extend(chunk);
+        expected.extend(input_for(rank, per_pe, salt));
+    }
+    expected.sort_unstable();
+    assert_eq!(
+        flat, expected,
+        "{which} p={p} per_pe={per_pe}: output is not the sorted input multiset"
+    );
+}
+
+#[test]
+fn hypercube_sorts_power_of_two() {
+    for p in [1, 2, 4, 8, 16] {
+        check_sorter(p, 50, 7, "hypercube");
+    }
+}
+
+#[test]
+fn hypercube_sorts_non_power_of_two() {
+    for p in [3, 5, 6, 7, 11, 12] {
+        check_sorter(p, 37, 8, "hypercube");
+    }
+}
+
+#[test]
+fn hypercube_sorts_empty_and_tiny_inputs() {
+    for p in [2, 4, 7] {
+        check_sorter(p, 0, 1, "hypercube");
+        check_sorter(p, 1, 2, "hypercube");
+    }
+}
+
+#[test]
+fn sample_sorts_various_sizes() {
+    for p in [1, 2, 3, 4, 8, 13] {
+        check_sorter(p, 500, 9, "sample");
+    }
+}
+
+#[test]
+fn sample_sorts_skewed_duplicates() {
+    let p = 6;
+    let out = Machine::run(MachineConfig::new(p), move |comm| {
+        // Heavy duplication: only 4 distinct keys.
+        let data: Vec<u64> = (0..200).map(|i| (i + comm.rank()) as u64 % 4).collect();
+        sample_sort(comm, data, 3)
+    });
+    let flat: Vec<u64> = out.results.into_iter().flatten().collect();
+    assert_eq!(flat.len(), 200 * p);
+    assert!(flat.windows(2).all(|w| w[0] <= w[1]));
+}
+
+#[test]
+fn auto_picks_hypercube_for_small_and_sample_for_large() {
+    // Functional check only: both paths must sort correctly.
+    check_sorter(8, 10, 4, "auto"); // avg 10 <= 512 → hypercube path
+    check_sorter(8, 2000, 5, "auto"); // avg 2000 > 512 → sample path
+}
+
+#[test]
+fn sorters_are_deterministic() {
+    let run = || {
+        Machine::run(MachineConfig::new(6), |comm| {
+            let data = input_for(comm.rank(), 300, 11);
+            sample_sort(comm, data, 99)
+        })
+        .results
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn sort_then_rebalance_gives_balanced_sorted_blocks() {
+    let p = 5;
+    let per_pe = 123;
+    let out = Machine::run(MachineConfig::new(p), move |comm| {
+        let data = input_for(comm.rank(), per_pe, 13);
+        let sorted = sample_sort(comm, data, 21);
+        let balanced = rebalance(comm, sorted);
+        let ok = is_globally_sorted(comm, &balanced);
+        (balanced, ok)
+    });
+    let total = p * per_pe;
+    let mut flat = Vec::new();
+    for (i, (chunk, ok)) in out.results.into_iter().enumerate() {
+        assert!(ok);
+        let lo = (i * total) / p;
+        let hi = ((i + 1) * total) / p;
+        assert_eq!(chunk.len(), hi - lo, "PE {i} should hold its block");
+        flat.extend(chunk);
+    }
+    assert!(flat.windows(2).all(|w| w[0] <= w[1]));
+}
+
+#[test]
+fn sorting_charges_communication_and_work() {
+    let out = Machine::run(MachineConfig::new(4), |comm| {
+        let data = input_for(comm.rank(), 1000, 17);
+        sample_sort(comm, data, 1);
+    });
+    assert!(out.total_messages() > 0);
+    assert!(out.total_bytes() > 0);
+    assert!(out.modeled_time > 0.0);
+}

@@ -1,0 +1,84 @@
+//! Minimum-cost network design — the third application from the paper's
+//! introduction (MST-based topology control, [6]).
+//!
+//! Cities are random points; candidate fibre links connect geographic
+//! neighbours with cost = distance plus a terrain surcharge. The MST is
+//! the cheapest backbone connecting every city. We compare the cost of
+//! the MST backbone against a naive star topology and run both
+//! distributed algorithms on the same instance.
+//!
+//! Run with: `cargo run --release --example network_design`
+
+use kamsta::graph::hash::{mix64, sym_hash, unit_f64};
+use kamsta::{Algorithm, Runner, WEdge};
+
+const CITIES: usize = 600;
+
+fn main() {
+    // Deterministic city locations on a 1000×1000 map.
+    let pos: Vec<(f64, f64)> = (0..CITIES)
+        .map(|i| {
+            let h = mix64(i as u64 ^ 0xC171E5);
+            (unit_f64(h) * 1000.0, unit_f64(mix64(h)) * 1000.0)
+        })
+        .collect();
+
+    // Candidate links: all pairs within 130 map units; cost = distance +
+    // terrain surcharge (hash-derived, symmetric).
+    let mut edges = Vec::new();
+    for i in 0..CITIES {
+        for j in (i + 1)..CITIES {
+            let (dx, dy) = (pos[i].0 - pos[j].0, pos[i].1 - pos[j].1);
+            let d = (dx * dx + dy * dy).sqrt();
+            if d < 130.0 {
+                let terrain = (sym_hash(i as u64, j as u64, 7) % 40) as f64;
+                let w = (d + terrain) as u32 + 1;
+                edges.push(WEdge::new(i as u64, j as u64, w));
+                edges.push(WEdge::new(j as u64, i as u64, w));
+            }
+        }
+    }
+    edges.sort_unstable();
+    println!("{CITIES} cities, {} candidate directed links", edges.len());
+
+    let runner = Runner::new(4, 1);
+    let (msf, s_boruvka) = runner.msf_edges(edges.clone(), Algorithm::Boruvka);
+    let s_filter = {
+        let (_msf2, s) = runner.msf_edges(edges.clone(), Algorithm::FilterBoruvka);
+        s
+    };
+    assert_eq!(
+        s_boruvka.msf_weight, s_filter.msf_weight,
+        "both algorithms must agree on the optimal backbone"
+    );
+    println!(
+        "optimal backbone: {} links, total cost {} (boruvka {:.4}s, filterBoruvka {:.4}s modeled)",
+        s_boruvka.msf_edges, s_boruvka.msf_weight, s_boruvka.modeled_time, s_filter.modeled_time
+    );
+    if s_boruvka.msf_edges < (CITIES - 1) as u64 {
+        println!(
+            "note: candidate graph is disconnected — backbone is a {}-component forest",
+            CITIES as u64 - s_boruvka.msf_edges
+        );
+    }
+
+    // Compare with a naive star topology rooted at city 0 (beeline cost,
+    // ignoring link availability) just to size the savings.
+    let star_cost: f64 = (1..CITIES)
+        .map(|i| {
+            let (dx, dy) = (pos[i].0 - pos[0].0, pos[i].1 - pos[0].1);
+            (dx * dx + dy * dy).sqrt()
+        })
+        .sum();
+    println!(
+        "star-topology beeline cost would be ~{:.0}; the MST backbone costs {} ({}% of star)",
+        star_cost,
+        s_boruvka.msf_weight,
+        (100.0 * s_boruvka.msf_weight as f64 / star_cost) as u32
+    );
+
+    // Report the longest single link in the backbone (network diameter
+    // driver for latency analysis).
+    let longest = msf.iter().map(|e| e.w).max().unwrap_or(0);
+    println!("longest backbone link cost: {longest}");
+}

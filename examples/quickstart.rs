@@ -1,0 +1,50 @@
+//! Quickstart: compute MSTs with every algorithm in the library and
+//! verify they agree, on a simulated 8-PE machine.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use kamsta::{verify_msf, Algorithm, GraphConfig, Runner, WEdge};
+
+fn main() {
+    // 1. The one-liner: single-node parallel MST of an explicit graph.
+    let triangle = vec![
+        WEdge::new(0, 1, 4),
+        WEdge::new(1, 2, 1),
+        WEdge::new(0, 2, 2),
+    ];
+    let msf = kamsta::minimum_spanning_forest(&triangle);
+    println!("single-node MST of a triangle: {msf:?}");
+    verify_msf(&triangle, &msf).expect("forest must verify");
+
+    // 2. The distributed algorithms on a simulated 8-PE machine.
+    let runner = Runner::new(8, 1);
+    let config = GraphConfig::Rgg2D { n: 20_000, m: 160_000 };
+    println!("\nrandom geometric graph, ~20k vertices, ~160k directed edges, 8 PEs:");
+    println!(
+        "{:<18} {:>12} {:>14} {:>12} {:>14}",
+        "algorithm", "MSF edges", "MSF weight", "modeled (s)", "edges/s"
+    );
+    for algo in [
+        Algorithm::Boruvka,
+        Algorithm::FilterBoruvka,
+        Algorithm::SparseMatrix,
+        Algorithm::MndMst,
+    ] {
+        let s = runner.run_generated(config, algo, 42);
+        println!(
+            "{:<18} {:>12} {:>14} {:>12.4} {:>14.3e}",
+            algo.label(),
+            s.msf_edges,
+            s.msf_weight,
+            s.modeled_time,
+            s.edges_per_second
+        );
+    }
+
+    // 3. Hybrid parallelism: the paper's boruvka-8 variant.
+    let hybrid = Runner::new(2, 8).run_generated(config, Algorithm::Boruvka, 42);
+    println!(
+        "\nboruvka-8 (2 PEs × 8 threads): weight {} in {:.4} modeled s",
+        hybrid.msf_weight, hybrid.modeled_time
+    );
+}

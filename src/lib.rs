@@ -1,0 +1,66 @@
+//! # kamsta — Engineering Massively Parallel MST Algorithms
+//!
+//! A complete Rust reproduction of Sanders & Schimek, *Engineering
+//! Massively Parallel MST Algorithms* (IPDPS 2023): the scalable
+//! distributed Borůvka algorithm, the Filter-Borůvka algorithm, the
+//! communication substrate, the graph generators, and the competitor
+//! baselines of the paper's evaluation — all running on a simulated
+//! distributed-memory machine with an α-β-γ cost model (see `DESIGN.md`).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use kamsta::{Algorithm, GraphConfig, Runner};
+//!
+//! // A 4-PE machine computing the MST of a 32×32 grid graph.
+//! let runner = Runner::new(4, 1);
+//! let summary = runner.run_generated(
+//!     GraphConfig::Grid2D { rows: 32, cols: 32 },
+//!     Algorithm::Boruvka,
+//!     42,
+//! );
+//! assert_eq!(summary.msf_edges, 32 * 32 - 1); // spanning tree
+//! assert!(summary.modeled_time > 0.0);
+//! ```
+//!
+//! The crates compose as follows:
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`comm`] | SPMD runtime, collectives, two-level all-to-all, cost model |
+//! | [`sort`] | hypercube quicksort + AMS-style sample sort |
+//! | [`graph`] | distributed edge lists, generators, varint codec, IO |
+//! | [`core`] | distributed Borůvka + Filter-Borůvka, references, verifier |
+//! | [`baselines`] | sparseMatrix and MND-MST competitor analogues |
+
+pub use kamsta_baselines as baselines;
+pub use kamsta_comm as comm;
+pub use kamsta_core as core;
+pub use kamsta_graph as graph;
+pub use kamsta_sort as sort;
+
+mod runner;
+
+pub use kamsta_comm::{AlltoallKind, CostModel, Machine, MachineConfig};
+pub use kamsta_core::dist::{DedupStrategy, MstConfig};
+pub use kamsta_core::{verify_msf, Phase, PhaseTimes};
+pub use kamsta_graph::{GraphConfig, InputGraph, WEdge};
+pub use runner::{Algorithm, RunSummary, Runner};
+
+/// Convenience: single-node minimum spanning forest of an edge list
+/// (undirected or symmetric directed), via the shared-memory parallel
+/// Borůvka. Each MSF edge is reported once.
+///
+/// ```
+/// use kamsta::{minimum_spanning_forest, WEdge};
+/// let edges = vec![
+///     WEdge::new(0, 1, 4),
+///     WEdge::new(1, 2, 1),
+///     WEdge::new(0, 2, 2),
+/// ];
+/// let msf = minimum_spanning_forest(&edges);
+/// assert_eq!(msf.iter().map(|e| e.w as u64).sum::<u64>(), 3);
+/// ```
+pub fn minimum_spanning_forest(edges: &[WEdge]) -> Vec<WEdge> {
+    kamsta_core::shared::par_boruvka(edges)
+}

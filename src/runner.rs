@@ -1,0 +1,290 @@
+//! High-level experiment runner: configure a simulated machine, pick an
+//! algorithm, get verified results plus the modeled-cost metrics the
+//! benchmark harness reports.
+
+use kamsta_baselines::{mnd_mst, sparse_matrix, MndConfig};
+use kamsta_comm::{AlltoallKind, CostModel, Machine, MachineConfig};
+use kamsta_core::dist::{boruvka_mst, filter_mst, FilterStats, MstConfig};
+use kamsta_core::PhaseTimes;
+use kamsta_graph::{GraphConfig, InputGraph, WEdge};
+
+/// The algorithms of the paper's evaluation (Fig. 3/5 series).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Algorithm {
+    /// Distributed Borůvka (Algorithm 1) — the paper's `boruvka`.
+    Boruvka,
+    /// Filter-Borůvka (Algorithm 2) — the paper's `filterBoruvka`.
+    FilterBoruvka,
+    /// `boruvka` with local preprocessing disabled (Fig. 4 ablation).
+    BoruvkaNoPreprocessing,
+    /// The sparse-matrix Awerbuch–Shiloach competitor \[37\].
+    SparseMatrix,
+    /// The MND-MST competitor \[19\].
+    MndMst,
+}
+
+impl Algorithm {
+    /// Series label as used in the paper's figures (suffix `-t` added by
+    /// the harness for the thread count).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Algorithm::Boruvka => "boruvka",
+            Algorithm::FilterBoruvka => "filterBoruvka",
+            Algorithm::BoruvkaNoPreprocessing => "boruvka-noprep",
+            Algorithm::SparseMatrix => "sparseMatrix",
+            Algorithm::MndMst => "MND-MST",
+        }
+    }
+}
+
+/// Metrics of one run, aggregated over PEs.
+#[derive(Clone, Debug)]
+pub struct RunSummary {
+    /// Number of undirected MSF edges found.
+    pub msf_edges: u64,
+    /// Total MSF weight (the correctness invariant across algorithms).
+    pub msf_weight: u64,
+    /// Directed edges of the input graph.
+    pub input_edges: u64,
+    /// Vertices of the input graph.
+    pub input_vertices: u64,
+    /// BSP completion time under the α-β-γ model, seconds.
+    pub modeled_time: f64,
+    /// Wall-clock seconds of the simulation (indicative only).
+    pub wall_time: f64,
+    /// Modeled throughput: input edges per modeled second — the y-axis
+    /// of the paper's Fig. 3.
+    pub edges_per_second: f64,
+    /// Total messages across PEs.
+    pub messages: u64,
+    /// Total bytes across PEs.
+    pub bytes: u64,
+    /// Bottleneck per-phase profile (Fig. 6), when the algorithm reports
+    /// one.
+    pub phases: Option<PhaseTimes>,
+    /// Filter-Borůvka statistics (Theorem 1 experiment), when available.
+    pub filter_stats: Option<FilterStats>,
+}
+
+/// A configured simulated machine plus algorithm parameters.
+#[derive(Clone, Debug)]
+pub struct Runner {
+    pub machine: MachineConfig,
+    pub mst: MstConfig,
+}
+
+impl Runner {
+    /// `pes` PEs with `threads` hybrid threads each (the paper's
+    /// `algorithm-t` naming: total cores = pes × threads).
+    pub fn new(pes: usize, threads: usize) -> Self {
+        Self {
+            machine: MachineConfig::new(pes).with_threads(threads),
+            mst: MstConfig::default(),
+        }
+    }
+
+    /// Override the all-to-all strategy (Fig. 2 ablation).
+    pub fn with_alltoall(mut self, kind: AlltoallKind) -> Self {
+        self.machine = self.machine.with_alltoall(kind);
+        self
+    }
+
+    /// Override the machine cost model.
+    pub fn with_cost(mut self, cost: CostModel) -> Self {
+        self.machine = self.machine.with_cost(cost);
+        self
+    }
+
+    /// Override the MST algorithm configuration.
+    pub fn with_mst_config(mut self, cfg: MstConfig) -> Self {
+        self.mst = cfg;
+        self
+    }
+
+    /// Generate one of the paper's graph families on the machine and run
+    /// `algo` on it.
+    pub fn run_generated(&self, config: GraphConfig, algo: Algorithm, seed: u64) -> RunSummary {
+        self.run_with(algo, move |comm| InputGraph::generate(comm, config, seed))
+    }
+
+    /// Run `algo` on an explicit edge list (held replicated by the
+    /// caller; it is distributed internally).
+    pub fn run_edges(&self, edges: Vec<WEdge>, algo: Algorithm) -> RunSummary {
+        self.run_with(algo, move |comm| {
+            let slice = kamsta_graph::io::distribute_from_root(
+                comm,
+                (comm.rank() == 0).then(|| edges.clone()),
+            );
+            InputGraph::from_sorted_edges(comm, slice)
+        })
+    }
+
+    /// Compute the MSF of an explicit edge list, returning the edges
+    /// (one direction per undirected MSF edge) alongside the metrics.
+    pub fn msf_edges(&self, edges: Vec<WEdge>, algo: Algorithm) -> (Vec<WEdge>, RunSummary) {
+        let mst_cfg = self.effective_cfg(algo);
+        let out = Machine::run(self.machine.clone(), move |comm| {
+            let slice = kamsta_graph::io::distribute_from_root(
+                comm,
+                (comm.rank() == 0).then(|| edges.clone()),
+            );
+            let input = InputGraph::from_sorted_edges(comm, slice);
+            run_algorithm(comm, &input, algo, &mst_cfg)
+        });
+        let mut msf = Vec::new();
+        for pe in &out.results {
+            msf.extend(pe.msf.iter().copied());
+        }
+        let summary = summarize(&out);
+        (msf, summary)
+    }
+
+    fn effective_cfg(&self, algo: Algorithm) -> MstConfig {
+        match algo {
+            Algorithm::BoruvkaNoPreprocessing => self.mst.without_preprocessing(),
+            _ => self.mst,
+        }
+    }
+
+    fn run_with<F>(&self, algo: Algorithm, make_input: F) -> RunSummary
+    where
+        F: Fn(&kamsta_comm::Comm) -> InputGraph + Send + Sync,
+    {
+        let mst_cfg = self.effective_cfg(algo);
+        let out = Machine::run(self.machine.clone(), move |comm| {
+            let input = make_input(comm);
+            run_algorithm(comm, &input, algo, &mst_cfg)
+        });
+        summarize(&out)
+    }
+}
+
+/// Per-PE result of one algorithm run.
+pub(crate) struct PeRun {
+    msf: Vec<WEdge>,
+    input_edges: u64,
+    input_vertices: u64,
+    phases: Option<PhaseTimes>,
+    filter_stats: Option<FilterStats>,
+}
+
+fn run_algorithm(
+    comm: &kamsta_comm::Comm,
+    input: &InputGraph,
+    algo: Algorithm,
+    cfg: &MstConfig,
+) -> PeRun {
+    let (msf, phases, filter_stats) = match algo {
+        Algorithm::Boruvka | Algorithm::BoruvkaNoPreprocessing => {
+            let r = boruvka_mst(comm, input, cfg);
+            let msf: Vec<WEdge> = r.edges.iter().map(|e| e.wedge()).collect();
+            (msf, Some(PhaseTimes::reduce_max(comm, &r.phases)), None)
+        }
+        Algorithm::FilterBoruvka => {
+            let (r, stats) = filter_mst(comm, input, cfg);
+            let msf: Vec<WEdge> = r.edges.iter().map(|e| e.wedge()).collect();
+            (
+                msf,
+                Some(PhaseTimes::reduce_max(comm, &r.phases)),
+                Some(stats),
+            )
+        }
+        Algorithm::SparseMatrix => {
+            let msf = sparse_matrix(comm, input.graph.edges.clone());
+            (msf, None, None)
+        }
+        Algorithm::MndMst => {
+            let msf = mnd_mst(comm, input.graph.edges.clone(), &MndConfig::default());
+            (msf, None, None)
+        }
+    };
+    PeRun {
+        msf,
+        input_edges: input.graph.m_global,
+        input_vertices: input.graph.n_global,
+        phases,
+        filter_stats,
+    }
+}
+
+fn summarize(out: &kamsta_comm::RunOutput<PeRun>) -> RunSummary {
+    let msf_edges: u64 = out.results.iter().map(|r| r.msf.len() as u64).sum();
+    let msf_weight: u64 = out
+        .results
+        .iter()
+        .flat_map(|r| r.msf.iter())
+        .map(|e| e.w as u64)
+        .sum();
+    let input_edges = out.results[0].input_edges;
+    let input_vertices = out.results[0].input_vertices;
+    let modeled = out.modeled_time.max(f64::MIN_POSITIVE);
+    RunSummary {
+        msf_edges,
+        msf_weight,
+        input_edges,
+        input_vertices,
+        modeled_time: out.modeled_time,
+        wall_time: out.wall.as_secs_f64(),
+        edges_per_second: input_edges as f64 / modeled,
+        messages: out.total_messages(),
+        bytes: out.total_bytes(),
+        phases: out.results[0].phases.clone(),
+        filter_stats: out.results[0].filter_stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_algorithms_agree_on_weight() {
+        let config = GraphConfig::Grid2D { rows: 12, cols: 12 };
+        let runner = Runner::new(4, 1).with_mst_config(MstConfig {
+            base_case_constant: 16,
+            ..MstConfig::default()
+        });
+        let algos = [
+            Algorithm::Boruvka,
+            Algorithm::FilterBoruvka,
+            Algorithm::BoruvkaNoPreprocessing,
+            Algorithm::SparseMatrix,
+            Algorithm::MndMst,
+        ];
+        let summaries: Vec<RunSummary> = algos
+            .iter()
+            .map(|a| runner.run_generated(config, *a, 7))
+            .collect();
+        let w0 = summaries[0].msf_weight;
+        for (a, s) in algos.iter().zip(&summaries) {
+            assert_eq!(s.msf_weight, w0, "{a:?} weight mismatch");
+            assert_eq!(s.msf_edges, 12 * 12 - 1, "{a:?} edge count");
+            assert!(s.modeled_time > 0.0);
+            assert!(s.edges_per_second > 0.0);
+        }
+    }
+
+    #[test]
+    fn hybrid_threads_dont_change_the_forest() {
+        let config = GraphConfig::Rgg2D { n: 300, m: 2400 };
+        let a = Runner::new(4, 1).run_generated(config, Algorithm::Boruvka, 3);
+        let b = Runner::new(4, 8).run_generated(config, Algorithm::Boruvka, 3);
+        assert_eq!(a.msf_weight, b.msf_weight);
+        assert_eq!(a.msf_edges, b.msf_edges);
+    }
+
+    #[test]
+    fn msf_edges_returns_verified_forest() {
+        let edges = [WEdge::new(0, 1, 3),
+            WEdge::new(1, 2, 1),
+            WEdge::new(2, 0, 2),
+            WEdge::new(2, 3, 5)];
+        let sym: Vec<WEdge> = edges
+            .iter()
+            .flat_map(|e| [*e, e.reversed()])
+            .collect();
+        let (msf, summary) = Runner::new(2, 1).msf_edges(sym.clone(), Algorithm::Boruvka);
+        kamsta_core::verify_msf(&sym, &msf).unwrap();
+        assert_eq!(summary.msf_weight, 1 + 2 + 5);
+    }
+}

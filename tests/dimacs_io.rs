@@ -1,0 +1,61 @@
+//! DIMACS round trip: write a `.gr` file, load it, distribute it, and
+//! compute its MST — the path a user takes with the real US-road
+//! instance.
+
+use kamsta::core::seq::{kruskal, msf_weight};
+use kamsta::{Algorithm, Runner};
+use kamsta_graph::io::{load_dimacs, symmetrize};
+use std::io::Write;
+
+#[test]
+fn dimacs_file_to_mst() {
+    // A small weighted graph in DIMACS shortest-path format.
+    let dir = std::env::temp_dir().join("kamsta_test_dimacs");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("toy.gr");
+    {
+        let mut f = std::fs::File::create(&path).unwrap();
+        writeln!(f, "c toy road network").unwrap();
+        writeln!(f, "p sp 6 16").unwrap();
+        let arcs = [
+            (1, 2, 7),
+            (1, 3, 9),
+            (1, 6, 14),
+            (2, 3, 10),
+            (2, 4, 15),
+            (3, 4, 11),
+            (3, 6, 2),
+            (4, 5, 6),
+            (5, 6, 9),
+        ];
+        for (u, v, w) in arcs {
+            writeln!(f, "a {u} {v} {w}").unwrap();
+            writeln!(f, "a {v} {u} {w}").unwrap();
+        }
+    }
+
+    let (n, edges) = load_dimacs(&path).expect("parse");
+    assert_eq!(n, 6);
+    assert_eq!(edges.len(), 18);
+    let edges = symmetrize(edges);
+
+    let (msf, summary) = Runner::new(3, 1).msf_edges(edges.clone(), Algorithm::Boruvka);
+    kamsta::verify_msf(&edges, &msf).unwrap();
+    // Classic Dijkstra-example graph: its MST weight is 33.
+    assert_eq!(summary.msf_weight, 33);
+    assert_eq!(summary.msf_weight, msf_weight(&kruskal(&edges)));
+    assert_eq!(summary.msf_edges, 5);
+
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn dimacs_disconnected_forest() {
+    let text = "p sp 6 4\na 1 2 5\na 2 1 5\na 4 5 7\na 5 4 7\n";
+    let (_, edges) = kamsta_graph::io::parse_dimacs(text.as_bytes()).unwrap();
+    let edges = symmetrize(edges);
+    let (msf, summary) = Runner::new(2, 1).msf_edges(edges.clone(), Algorithm::Boruvka);
+    kamsta::verify_msf(&edges, &msf).unwrap();
+    assert_eq!(summary.msf_edges, 2, "two components, one edge each");
+    assert_eq!(summary.msf_weight, 12);
+}
