@@ -15,9 +15,9 @@
 //! vertices (edges of a boundary vertex live on one PE), and merged
 //! graphs that grow on ever-fewer PEs.
 
+use kamsta_comm::Comm;
 use kamsta_core::seq::kruskal;
 use kamsta_graph::{CEdge, WEdge};
-use kamsta_comm::Comm;
 
 /// Group size for hierarchical merging.
 #[derive(Clone, Copy, Debug)]
@@ -47,10 +47,7 @@ pub fn mnd_mst(comm: &Comm, edges: Vec<CEdge>, cfg: &MndConfig) -> Vec<WEdge> {
     let bounds = comm.allgather((my_first, my_last));
     let mut move_down = Vec::new();
     let mut keep: Vec<CEdge> = Vec::new();
-    let prev_last = comm
-        .rank()
-        .checked_sub(1)
-        .and_then(|r| bounds[r].1);
+    let prev_last = comm.rank().checked_sub(1).and_then(|r| bounds[r].1);
     for e in edges {
         if Some(e.u) == prev_last && Some(e.u) == my_first {
             move_down.push(e);
@@ -113,9 +110,9 @@ fn local_msf(comm: &Comm, edges: &[CEdge]) -> Vec<WEdge> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use kamsta_comm::{Machine, MachineConfig};
     use kamsta_core::seq::msf_weight;
     use kamsta_core::verify_msf;
-    use kamsta_comm::{Machine, MachineConfig};
     use kamsta_graph::{GraphConfig, InputGraph};
 
     fn check(p: usize, config: GraphConfig, seed: u64) {
@@ -155,8 +152,7 @@ mod tests {
     #[test]
     fn matches_reference_weight() {
         let out = Machine::run(MachineConfig::new(4), |comm| {
-            let input =
-                InputGraph::generate(comm, GraphConfig::Rgg2D { n: 300, m: 2400 }, 11);
+            let input = InputGraph::generate(comm, GraphConfig::Rgg2D { n: 300, m: 2400 }, 11);
             let all: Vec<WEdge> = input.graph.edges.iter().map(|e| e.wedge()).collect();
             let msf = mnd_mst(comm, input.graph.edges.clone(), &MndConfig::default());
             (all, msf)

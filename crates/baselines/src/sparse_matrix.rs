@@ -9,10 +9,10 @@
 //! structural properties the paper blames for its performance gap
 //! (Sec. VII-A).
 
+use kamsta_comm::{Comm, GridTopology};
 use kamsta_core::dist::DistArray;
 use kamsta_graph::hash::{FxHashMap, FxHashSet};
 use kamsta_graph::{CEdge, WEdge};
-use kamsta_comm::{Comm, GridTopology};
 
 /// One component's candidate edge.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
@@ -44,11 +44,8 @@ pub fn sparse_matrix(comm: &Comm, edges: Vec<CEdge>) -> Vec<WEdge> {
         bufs[owner].push((e.u, e.v, e));
     }
     // Working set: (current comp of u, current comp of v, original edge).
-    let mut work: Vec<(u64, u64, CEdge)> = comm
-        .alltoallv_direct(bufs)
-        .into_iter()
-        .flatten()
-        .collect();
+    let mut work: Vec<(u64, u64, CEdge)> =
+        comm.alltoallv_direct(bufs).into_iter().flatten().collect();
 
     let mut parent = DistArray::new(comm, n_ids);
     let mut msf: Vec<WEdge> = Vec::new();
@@ -143,9 +140,9 @@ pub fn sparse_matrix(comm: &Comm, edges: Vec<CEdge>) -> Vec<WEdge> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use kamsta_comm::{Machine, MachineConfig};
     use kamsta_core::seq::{kruskal, msf_weight};
     use kamsta_core::verify_msf;
-    use kamsta_comm::{Machine, MachineConfig};
     use kamsta_graph::{GraphConfig, InputGraph};
 
     fn check(p: usize, config: GraphConfig, seed: u64) {
@@ -181,8 +178,15 @@ mod tests {
     #[test]
     fn weight_matches_reference() {
         let out = Machine::run(MachineConfig::new(4), |comm| {
-            let input =
-                InputGraph::generate(comm, GraphConfig::Rhg { n: 200, m: 1600, gamma: 3.0 }, 11);
+            let input = InputGraph::generate(
+                comm,
+                GraphConfig::Rhg {
+                    n: 200,
+                    m: 1600,
+                    gamma: 3.0,
+                },
+                11,
+            );
             let all: Vec<WEdge> = input.graph.edges.iter().map(|e| e.wedge()).collect();
             let msf = sparse_matrix(comm, input.graph.edges.clone());
             (all, msf)

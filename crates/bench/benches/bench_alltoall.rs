@@ -8,9 +8,7 @@ use kamsta_comm::{AlltoallKind, Machine, MachineConfig};
 
 fn exchange(p: usize, kind: AlltoallKind, words_per_dest: usize) {
     Machine::run(MachineConfig::new(p).with_alltoall(kind), move |comm| {
-        let bufs: Vec<Vec<u64>> = (0..p)
-            .map(|d| vec![d as u64; words_per_dest])
-            .collect();
+        let bufs: Vec<Vec<u64>> = (0..p).map(|d| vec![d as u64; words_per_dest]).collect();
         let recv = match kind {
             AlltoallKind::Direct => comm.alltoallv_direct(bufs),
             AlltoallKind::Grid => comm.alltoallv_grid(bufs),

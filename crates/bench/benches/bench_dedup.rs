@@ -41,11 +41,9 @@ fn bench_dedup(c: &mut Criterion) {
     let mut group = c.benchmark_group("parallel_edge_dedup_p8");
     group.sample_size(10);
     for copies in [4u64, 16, 64] {
-        group.bench_with_input(
-            BenchmarkId::new("pure_sort", copies),
-            &copies,
-            |b, &cp| b.iter(|| run_dedup(DedupStrategy::Sort, 2000, cp)),
-        );
+        group.bench_with_input(BenchmarkId::new("pure_sort", copies), &copies, |b, &cp| {
+            b.iter(|| run_dedup(DedupStrategy::Sort, 2000, cp))
+        });
         group.bench_with_input(
             BenchmarkId::new("hash_filter", copies),
             &copies,

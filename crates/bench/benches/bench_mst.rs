@@ -8,8 +8,20 @@ use kamsta::{Algorithm, GraphConfig, MstConfig, Runner};
 
 fn bench_mst(c: &mut Criterion) {
     let configs = [
-        ("2D-RGG", GraphConfig::Rgg2D { n: 1 << 14, m: 1 << 17 }),
-        ("GNM", GraphConfig::Gnm { n: 1 << 14, m: 1 << 17 }),
+        (
+            "2D-RGG",
+            GraphConfig::Rgg2D {
+                n: 1 << 14,
+                m: 1 << 17,
+            },
+        ),
+        (
+            "GNM",
+            GraphConfig::Gnm {
+                n: 1 << 14,
+                m: 1 << 17,
+            },
+        ),
     ];
     let algos = [
         Algorithm::Boruvka,

@@ -25,16 +25,12 @@ fn bench_sort(c: &mut Criterion) {
     let mut group = c.benchmark_group("distributed_sort_p16");
     group.sample_size(10);
     for per_pe in [256usize, 4096, 65536] {
-        group.bench_with_input(
-            BenchmarkId::new("hypercube", per_pe),
-            &per_pe,
-            |b, &n| b.iter(|| run_sort(16, n, true)),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("sample_sort", per_pe),
-            &per_pe,
-            |b, &n| b.iter(|| run_sort(16, n, false)),
-        );
+        group.bench_with_input(BenchmarkId::new("hypercube", per_pe), &per_pe, |b, &n| {
+            b.iter(|| run_sort(16, n, true))
+        });
+        group.bench_with_input(BenchmarkId::new("sample_sort", per_pe), &per_pe, |b, &n| {
+            b.iter(|| run_sort(16, n, false))
+        });
     }
     group.finish();
 }

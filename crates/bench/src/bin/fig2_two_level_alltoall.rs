@@ -16,7 +16,10 @@ fn main() {
     );
     println!("# modeled seconds of the contractComponents phase; lower is better\n");
 
-    let variant = Variant { algo: Algorithm::Boruvka, threads: 1 };
+    let variant = Variant {
+        algo: Algorithm::Boruvka,
+        threads: 1,
+    };
     let phase_idx = Phase::ALL
         .iter()
         .position(|p| *p == Phase::ContractComponents)

@@ -4,7 +4,9 @@
 //! paper (competitors here run single-threaded; their hybrid variants
 //! share the same algorithm structure).
 
-use kamsta_bench::{bench_mst_config, core_series, eng, env_usize, paper_variants, Table, WeakScale};
+use kamsta_bench::{
+    bench_mst_config, core_series, eng, env_usize, paper_variants, Table, WeakScale,
+};
 
 const FAMILIES: [&str; 6] = ["2D-GRID", "2D-RGG", "3D-RGG", "GNM", "RHG", "RMAT"];
 

@@ -22,7 +22,9 @@ fn main() {
         "# Fig. 4 — no-preprocessing ablation, 2^{} vertices / 2^{} edges per core (paper: 2^17 / 2^23)",
         ws.v_per_core, ws.m_per_core
     );
-    println!("# cells: modeled seconds (lower is better); local-boruvka-8 keeps preprocessing on\n");
+    println!(
+        "# cells: modeled seconds (lower is better); local-boruvka-8 keeps preprocessing on\n"
+    );
 
     let noprep = |algo: Algorithm, threads: usize| Variant { algo, threads };
     let variants = [
@@ -31,7 +33,10 @@ fn main() {
         noprep(Algorithm::FilterBoruvka, 1),
         noprep(Algorithm::FilterBoruvka, 8),
     ];
-    let baseline = Variant { algo: Algorithm::Boruvka, threads: 8 };
+    let baseline = Variant {
+        algo: Algorithm::Boruvka,
+        threads: 8,
+    };
     let nofilter_prep_cfg: MstConfig = bench_mst_config();
     let noprep_cfg = MstConfig {
         preprocessing: false,

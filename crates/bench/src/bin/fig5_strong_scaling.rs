@@ -5,7 +5,9 @@
 //! DIMACS loader exists for running the real US-road instance when
 //! available (`kamsta_graph::io::load_dimacs`).
 
-use kamsta_bench::{bench_mst_config, core_series, env_usize, paper_variants, standin_instances, Table};
+use kamsta_bench::{
+    bench_mst_config, core_series, env_usize, paper_variants, standin_instances, Table,
+};
 
 fn main() {
     let max_cores = env_usize("KAMSTA_MAX_CORES", 64);

@@ -18,10 +18,34 @@ fn main() {
     println!("# cells: fraction of the bottleneck modeled time spent per phase\n");
 
     let variants = [
-        ("b1", Variant { algo: Algorithm::Boruvka, threads: 1 }),
-        ("b8", Variant { algo: Algorithm::Boruvka, threads: 8 }),
-        ("f1", Variant { algo: Algorithm::FilterBoruvka, threads: 1 }),
-        ("f8", Variant { algo: Algorithm::FilterBoruvka, threads: 8 }),
+        (
+            "b1",
+            Variant {
+                algo: Algorithm::Boruvka,
+                threads: 1,
+            },
+        ),
+        (
+            "b8",
+            Variant {
+                algo: Algorithm::Boruvka,
+                threads: 8,
+            },
+        ),
+        (
+            "f1",
+            Variant {
+                algo: Algorithm::FilterBoruvka,
+                threads: 1,
+            },
+        ),
+        (
+            "f8",
+            Variant {
+                algo: Algorithm::FilterBoruvka,
+                threads: 8,
+            },
+        ),
     ];
 
     for family in FAMILIES {

@@ -40,12 +40,18 @@ fn main() {
         let shared_weight: u64 = msf.iter().map(|e| e.w as u64).sum();
 
         for cores in core_series(max_cores) {
-            let b = Variant { algo: Algorithm::Boruvka, threads: 1 }
-                .run(cores, config, bench_mst_config(), 42)
-                .unwrap();
-            let f = Variant { algo: Algorithm::FilterBoruvka, threads: 1 }
-                .run(cores, config, bench_mst_config(), 42)
-                .unwrap();
+            let b = Variant {
+                algo: Algorithm::Boruvka,
+                threads: 1,
+            }
+            .run(cores, config, bench_mst_config(), 42)
+            .unwrap();
+            let f = Variant {
+                algo: Algorithm::FilterBoruvka,
+                threads: 1,
+            }
+            .run(cores, config, bench_mst_config(), 42)
+            .unwrap();
             assert_eq!(b.msf_weight, shared_weight, "{name}: weight mismatch");
             table.row(vec![
                 name.to_string(),
@@ -57,5 +63,7 @@ fn main() {
         }
     }
     table.print();
-    println!("\n# paper shape: shared memory wins at ~256 cores; distributed overtakes from ~1-4k cores");
+    println!(
+        "\n# paper shape: shared memory wins at ~256 cores; distributed overtakes from ~1-4k cores"
+    );
 }

@@ -23,7 +23,10 @@ fn main() {
         "filtered edges",
         "partition steps",
     ]);
-    let variant = Variant { algo: Algorithm::FilterBoruvka, threads: 1 };
+    let variant = Variant {
+        algo: Algorithm::FilterBoruvka,
+        threads: 1,
+    };
     for log_deg in [3u32, 4, 5, 6, 7] {
         let m = n << log_deg;
         let cfg = GraphConfig::Gnm { n, m };

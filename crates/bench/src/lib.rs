@@ -94,12 +94,30 @@ impl Variant {
 /// 8-thread too).
 pub fn paper_variants() -> Vec<Variant> {
     vec![
-        Variant { algo: Algorithm::Boruvka, threads: 1 },
-        Variant { algo: Algorithm::Boruvka, threads: 8 },
-        Variant { algo: Algorithm::FilterBoruvka, threads: 1 },
-        Variant { algo: Algorithm::FilterBoruvka, threads: 8 },
-        Variant { algo: Algorithm::SparseMatrix, threads: 1 },
-        Variant { algo: Algorithm::MndMst, threads: 1 },
+        Variant {
+            algo: Algorithm::Boruvka,
+            threads: 1,
+        },
+        Variant {
+            algo: Algorithm::Boruvka,
+            threads: 8,
+        },
+        Variant {
+            algo: Algorithm::FilterBoruvka,
+            threads: 1,
+        },
+        Variant {
+            algo: Algorithm::FilterBoruvka,
+            threads: 8,
+        },
+        Variant {
+            algo: Algorithm::SparseMatrix,
+            threads: 1,
+        },
+        Variant {
+            algo: Algorithm::MndMst,
+            threads: 1,
+        },
     ]
 }
 
@@ -175,21 +193,36 @@ pub fn standin_instances(scale: u32) -> Vec<(&'static str, &'static str, GraphCo
         (
             "uk-2007*",
             "web, 105.9e6 vertices / 6.6e9 edges",
-            GraphConfig::Rhg { n, m: n * 62, gamma: 2.4 },
+            GraphConfig::Rhg {
+                n,
+                m: n * 62,
+                gamma: 2.4,
+            },
         ),
         (
             "it-2004*",
             "web, 41.3e6 vertices / 2.1e9 edges",
-            GraphConfig::Rhg { n, m: n * 50, gamma: 2.4 },
+            GraphConfig::Rhg {
+                n,
+                m: n * 50,
+                gamma: 2.4,
+            },
         ),
         ("US-road*", "road, 23.9e6 vertices / 57.7e6 edges", {
             let side = 1u64 << (scale / 2 + 1);
-            GraphConfig::RoadLike { rows: side, cols: side }
+            GraphConfig::RoadLike {
+                rows: side,
+                cols: side,
+            }
         }),
         (
             "wdc-14*",
             "web, 1.7e9 vertices / 123.9e9 edges",
-            GraphConfig::Rhg { n: n * 2, m: n * 2 * 70, gamma: 2.2 },
+            GraphConfig::Rhg {
+                n: n * 2,
+                m: n * 2 * 70,
+                gamma: 2.2,
+            },
         ),
     ]
 }
@@ -219,9 +252,15 @@ mod tests {
 
     #[test]
     fn variant_labels_match_paper_style() {
-        let v = Variant { algo: Algorithm::Boruvka, threads: 8 };
+        let v = Variant {
+            algo: Algorithm::Boruvka,
+            threads: 8,
+        };
         assert_eq!(v.label(), "boruvka-8");
-        assert!(v.runner(4, bench_mst_config()).is_none(), "4 cores / 8 threads → no PEs");
+        assert!(
+            v.runner(4, bench_mst_config()).is_none(),
+            "4 cores / 8 threads → no PEs"
+        );
         assert!(v.runner(16, bench_mst_config()).is_some());
     }
 
@@ -234,7 +273,10 @@ mod tests {
 
     #[test]
     fn weak_scale_config_resolves_families() {
-        let ws = WeakScale { v_per_core: 8, m_per_core: 10 };
+        let ws = WeakScale {
+            v_per_core: 8,
+            m_per_core: 10,
+        };
         for fam in ["2D-GRID", "2D-RGG", "3D-RGG", "GNM", "RHG", "RMAT"] {
             let _ = ws.config(fam, 8); // must not panic
         }

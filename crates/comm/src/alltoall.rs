@@ -408,10 +408,7 @@ pub fn route<T: Send + 'static>(comm: &Comm, items: Vec<(usize, T)>) -> Vec<T> {
     for (dest, item) in items {
         bufs[dest].push(item);
     }
-    comm.sparse_alltoallv(bufs)
-        .into_iter()
-        .flatten()
-        .collect()
+    comm.sparse_alltoallv(bufs).into_iter().flatten().collect()
 }
 
 #[cfg(test)]

@@ -154,11 +154,7 @@ impl Comm {
     /// Broadcast `value` from `root` to all PEs (collective).
     ///
     /// Non-root PEs pass `None`. Cost: `α log p + β·bytes`.
-    pub fn broadcast<T: Clone + Send + Sync + 'static>(
-        &self,
-        root: usize,
-        value: Option<T>,
-    ) -> T {
+    pub fn broadcast<T: Clone + Send + Sync + 'static>(&self, root: usize, value: Option<T>) -> T {
         debug_assert!(root < self.size);
         if self.rank == root {
             let v = value.expect("root must supply a value to broadcast");
@@ -357,7 +353,7 @@ impl Comm {
         }
         let q = crate::floor_pow2(p);
         let extras = p - q; // ranks q..p fold into ranks 0..extras
-        // Fold-in: rank q+r sends to r.
+                            // Fold-in: rank q+r sends to r.
         if self.rank >= q {
             let dest = self.rank - q;
             self.exchange(Some((dest, std::mem::take(&mut value))), None::<usize>);
@@ -406,9 +402,7 @@ impl Comm {
         F: Fn(&T, &T) -> T,
     {
         let all = self.allgather(value);
-        all[..self.rank]
-            .iter()
-            .fold(identity, |acc, x| op(&acc, x))
+        all[..self.rank].iter().fold(identity, |acc, x| op(&acc, x))
     }
 
     /// Exclusive prefix sum of `u64` values (the common case: computing

@@ -130,9 +130,10 @@ impl Machine {
                                 cfg_ref.alltoall,
                                 cfg_ref.grid_threshold_bytes,
                             );
-                            let out = std::panic::catch_unwind(
-                                std::panic::AssertUnwindSafe(|| rank_fn(&comm)),
-                            );
+                            let out =
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                    rank_fn(&comm)
+                                }));
                             match out {
                                 Ok(r) => *result_slot = Some(r),
                                 Err(payload) => {

@@ -183,19 +183,16 @@ fn alltoall_payload(_p: usize, src: usize, dst: usize) -> Vec<u64> {
 }
 
 fn check_alltoall(p: usize, kind: AlltoallKind) {
-    let out = Machine::run(
-        MachineConfig::new(p).with_alltoall(kind),
-        move |comm| {
-            let me = comm.rank();
-            let bufs: Vec<Vec<u64>> = (0..p).map(|dst| alltoall_payload(p, me, dst)).collect();
-            match kind {
-                AlltoallKind::Direct => comm.alltoallv_direct(bufs),
-                AlltoallKind::Grid => comm.alltoallv_grid(bufs),
-                AlltoallKind::Hypercube => comm.alltoallv_hypercube(bufs),
-                AlltoallKind::Auto => comm.sparse_alltoallv(bufs),
-            }
-        },
-    );
+    let out = Machine::run(MachineConfig::new(p).with_alltoall(kind), move |comm| {
+        let me = comm.rank();
+        let bufs: Vec<Vec<u64>> = (0..p).map(|dst| alltoall_payload(p, me, dst)).collect();
+        match kind {
+            AlltoallKind::Direct => comm.alltoallv_direct(bufs),
+            AlltoallKind::Grid => comm.alltoallv_grid(bufs),
+            AlltoallKind::Hypercube => comm.alltoallv_hypercube(bufs),
+            AlltoallKind::Auto => comm.sparse_alltoallv(bufs),
+        }
+    });
     for (me, recv) in out.results.into_iter().enumerate() {
         assert_eq!(recv.len(), p);
         for (src, got) in recv.into_iter().enumerate() {
@@ -276,7 +273,10 @@ fn route_delivers_keyed_items() {
     let out = Machine::run(MachineConfig::new(p), move |comm| {
         let me = comm.rank();
         // Everyone sends its rank to every even PE.
-        let items: Vec<(usize, u64)> = (0..p).filter(|d| d % 2 == 0).map(|d| (d, me as u64)).collect();
+        let items: Vec<(usize, u64)> = (0..p)
+            .filter(|d| d % 2 == 0)
+            .map(|d| (d, me as u64))
+            .collect();
         let mut got = route(comm, items);
         got.sort_unstable();
         got

@@ -4,7 +4,9 @@ use kamsta_comm::{Machine, MachineConfig};
 
 fn payload(_p: usize, src: usize, dst: usize) -> Vec<u64> {
     let n = (src * 5 + dst * 11) % 4;
-    (0..n).map(|k| (src * 10_000 + dst * 100 + k) as u64).collect()
+    (0..n)
+        .map(|k| (src * 10_000 + dst * 100 + k) as u64)
+        .collect()
 }
 
 fn check_dd(p: usize, d: u32) {

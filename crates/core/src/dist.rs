@@ -1,0 +1,1130 @@
+//! The distributed MST algorithms of the paper: the scalable Borůvka
+//! algorithm (Algorithm 1) and Filter-Borůvka (Algorithm 2).
+//!
+//! Algorithm 1 repeats four bulk-synchronous stages on the 1D-partitioned
+//! edge list until the remaining contracted graph fits the replicated base
+//! case (Sec. IV):
+//!
+//! 1. [`min_edges`] — per-vertex lightest incident edge, with the
+//!    allgather-merge for vertices whose edge range spans PE boundaries;
+//! 2. [`contract_components`] — hooking along the selected edges, 2-cycle
+//!    root election and distributed pointer doubling over the vertex-home
+//!    partition (Sec. IV-B), emitting the round's MST edge ids;
+//! 3. [`exchange_labels`] + [`relabel`] — the pull-based ghost-label
+//!    protocol and endpoint rewriting (Sec. IV-C);
+//! 4. [`redistribute`] — parallel-edge elimination (hash prefilter or pure
+//!    sorting, Sec. VI-B), distributed sorting, and re-establishing the
+//!    distributed graph structure.
+//!
+//! An optional [`local_contract`] pass (Sec. IV-A) contracts purely local
+//! subtrees before the first communication round; the gate compares the
+//! globally averaged fraction of PE-internal edges against a threshold, so
+//! the high-locality families (grids, RGGs) take it and GNM/RMAT skip it.
+//!
+//! Algorithm 2 ([`filter_mst`]) partitions edges by the unique-weight
+//! total order around sampled pivots, recursing on the light half first
+//! and filtering heavy edges through the block-distributed representative
+//! array [`DistArray`] before recursing on the survivors (Sec. V) — the
+//! distributed analogue of Filter-Kruskal.
+
+use crate::instrument::{Phase, PhaseTimes, Phased};
+use crate::seq::UnionFind;
+use kamsta_comm::{route, Comm};
+use kamsta_graph::hash::FxHashMap;
+use kamsta_graph::{CEdge, DistGraph, InputGraph, VertexId, Weight};
+
+/// Parallel-edge elimination strategy used by [`redistribute`]
+/// (Sec. VI-B's ablation: the hash-table prefilter "outperforms the pure
+/// sorting approach by up to a factor of 2.5").
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum DedupStrategy {
+    /// Local hash-table prefilter per `(u, v)` pair, then sort + dedup.
+    #[default]
+    HashFilter,
+    /// Pure sorting: global sort, then dedup — the ablation baseline.
+    Sort,
+}
+
+/// Configuration of the distributed MST algorithms.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MstConfig {
+    /// The base-case switch constant: contraction rounds stop once the
+    /// global vertex count drops to `base_case_constant × p` and the
+    /// remaining graph is solved replicated (Sec. IV-D).
+    pub base_case_constant: u64,
+    /// Run local preprocessing before the first communication round
+    /// (Sec. IV-A); the Fig. 4 ablation disables it.
+    pub preprocessing: bool,
+    /// Parallel-edge elimination strategy (Sec. VI-B).
+    pub dedup: DedupStrategy,
+    /// Filter-Borůvka recursion cutoff: stop partitioning once the global
+    /// edge count is at most this many edges per PE (Sec. V).
+    pub filter_min_edges_per_pe: u64,
+}
+
+impl Default for MstConfig {
+    fn default() -> Self {
+        Self {
+            base_case_constant: 256,
+            preprocessing: true,
+            dedup: DedupStrategy::default(),
+            filter_min_edges_per_pe: 1024,
+        }
+    }
+}
+
+impl MstConfig {
+    /// Vertex count below which the replicated base case takes over on a
+    /// `p`-PE machine.
+    pub fn base_threshold(&self, p: usize) -> u64 {
+        self.base_case_constant.saturating_mul(p as u64)
+    }
+
+    /// This configuration with preprocessing disabled (Fig. 4 ablation).
+    pub fn without_preprocessing(mut self) -> Self {
+        self.preprocessing = false;
+        self
+    }
+}
+
+/// Statistics of one Filter-Borůvka run (the Theorem 1 experiment).
+/// Identical on every PE: all counters are global quantities.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FilterStats {
+    /// Number of base-case MST computations performed.
+    pub base_case_calls: u64,
+    /// Total (global, directed) edges fed into base cases.
+    pub base_case_edges: u64,
+    /// Heavy edges eliminated by the representative-array filter.
+    pub filtered_edges: u64,
+    /// Number of pivot partitioning steps.
+    pub partition_steps: u64,
+}
+
+/// Result of a distributed MST run on one PE.
+#[derive(Clone, Debug)]
+pub struct MstResult {
+    /// This PE's share of the MSF, as *original* input edges (one
+    /// direction per undirected MSF edge, globally).
+    pub edges: Vec<CEdge>,
+    /// Per-phase modeled/wall time of this PE (Fig. 6 taxonomy).
+    pub phases: PhaseTimes,
+}
+
+/// One vertex's selected minimum edge (the output of `MIN EDGES`).
+#[derive(Clone, Copy, Debug)]
+pub struct MinEdge {
+    /// The selecting vertex (a source on this PE).
+    pub v: VertexId,
+    /// Its globally lightest incident edge in the unique-weight order.
+    pub edge: CEdge,
+}
+
+/// Output of one `CONTRACT COMPONENTS` round.
+#[derive(Clone, Debug)]
+pub struct ContractOutcome {
+    /// Component label (root vertex) for every vertex local to this PE.
+    pub labels: FxHashMap<VertexId, VertexId>,
+    /// Ids of the input edges this PE's owned vertices contributed to the
+    /// MST this round (each undirected MST edge emitted exactly once
+    /// machine-wide).
+    pub mst_edge_ids: Vec<u64>,
+}
+
+/// Output of the local preprocessing pass.
+#[derive(Clone, Debug)]
+pub struct PreprocessOutcome {
+    /// Local edges surviving contraction (intra-component edges removed),
+    /// still with original endpoints — [`relabel`] rewrites them.
+    pub edges: Vec<CEdge>,
+    /// Local component label per contracted vertex (identity for frozen
+    /// shared vertices and for everything when the gate rejects).
+    pub labels: FxHashMap<VertexId, VertexId>,
+    /// True when the locality gate accepted and contraction ran.
+    pub applied: bool,
+    /// Ids of local edges proven to be MST edges by the cut property.
+    pub mst_edge_ids: Vec<u64>,
+}
+
+// ---------------------------------------------------------------------
+// pull-based label/parent lookup
+// ---------------------------------------------------------------------
+
+/// Pull-protocol lookup: resolve `queries` at the *home PE* of each
+/// queried vertex with that PE's `resolve` function. Collective.
+///
+/// Pull rather than push: the edge_cases regression showed that routing
+/// answers by home-of-reverse-edge misses duplicate holders; serving
+/// explicit requests delivers to every PE that asks.
+fn pull<F>(
+    comm: &Comm,
+    g: &DistGraph,
+    mut queries: Vec<VertexId>,
+    resolve: F,
+) -> FxHashMap<VertexId, VertexId>
+where
+    F: Fn(VertexId) -> VertexId,
+{
+    queries.sort_unstable();
+    queries.dedup();
+    comm.charge_local(queries.len() as u64);
+    let rank = comm.rank() as u32;
+    let requests: Vec<(usize, (u32, VertexId))> = queries
+        .iter()
+        .map(|&q| (g.home_of_vertex(q), (rank, q)))
+        .collect();
+    let incoming = route(comm, requests);
+    comm.charge_local(incoming.len() as u64);
+    let replies: Vec<(usize, (VertexId, VertexId))> = incoming
+        .into_iter()
+        .map(|(src, q)| (src as usize, (q, resolve(q))))
+        .collect();
+    route(comm, replies).into_iter().collect()
+}
+
+// ---------------------------------------------------------------------
+// pipeline stage 1: MIN EDGES
+// ---------------------------------------------------------------------
+
+/// Select each local vertex's globally lightest incident edge in the
+/// unique-weight total order (Sec. IV: `MIN EDGES`). For vertices whose
+/// edge range spans a PE boundary, local candidates are merged through an
+/// allgather so every holder learns the same winner. Collective.
+pub fn min_edges(comm: &Comm, g: &DistGraph) -> Vec<MinEdge> {
+    comm.charge_local(g.edges.len() as u64);
+    let mut sels: Vec<MinEdge> = Vec::new();
+    let mut shared_cands: Vec<MinEdge> = Vec::new();
+    for (v, range) in g.vertex_segments() {
+        let best = g.edges[range]
+            .iter()
+            .filter(|e| !e.is_self_loop())
+            .min_by_key(|e| (e.weight_key(), e.id));
+        if let Some(&edge) = best {
+            let sel = MinEdge { v, edge };
+            if g.is_shared(v) {
+                shared_cands.push(sel);
+            }
+            sels.push(sel);
+        }
+    }
+    // Merge boundary-vertex candidates machine-wide (at most p − 1
+    // distinct shared vertices exist, Sec. II-B).
+    let all_cands = comm.allgatherv(shared_cands);
+    if !all_cands.is_empty() {
+        let mut winner: FxHashMap<VertexId, CEdge> = FxHashMap::default();
+        for cand in all_cands {
+            let slot = winner.entry(cand.v).or_insert(cand.edge);
+            if (cand.edge.weight_key(), cand.edge.id) < (slot.weight_key(), slot.id) {
+                *slot = cand.edge;
+            }
+        }
+        for sel in &mut sels {
+            if let Some(&edge) = winner.get(&sel.v) {
+                sel.edge = edge;
+            }
+        }
+    }
+    sels
+}
+
+// ---------------------------------------------------------------------
+// pipeline stage 2: CONTRACT COMPONENTS
+// ---------------------------------------------------------------------
+
+/// Hook every owned vertex along its selected edge, elect the smaller
+/// endpoint of each pseudo-tree's 2-cycle as root, and resolve component
+/// labels by distributed pointer doubling over the vertex-home partition
+/// (Sec. IV-B). Emits the round's MST edge ids (one per non-root owned
+/// vertex — exactly the pseudo-tree edges). Collective.
+pub fn contract_components(comm: &Comm, g: &DistGraph, sels: &[MinEdge]) -> ContractOutcome {
+    let rank = comm.rank();
+    // Owned vertices: the home PE (last holder) runs the hooking; other
+    // holders of a shared vertex receive the label afterwards.
+    let mut parent: FxHashMap<VertexId, VertexId> = FxHashMap::default();
+    let mut chosen: FxHashMap<VertexId, u64> = FxHashMap::default();
+    for sel in sels {
+        if g.home_of_vertex(sel.v) == rank {
+            parent.insert(sel.v, sel.edge.v);
+            chosen.insert(sel.v, sel.edge.id);
+        }
+    }
+    comm.charge_local(sels.len() as u64);
+
+    // 2-cycle root election: the component minimum edge is selected from
+    // both sides; the smaller endpoint becomes the root.
+    let targets: Vec<VertexId> = parent.values().copied().collect();
+    let grand = pull(comm, g, targets, |x| parent.get(&x).copied().unwrap_or(x));
+    let mut roots: Vec<VertexId> = Vec::new();
+    for (&v, &u) in &parent {
+        if grand.get(&u) == Some(&v) && v < u {
+            roots.push(v);
+        }
+    }
+    for &r in &roots {
+        parent.insert(r, r);
+    }
+
+    // Pointer doubling until every owned pointer reaches its root. The
+    // round count is synchronised via the allreduced change counter.
+    loop {
+        let targets: Vec<VertexId> = parent.values().copied().collect();
+        let hop = pull(comm, g, targets, |x| parent.get(&x).copied().unwrap_or(x));
+        let mut changed = 0u64;
+        for u in parent.values_mut() {
+            if let Some(&nu) = hop.get(u) {
+                if nu != *u {
+                    *u = nu;
+                    changed += 1;
+                }
+            }
+        }
+        if comm.allreduce_sum(changed) == 0 {
+            break;
+        }
+    }
+
+    // Every owned non-root vertex contributes its selected edge.
+    let mst_edge_ids: Vec<u64> = chosen
+        .iter()
+        .filter(|&(v, _)| parent.get(v) != Some(v))
+        .map(|(_, &id)| id)
+        .collect();
+
+    // Labels for *all* local vertices (shared copies query the owner).
+    let locals = g.local_vertices();
+    let labels = pull(comm, g, locals, |x| parent.get(&x).copied().unwrap_or(x));
+    ContractOutcome {
+        labels,
+        mst_edge_ids,
+    }
+}
+
+// ---------------------------------------------------------------------
+// pipeline stage 3: EXCHANGE LABELS + RELABEL
+// ---------------------------------------------------------------------
+
+/// Fetch component labels for this PE's ghost vertices — destinations
+/// homed on other PEs — with the pull protocol (Sec. IV-C). Collective.
+pub fn exchange_labels<F>(comm: &Comm, g: &DistGraph, label_of: F) -> FxHashMap<VertexId, VertexId>
+where
+    F: Fn(VertexId) -> VertexId,
+{
+    let rank = comm.rank();
+    comm.charge_local(g.edges.len() as u64);
+    let ghosts: Vec<VertexId> = g
+        .edges
+        .iter()
+        .map(|e| e.v)
+        .filter(|&v| g.home_of_vertex(v) != rank)
+        .collect();
+    pull(comm, g, ghosts, label_of)
+}
+
+/// Rewrite edge endpoints to component labels — sources through the local
+/// `label_of`, destinations through the ghost table — and drop the
+/// self-loops that contraction created. Preserves ids and weights, so the
+/// symmetric closure of the distributed edge list is maintained.
+pub fn relabel<F>(
+    comm: &Comm,
+    g: &DistGraph,
+    edges: Vec<CEdge>,
+    label_of: F,
+    ghost: &FxHashMap<VertexId, VertexId>,
+) -> Vec<CEdge>
+where
+    F: Fn(VertexId) -> VertexId,
+{
+    debug_assert!(g.pes() == comm.size());
+    comm.charge_local(edges.len() as u64);
+    edges
+        .into_iter()
+        .filter_map(|mut e| {
+            e.u = label_of(e.u);
+            e.v = ghost.get(&e.v).copied().unwrap_or_else(|| label_of(e.v));
+            (e.u != e.v).then_some(e)
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// pipeline stage 4: REDISTRIBUTE
+// ---------------------------------------------------------------------
+
+/// Parallel-edge elimination + distributed sort + re-establishment of the
+/// distributed graph structure (Sec. IV-C, Sec. VI-B). Keeps, per ordered
+/// endpoint pair, the copy that is minimal in `(w, id)` — both directions
+/// of an undirected pair see the same weight multiset, so the surviving
+/// graph stays symmetric. Collective.
+pub fn redistribute(comm: &Comm, edges: Vec<CEdge>, cfg: &MstConfig) -> DistGraph {
+    let filtered: Vec<CEdge> = match cfg.dedup {
+        DedupStrategy::HashFilter => prefilter_pairs(comm, &edges),
+        DedupStrategy::Sort => {
+            // Same linear scan as the prefilter pays, so the Sec. VI-B
+            // ablation compares strategies under equal γ-accounting.
+            comm.charge_local(edges.len() as u64);
+            edges.into_iter().filter(|e| !e.is_self_loop()).collect()
+        }
+    };
+
+    let mut sorted = kamsta_sort::sort_auto(comm, filtered, 0xC0FFEE);
+    comm.charge_local(sorted.len() as u64);
+    // Keep the first (lightest, smallest-id) copy of each consecutive pair
+    // group; groups straddling PE boundaries are resolved below.
+    sorted.dedup_by(|a, b| a.u == b.u && a.v == b.v);
+
+    let my_first = sorted.first().map(|e| (e.u, e.v));
+    let my_last = sorted.last().map(|e| (e.u, e.v));
+    let bounds = comm.allgather((my_first, my_last));
+    if let Some(fp) = my_first {
+        // Globally sorted: if an earlier non-empty PE ends on my first
+        // pair, that PE holds the group's first copy — drop my leaders.
+        let continued = bounds[..comm.rank()]
+            .iter()
+            .any(|&(_, last)| last == Some(fp));
+        if continued {
+            let cut = sorted.iter().take_while(|e| (e.u, e.v) == fp).count();
+            sorted.drain(..cut);
+        }
+    }
+
+    let balanced = kamsta_sort::rebalance(comm, sorted);
+    DistGraph::establish(comm, balanced)
+}
+
+// ---------------------------------------------------------------------
+// local preprocessing (Sec. IV-A)
+// ---------------------------------------------------------------------
+
+/// Fraction of globally PE-internal edges above which local contraction
+/// is worthwhile (the high-locality gate of Sec. IV-A).
+const PREPROCESS_MIN_LOCAL_FRACTION: f64 = 0.25;
+
+/// Contract purely local subtrees before the first communication round
+/// (Sec. IV-A). A vertex is *contractible* when it is local and not
+/// shared, so its full adjacency is on this PE and its minimum edge is a
+/// valid global minimum (cut property). Components grow only through
+/// contractible vertices; a component whose minimum edge leaves the
+/// contractible set freezes. Gate and outcome flag are global (allreduce
+/// on the internal-edge fraction), so GNM/RMAT-like inputs skip the pass
+/// machine-wide. Collective.
+pub fn local_contract(comm: &Comm, g: &DistGraph, cfg: &MstConfig) -> PreprocessOutcome {
+    let verts = g.local_vertices();
+    let vidx: FxHashMap<VertexId, u32> = verts
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (v, i as u32))
+        .collect();
+    let contractible: Vec<bool> = verts.iter().map(|&v| !g.is_shared(v)).collect();
+    let is_contractible = |v: VertexId| -> Option<u32> {
+        vidx.get(&v).copied().filter(|&i| contractible[i as usize])
+    };
+
+    // Locality gate: globally averaged fraction of edges with both
+    // endpoints contractible on their holder.
+    comm.charge_local(g.edges.len() as u64);
+    let internal = g
+        .edges
+        .iter()
+        .filter(|e| is_contractible(e.u).is_some() && is_contractible(e.v).is_some())
+        .count() as u64;
+    let internal_global = comm.allreduce_sum(internal);
+    let applied = cfg.preprocessing
+        && g.m_global > 0
+        && (internal_global as f64) >= PREPROCESS_MIN_LOCAL_FRACTION * g.m_global as f64;
+    if !applied {
+        return PreprocessOutcome {
+            edges: g.edges.clone(),
+            labels: FxHashMap::default(),
+            applied: false,
+            mst_edge_ids: Vec::new(),
+        };
+    }
+
+    // Iterated local Borůvka over the contractible subgraph: per round,
+    // each active component's minimum incident edge (over the *full*
+    // local adjacency of its members) either merges two contractible
+    // components — emitting an MST edge — or freezes the component.
+    let mut uf = UnionFind::new(verts.len());
+    let mut active: Vec<bool> = contractible.clone();
+    let mut mst_edge_ids: Vec<u64> = Vec::new();
+    loop {
+        comm.charge_local(g.edges.len() as u64);
+        // Component minimum over active components.
+        let mut best: FxHashMap<u32, CEdge> = FxHashMap::default();
+        for e in &g.edges {
+            if e.is_self_loop() {
+                continue;
+            }
+            let Some(iu) = is_contractible(e.u) else {
+                continue;
+            };
+            let cu = uf.find(iu);
+            if !active[cu as usize] {
+                continue;
+            }
+            // Skip intra-component edges.
+            if let Some(iv) = is_contractible(e.v) {
+                if uf.find(iv) == cu {
+                    continue;
+                }
+            }
+            let slot = best.entry(cu).or_insert(*e);
+            if (e.weight_key(), e.id) < (slot.weight_key(), slot.id) {
+                *slot = *e;
+            }
+        }
+        let mut merged = false;
+        for (cu, e) in best {
+            match is_contractible(e.v) {
+                Some(iv) => {
+                    // The mutual-minimum 2-cycle shares one undirected
+                    // edge; the second union returns false and must not
+                    // re-emit it.
+                    if uf.union(cu, iv) {
+                        mst_edge_ids.push(e.id);
+                        merged = true;
+                    }
+                }
+                None => {
+                    // Minimum edge leaves the contractible set: freeze.
+                    active[uf.find(cu) as usize] = false;
+                }
+            }
+        }
+        // Re-anchor activity on current roots (merging may have moved
+        // the root identity).
+        let mut next_active = vec![false; verts.len()];
+        for i in 0..verts.len() as u32 {
+            if contractible[i as usize] && active[i as usize] {
+                let r = uf.find(i);
+                if active[r as usize] {
+                    next_active[r as usize] = true;
+                }
+            }
+        }
+        active = next_active;
+        if !merged {
+            break;
+        }
+    }
+
+    // Representative per component: the minimum member vertex id.
+    let mut rep: Vec<VertexId> = vec![VertexId::MAX; verts.len()];
+    for (i, &v) in verts.iter().enumerate() {
+        if contractible[i] {
+            let r = uf.find(i as u32) as usize;
+            rep[r] = rep[r].min(v);
+        }
+    }
+    let mut labels: FxHashMap<VertexId, VertexId> = FxHashMap::default();
+    for (i, &v) in verts.iter().enumerate() {
+        if contractible[i] {
+            labels.insert(v, rep[uf.find(i as u32) as usize]);
+        }
+    }
+
+    // Drop intra-component edges (they would become self-loops).
+    comm.charge_local(g.edges.len() as u64);
+    let edges: Vec<CEdge> = g
+        .edges
+        .iter()
+        .filter(|e| match (is_contractible(e.u), is_contractible(e.v)) {
+            (Some(iu), Some(iv)) => uf.find(iu) != uf.find(iv),
+            _ => true,
+        })
+        .copied()
+        .collect();
+
+    PreprocessOutcome {
+        edges,
+        labels,
+        applied: true,
+        mst_edge_ids,
+    }
+}
+
+// ---------------------------------------------------------------------
+// replicated base case
+// ---------------------------------------------------------------------
+
+/// Kruskal over a replicated edge list, by the unique-weight total order
+/// with ids as the final tie-break. Returns the chosen edge ids —
+/// identical on every PE.
+fn kruskal_ids(all: &[CEdge]) -> Vec<u64> {
+    let (ids, _) = kruskal_ids_and_labels(all);
+    ids
+}
+
+/// As [`kruskal_ids`], additionally returning the component label (the
+/// minimum member vertex id) of every vertex present in `all`.
+fn kruskal_ids_and_labels(all: &[CEdge]) -> (Vec<u64>, FxHashMap<VertexId, VertexId>) {
+    let mut vidx: FxHashMap<VertexId, u32> = FxHashMap::default();
+    let mut verts: Vec<VertexId> = Vec::new();
+    for e in all {
+        for v in [e.u, e.v] {
+            vidx.entry(v).or_insert_with(|| {
+                verts.push(v);
+                (verts.len() - 1) as u32
+            });
+        }
+    }
+    let mut order: Vec<&CEdge> = all.iter().filter(|e| !e.is_self_loop()).collect();
+    order.sort_unstable_by_key(|e| (e.weight_key(), e.id));
+    let mut uf = UnionFind::new(verts.len());
+    let mut ids = Vec::new();
+    for e in order {
+        if uf.union(vidx[&e.u], vidx[&e.v]) {
+            ids.push(e.id);
+        }
+    }
+    let mut rep: Vec<VertexId> = vec![VertexId::MAX; verts.len()];
+    for (i, &v) in verts.iter().enumerate() {
+        let r = uf.find(i as u32) as usize;
+        rep[r] = rep[r].min(v);
+    }
+    let labels = verts
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (v, rep[uf.find(i as u32) as usize]))
+        .collect();
+    (ids, labels)
+}
+
+/// Local keep-lightest-per-pair prefilter used before replicating a base
+/// case — identical duplicates and parallel copies never travel.
+fn prefilter_pairs(comm: &Comm, edges: &[CEdge]) -> Vec<CEdge> {
+    comm.charge_local(edges.len() as u64);
+    let mut best: FxHashMap<(VertexId, VertexId), CEdge> = FxHashMap::default();
+    for e in edges {
+        if e.is_self_loop() {
+            continue;
+        }
+        let slot = best.entry((e.u, e.v)).or_insert(*e);
+        if (e.w, e.id) < (slot.w, slot.id) {
+            *slot = *e;
+        }
+    }
+    let mut out: Vec<CEdge> = best.into_values().collect();
+    out.sort_unstable();
+    out
+}
+
+/// The base case (Sec. IV-D stand-in): gather the prefiltered remaining
+/// edges at rank 0 and solve sequentially there. Only the root receives
+/// ids — it is also the PE that claims them for `REDISTRIBUTE MST`, so
+/// nothing needs to be broadcast back. Collective.
+fn rooted_base_case(comm: &Comm, edges: &[CEdge]) -> Vec<u64> {
+    let mine = prefilter_pairs(comm, edges);
+    match comm.gatherv(0, mine) {
+        Some(all) => {
+            comm.charge_local(2 * all.len() as u64);
+            kruskal_ids(&all)
+        }
+        None => Vec::new(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Algorithm 1: distributed Borůvka
+// ---------------------------------------------------------------------
+
+/// The scalable distributed Borůvka algorithm (Algorithm 1): optional
+/// local preprocessing, then contraction rounds until the replicated base
+/// case, then `REDISTRIBUTE MST` to map edge ids back to original edges.
+/// Collective; returns this PE's share of the MSF.
+pub fn boruvka_mst(comm: &Comm, input: &InputGraph, cfg: &MstConfig) -> MstResult {
+    let mut ph = Phased::new(comm);
+    let p = comm.size();
+    let mut g = input.graph.clone();
+    let mut msf_ids: Vec<u64> = Vec::new();
+
+    if cfg.preprocessing {
+        let pre = ph.measure(Phase::LocalPreprocessing, |c| local_contract(c, &g, cfg));
+        if pre.applied {
+            msf_ids.extend(&pre.mst_edge_ids);
+            let labels = pre.labels;
+            let label_of = |v: VertexId| labels.get(&v).copied().unwrap_or(v);
+            let (ghost, relabeled) = ph.measure(Phase::ExchangeLabelsRelabel, |c| {
+                let ghost = exchange_labels(c, &g, label_of);
+                let relabeled = relabel(c, &g, pre.edges, label_of, &ghost);
+                (ghost, relabeled)
+            });
+            drop(ghost);
+            g = ph.measure(Phase::Redistribute, |c| redistribute(c, relabeled, cfg));
+        }
+    }
+
+    while g.n_global > cfg.base_threshold(p) && g.m_global > 0 {
+        let sels = ph.measure(Phase::GraphSetupMinEdges, |c| min_edges(c, &g));
+        let outcome = ph.measure(Phase::ContractComponents, |c| {
+            contract_components(c, &g, &sels)
+        });
+        msf_ids.extend(&outcome.mst_edge_ids);
+        let labels = outcome.labels;
+        let label_of = |v: VertexId| labels.get(&v).copied().unwrap_or(v);
+        let relabeled = ph.measure(Phase::ExchangeLabelsRelabel, |c| {
+            let ghost = exchange_labels(c, &g, label_of);
+            // `g` is rebuilt below; move the edges out instead of cloning
+            // O(m) per round.
+            let edges = std::mem::take(&mut g.edges);
+            relabel(c, &g, edges, label_of, &ghost)
+        });
+        g = ph.measure(Phase::Redistribute, |c| redistribute(c, relabeled, cfg));
+    }
+
+    let edges = ph.measure(Phase::BaseCaseRedistributeMst, |c| {
+        // Non-root PEs receive no ids from the rooted base case.
+        msf_ids.extend(rooted_base_case(c, &g.edges));
+        input.redistribute_mst(c, std::mem::take(&mut msf_ids))
+    });
+    MstResult {
+        edges,
+        phases: ph.times,
+    }
+}
+
+// ---------------------------------------------------------------------
+// the block-distributed representative array (Sec. V)
+// ---------------------------------------------------------------------
+
+/// A block-distributed array over a dense id space `[0, n)`, holding one
+/// `u64` per id — the representative/parent arrays of Filter-Borůvka's
+/// distributed filtering and of the sparse-matrix baseline. PE `i` owns
+/// the contiguous block `[i·n/p, (i+1)·n/p)`; entries start as the
+/// identity.
+#[derive(Clone, Debug)]
+pub struct DistArray {
+    values: Vec<u64>,
+    lo: u64,
+    n: u64,
+    p: usize,
+}
+
+impl DistArray {
+    /// Create the identity array over `[0, n)`. Collective only in the
+    /// sense that every PE must construct it with the same `n`.
+    pub fn new(comm: &Comm, n: u64) -> Self {
+        let p = comm.size();
+        let rank = comm.rank();
+        let lo = Self::block_start(n, p, rank);
+        let hi = Self::block_start(n, p, rank + 1);
+        Self {
+            values: (lo..hi).collect(),
+            lo,
+            n,
+            p,
+        }
+    }
+
+    fn block_start(n: u64, p: usize, i: usize) -> u64 {
+        (i as u64).saturating_mul(n) / p as u64
+    }
+
+    /// Owning PE of index `id`.
+    pub fn home(&self, id: u64) -> usize {
+        debug_assert!(id < self.n);
+        let mut dest = ((id as u128 * self.p as u128) / self.n.max(1) as u128) as usize;
+        dest = dest.min(self.p - 1);
+        while dest > 0 && id < Self::block_start(self.n, self.p, dest) {
+            dest -= 1;
+        }
+        while dest + 1 < self.p && id >= Self::block_start(self.n, self.p, dest + 1) {
+            dest += 1;
+        }
+        dest
+    }
+
+    /// Number of entries this PE owns.
+    pub fn local_len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Fetch `a[id]` for every queried id (duplicates welcome); returns
+    /// an id → value map. Collective.
+    pub fn bulk_get(&self, comm: &Comm, mut ids: Vec<u64>) -> FxHashMap<u64, u64> {
+        ids.sort_unstable();
+        ids.dedup();
+        comm.charge_local(ids.len() as u64);
+        let rank = comm.rank() as u32;
+        let requests: Vec<(usize, (u32, u64))> =
+            ids.iter().map(|&id| (self.home(id), (rank, id))).collect();
+        let incoming = route(comm, requests);
+        comm.charge_local(incoming.len() as u64);
+        let replies: Vec<(usize, (u64, u64))> = incoming
+            .into_iter()
+            .map(|(src, id)| (src as usize, (id, self.values[(id - self.lo) as usize])))
+            .collect();
+        route(comm, replies).into_iter().collect()
+    }
+
+    /// Write `a[id] = value` for every pair (last writer per id wins
+    /// deterministically by sender rank, then submission order).
+    /// Collective.
+    pub fn bulk_set(&mut self, comm: &Comm, updates: Vec<(u64, u64)>) {
+        comm.charge_local(updates.len() as u64);
+        let routed: Vec<(usize, (u64, u64))> = updates
+            .into_iter()
+            .map(|(id, val)| (self.home(id), (id, val)))
+            .collect();
+        for (id, val) in route(comm, routed) {
+            self.values[(id - self.lo) as usize] = val;
+        }
+    }
+
+    /// Shortcut the array to its roots by pointer doubling: repeatedly
+    /// replace every entry by the entry it points at, until the global
+    /// fixpoint. Requires the pointer graph to be a forest with self-loop
+    /// roots. Collective.
+    pub fn compress(&mut self, comm: &Comm) {
+        loop {
+            let targets: Vec<u64> = self
+                .values
+                .iter()
+                .enumerate()
+                .filter(|&(i, &v)| v != self.lo + i as u64)
+                .map(|(_, &v)| v)
+                .collect();
+            let hop = self.bulk_get(comm, targets);
+            let mut changed = 0u64;
+            comm.charge_local(self.values.len() as u64);
+            for v in self.values.iter_mut() {
+                if let Some(&nv) = hop.get(v) {
+                    if nv != *v {
+                        *v = nv;
+                        changed += 1;
+                    }
+                }
+            }
+            if comm.allreduce_sum(changed) == 0 {
+                break;
+            }
+        }
+    }
+
+    /// Apply a replicated relabeling to the owned block: every stored
+    /// value present in `map` is replaced. Local (the map is already
+    /// replicated).
+    pub fn apply_map(&mut self, comm: &Comm, map: &FxHashMap<u64, u64>) {
+        comm.charge_local(self.values.len() as u64);
+        for v in self.values.iter_mut() {
+            if let Some(&nv) = map.get(v) {
+                *v = nv;
+            }
+        }
+    }
+
+    /// Absorb a relabeling held only at rank 0: every PE queries the root
+    /// for its distinct stored values and rewrites matches — far cheaper
+    /// than replicating the map when blocks are small relative to the
+    /// graph. Collective.
+    pub fn absorb_from_root(&mut self, comm: &Comm, map: Option<FxHashMap<u64, u64>>) {
+        let mut vals: Vec<u64> = self.values.clone();
+        vals.sort_unstable();
+        vals.dedup();
+        comm.charge_local(vals.len() as u64);
+        let rank = comm.rank() as u32;
+        let requests: Vec<(usize, (u32, u64))> = vals.into_iter().map(|v| (0, (rank, v))).collect();
+        let incoming = route(comm, requests);
+        let map = map.unwrap_or_default();
+        comm.charge_local(incoming.len() as u64);
+        let replies: Vec<(usize, (u64, u64))> = incoming
+            .into_iter()
+            .map(|(src, v)| (src as usize, (v, map.get(&v).copied().unwrap_or(v))))
+            .collect();
+        let resolved: FxHashMap<u64, u64> = route(comm, replies).into_iter().collect();
+        for v in self.values.iter_mut() {
+            if let Some(&nv) = resolved.get(v) {
+                *v = nv;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Algorithm 2: Filter-Borůvka
+// ---------------------------------------------------------------------
+
+type WeightKey = (Weight, VertexId, VertexId);
+
+/// Deterministic sample-median pivot over the unique-weight keys.
+fn sample_pivot(comm: &Comm, edges: &[CEdge]) -> WeightKey {
+    const SAMPLES_PER_PE: usize = 24;
+    let mut sample: Vec<WeightKey> = Vec::with_capacity(SAMPLES_PER_PE);
+    if !edges.is_empty() {
+        let stride = (edges.len() / SAMPLES_PER_PE).max(1);
+        sample.extend(
+            edges
+                .iter()
+                .step_by(stride)
+                .take(SAMPLES_PER_PE)
+                .map(|e| e.weight_key()),
+        );
+    }
+    let mut all = comm.allgatherv(sample);
+    all.sort_unstable();
+    all[all.len() / 2]
+}
+
+/// Recursion state threaded through [`filter_mst`].
+struct FilterCtx<'a> {
+    cfg: &'a MstConfig,
+    stats: FilterStats,
+    msf_ids: Vec<u64>,
+}
+
+/// Base case: relabel through the representative array, replicate, solve
+/// sequentially, absorb the new components back into the array.
+fn filter_base_case(comm: &Comm, edges: Vec<CEdge>, reps: &mut DistArray, ctx: &mut FilterCtx) {
+    let mut endpoints: Vec<u64> = Vec::with_capacity(edges.len() * 2);
+    for e in &edges {
+        endpoints.push(e.u);
+        endpoints.push(e.v);
+    }
+    let rep_of = reps.bulk_get(comm, endpoints);
+    comm.charge_local(edges.len() as u64);
+    let relabeled: Vec<CEdge> = edges
+        .into_iter()
+        .filter_map(|mut e| {
+            e.u = *rep_of.get(&e.u).unwrap_or(&e.u);
+            e.v = *rep_of.get(&e.v).unwrap_or(&e.v);
+            (e.u != e.v).then_some(e)
+        })
+        .collect();
+    let kept = comm.allreduce_sum(relabeled.len() as u64);
+    ctx.stats.base_case_calls += 1;
+    ctx.stats.base_case_edges += kept;
+    let mine = prefilter_pairs(comm, &relabeled);
+    let labels_at_root = comm.gatherv(0, mine).map(|all| {
+        comm.charge_local(2 * all.len() as u64);
+        let (ids, labels) = kruskal_ids_and_labels(&all);
+        ctx.msf_ids.extend(ids);
+        labels
+    });
+    reps.absorb_from_root(comm, labels_at_root);
+}
+
+/// Quicksort-style recursion of Algorithm 2: partition by a sampled
+/// pivot, recurse light-first, filter the heavy side through the
+/// representative array, recurse on the survivors. All branch decisions
+/// are allreduced, keeping every PE in lockstep.
+fn filter_rec(
+    comm: &Comm,
+    ph: &mut Phased<'_>,
+    edges: Vec<CEdge>,
+    reps: &mut DistArray,
+    ctx: &mut FilterCtx,
+    depth: u32,
+) {
+    let p = comm.size();
+    let m = comm.allreduce_sum(edges.len() as u64);
+    if m == 0 {
+        return;
+    }
+    if m <= ctx.cfg.filter_min_edges_per_pe.saturating_mul(p as u64) || depth >= 60 {
+        ph_base(ph, edges, reps, ctx);
+        return;
+    }
+    ctx.stats.partition_steps += 1;
+    let (light, heavy) = ph.measure(Phase::PartitionFilter, |c| {
+        let pivot = sample_pivot(c, &edges);
+        c.charge_local(edges.len() as u64);
+        let mut light = Vec::new();
+        let mut heavy = Vec::new();
+        for e in edges {
+            if e.weight_key() <= pivot {
+                light.push(e);
+            } else {
+                heavy.push(e);
+            }
+        }
+        (light, heavy)
+    });
+    let m_light = comm.allreduce_sum(light.len() as u64);
+    if m_light == m {
+        // Degenerate split (all keys equal): the base case dedups it away.
+        ph_base(ph, light, reps, ctx);
+        return;
+    }
+    filter_rec(comm, ph, light, reps, ctx, depth + 1);
+
+    // Filter: a heavy edge whose endpoints already share a representative
+    // is spanned by lighter edges and can never join the MSF.
+    let (survivors, dropped) = ph.measure(Phase::PartitionFilter, |c| {
+        let mut endpoints: Vec<u64> = Vec::with_capacity(heavy.len() * 2);
+        for e in &heavy {
+            endpoints.push(e.u);
+            endpoints.push(e.v);
+        }
+        let rep_of = reps.bulk_get(c, endpoints);
+        c.charge_local(heavy.len() as u64);
+        let before = heavy.len() as u64;
+        let survivors: Vec<CEdge> = heavy
+            .into_iter()
+            .filter(|e| rep_of.get(&e.u).unwrap_or(&e.u) != rep_of.get(&e.v).unwrap_or(&e.v))
+            .collect();
+        let dropped = before - survivors.len() as u64;
+        (survivors, dropped)
+    });
+    ctx.stats.filtered_edges += comm.allreduce_sum(dropped);
+    filter_rec(comm, ph, survivors, reps, ctx, depth + 1);
+}
+
+fn ph_base(ph: &mut Phased<'_>, edges: Vec<CEdge>, reps: &mut DistArray, ctx: &mut FilterCtx) {
+    ph.measure(Phase::BaseCaseRedistributeMst, |c| {
+        filter_base_case(c, edges, reps, ctx)
+    });
+}
+
+/// The Filter-Borůvka algorithm (Algorithm 2): Filter-Kruskal-style
+/// weight partitioning with distributed filtering through the
+/// block-distributed representative array. Collective; returns this PE's
+/// share of the MSF plus the Theorem 1 statistics (identical on all PEs).
+pub fn filter_mst(comm: &Comm, input: &InputGraph, cfg: &MstConfig) -> (MstResult, FilterStats) {
+    let mut ph = Phased::new(comm);
+    let local_max = input
+        .graph
+        .edges
+        .iter()
+        .map(|e| e.u.max(e.v))
+        .max()
+        .unwrap_or(0);
+    let n_ids = comm.allreduce_max(local_max) + 1;
+    let mut reps = DistArray::new(comm, n_ids);
+    let mut ctx = FilterCtx {
+        cfg,
+        stats: FilterStats::default(),
+        msf_ids: Vec::new(),
+    };
+    filter_rec(
+        comm,
+        &mut ph,
+        input.graph.edges.clone(),
+        &mut reps,
+        &mut ctx,
+        0,
+    );
+    let ids = std::mem::take(&mut ctx.msf_ids);
+    let edges = ph.measure(Phase::BaseCaseRedistributeMst, |c| {
+        input.redistribute_mst(c, ids)
+    });
+    (
+        MstResult {
+            edges,
+            phases: ph.times,
+        },
+        ctx.stats,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kamsta_comm::{Machine, MachineConfig};
+    use kamsta_graph::{GraphConfig, WEdge};
+
+    #[test]
+    fn mst_config_defaults_and_threshold() {
+        let cfg = MstConfig::default();
+        assert!(cfg.preprocessing);
+        assert_eq!(cfg.dedup, DedupStrategy::HashFilter);
+        assert_eq!(cfg.base_threshold(4), 4 * cfg.base_case_constant);
+        assert!(!cfg.without_preprocessing().preprocessing);
+    }
+
+    #[test]
+    fn dist_array_blocks_cover_space() {
+        let out = Machine::run(MachineConfig::new(5), |comm| {
+            let a = DistArray::new(comm, 23);
+            let homes: Vec<usize> = (0..23).map(|i| a.home(i)).collect();
+            (a.local_len(), homes)
+        });
+        let total: usize = out.results.iter().map(|(l, _)| l).sum();
+        assert_eq!(total, 23);
+        // All PEs agree on the home function, and it is monotone.
+        let homes = &out.results[0].1;
+        for r in &out.results {
+            assert_eq!(&r.1, homes);
+        }
+        assert!(homes.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn dist_array_get_set_compress() {
+        let out = Machine::run(MachineConfig::new(3), |comm| {
+            let mut a = DistArray::new(comm, 10);
+            // Build the chain 9 → 8 → … → 1 → 0 collaboratively.
+            let updates: Vec<(u64, u64)> = if comm.rank() == 0 {
+                (1..10).map(|i| (i, i - 1)).collect()
+            } else {
+                Vec::new()
+            };
+            a.bulk_set(comm, updates);
+            a.compress(comm);
+            let got = a.bulk_get(comm, (0..10).collect());
+            (0..10).map(|i| got[&i]).collect::<Vec<u64>>()
+        });
+        for r in out.results {
+            assert_eq!(r, vec![0; 10]);
+        }
+    }
+
+    #[test]
+    fn kruskal_ids_pick_the_light_triangle() {
+        let all = vec![
+            CEdge::new(0, 1, 5, 10),
+            CEdge::new(1, 2, 1, 11),
+            CEdge::new(0, 2, 2, 12),
+        ];
+        let (ids, labels) = kruskal_ids_and_labels(&all);
+        assert_eq!(ids, vec![11, 12]);
+        assert_eq!(labels[&0], 0);
+        assert_eq!(labels[&1], 0);
+        assert_eq!(labels[&2], 0);
+    }
+
+    #[test]
+    fn redistribute_dedups_across_boundaries() {
+        // Many duplicate copies of few pairs, scattered over PEs.
+        let out = Machine::run(MachineConfig::new(4), |comm| {
+            let r = comm.rank() as u64;
+            let mut edges = Vec::new();
+            for k in 0..50u64 {
+                edges.push(CEdge::new(0, 1, (k % 7 + 1) as u32, r * 100 + k));
+                edges.push(CEdge::new(1, 0, (k % 7 + 1) as u32, r * 100 + 50 + k));
+            }
+            edges.sort_unstable();
+            let g = redistribute(comm, edges, &MstConfig::default());
+            (g.m_global, g.edges.clone())
+        });
+        assert_eq!(out.results[0].0, 2, "one surviving copy per direction");
+        let all: Vec<CEdge> = out.results.iter().flat_map(|(_, e)| e.clone()).collect();
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0].w, all[1].w, "surviving weights symmetric");
+    }
+
+    #[test]
+    fn boruvka_and_filter_agree_on_gnm() {
+        let out = Machine::run(MachineConfig::new(4), |comm| {
+            let input = InputGraph::generate(comm, GraphConfig::Gnm { n: 120, m: 900 }, 13);
+            let cfg = MstConfig {
+                base_case_constant: 8,
+                filter_min_edges_per_pe: 32,
+                ..MstConfig::default()
+            };
+            let all: Vec<WEdge> = input.graph.edges.iter().map(|e| e.wedge()).collect();
+            let b = boruvka_mst(comm, &input, &cfg);
+            let (f, stats) = filter_mst(comm, &input, &cfg);
+            assert!(stats.base_case_calls > 0);
+            (
+                all,
+                b.edges.iter().map(|e| e.wedge()).collect::<Vec<_>>(),
+                f.edges.iter().map(|e| e.wedge()).collect::<Vec<_>>(),
+            )
+        });
+        let graph: Vec<WEdge> = out.results.iter().flat_map(|(g, _, _)| g.clone()).collect();
+        let msf_b: Vec<WEdge> = out.results.iter().flat_map(|(_, b, _)| b.clone()).collect();
+        let msf_f: Vec<WEdge> = out.results.iter().flat_map(|(_, _, f)| f.clone()).collect();
+        crate::verify_msf(&graph, &msf_b).unwrap();
+        crate::verify_msf(&graph, &msf_f).unwrap();
+    }
+}

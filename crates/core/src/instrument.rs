@@ -146,10 +146,7 @@ mod tests {
         for t in out.results {
             assert!(t.modeled[Phase::Redistribute.index()] > 0.0);
             assert!(t.modeled[Phase::Misc.index()] > 0.0);
-            assert!(
-                t.modeled[Phase::Redistribute.index()]
-                    > t.modeled[Phase::Misc.index()]
-            );
+            assert!(t.modeled[Phase::Redistribute.index()] > t.modeled[Phase::Misc.index()]);
             let norm = t.normalized();
             assert!((norm.iter().sum::<f64>() - 1.0).abs() < 1e-9);
         }

@@ -34,9 +34,7 @@ pub fn boruvka(edges: &[WEdge]) -> Vec<WEdge> {
             any = true;
             for c in [cu, cv] {
                 let cur = best[c as usize];
-                if cur == u32::MAX
-                    || e.weight_key() < edges[cur as usize].weight_key()
-                {
+                if cur == u32::MAX || e.weight_key() < edges[cur as usize].weight_key() {
                     best[c as usize] = k as u32;
                 }
             }
@@ -82,10 +80,7 @@ mod tests {
     fn symmetric_directed_input() {
         let und = random_connected_graph(50, 80, 9);
         let sym = symmetric(&und);
-        assert_eq!(
-            msf_weight(&boruvka(&sym)),
-            msf_weight(&kruskal(&und))
-        );
+        assert_eq!(msf_weight(&boruvka(&sym)), msf_weight(&kruskal(&und)));
     }
 
     #[test]

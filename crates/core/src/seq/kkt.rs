@@ -38,13 +38,7 @@ pub fn kkt(edges: &[WEdge], seed: u64) -> Vec<WEdge> {
 /// Below this many edges plain Borůvka finishes the job.
 const BASE_CASE: usize = 32;
 
-fn rec(
-    mut work: Vec<(u32, u32, WEdge)>,
-    n: u32,
-    seed: u64,
-    depth: u32,
-    msf: &mut Vec<WEdge>,
-) {
+fn rec(mut work: Vec<(u32, u32, WEdge)>, n: u32, seed: u64, depth: u32, msf: &mut Vec<WEdge>) {
     if work.is_empty() {
         return;
     }
@@ -87,11 +81,7 @@ fn rec(
 
 /// MSF of the sample over dense-endpoint edges (the forest `F` used for
 /// filtering; Kruskal is affordable because the sample halves per level).
-fn sample_forest(
-    work: Vec<(u32, u32, WEdge)>,
-    n: u32,
-    out: &mut Vec<(u32, u32, WEdge)>,
-) {
+fn sample_forest(work: Vec<(u32, u32, WEdge)>, n: u32, out: &mut Vec<(u32, u32, WEdge)>) {
     let mut order = work;
     order.sort_unstable_by_key(|(_, _, e)| e.weight_key());
     let mut uf = UnionFind::new(n as usize);
@@ -154,8 +144,8 @@ type WKey = (u32, u64, u64);
 /// `O(log n)` after `O(n log n)` preprocessing. Weight keys are the
 /// unique-weight order, so comparisons are exact.
 struct PathMaxForest {
-    parent: Vec<Vec<u32>>,  // parent[k][v]: 2^k-th ancestor
-    maxw: Vec<Vec<WKey>>,   // max weight key on that jump
+    parent: Vec<Vec<u32>>, // parent[k][v]: 2^k-th ancestor
+    maxw: Vec<Vec<WKey>>,  // max weight key on that jump
     depth: Vec<u32>,
     component: Vec<u32>,
     levels: usize,
@@ -292,10 +282,7 @@ mod tests {
     #[test]
     fn dense_graph() {
         let edges = random_connected_graph(80, 5000, 9);
-        assert_eq!(
-            msf_weight(&kkt(&edges, 7)),
-            msf_weight(&kruskal(&edges))
-        );
+        assert_eq!(msf_weight(&kkt(&edges, 7)), msf_weight(&kruskal(&edges)));
     }
 
     #[test]

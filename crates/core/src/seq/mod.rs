@@ -58,13 +58,7 @@ pub fn msf_weight(edges: &[WEdge]) -> u64 {
 pub fn canonical_msf(edges: &[WEdge]) -> Vec<WEdge> {
     let mut out: Vec<WEdge> = edges
         .iter()
-        .map(|e| {
-            if e.u <= e.v {
-                *e
-            } else {
-                e.reversed()
-            }
-        })
+        .map(|e| if e.u <= e.v { *e } else { e.reversed() })
         .collect();
     out.sort_unstable();
     out.dedup();
@@ -135,7 +129,11 @@ mod tests {
 
     #[test]
     fn canonicalisation_merges_directions() {
-        let msf = vec![WEdge::new(2, 1, 5), WEdge::new(1, 2, 5), WEdge::new(0, 1, 3)];
+        let msf = vec![
+            WEdge::new(2, 1, 5),
+            WEdge::new(1, 2, 5),
+            WEdge::new(0, 1, 3),
+        ];
         let c = canonical_msf(&msf);
         assert_eq!(c, vec![WEdge::new(0, 1, 3), WEdge::new(1, 2, 5)]);
         assert_eq!(msf_weight(&c), 8);

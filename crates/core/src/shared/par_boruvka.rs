@@ -40,9 +40,7 @@ pub fn par_boruvka(edges: &[WEdge]) -> Vec<WEdge> {
 
         // 2. Hook: parent = other endpoint of the chosen edge; resolve
         //    2-cycles by keeping the smaller endpoint as root.
-        let parent: Vec<AtomicU64> = (0..n)
-            .map(|v| AtomicU64::new(v as u64))
-            .collect();
+        let parent: Vec<AtomicU64> = (0..n).map(|v| AtomicU64::new(v as u64)).collect();
         (0..n).into_par_iter().for_each(|v| {
             let b = best[v].load();
             if b == EMPTY {
@@ -128,10 +126,7 @@ mod tests {
     fn symmetric_directed_input() {
         let und = random_connected_graph(64, 100, 11);
         let sym = symmetric(&und);
-        assert_eq!(
-            msf_weight(&par_boruvka(&sym)),
-            msf_weight(&kruskal(&und))
-        );
+        assert_eq!(msf_weight(&par_boruvka(&sym)), msf_weight(&kruskal(&und)));
     }
 
     #[test]

@@ -78,8 +78,7 @@ fn star_graph_shared_hub_across_pes() {
 
 #[test]
 fn double_star_two_hubs() {
-    let mut pairs: Vec<(u64, u64, u32)> =
-        (1..=20).map(|k| (0, k, (k % 7 + 1) as u32)).collect();
+    let mut pairs: Vec<(u64, u64, u32)> = (1..=20).map(|k| (0, k, (k % 7 + 1) as u32)).collect();
     pairs.extend((1..=20).map(|k| (100, 100 + k, (k % 5 + 1) as u32)));
     pairs.push((0, 100, 200));
     check(4, sym(&pairs));
@@ -150,8 +149,7 @@ fn duplicate_edges_straddling_pe_boundary() {
         simple.dedup();
         let for_run = edges.clone();
         let out = Machine::run(MachineConfig::new(p), move |comm| {
-            let slice =
-                distribute_from_root(comm, (comm.rank() == 0).then(|| for_run.clone()));
+            let slice = distribute_from_root(comm, (comm.rank() == 0).then(|| for_run.clone()));
             let input = InputGraph::from_sorted_edges(comm, slice);
             let b = boruvka_mst(comm, &input, &cfg());
             let (f, _) = filter_mst(comm, &input, &cfg());

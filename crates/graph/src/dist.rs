@@ -166,8 +166,7 @@ impl DistGraph {
     pub fn is_local_vertex(&self, v: VertexId) -> bool {
         self.edges
             .binary_search_by(|e| {
-                e.u.cmp(&v)
-                    .then(std::cmp::Ordering::Greater) // find any edge with src == v
+                e.u.cmp(&v).then(std::cmp::Ordering::Greater) // find any edge with src == v
             })
             .err()
             .map(|pos| pos < self.edges.len() && self.edges[pos].u == v)
@@ -309,8 +308,7 @@ mod tests {
                 g.owned_vertex_count(),
             )
         });
-        for (rank, (n, m, first_shared, last_shared, owned)) in
-            out.results.into_iter().enumerate()
+        for (rank, (n, m, first_shared, last_shared, owned)) in out.results.into_iter().enumerate()
         {
             assert_eq!(n, 5, "5 distinct vertices");
             assert_eq!(m, 8, "8 directed edges");
@@ -345,8 +343,7 @@ mod tests {
             .iter()
             .map(|e| g.home_of_edge(e))
             .collect();
-            let vertex_homes: Vec<usize> =
-                (0..5).map(|v| g.home_of_vertex(v)).collect();
+            let vertex_homes: Vec<usize> = (0..5).map(|v| g.home_of_vertex(v)).collect();
             (edge_homes, vertex_homes)
         });
         for (edge_homes, vertex_homes) in out.results {
@@ -388,10 +385,7 @@ mod tests {
     fn segments_and_local_vertices() {
         let out = Machine::run(MachineConfig::new(3), |comm| {
             let g = DistGraph::establish(comm, path_slice(comm.rank()));
-            let segs: Vec<(u64, usize)> = g
-                .vertex_segments()
-                .map(|(v, r)| (v, r.len()))
-                .collect();
+            let segs: Vec<(u64, usize)> = g.vertex_segments().map(|(v, r)| (v, r.len())).collect();
             (segs, g.local_vertices())
         });
         assert_eq!(out.results[0].0, vec![(0, 1), (1, 2)]);

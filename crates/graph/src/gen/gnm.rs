@@ -83,7 +83,11 @@ pub fn gnm(comm: &Comm, n: u64, m: u64, seed: u64) -> Vec<WEdge> {
         let rb = block_range(n, b as usize, bb as usize);
         let sa = (ra.end - ra.start) as f64;
         let sb = (rb.end - rb.start) as f64;
-        let pair_count = if a == bb { sa * (sa - 1.0) / 2.0 } else { sa * sb };
+        let pair_count = if a == bb {
+            sa * (sa - 1.0) / 2.0
+        } else {
+            sa * sb
+        };
         let lambda = mu * pair_count / total_pairs;
         let pair_seed = hash3(seed, a, bb);
         let count = poisson(lambda, pair_seed);

@@ -80,7 +80,9 @@ pub fn road_like(comm: &Comm, params: RoadParams, seed: u64) -> Vec<WEdge> {
     // without communication.
     let has_shortcut = |x: u64| -> bool {
         let (r, c) = (x / cols, x % cols);
-        r + 1 < rows && c + 1 < cols && unit_f64(sym_hash(x, x + cols + 1, short_salt)) < shortcut_prob
+        r + 1 < rows
+            && c + 1 < cols
+            && unit_f64(sym_hash(x, x + cols + 1, short_salt)) < shortcut_prob
     };
 
     let range = block_range(n, comm.size(), comm.rank());

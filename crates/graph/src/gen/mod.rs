@@ -120,12 +120,8 @@ impl GraphConfig {
             GraphConfig::Rgg2D { n, m } => rgg2d(comm, n, m, seed),
             GraphConfig::Rgg3D { n, m } => rgg3d(comm, n, m, seed),
             GraphConfig::Gnm { n, m } => gnm(comm, n, m, seed),
-            GraphConfig::Rhg { n, m, gamma } => {
-                rhg(comm, RhgParams { n, m, gamma }, seed)
-            }
-            GraphConfig::Rmat { scale, m } => {
-                rmat(comm, RmatParams::graph500(scale, m), seed)
-            }
+            GraphConfig::Rhg { n, m, gamma } => rhg(comm, RhgParams { n, m, gamma }, seed),
+            GraphConfig::Rmat { scale, m } => rmat(comm, RmatParams::graph500(scale, m), seed),
             GraphConfig::RoadLike { rows, cols } => {
                 road_like(comm, RoadParams::default_for(rows, cols), seed)
             }
@@ -220,7 +216,13 @@ mod tests {
     #[test]
     fn weak_scaling_config_sizes() {
         let c = GraphConfig::weak_scaled("GNM", 12, 15, 8);
-        assert_eq!(c, GraphConfig::Gnm { n: 8 << 12, m: 8 << 15 });
+        assert_eq!(
+            c,
+            GraphConfig::Gnm {
+                n: 8 << 12,
+                m: 8 << 15
+            }
+        );
         assert!(!c.is_local_family());
         let g = GraphConfig::weak_scaled("2D-GRID", 12, 15, 4);
         assert!(g.is_local_family());

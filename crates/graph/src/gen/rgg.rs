@@ -37,7 +37,9 @@ impl<const DIM: usize> CellGrid<DIM> {
         let radius = radius.min(0.5);
         // Cell side must be >= radius; keep total cells <= n.
         let g_max_cells = (nf.powf(1.0 / DIM as f64)).floor().max(1.0) as u64;
-        let g = ((1.0 / radius).floor().max(1.0) as u64).min(g_max_cells).max(1);
+        let g = ((1.0 / radius).floor().max(1.0) as u64)
+            .min(g_max_cells)
+            .max(1);
         let cells = g.pow(DIM as u32);
         let k = (n as f64 / cells as f64).round().max(1.0) as u64;
         Self {

@@ -219,11 +219,7 @@ pub fn rhg(comm: &Comm, params: RhgParams, seed: u64) -> Vec<WEdge> {
                                 dt = 2.0 * PI - dt;
                             }
                             if connected(p1.r, p2.r, dt, disk.cosh_big_r) {
-                                edges.push(WEdge::new(
-                                    p1.id,
-                                    p2.id,
-                                    weight_of(p1.id, p2.id, seed),
-                                ));
+                                edges.push(WEdge::new(p1.id, p2.id, weight_of(p1.id, p2.id, seed)));
                             }
                         }
                     }

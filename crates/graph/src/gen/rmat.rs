@@ -104,7 +104,10 @@ mod tests {
         let sizes: Vec<usize> = chunks.iter().map(Vec::len).collect();
         let total: usize = sizes.iter().sum();
         for s in &sizes {
-            assert!((*s as i64 - (total / 4) as i64).abs() <= 1, "balanced blocks");
+            assert!(
+                (*s as i64 - (total / 4) as i64).abs() <= 1,
+                "balanced blocks"
+            );
         }
         let all: Vec<WEdge> = chunks.into_iter().flatten().collect();
         assert!(all.windows(2).all(|w| w[0] <= w[1]), "globally sorted");
@@ -122,7 +125,10 @@ mod tests {
 
     #[test]
     fn degree_distribution_is_skewed() {
-        let all: Vec<WEdge> = generate_all(2, 10, 16_000, 7).into_iter().flatten().collect();
+        let all: Vec<WEdge> = generate_all(2, 10, 16_000, 7)
+            .into_iter()
+            .flatten()
+            .collect();
         let mut deg = std::collections::HashMap::new();
         for e in &all {
             *deg.entry(e.u).or_insert(0u64) += 1;

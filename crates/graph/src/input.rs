@@ -66,11 +66,7 @@ mod tests {
     #[test]
     fn prepares_generated_graph() {
         let out = Machine::run(MachineConfig::new(4), |comm| {
-            let input = InputGraph::generate(
-                comm,
-                GraphConfig::Grid2D { rows: 8, cols: 8 },
-                7,
-            );
+            let input = InputGraph::generate(comm, GraphConfig::Grid2D { rows: 8, cols: 8 }, 7);
             (
                 input.graph.n_global,
                 input.graph.m_global,
@@ -88,11 +84,7 @@ mod tests {
     #[test]
     fn mst_id_redistribution_roundtrip() {
         let out = Machine::run(MachineConfig::new(3), |comm| {
-            let input = InputGraph::generate(
-                comm,
-                GraphConfig::Grid2D { rows: 4, cols: 4 },
-                3,
-            );
+            let input = InputGraph::generate(comm, GraphConfig::Grid2D { rows: 4, cols: 4 }, 3);
             // Pretend some scattered ids were identified as MST edges:
             // every PE claims ids it does not own.
             let total = input.graph.m_global;

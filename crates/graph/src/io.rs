@@ -142,7 +142,10 @@ mod tests {
         });
         let flat: Vec<WEdge> = out.results.iter().flatten().copied().collect();
         assert_eq!(flat.len(), 5);
-        assert!(flat.windows(2).all(|w| w[0] <= w[1]), "sorted after distribution");
+        assert!(
+            flat.windows(2).all(|w| w[0] <= w[1]),
+            "sorted after distribution"
+        );
         let sizes: Vec<usize> = out.results.iter().map(Vec::len).collect();
         assert_eq!(sizes.iter().sum::<usize>(), 5);
         assert!(sizes.iter().all(|&s| s >= 1));

@@ -174,7 +174,17 @@ mod tests {
 
     #[test]
     fn varint_roundtrip_boundaries() {
-        let cases = [0u64, 1, 127, 128, 129, 16_383, 16_384, u32::MAX as u64, u64::MAX];
+        let cases = [
+            0u64,
+            1,
+            127,
+            128,
+            129,
+            16_383,
+            16_384,
+            u32::MAX as u64,
+            u64::MAX,
+        ];
         for &x in &cases {
             let mut buf = Vec::new();
             write_varint(&mut buf, x);

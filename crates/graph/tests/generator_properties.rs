@@ -15,7 +15,11 @@ fn families(seed: u64) -> Vec<GraphConfig> {
         GraphConfig::Rgg2D { n: 250, m: 1800 },
         GraphConfig::Rgg3D { n: 250, m: 1800 },
         GraphConfig::Gnm { n: 180, m: 1500 },
-        GraphConfig::Rhg { n: 220, m: 1700, gamma: 3.0 },
+        GraphConfig::Rhg {
+            n: 220,
+            m: 1700,
+            gamma: 3.0,
+        },
         GraphConfig::Rmat { scale: 7, m: 900 },
         GraphConfig::RoadLike { rows: 10, cols: 9 },
     ]
@@ -40,8 +44,7 @@ fn all_families_symmetric_and_loop_free() {
     for config in families(3) {
         let all = generate(4, config, 3);
         assert!(!all.is_empty(), "{config:?} generated nothing");
-        let set: HashSet<(u64, u64, u32)> =
-            all.iter().map(|e| (e.u, e.v, e.w)).collect();
+        let set: HashSet<(u64, u64, u32)> = all.iter().map(|e| (e.u, e.v, e.w)).collect();
         for e in &all {
             assert!(!e.is_self_loop(), "{config:?}: self-loop {e:?}");
             assert!(

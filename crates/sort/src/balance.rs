@@ -43,10 +43,7 @@ pub fn rebalance<T: Send + 'static>(comm: &Comm, data: Vec<T>) -> Vec<T> {
 /// Check that the distributed sequence is globally sorted (each PE locally
 /// sorted, and boundaries between consecutive non-empty PEs in order).
 /// Returns the same verdict on every PE. Collective.
-pub fn is_globally_sorted<T: Ord + Clone + Send + Sync + 'static>(
-    comm: &Comm,
-    data: &[T],
-) -> bool {
+pub fn is_globally_sorted<T: Ord + Clone + Send + Sync + 'static>(comm: &Comm, data: &[T]) -> bool {
     let locally_sorted = data.windows(2).all(|w| w[0] <= w[1]);
     let boundary: Option<(T, T)> = match (data.first(), data.last()) {
         (Some(f), Some(l)) => Some((f.clone(), l.clone())),
@@ -79,7 +76,11 @@ mod tests {
         let p = 5;
         let out = Machine::run(MachineConfig::new(p), move |comm| {
             // All data starts on PE 0, globally ordered.
-            let data: Vec<u64> = if comm.rank() == 0 { (0..103).collect() } else { vec![] };
+            let data: Vec<u64> = if comm.rank() == 0 {
+                (0..103).collect()
+            } else {
+                vec![]
+            };
             rebalance(comm, data)
         });
         let mut flat = Vec::new();

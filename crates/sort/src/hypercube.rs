@@ -127,7 +127,10 @@ where
         let received = sub
             .exchange(Some((partner, send)), Some(partner))
             .expect("hypercube partner always sends");
-        sub.charge_comm(0, sent_bytes.max(kamsta_comm::bytes_for::<T>(received.len())));
+        sub.charge_comm(
+            0,
+            sent_bytes.max(kamsta_comm::bytes_for::<T>(received.len())),
+        );
         data = keep;
         data.extend(received);
     }

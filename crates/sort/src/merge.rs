@@ -15,8 +15,7 @@ pub fn multiway_merge<T: Ord>(mut runs: Vec<Vec<T>>) -> Vec<T> {
         _ => {}
     }
     let total: usize = runs.iter().map(Vec::len).sum();
-    let mut iters: Vec<std::vec::IntoIter<T>> =
-        runs.into_iter().map(Vec::into_iter).collect();
+    let mut iters: Vec<std::vec::IntoIter<T>> = runs.into_iter().map(Vec::into_iter).collect();
     let mut heap: BinaryHeap<Reverse<(T, usize)>> = BinaryHeap::with_capacity(iters.len());
     for (k, it) in iters.iter_mut().enumerate() {
         if let Some(v) = it.next() {
@@ -53,10 +52,7 @@ mod tests {
     fn degenerate_cases() {
         assert_eq!(multiway_merge::<u8>(vec![]), Vec::<u8>::new());
         assert_eq!(multiway_merge(vec![vec![2, 9]]), vec![2, 9]);
-        assert_eq!(
-            multiway_merge(vec![vec![], vec![5], vec![]]),
-            vec![5]
-        );
+        assert_eq!(multiway_merge(vec![vec![], vec![5], vec![]]), vec![5]);
     }
 
     #[test]

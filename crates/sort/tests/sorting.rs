@@ -2,9 +2,7 @@
 //! concatenation of outputs must be the sorted multiset of all inputs.
 
 use kamsta_comm::{Machine, MachineConfig};
-use kamsta_sort::{
-    hypercube_quicksort, is_globally_sorted, rebalance, sample_sort, sort_auto,
-};
+use kamsta_sort::{hypercube_quicksort, is_globally_sorted, rebalance, sample_sort, sort_auto};
 
 /// Deterministic pseudo-random input for PE `rank`.
 fn input_for(rank: usize, n: usize, salt: u64) -> Vec<u64> {

@@ -18,7 +18,10 @@ fn main() {
 
     // 2. The distributed algorithms on a simulated 8-PE machine.
     let runner = Runner::new(8, 1);
-    let config = GraphConfig::Rgg2D { n: 20_000, m: 160_000 };
+    let config = GraphConfig::Rgg2D {
+        n: 20_000,
+        m: 160_000,
+    };
     println!("\nrandom geometric graph, ~20k vertices, ~160k directed edges, 8 PEs:");
     println!(
         "{:<18} {:>12} {:>14} {:>12} {:>14}",

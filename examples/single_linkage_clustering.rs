@@ -49,7 +49,10 @@ fn main() {
         }
     }
     edges.sort_unstable();
-    println!("{n} points, {} directed edges in the proximity graph", edges.len());
+    println!(
+        "{n} points, {} directed edges in the proximity graph",
+        edges.len()
+    );
 
     // Filter-Borůvka shines on dense inputs: most heavy edges are
     // filtered before they are ever sorted.
@@ -76,8 +79,7 @@ fn main() {
     let mut cluster_of_blob = Vec::new();
     for b in 0..3 {
         let rep = uf.find((b * POINTS_PER_BLOB) as u32);
-        let pure = (0..POINTS_PER_BLOB)
-            .all(|i| uf.find((b * POINTS_PER_BLOB + i) as u32) == rep);
+        let pure = (0..POINTS_PER_BLOB).all(|i| uf.find((b * POINTS_PER_BLOB + i) as u32) == rep);
         println!("blob {b}: representative {rep}, pure = {pure}");
         assert!(pure, "single linkage must keep each blob together");
         cluster_of_blob.push(rep);

@@ -275,14 +275,13 @@ mod tests {
 
     #[test]
     fn msf_edges_returns_verified_forest() {
-        let edges = [WEdge::new(0, 1, 3),
+        let edges = [
+            WEdge::new(0, 1, 3),
             WEdge::new(1, 2, 1),
             WEdge::new(2, 0, 2),
-            WEdge::new(2, 3, 5)];
-        let sym: Vec<WEdge> = edges
-            .iter()
-            .flat_map(|e| [*e, e.reversed()])
-            .collect();
+            WEdge::new(2, 3, 5),
+        ];
+        let sym: Vec<WEdge> = edges.iter().flat_map(|e| [*e, e.reversed()]).collect();
         let (msf, summary) = Runner::new(2, 1).msf_edges(sym.clone(), Algorithm::Boruvka);
         kamsta_core::verify_msf(&sym, &msf).unwrap();
         assert_eq!(summary.msf_weight, 1 + 2 + 5);

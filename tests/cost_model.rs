@@ -15,7 +15,10 @@ fn cfg() -> MstConfig {
 /// high-locality graphs.
 #[test]
 fn preprocessing_cuts_bytes_on_local_graphs() {
-    let config = GraphConfig::Rgg2D { n: 1 << 13, m: 1 << 17 };
+    let config = GraphConfig::Rgg2D {
+        n: 1 << 13,
+        m: 1 << 17,
+    };
     let runner = Runner::new(8, 1).with_mst_config(cfg());
     let with_prep = runner.run_generated(config, Algorithm::Boruvka, 42);
     let without = runner.run_generated(config, Algorithm::BoruvkaNoPreprocessing, 42);
@@ -33,7 +36,10 @@ fn preprocessing_cuts_bytes_on_local_graphs() {
 /// startups than the direct one at scale.
 #[test]
 fn grid_alltoall_cuts_messages() {
-    let config = GraphConfig::Gnm { n: 1 << 12, m: 1 << 15 };
+    let config = GraphConfig::Gnm {
+        n: 1 << 12,
+        m: 1 << 15,
+    };
     let direct = Runner::new(36, 1)
         .with_mst_config(cfg())
         .with_alltoall(AlltoallKind::Direct)
@@ -64,7 +70,10 @@ fn grid_alltoall_cuts_messages() {
 /// larger β used here; see EXPERIMENTS.md).
 #[test]
 fn filter_wins_on_dense_gnm() {
-    let config = GraphConfig::Gnm { n: 1 << 11, m: 1 << 17 }; // avg degree 64
+    let config = GraphConfig::Gnm {
+        n: 1 << 11,
+        m: 1 << 17,
+    }; // avg degree 64
     let volume_dominated = kamsta::CostModel {
         beta: 2e-8,
         ..kamsta::CostModel::default()
@@ -93,7 +102,10 @@ fn filter_wins_on_dense_gnm() {
 /// high-locality inputs.
 #[test]
 fn boruvka_beats_sparse_matrix_on_grids() {
-    let config = GraphConfig::Grid2D { rows: 128, cols: 128 };
+    let config = GraphConfig::Grid2D {
+        rows: 128,
+        cols: 128,
+    };
     let runner = Runner::new(16, 1).with_mst_config(cfg());
     let ours = runner.run_generated(config, Algorithm::Boruvka, 42);
     let theirs = runner.run_generated(config, Algorithm::SparseMatrix, 42);
@@ -110,13 +122,18 @@ fn boruvka_beats_sparse_matrix_on_grids() {
 /// budget (the boruvka-8 vs boruvka-1 effect of Fig. 3).
 #[test]
 fn hybrid_helps_on_local_graphs() {
-    let config = GraphConfig::Rgg2D { n: 1 << 13, m: 1 << 17 };
-    let one = Runner::new(16, 1)
-        .with_mst_config(cfg())
-        .run_generated(config, Algorithm::Boruvka, 42);
-    let eight = Runner::new(2, 8)
-        .with_mst_config(cfg())
-        .run_generated(config, Algorithm::Boruvka, 42);
+    let config = GraphConfig::Rgg2D {
+        n: 1 << 13,
+        m: 1 << 17,
+    };
+    let one =
+        Runner::new(16, 1)
+            .with_mst_config(cfg())
+            .run_generated(config, Algorithm::Boruvka, 42);
+    let eight =
+        Runner::new(2, 8)
+            .with_mst_config(cfg())
+            .run_generated(config, Algorithm::Boruvka, 42);
     assert_eq!(one.msf_weight, eight.msf_weight);
     assert!(
         eight.modeled_time < one.modeled_time,

@@ -9,7 +9,11 @@ fn families() -> Vec<GraphConfig> {
         GraphConfig::Rgg2D { n: 400, m: 3200 },
         GraphConfig::Rgg3D { n: 400, m: 3200 },
         GraphConfig::Gnm { n: 300, m: 2400 },
-        GraphConfig::Rhg { n: 300, m: 2400, gamma: 3.0 },
+        GraphConfig::Rhg {
+            n: 300,
+            m: 2400,
+            gamma: 3.0,
+        },
         GraphConfig::Rmat { scale: 8, m: 2000 },
         GraphConfig::RoadLike { rows: 16, cols: 16 },
     ]
@@ -68,7 +72,11 @@ fn results_are_independent_of_pe_count() {
 
 #[test]
 fn hybrid_threads_and_dedup_strategies_are_transparent() {
-    let config = GraphConfig::Rhg { n: 400, m: 3200, gamma: 3.0 };
+    let config = GraphConfig::Rhg {
+        n: 400,
+        m: 3200,
+        gamma: 3.0,
+    };
     let reference = Runner::new(4, 1)
         .with_mst_config(small_cfg())
         .run_generated(config, Algorithm::Boruvka, 11);
@@ -82,9 +90,10 @@ fn hybrid_threads_and_dedup_strategies_are_transparent() {
         dedup: kamsta::DedupStrategy::Sort,
         ..small_cfg()
     };
-    let sorted = Runner::new(4, 1)
-        .with_mst_config(sort_cfg)
-        .run_generated(config, Algorithm::Boruvka, 11);
+    let sorted =
+        Runner::new(4, 1)
+            .with_mst_config(sort_cfg)
+            .run_generated(config, Algorithm::Boruvka, 11);
     assert_eq!(sorted.msf_weight, reference.msf_weight);
 }
 
@@ -100,7 +109,10 @@ fn deterministic_across_repeated_runs() {
     let b = run();
     assert_eq!(a.msf_weight, b.msf_weight);
     assert_eq!(a.msf_edges, b.msf_edges);
-    assert_eq!(a.modeled_time, b.modeled_time, "modeled clock is deterministic");
+    assert_eq!(
+        a.modeled_time, b.modeled_time,
+        "modeled clock is deterministic"
+    );
     assert_eq!(a.messages, b.messages);
     assert_eq!(a.bytes, b.bytes);
 }

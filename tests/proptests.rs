@@ -8,8 +8,11 @@ use proptest::prelude::*;
 
 /// An arbitrary undirected weighted graph as (n, edge list).
 fn arb_graph() -> impl Strategy<Value = Vec<WEdge>> {
-    (2u64..60, prop::collection::vec((0u64..60, 0u64..60, 1u32..255), 1..250)).prop_map(
-        |(n, raw)| {
+    (
+        2u64..60,
+        prop::collection::vec((0u64..60, 0u64..60, 1u32..255), 1..250),
+    )
+        .prop_map(|(n, raw)| {
             let mut edges = Vec::new();
             for (u, v, w) in raw {
                 let (u, v) = (u % n, v % n);
@@ -22,11 +25,7 @@ fn arb_graph() -> impl Strategy<Value = Vec<WEdge>> {
             edges.dedup_by(|a, b| a.u == b.u && a.v == b.v);
             // Re-symmetrise after dedup kept the first weight per pair:
             // rebuild from canonical pairs so directions agree.
-            let mut canon: Vec<WEdge> = edges
-                .iter()
-                .filter(|e| e.u < e.v)
-                .copied()
-                .collect();
+            let mut canon: Vec<WEdge> = edges.iter().filter(|e| e.u < e.v).copied().collect();
             canon.dedup_by(|a, b| a.u == b.u && a.v == b.v);
             let mut out = Vec::with_capacity(canon.len() * 2);
             for e in canon {
@@ -35,8 +34,7 @@ fn arb_graph() -> impl Strategy<Value = Vec<WEdge>> {
             }
             out.sort_unstable();
             out
-        },
-    )
+        })
 }
 
 fn cfg() -> MstConfig {

@@ -1,0 +1,170 @@
+//! Offline stand-in for the subset of the `parking_lot` API this
+//! workspace uses, backed by `std::sync`. Poisoning is swallowed:
+//! `parking_lot` locks are not poisoned, and the callers rely on that
+//! (the barrier propagates PE panics itself).
+
+use std::sync::{Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdGuard};
+use std::time::Duration;
+
+/// A mutex that hands out guards without a poison `Result`.
+#[derive(Default, Debug)]
+pub struct Mutex<T: ?Sized> {
+    inner: StdMutex<T>,
+}
+
+/// RAII guard matching `parking_lot::MutexGuard`'s deref surface. The
+/// `Option` lets the condvar take the std guard out during waits without
+/// any unsafe code; it is `Some` at every API boundary.
+pub struct MutexGuard<'a, T: ?Sized> {
+    inner: Option<StdGuard<'a, T>>,
+}
+
+impl<T> Mutex<T> {
+    pub const fn new(value: T) -> Self {
+        Self {
+            inner: StdMutex::new(value),
+        }
+    }
+
+    pub fn into_inner(self) -> T {
+        match self.inner.into_inner() {
+            Ok(v) => v,
+            Err(p) => p.into_inner(),
+        }
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        let inner = match self.inner.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        MutexGuard { inner: Some(inner) }
+    }
+
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(g) => Some(MutexGuard { inner: Some(g) }),
+            Err(std::sync::TryLockError::Poisoned(p)) => Some(MutexGuard {
+                inner: Some(p.into_inner()),
+            }),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_deref().expect("guard present outside waits")
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner
+            .as_deref_mut()
+            .expect("guard present outside waits")
+    }
+}
+
+/// Result of a timed condvar wait.
+#[derive(Clone, Copy, Debug)]
+pub struct WaitTimeoutResult {
+    timed_out: bool,
+}
+
+impl WaitTimeoutResult {
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
+    }
+}
+
+/// Condition variable matching the `parking_lot::Condvar` call shapes the
+/// workspace uses (`wait`, `wait_for`, `notify_one`, `notify_all`).
+#[derive(Default, Debug)]
+pub struct Condvar {
+    inner: StdCondvar,
+}
+
+impl Condvar {
+    pub const fn new() -> Self {
+        Self {
+            inner: StdCondvar::new(),
+        }
+    }
+
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let g = guard.inner.take().expect("guard present outside waits");
+        let g = match self.inner.wait(g) {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        guard.inner = Some(g);
+    }
+
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: Duration,
+    ) -> WaitTimeoutResult {
+        let g = guard.inner.take().expect("guard present outside waits");
+        let (g, timed_out) = match self.inner.wait_timeout(g, timeout) {
+            Ok((g, t)) => (g, t.timed_out()),
+            Err(p) => {
+                let (g, t) = p.into_inner();
+                (g, t.timed_out())
+            }
+        };
+        guard.inner = Some(g);
+        WaitTimeoutResult { timed_out }
+    }
+
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn lock_roundtrip() {
+        let m = Mutex::new(5);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 6);
+    }
+
+    #[test]
+    fn try_lock_contended() {
+        let m = Mutex::new(0);
+        let g = m.lock();
+        assert!(m.try_lock().is_none());
+        drop(g);
+        assert!(m.try_lock().is_some());
+    }
+
+    #[test]
+    fn condvar_wakes() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let p2 = Arc::clone(&pair);
+        let h = std::thread::spawn(move || {
+            let (m, cv) = &*p2;
+            let mut done = m.lock();
+            while !*done {
+                cv.wait_for(&mut done, Duration::from_millis(10));
+            }
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        *pair.0.lock() = true;
+        pair.1.notify_all();
+        h.join().unwrap();
+    }
+}

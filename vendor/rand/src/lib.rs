@@ -1,0 +1,102 @@
+//! Offline stand-in for the subset of the `rand` API this workspace
+//! uses: `SmallRng`, `SeedableRng::seed_from_u64` and
+//! `Rng::gen_range(Range)`. The generator is xoshiro256++-class quality
+//! via SplitMix64 seeding of a xorshift* core — deterministic and plenty
+//! for pivot sampling.
+
+use std::ops::Range;
+
+/// Seedable generator trait (the `seed_from_u64` shape only).
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Uniform sampling helper implemented for the integer types the
+/// workspace draws.
+pub trait SampleUniform: Copy {
+    fn sample(rng: &mut impl RngCore, range: Range<Self>) -> Self;
+}
+
+/// Raw 64-bit generator core.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+}
+
+/// High-level drawing interface (the `gen_range` shape only).
+pub trait Rng: RngCore + Sized {
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        T::sample(self, range)
+    }
+}
+
+impl<R: RngCore + Sized> Rng for R {}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample(rng: &mut impl RngCore, range: Range<Self>) -> Self {
+                assert!(range.start < range.end, "empty gen_range");
+                let span = (range.end - range.start) as u128;
+                range.start + (rng.next_u64() as u128 % span) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(u8, u16, u32, u64, usize);
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Small, fast, deterministic generator (SplitMix64-seeded
+    /// xorshift64*).
+    #[derive(Clone, Debug)]
+    pub struct SmallRng {
+        state: u64,
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 scramble so nearby seeds diverge immediately.
+            let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            Self {
+                state: (z ^ (z >> 31)) | 1,
+            }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            // xorshift64* (Vigna).
+            let mut x = self.state;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.state = x;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_and_in_range() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            let x = a.gen_range(0usize..10);
+            assert_eq!(x, b.gen_range(0usize..10));
+            assert!(x < 10);
+        }
+        let mut c = SmallRng::seed_from_u64(8);
+        let va: Vec<u64> = (0..8).map(|_| a.gen_range(0u64..1_000_000)).collect();
+        let vc: Vec<u64> = (0..8).map(|_| c.gen_range(0u64..1_000_000)).collect();
+        assert_ne!(va, vc, "different seeds should diverge");
+    }
+}

@@ -1,0 +1,127 @@
+//! Offline stand-in for the subset of the `rayon` API this workspace
+//! uses. "Parallel" iterators are plain sequential `std` iterators — the
+//! simulated machine already runs one OS thread per PE, so shared-memory
+//! kernels degrade gracefully to sequential execution while keeping the
+//! exact call shapes (`par_iter`, `into_par_iter`, `par_sort_unstable`)
+//! of the real crate.
+
+pub mod prelude {
+    /// `into_par_iter()` — sequential: any `IntoIterator` qualifies.
+    pub trait IntoParallelIterator: IntoIterator + Sized {
+        fn into_par_iter(self) -> Self::IntoIter {
+            self.into_iter()
+        }
+    }
+
+    impl<I: IntoIterator> IntoParallelIterator for I {}
+
+    /// `par_iter()` — sequential borrow iteration.
+    pub trait IntoParallelRefIterator<'a> {
+        type Iter: Iterator;
+        fn par_iter(&'a self) -> Self::Iter;
+    }
+
+    impl<'a, I: 'a + ?Sized> IntoParallelRefIterator<'a> for I
+    where
+        &'a I: IntoIterator,
+    {
+        type Iter = <&'a I as IntoIterator>::IntoIter;
+        fn par_iter(&'a self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    /// `par_iter_mut()` — sequential mutable borrow iteration.
+    pub trait IntoParallelRefMutIterator<'a> {
+        type Iter: Iterator;
+        fn par_iter_mut(&'a mut self) -> Self::Iter;
+    }
+
+    impl<'a, I: 'a + ?Sized> IntoParallelRefMutIterator<'a> for I
+    where
+        &'a mut I: IntoIterator,
+    {
+        type Iter = <&'a mut I as IntoIterator>::IntoIter;
+        fn par_iter_mut(&'a mut self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    /// `par_sort_unstable` and friends on slices.
+    pub trait ParallelSliceMut<T> {
+        fn as_parallel_slice_mut(&mut self) -> &mut [T];
+
+        fn par_sort_unstable(&mut self)
+        where
+            T: Ord,
+        {
+            self.as_parallel_slice_mut().sort_unstable();
+        }
+
+        fn par_sort_unstable_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, f: F) {
+            self.as_parallel_slice_mut().sort_unstable_by_key(f);
+        }
+
+        fn par_sort_unstable_by<F: FnMut(&T, &T) -> std::cmp::Ordering>(&mut self, f: F) {
+            self.as_parallel_slice_mut().sort_unstable_by(f);
+        }
+    }
+
+    impl<T> ParallelSliceMut<T> for [T] {
+        fn as_parallel_slice_mut(&mut self) -> &mut [T] {
+            self
+        }
+    }
+}
+
+/// Sequential stand-in for `rayon::join`.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+/// Sequential stand-in for `rayon::scope`.
+pub fn scope<'scope, F, R>(f: F) -> R
+where
+    F: FnOnce(&Scope<'scope>) -> R,
+{
+    f(&Scope {
+        _marker: std::marker::PhantomData,
+    })
+}
+
+/// Scope handle whose `spawn` runs the closure immediately.
+pub struct Scope<'scope> {
+    _marker: std::marker::PhantomData<&'scope ()>,
+}
+
+impl<'scope> Scope<'scope> {
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'scope>) + 'scope,
+    {
+        f(self);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_shapes_compile_and_run() {
+        let v = vec![3u64, 1, 2];
+        let doubled: Vec<u64> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, vec![6, 2, 4]);
+        let sum: u64 = (0..5u64).into_par_iter().sum();
+        assert_eq!(sum, 10);
+        let mut s = vec![5, 4, 1];
+        s.par_sort_unstable();
+        assert_eq!(s, vec![1, 4, 5]);
+        let (a, b) = super::join(|| 1, || 2);
+        assert_eq!(a + b, 3);
+    }
+}
