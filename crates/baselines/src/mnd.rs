@@ -15,7 +15,7 @@
 //! vertices (edges of a boundary vertex live on one PE), and merged
 //! graphs that grow on ever-fewer PEs.
 
-use kamsta_comm::Comm;
+use kamsta_comm::{Comm, FlatBuckets};
 use kamsta_core::seq::kruskal;
 use kamsta_graph::{CEdge, WEdge};
 
@@ -38,31 +38,31 @@ impl Default for MndConfig {
 /// (shared) vertices are first consolidated onto a single PE, as the
 /// paper does to meet MND-MST's input format — the step that creates
 /// load imbalance for skewed degree distributions.
-pub fn mnd_mst(comm: &Comm, edges: Vec<CEdge>, cfg: &MndConfig) -> Vec<WEdge> {
+pub fn mnd_mst(comm: &Comm, edges: &[CEdge], cfg: &MndConfig) -> Vec<WEdge> {
     // Consolidate boundary vertices: an edge whose source equals the
     // previous PE's last source moves to that PE ("edges incident to a
-    // shared vertex are moved completely to one MPI process").
+    // shared vertex are moved completely to one MPI process"). The moved
+    // edges are a prefix of the (sorted) slice, so the flat send buffer
+    // needs no scatter.
     let my_first = edges.first().map(|e| e.u);
     let my_last = edges.last().map(|e| e.u);
     let bounds = comm.allgather((my_first, my_last));
-    let mut move_down = Vec::new();
-    let mut keep: Vec<CEdge> = Vec::new();
     let prev_last = comm.rank().checked_sub(1).and_then(|r| bounds[r].1);
-    for e in edges {
-        if Some(e.u) == prev_last && Some(e.u) == my_first {
-            move_down.push(e);
-        } else {
-            keep.push(e);
-        }
-    }
+    let cut = if prev_last.is_some() && prev_last == my_first {
+        edges.partition_point(|e| Some(e.u) == my_first)
+    } else {
+        0
+    };
+    let mut keep: Vec<CEdge> = edges[cut..].to_vec();
     // Ship boundary edges to the predecessor (chain exchange).
     let p = comm.size();
-    let mut bufs: Vec<Vec<CEdge>> = (0..p).map(|_| Vec::new()).collect();
+    let mut counts = vec![0usize; p];
     if comm.rank() > 0 {
-        bufs[comm.rank() - 1] = move_down;
+        counts[comm.rank() - 1] = cut;
     }
+    let bufs = FlatBuckets::from_counts(edges[..cut].to_vec(), &counts);
     let received = comm.alltoallv_direct(bufs);
-    keep.extend(received.into_iter().flatten());
+    keep.extend_from_slice(received.payload());
 
     // Level 0: local MSF (cycle-property elimination).
     let mut survivors: Vec<WEdge> = local_msf(comm, &keep);
@@ -74,16 +74,20 @@ pub fn mnd_mst(comm: &Comm, edges: Vec<CEdge>, cfg: &MndConfig) -> Vec<WEdge> {
     let mut stride = 1usize;
     while stride < p {
         let next_stride = stride * group;
-        let mut bufs: Vec<Vec<WEdge>> = (0..p).map(|_| Vec::new()).collect();
         let alive = comm.rank().is_multiple_of(stride);
-        if alive && !comm.rank().is_multiple_of(next_stride) {
+        let mut counts = vec![0usize; p];
+        let data = if alive && !comm.rank().is_multiple_of(next_stride) {
             // Send everything to the group leader.
             let leader = comm.rank() - (comm.rank() % next_stride);
-            bufs[leader] = std::mem::take(&mut survivors);
-        }
-        let received = comm.alltoallv_direct(bufs);
+            let out = std::mem::take(&mut survivors);
+            counts[leader] = out.len();
+            out
+        } else {
+            Vec::new()
+        };
+        let received = comm.alltoallv_direct(FlatBuckets::from_counts(data, &counts));
         if alive && comm.rank().is_multiple_of(next_stride) {
-            survivors.extend(received.into_iter().flatten());
+            survivors.extend_from_slice(received.payload());
             survivors = local_msf(comm, &to_cedges(&survivors));
         }
         stride = next_stride;
@@ -119,7 +123,7 @@ mod tests {
         let out = Machine::run(MachineConfig::new(p), move |comm| {
             let input = InputGraph::generate(comm, config, seed);
             let all: Vec<WEdge> = input.graph.edges.iter().map(|e| e.wedge()).collect();
-            let msf = mnd_mst(comm, input.graph.edges.clone(), &MndConfig::default());
+            let msf = mnd_mst(comm, &input.graph.edges, &MndConfig::default());
             (all, msf)
         });
         let graph: Vec<WEdge> = out.results.iter().flat_map(|(g, _)| g.clone()).collect();
@@ -154,7 +158,7 @@ mod tests {
         let out = Machine::run(MachineConfig::new(4), |comm| {
             let input = InputGraph::generate(comm, GraphConfig::Rgg2D { n: 300, m: 2400 }, 11);
             let all: Vec<WEdge> = input.graph.edges.iter().map(|e| e.wedge()).collect();
-            let msf = mnd_mst(comm, input.graph.edges.clone(), &MndConfig::default());
+            let msf = mnd_mst(comm, &input.graph.edges, &MndConfig::default());
             (all, msf)
         });
         let graph: Vec<WEdge> = out.results.iter().flat_map(|(g, _)| g.clone()).collect();

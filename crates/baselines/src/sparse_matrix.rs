@@ -9,7 +9,7 @@
 //! structural properties the paper blames for its performance gap
 //! (Sec. VII-A).
 
-use kamsta_comm::{Comm, GridTopology};
+use kamsta_comm::{Comm, FlatBuckets, GridTopology};
 use kamsta_core::dist::DistArray;
 use kamsta_graph::hash::{FxHashMap, FxHashSet};
 use kamsta_graph::{CEdge, WEdge};
@@ -28,7 +28,7 @@ struct Cand {
 /// Compute the MSF with the 2D-partitioned Awerbuch–Shiloach scheme.
 /// Returns this PE's share of the MSF edges (original endpoints).
 /// Collective.
-pub fn sparse_matrix(comm: &Comm, edges: Vec<CEdge>) -> Vec<WEdge> {
+pub fn sparse_matrix(comm: &Comm, edges: &[CEdge]) -> Vec<WEdge> {
     let p = comm.size();
     let grid = GridTopology::new(p);
     let local_max = edges.iter().map(|e| e.u.max(e.v)).max().unwrap_or(0);
@@ -38,14 +38,12 @@ pub fn sparse_matrix(comm: &Comm, edges: Vec<CEdge>) -> Vec<WEdge> {
     // column-block of v) — the redistribution cost every matrix-based
     // tool pays up front.
     let block = |x: u64, blocks: usize| ((x as u128 * blocks as u128) / n_ids as u128) as usize;
-    let mut bufs: Vec<Vec<(u64, u64, CEdge)>> = (0..p).map(|_| Vec::new()).collect();
-    for e in edges {
-        let owner = (block(e.u, grid.r) * grid.c + block(e.v, grid.c)).min(p - 1);
-        bufs[owner].push((e.u, e.v, e));
-    }
+    let tagged: Vec<(u64, u64, CEdge)> = edges.iter().map(|e| (e.u, e.v, *e)).collect();
+    let bufs = FlatBuckets::from_dest_fn(p, tagged, |(u, v, _)| {
+        (block(*u, grid.r) * grid.c + block(*v, grid.c)).min(p - 1)
+    });
     // Working set: (current comp of u, current comp of v, original edge).
-    let mut work: Vec<(u64, u64, CEdge)> =
-        comm.alltoallv_direct(bufs).into_iter().flatten().collect();
+    let mut work: Vec<(u64, u64, CEdge)> = comm.alltoallv_direct(bufs).into_payload();
 
     let mut parent = DistArray::new(comm, n_ids);
     let mut msf: Vec<WEdge> = Vec::new();
@@ -75,18 +73,14 @@ pub fn sparse_matrix(comm: &Comm, edges: Vec<CEdge>) -> Vec<WEdge> {
         // Route candidates to the parent-array owner of each component;
         // the owner reduces to the global minimum (the paper's row-wise
         // min-reduction, expressed as a sparse exchange).
-        let mut cand_bufs: Vec<Vec<(u64, Cand)>> = (0..p).map(|_| Vec::new()).collect();
-        for (comp, cand) in local_best {
-            cand_bufs[parent.home(comp)].push((comp, cand));
-        }
+        let cands: Vec<(u64, Cand)> = local_best.into_iter().collect();
+        let cand_bufs = FlatBuckets::from_dest_fn(p, cands, |(comp, _)| parent.home(*comp));
         let received = comm.sparse_alltoallv(cand_bufs);
         let mut winner: FxHashMap<u64, Cand> = FxHashMap::default();
-        for bucket in received {
-            for (comp, cand) in bucket {
-                let slot = winner.entry(comp).or_insert(cand);
-                if cand < *slot {
-                    *slot = cand;
-                }
+        for &(comp, cand) in received.payload() {
+            let slot = winner.entry(comp).or_insert(cand);
+            if cand < *slot {
+                *slot = cand;
             }
         }
         let any = comm.allreduce_sum(winner.len() as u64);
@@ -149,7 +143,7 @@ mod tests {
         let out = Machine::run(MachineConfig::new(p), move |comm| {
             let input = InputGraph::generate(comm, config, seed);
             let all: Vec<WEdge> = input.graph.edges.iter().map(|e| e.wedge()).collect();
-            let msf = sparse_matrix(comm, input.graph.edges.clone());
+            let msf = sparse_matrix(comm, &input.graph.edges);
             (all, msf)
         });
         let graph: Vec<WEdge> = out.results.iter().flat_map(|(g, _)| g.clone()).collect();
@@ -188,7 +182,7 @@ mod tests {
                 11,
             );
             let all: Vec<WEdge> = input.graph.edges.iter().map(|e| e.wedge()).collect();
-            let msf = sparse_matrix(comm, input.graph.edges.clone());
+            let msf = sparse_matrix(comm, &input.graph.edges);
             (all, msf)
         });
         let graph: Vec<WEdge> = out.results.iter().flat_map(|(g, _)| g.clone()).collect();

@@ -4,18 +4,19 @@
 //! here too.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use kamsta_comm::{AlltoallKind, Machine, MachineConfig};
+use kamsta_comm::{AlltoallKind, FlatBuckets, Machine, MachineConfig};
 
 fn exchange(p: usize, kind: AlltoallKind, words_per_dest: usize) {
     Machine::run(MachineConfig::new(p).with_alltoall(kind), move |comm| {
-        let bufs: Vec<Vec<u64>> = (0..p).map(|d| vec![d as u64; words_per_dest]).collect();
+        let bufs =
+            FlatBuckets::from_nested((0..p).map(|d| vec![d as u64; words_per_dest]).collect());
         let recv = match kind {
             AlltoallKind::Direct => comm.alltoallv_direct(bufs),
             AlltoallKind::Grid => comm.alltoallv_grid(bufs),
             AlltoallKind::Hypercube => comm.alltoallv_hypercube(bufs),
             AlltoallKind::Auto => comm.sparse_alltoallv(bufs),
         };
-        assert_eq!(recv.len(), p);
+        assert_eq!(recv.buckets(), p);
     });
 }
 

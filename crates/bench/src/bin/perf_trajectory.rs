@@ -1,0 +1,201 @@
+//! **Perf trajectory**: end-to-end wall/modeled timings on a fixed
+//! instance set, written as machine-readable JSON so successive PRs can
+//! regress against each other (`BENCH_pr<N>.json` at the repo root).
+//!
+//! Instances: the GNM / RMAT / RoadLike weak-scaling configurations at
+//! fixed seeds, run with `boruvka-1` and `filterBoruvka-1`.
+//!
+//! Environment:
+//!
+//! * `KAMSTA_MAX_CORES` — simulated core count (default 16);
+//! * `KAMSTA_V_PER_CORE` / `KAMSTA_M_PER_CORE` — weak-scaling sizes
+//!   (defaults 10 / 14, as in the other harness binaries);
+//! * `KAMSTA_PERF_REPS` — timing repetitions, minimum wall time is kept
+//!   (default 3);
+//! * `KAMSTA_BASELINE` — path to a previous run's JSON; when set, its
+//!   entries are embedded under `"baseline"` and per-entry speedups are
+//!   computed;
+//! * `KAMSTA_PERF_OUT` — output path (default `BENCH_pr2.json`).
+
+use kamsta::{Algorithm, MstConfig, RunSummary};
+use kamsta_bench::{bench_mst_config, env_usize, Variant, WeakScale};
+
+const SEED: u64 = 42;
+const FAMILIES: [&str; 3] = ["GNM", "RMAT", "ROAD"];
+
+struct Entry {
+    instance: &'static str,
+    cores: usize,
+    algo: String,
+    wall_time: f64,
+    modeled_time: f64,
+    edges_per_second: f64,
+    msf_weight: u64,
+    input_edges: u64,
+}
+
+fn run_entry(
+    family: &'static str,
+    cores: usize,
+    v: Variant,
+    cfg: MstConfig,
+    ws: &WeakScale,
+    reps: usize,
+) -> Option<Entry> {
+    let config = ws.config(family, cores);
+    let mut best: Option<RunSummary> = None;
+    for _ in 0..reps.max(1) {
+        let s = v.run(cores, config, cfg, SEED)?;
+        let keep = match &best {
+            Some(b) => s.wall_time < b.wall_time,
+            None => true,
+        };
+        if keep {
+            best = Some(s);
+        }
+    }
+    let s = best?;
+    Some(Entry {
+        instance: family,
+        cores,
+        algo: v.label(),
+        wall_time: s.wall_time,
+        modeled_time: s.modeled_time,
+        edges_per_second: s.edges_per_second,
+        msf_weight: s.msf_weight,
+        input_edges: s.input_edges,
+    })
+}
+
+fn json_entry(e: &Entry, speedup: Option<(f64, f64)>) -> String {
+    let mut s = format!(
+        "    {{\"instance\": \"{}\", \"cores\": {}, \"algo\": \"{}\", \
+         \"wall_time\": {:.6}, \"modeled_time\": {:.6}, \
+         \"edges_per_second\": {:.3}, \"msf_weight\": {}, \"input_edges\": {}",
+        e.instance,
+        e.cores,
+        e.algo,
+        e.wall_time,
+        e.modeled_time,
+        e.edges_per_second,
+        e.msf_weight,
+        e.input_edges
+    );
+    if let Some((wall, modeled)) = speedup {
+        s.push_str(&format!(
+            ", \"wall_speedup_vs_baseline\": {wall:.3}, \
+             \"modeled_speedup_vs_baseline\": {modeled:.3}"
+        ));
+    }
+    s.push('}');
+    s
+}
+
+/// Minimal extraction of `(instance, algo, wall_time, modeled_time)`
+/// tuples from a previous run's JSON (written by this binary — the format
+/// is under our control, so no general parser is needed).
+fn parse_baseline(text: &str) -> Vec<(String, String, f64, f64)> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if !line.contains("\"instance\"") {
+            continue;
+        }
+        let field = |name: &str| -> Option<String> {
+            let tag = format!("\"{name}\": ");
+            let at = line.find(&tag)? + tag.len();
+            let rest = &line[at..];
+            let end = rest.find([',', '}']).unwrap_or(rest.len());
+            Some(rest[..end].trim().trim_matches('"').to_string())
+        };
+        if let (Some(inst), Some(algo), Some(w), Some(m)) = (
+            field("instance"),
+            field("algo"),
+            field("wall_time"),
+            field("modeled_time"),
+        ) {
+            if let (Ok(w), Ok(m)) = (w.parse(), m.parse()) {
+                out.push((inst, algo, w, m));
+            }
+        }
+    }
+    out
+}
+
+fn main() {
+    let cores = env_usize("KAMSTA_MAX_CORES", 16);
+    let reps = env_usize("KAMSTA_PERF_REPS", 3);
+    let ws = WeakScale::from_env();
+    let cfg = bench_mst_config();
+    let out_path =
+        std::env::var("KAMSTA_PERF_OUT").unwrap_or_else(|_| "BENCH_pr2.json".to_string());
+    let baseline: Vec<(String, String, f64, f64)> = std::env::var("KAMSTA_BASELINE")
+        .ok()
+        .and_then(|p| std::fs::read_to_string(p).ok())
+        .map(|t| parse_baseline(&t))
+        .unwrap_or_default();
+
+    let variants = [
+        Variant {
+            algo: Algorithm::Boruvka,
+            threads: 1,
+        },
+        Variant {
+            algo: Algorithm::FilterBoruvka,
+            threads: 1,
+        },
+    ];
+
+    let mut entries: Vec<Entry> = Vec::new();
+    for family in FAMILIES {
+        for v in variants {
+            if let Some(e) = run_entry(family, cores, v, cfg, &ws, reps) {
+                eprintln!(
+                    "{family:>5} {:<16} wall {:.4}s modeled {:.4}s",
+                    e.algo, e.wall_time, e.modeled_time
+                );
+                entries.push(e);
+            }
+        }
+    }
+
+    let lookup = |inst: &str, algo: &str| -> Option<(f64, f64)> {
+        baseline
+            .iter()
+            .find(|(i, a, _, _)| i == inst && a == algo)
+            .map(|(_, _, w, m)| (*w, *m))
+    };
+
+    let mut body: Vec<String> = Vec::new();
+    for e in &entries {
+        let speedup =
+            lookup(e.instance, &e.algo).map(|(bw, bm)| (bw / e.wall_time, bm / e.modeled_time));
+        body.push(json_entry(e, speedup));
+    }
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"bench\": \"perf_trajectory\", \"cores\": {cores}, \"seed\": {SEED}, \
+         \"v_per_core\": {}, \"m_per_core\": {},\n",
+        ws.v_per_core, ws.m_per_core
+    ));
+    json.push_str("  \"entries\": [\n");
+    json.push_str(&body.join(",\n"));
+    json.push_str("\n  ]");
+    if !baseline.is_empty() {
+        let base: Vec<String> = baseline
+            .iter()
+            .map(|(i, a, w, m)| {
+                format!(
+                    "    {{\"instance\": \"{i}\", \"algo\": \"{a}\", \
+                     \"wall_time\": {w:.6}, \"modeled_time\": {m:.6}}}"
+                )
+            })
+            .collect();
+        json.push_str(",\n  \"baseline\": [\n");
+        json.push_str(&base.join(",\n"));
+        json.push_str("\n  ]");
+    }
+    json.push_str("\n}\n");
+    std::fs::write(&out_path, &json).expect("write perf JSON");
+    eprintln!("wrote {out_path}");
+}

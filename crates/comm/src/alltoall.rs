@@ -1,4 +1,5 @@
-//! Personalized (sparse) all-to-all exchange in four flavours.
+//! Personalized (sparse) all-to-all exchange in four flavours, all on the
+//! flat zero-copy buffer representation ([`FlatBuckets`]).
 //!
 //! This module implements Sec. VI-A of the paper ("Reducing Startup
 //! Overhead of All-To-All Exchanges"):
@@ -15,8 +16,16 @@
 //! * **auto** ([`crate::Comm::sparse_alltoallv`]) — the paper's threshold
 //!   rule: use the grid variant when the average bytes per message is below
 //!   500 bytes, direct otherwise.
+//!
+//! Every strategy sends and receives [`FlatBuckets`]: one contiguous
+//! payload per PE, sub-message boundaries expressed as displacement
+//! arrays — the exact `sdispls`/`rdispls` layout of `MPI_Alltoallv`.
+//! Indirect routes carry a small flat `u32` header per hop describing the
+//! sub-message split; β is charged on the true contiguous byte counts.
 
 use crate::comm::{bytes_of, Comm};
+use crate::flat::{FlatBuckets, FlatBuilder};
+use std::sync::Arc;
 
 /// Strategy selector for [`Comm::sparse_alltoallv`].
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -116,70 +125,90 @@ impl GridTopology {
             .filter(|&t| t < self.p)
             .collect()
     }
+
+    /// Final destinations whose traffic is relayed by row `q`'s
+    /// intermediates: all `j` with `virtual_row(j) == q`, ascending. Both
+    /// endpoints of a relayed message derive the same canonical list, so
+    /// sub-message boundaries travel as a plain count array.
+    pub fn row_dests(&self, q: usize) -> Vec<usize> {
+        (0..self.p).filter(|&j| self.virtual_row(j) == q).collect()
+    }
 }
 
-/// One PE's buckets in a personalized exchange: `bufs[j]` is the payload
-/// destined for PE `j`. Must have length `p`.
-pub type Buckets<T> = Vec<Vec<T>>;
-
-/// Source-tagged payload list used while routing indirectly.
-type Tagged<T> = Vec<(u32, Vec<T>)>;
-
-type ExchangeSlot<T> = Vec<parking_lot::Mutex<Option<Vec<T>>>>;
+/// A relayed grid message: the payload buckets (indexed by next-hop PE)
+/// plus, per next-hop, the `u32` lengths of the sub-messages in canonical
+/// order — the flat header that replaces per-message tagging.
+struct GridMsg<T> {
+    data: FlatBuckets<T>,
+    sub: FlatBuckets<u32>,
+}
 
 impl Comm {
-    /// Raw data-plane exchange: deliver `bufs[j]` to PE `j`, reading only
-    /// from the PEs in `recv_from`. Performs no cost charging; the public
-    /// wrappers charge according to their communication pattern.
-    fn raw_exchange<T: Send + 'static>(
+    /// Raw data-plane exchange on flat buffers: deliver `bufs.bucket(j)`
+    /// to PE `j`, reading only from the PEs in `recv_from` (ascending).
+    /// The send side publishes its single contiguous buffer once —
+    /// zero-copy; each receiver copies out its slice per source into one
+    /// contiguous receive buffer keyed by source rank. Performs no cost
+    /// charging; the public wrappers charge according to their
+    /// communication pattern.
+    fn raw_exchange_flat<T: Clone + Send + Sync + 'static>(
         &self,
-        bufs: Buckets<T>,
+        bufs: FlatBuckets<T>,
         recv_from: &[usize],
-    ) -> Vec<(usize, Vec<T>)> {
+    ) -> FlatBuckets<T> {
         let p = self.size();
-        assert_eq!(bufs.len(), p, "need one bucket per destination PE");
-        let publication: ExchangeSlot<T> = bufs
-            .into_iter()
-            .map(|b| parking_lot::Mutex::new(Some(b)))
+        let me = self.rank();
+        assert_eq!(bufs.buckets(), p, "need one bucket per destination PE");
+        debug_assert!(recv_from.windows(2).all(|w| w[0] < w[1]));
+        self.slots().put_shared(me, bufs);
+        self.sync();
+        let arcs: Vec<(usize, Arc<FlatBuckets<T>>)> = recv_from
+            .iter()
+            .map(|&src| (src, self.slots().read_shared::<FlatBuckets<T>>(src)))
             .collect();
-        self.slots().put_shared(self.rank(), publication);
         self.sync();
-        let mut received = Vec::with_capacity(recv_from.len());
-        for &src in recv_from {
-            let senders_slot = self.slots().read_shared::<ExchangeSlot<T>>(src);
-            let data = senders_slot[self.rank()]
-                .lock()
-                .take()
-                .expect("each bucket is taken exactly once");
-            received.push((src, data));
+        self.slots().clear(me);
+        let total: usize = arcs.iter().map(|(_, a)| a.count(me)).sum();
+        let mut out = FlatBuilder::with_capacity(total, p);
+        let mut it = arcs.iter().peekable();
+        for src in 0..p {
+            if let Some((s, a)) = it.peek() {
+                if *s == src {
+                    out.extend_from_slice(a.bucket(me));
+                    it.next();
+                }
+            }
+            out.seal();
         }
-        self.sync();
-        self.slots().clear(self.rank());
-        received
+        out.finish(p)
     }
 
     /// Direct (one-level) all-to-all: the `MPI_Alltoallv` analogue.
     ///
-    /// Returns `recv` with `recv[i]` = payload sent by PE `i` to this PE.
-    /// Cost: `α·p + β·max(bytes out, bytes in)`.
-    pub fn alltoallv_direct<T: Send + 'static>(&self, bufs: Buckets<T>) -> Buckets<T> {
+    /// Returns `recv` with `recv.bucket(i)` = payload sent by PE `i` to
+    /// this PE. Cost: `α·p + β·max(bytes out, bytes in)`.
+    pub fn alltoallv_direct<T: Clone + Send + Sync + 'static>(
+        &self,
+        bufs: FlatBuckets<T>,
+    ) -> FlatBuckets<T> {
         let p = self.size();
-        let out_bytes: u64 = bufs.iter().map(|b| bytes_of::<T>(b.len())).sum();
+        let out_bytes = bytes_of::<T>(bufs.total_len());
         let all: Vec<usize> = (0..p).collect();
-        let received = self.raw_exchange(bufs, &all);
-        let mut recv: Buckets<T> = (0..p).map(|_| Vec::new()).collect();
-        let mut in_bytes = 0u64;
-        for (src, data) in received {
-            in_bytes += bytes_of::<T>(data.len());
-            recv[src] = data;
-        }
+        let recv = self.raw_exchange_flat(bufs, &all);
+        let in_bytes = bytes_of::<T>(recv.total_len());
         self.charge_comm(p as u64, out_bytes.max(in_bytes));
         recv
     }
 
     /// Two-level grid all-to-all (Sec. VI-A). Startup `O(α√p)`, twice the
-    /// communication volume of the direct variant.
-    pub fn alltoallv_grid<T: Send + 'static>(&self, bufs: Buckets<T>) -> Buckets<T> {
+    /// communication volume of the direct variant. Sub-message boundaries
+    /// travel as flat `u32` count headers over the canonical
+    /// ([`GridTopology::row_dests`], [`GridTopology::phase1_senders`])
+    /// orders, so the payload stays a single contiguous buffer per hop.
+    pub fn alltoallv_grid<T: Clone + Send + Sync + 'static>(
+        &self,
+        bufs: FlatBuckets<T>,
+    ) -> FlatBuckets<T> {
         let p = self.size();
         if p <= 2 {
             return self.alltoallv_direct(bufs);
@@ -187,59 +216,155 @@ impl Comm {
         let grid = GridTopology::new(p);
         let me = self.rank();
 
+        // Canonical relay lists of every row, bucketed in one O(p) pass
+        // (row_dests(q) == rows.bucket(q); the per-row scan would cost
+        // O(p·√p) at exactly the scale the grid route targets).
+        let rows = FlatBuckets::from_dest_fn(grid.r, (0..p).collect(), |&j| grid.virtual_row(j));
+
         // Phase 1: forward each destination bucket to its intermediate,
-        // tagged with (final destination, original source).
-        let mut phase1: Buckets<(u32, u32, Vec<T>)> = (0..p).map(|_| Vec::new()).collect();
-        let mut out1 = 0u64;
-        for (j, data) in bufs.into_iter().enumerate() {
-            if data.is_empty() {
+        // concatenated in canonical destination order per intermediate.
+        let mut counts1 = vec![0usize; p];
+        let mut sub1_counts = vec![0usize; p];
+        let mut data1: Vec<T> = Vec::with_capacity(bufs.total_len());
+        let mut sub1: Vec<u32> = Vec::new();
+        for q in 0..grid.r {
+            let dests = rows.bucket(q);
+            if dests.is_empty() {
                 continue;
             }
-            out1 += bytes_of::<T>(data.len());
-            let t = grid.intermediate(me, j);
-            phase1[t].push((j as u32, me as u32, data));
-        }
-        let senders1 = grid.phase1_senders(me);
-        let recv1 = self.raw_exchange(phase1, &senders1);
-        let mut in1 = 0u64;
-
-        // Regroup by final destination for phase 2.
-        let mut phase2: Buckets<(u32, Vec<T>)> = (0..p).map(|_| Vec::new()).collect();
-        for (_src, items) in recv1 {
-            for (dest, orig_src, data) in items {
-                in1 += bytes_of::<T>(data.len());
-                phase2[dest as usize].push((orig_src, data));
+            let t = q * grid.c + grid.col(me);
+            for &j in dests {
+                data1.extend_from_slice(bufs.bucket(j));
+                sub1.push(bufs.count(j) as u32);
+                counts1[t] += bufs.count(j);
             }
+            sub1_counts[t] = dests.len();
         }
+        let out1 = bytes_of::<T>(data1.len()) + bytes_of::<u32>(sub1.len());
+        let msg1 = GridMsg {
+            data: FlatBuckets::from_counts(data1, &counts1),
+            sub: FlatBuckets::from_counts(sub1, &sub1_counts),
+        };
+
+        let senders1 = grid.phase1_senders(me);
+        let arcs1 = self.publish_read_grid(msg1, &senders1);
+        let in1: u64 = arcs1
+            .iter()
+            .map(|a| bytes_of::<T>(a.data.count(me)) + bytes_of::<u32>(a.sub.count(me)))
+            .sum();
         self.charge_comm(senders1.len() as u64, out1.max(in1));
 
-        let senders2 = grid.phase2_senders(me);
-        let out2 = in1; // everything received in phase 1 is forwarded
-        let recv2 = self.raw_exchange(phase2, &senders2);
-        let mut recv: Buckets<T> = (0..p).map(|_| Vec::new()).collect();
-        let mut in2 = 0u64;
-        for (_t, items) in recv2 {
-            for (orig_src, data) in items {
-                in2 += bytes_of::<T>(data.len());
-                let bucket = &mut recv[orig_src as usize];
-                if bucket.is_empty() {
-                    *bucket = data;
+        // Phase 2: regroup by final destination. For destination j, the
+        // sub-messages of all original senders (my column, ascending) are
+        // concatenated; offsets into each sender's phase-1 slice are
+        // derived from its count header.
+        let dests2 = rows.bucket(grid.row(me));
+        let mut offsets: Vec<usize> = vec![0; arcs1.len()];
+        let mut counts2 = vec![0usize; p];
+        let mut sub2_counts = vec![0usize; p];
+        let mut data2: Vec<T> = Vec::new();
+        let mut sub2: Vec<u32> = Vec::new();
+        for (dj, &j) in dests2.iter().enumerate() {
+            for (si, a) in arcs1.iter().enumerate() {
+                let subs = a.sub.bucket(me);
+                let cnt = if subs.is_empty() {
+                    0
                 } else {
-                    bucket.extend(data);
-                }
+                    subs[dj] as usize
+                };
+                let off = offsets[si];
+                data2.extend_from_slice(&a.data.bucket(me)[off..off + cnt]);
+                offsets[si] = off + cnt;
+                sub2.push(cnt as u32);
+                counts2[j] += cnt;
+                sub2_counts[j] += 1;
             }
         }
+        drop(arcs1);
+        let out2 = bytes_of::<T>(data2.len()) + bytes_of::<u32>(sub2.len());
+        let msg2 = GridMsg {
+            data: FlatBuckets::from_counts(data2, &counts2),
+            sub: FlatBuckets::from_counts(sub2, &sub2_counts),
+        };
+
+        let senders2 = grid.phase2_senders(me);
+        let arcs2 = self.publish_read_grid(msg2, &senders2);
+        let in2: u64 = arcs2
+            .iter()
+            .map(|a| bytes_of::<T>(a.data.count(me)) + bytes_of::<u32>(a.sub.count(me)))
+            .sum();
         self.charge_comm(senders2.len() as u64, out2.max(in2));
-        recv
+
+        // Assemble the final receive buffer keyed by original source: the
+        // message from source s arrived via intermediate(s, me), at the
+        // source's position (its row) within that intermediate's column.
+        let total: usize = arcs2.iter().map(|a| a.data.count(me)).sum();
+        // Flat per-(intermediate, source-slot) exclusive prefix sums over
+        // each intermediate's count header.
+        let mut pre_start = Vec::with_capacity(arcs2.len() + 1);
+        pre_start.push(0);
+        let mut prefix: Vec<usize> = Vec::new();
+        for a in &arcs2 {
+            let mut acc = 0usize;
+            prefix.push(0);
+            for &c in a.sub.bucket(me) {
+                acc += c as usize;
+                prefix.push(acc);
+            }
+            pre_start.push(prefix.len());
+        }
+        // O(1) lookup from an intermediate's rank to its position in the
+        // ascending senders2 list.
+        let mut sender2_pos = vec![usize::MAX; p];
+        for (ti, &t) in senders2.iter().enumerate() {
+            sender2_pos[t] = ti;
+        }
+        let mut out = FlatBuilder::with_capacity(total, p);
+        for s in 0..p {
+            let ti = sender2_pos[grid.intermediate(s, me)];
+            if ti != usize::MAX {
+                let slot = grid.row(s);
+                let pre = &prefix[pre_start[ti]..pre_start[ti + 1]];
+                if slot + 1 < pre.len() {
+                    out.extend_from_slice(&arcs2[ti].data.bucket(me)[pre[slot]..pre[slot + 1]]);
+                }
+            }
+            out.seal();
+        }
+        out.finish(p)
+    }
+
+    /// One publish/read round of [`GridMsg`]s: publish mine, collect the
+    /// `Arc`s of the PEs in `from` (they stay alive past the slot clear).
+    fn publish_read_grid<T: Send + Sync + 'static>(
+        &self,
+        msg: GridMsg<T>,
+        from: &[usize],
+    ) -> Vec<Arc<GridMsg<T>>> {
+        let me = self.rank();
+        self.slots().put_shared(me, msg);
+        self.sync();
+        let arcs: Vec<Arc<GridMsg<T>>> = from
+            .iter()
+            .map(|&src| self.slots().read_shared::<GridMsg<T>>(src))
+            .collect();
+        self.sync();
+        self.slots().clear(me);
+        arcs
     }
 
     /// Hypercube all-to-all: `log p` pairwise phases, each moving all data
-    /// whose destination differs in the current bit (Johnsson & Ho, ref. 45 of the paper;
-    /// the `d = log p` end of the paper's generalised grid).
+    /// whose destination differs in the current bit (Johnsson & Ho, ref. 45
+    /// of the paper; the `d = log p` end of the paper's generalised grid).
     ///
+    /// Carried data stays in one flat buffer per PE, keyed by final
+    /// destination with a 4-byte source tag per element (charged).
     /// Requires power-of-two `p`; other sizes fall back to the grid
     /// variant.
-    pub fn alltoallv_hypercube<T: Send + 'static>(&self, bufs: Buckets<T>) -> Buckets<T> {
+    pub fn alltoallv_hypercube<T: Clone + Send + Sync + 'static>(
+        &self,
+        bufs: FlatBuckets<T>,
+    ) -> FlatBuckets<T> {
         let p = self.size();
         if !p.is_power_of_two() {
             return self.alltoallv_grid(bufs);
@@ -249,61 +374,56 @@ impl Comm {
         }
         let me = self.rank();
         let dims = crate::ceil_log2(p);
-        // carried[j] = accumulated payload currently held here destined for j
-        let mut carried: Vec<Vec<(u32, Vec<T>)>> = (0..p).map(|_| Vec::new()).collect();
-        for (j, data) in bufs.into_iter().enumerate() {
-            if !data.is_empty() || j == me {
-                carried[j].push((me as u32, data));
-            }
-        }
+        // carried.bucket(j) = (source, item) pairs currently held here
+        // destined for j.
+        let mut carried: FlatBuckets<(u32, T)> = bufs.map(|x| (me as u32, x));
         for d in 0..dims {
             let bit = 1usize << d;
             let partner = me ^ bit;
             // Everything whose destination's bit d differs from mine moves.
-            let mut outgoing: Vec<(u32, Tagged<T>)> = Vec::new();
-            let mut out_bytes = 0u64;
-            for (j, bucket) in carried.iter_mut().enumerate() {
-                if (j & bit) != (me & bit) && !bucket.is_empty() {
-                    let items = std::mem::take(bucket);
-                    out_bytes += items
-                        .iter()
-                        .map(|(_, v)| bytes_of::<T>(v.len()))
-                        .sum::<u64>();
-                    outgoing.push((j as u32, items));
+            let moving: usize = (0..p)
+                .filter(|j| (j & bit) != (me & bit))
+                .map(|j| carried.count(j))
+                .sum();
+            let mut keep = FlatBuilder::with_capacity(carried.total_len() - moving, p);
+            let mut send = FlatBuilder::with_capacity(moving, p);
+            for j in 0..p {
+                if (j & bit) != (me & bit) {
+                    send.extend_from_slice(carried.bucket(j));
+                } else {
+                    keep.extend_from_slice(carried.bucket(j));
                 }
+                keep.seal();
+                send.seal();
             }
-            let incoming = self
-                .exchange(Some((partner, outgoing)), Some(partner))
+            let keep = keep.finish(p);
+            let send = send.finish(p);
+            let out_bytes = bytes_of::<(u32, T)>(send.total_len());
+            let received = self
+                .exchange(Some((partner, send)), Some(partner))
                 .expect("hypercube partner always sends");
-            let mut in_bytes = 0u64;
-            for (j, items) in incoming {
-                in_bytes += items
-                    .iter()
-                    .map(|(_, v)| bytes_of::<T>(v.len()))
-                    .sum::<u64>();
-                carried[j as usize].extend(items);
-            }
+            let in_bytes = bytes_of::<(u32, T)>(received.total_len());
             self.charge_comm(0, out_bytes.max(in_bytes)); // α charged by exchange
+            carried = merge_flat(keep, received);
         }
-        let mut recv: Buckets<T> = (0..p).map(|_| Vec::new()).collect();
-        for (src, data) in std::mem::take(&mut carried[me]) {
-            let bucket = &mut recv[src as usize];
-            if bucket.is_empty() {
-                *bucket = data;
-            } else {
-                bucket.extend(data);
-            }
-        }
-        recv
+        // All remaining data is destined here; group it by source (stable,
+        // so each source's stream keeps its order).
+        let mine: Vec<(u32, T)> = carried.into_payload();
+        FlatBuckets::from_dest_fn(p, mine, |(src, _)| *src as usize).map(|(_, x)| x)
     }
 
     /// d-dimensional generalisation of the grid all-to-all (Sec. VI-A:
     /// "For larger p, the grid approach can easily be generalized to
     /// dimensions 2 < d ≤ log(p)"). Messages are routed digit by digit
     /// through a `side^d` torus, cutting startups to `O(d·p^(1/d))` at
-    /// `d×` the volume. Requires `p = side^d` exactly; other shapes fall
+    /// `d×` the volume; carried elements are tagged `(dest, src)` (8
+    /// bytes, charged). Requires `p = side^d` exactly; other shapes fall
     /// back to the 2D grid (`d = 2`) or direct (`d < 2`).
-    pub fn alltoallv_dd<T: Send + 'static>(&self, bufs: Buckets<T>, d: u32) -> Buckets<T> {
+    pub fn alltoallv_dd<T: Clone + Send + Sync + 'static>(
+        &self,
+        bufs: FlatBuckets<T>,
+        d: u32,
+    ) -> FlatBuckets<T> {
         let p = self.size();
         if d < 2 || p < 4 {
             return self.alltoallv_direct(bufs);
@@ -314,69 +434,51 @@ impl Comm {
         }
         let me = self.rank();
         let digit = |x: usize, k: u32| (x / side.pow(k)) % side;
-        // carried: (final_dest, original_src, payload)
-        let mut carried: Vec<(u32, u32, Vec<T>)> = bufs
-            .into_iter()
-            .enumerate()
-            .filter(|(_, data)| !data.is_empty())
-            .map(|(j, data)| (j as u32, me as u32, data))
-            .collect();
+        // carried: (final_dest, original_src, payload), flat.
+        let mut carried: Vec<(u32, u32, T)> = Vec::with_capacity(bufs.total_len());
+        for j in 0..p {
+            for x in bufs.bucket(j) {
+                carried.push((j as u32, me as u32, x.clone()));
+            }
+        }
         // Route the highest digit first, mirroring the 2D row-then-column
         // scheme. In round k every PE talks only to the `side` PEs that
-        // differ in digit k.
+        // differ in digit k; an element steps to the PE with digit k
+        // corrected, other digits unchanged.
         for k in (0..d).rev() {
-            let mut out: Buckets<(u32, u32, Vec<T>)> = (0..p).map(|_| Vec::new()).collect();
-            let mut out_bytes = 0u64;
-            let mut keep = Vec::new();
-            for (dest, src, data) in carried {
-                let want = digit(dest as usize, k);
-                if want == digit(me, k) {
-                    keep.push((dest, src, data));
-                } else {
-                    // Step to the PE with digit k corrected, other digits
-                    // unchanged.
-                    let t = me as isize
-                        + (want as isize - digit(me, k) as isize) * side.pow(k) as isize;
-                    out_bytes += bytes_of::<T>(data.len());
-                    out[t as usize].push((dest, src, data));
-                }
-            }
+            let hop = |dest: usize| -> usize {
+                let want = digit(dest, k);
+                (me as isize + (want as isize - digit(me, k) as isize) * side.pow(k) as isize)
+                    as usize
+            };
+            let out = FlatBuckets::from_dest_fn(p, carried, |&(dest, _, _)| hop(dest as usize));
+            let out_bytes = bytes_of::<(u32, u32, T)>(out.total_len() - out.count(me));
             // Partners: PEs agreeing with me on all digits except k.
-            let partners: Vec<usize> = (0..side)
+            let mut partners: Vec<usize> = (0..side)
                 .map(|v| {
                     (me as isize + (v as isize - digit(me, k) as isize) * side.pow(k) as isize)
                         as usize
                 })
                 .collect();
-            let received = self.raw_exchange(out, &partners);
-            let mut in_bytes = 0u64;
-            carried = keep;
-            for (_, items) in received {
-                for item in items {
-                    in_bytes += bytes_of::<T>(item.2.len());
-                    carried.push(item);
-                }
-            }
+            partners.sort_unstable();
+            let received = self.raw_exchange_flat(out, &partners);
+            let in_bytes = bytes_of::<(u32, u32, T)>(received.total_len() - received.count(me));
+            carried = received.into_payload();
             self.charge_comm(side as u64, out_bytes.max(in_bytes));
         }
-        let mut recv: Buckets<T> = (0..p).map(|_| Vec::new()).collect();
-        for (dest, src, data) in carried {
-            debug_assert_eq!(dest as usize, me);
-            let bucket = &mut recv[src as usize];
-            if bucket.is_empty() {
-                *bucket = data;
-            } else {
-                bucket.extend(data);
-            }
-        }
-        recv
+        // Group by original source (stable).
+        debug_assert!(carried.iter().all(|&(dest, _, _)| dest as usize == me));
+        FlatBuckets::from_dest_fn(p, carried, |&(_, src, _)| src as usize).map(|(_, _, x)| x)
     }
 
     /// Sparse all-to-all with the paper's automatic strategy selection:
     /// measure the global average bytes per message and use the two-level
     /// grid when it is below the threshold (500 bytes on the paper's
     /// system), the direct exchange otherwise.
-    pub fn sparse_alltoallv<T: Send + 'static>(&self, bufs: Buckets<T>) -> Buckets<T> {
+    pub fn sparse_alltoallv<T: Clone + Send + Sync + 'static>(
+        &self,
+        bufs: FlatBuckets<T>,
+    ) -> FlatBuckets<T> {
         match self.alltoall_kind {
             AlltoallKind::Direct => return self.alltoallv_direct(bufs),
             AlltoallKind::Grid => return self.alltoallv_grid(bufs),
@@ -387,7 +489,7 @@ impl Comm {
         if p <= 8 {
             return self.alltoallv_direct(bufs);
         }
-        let out_bytes: u64 = bufs.iter().map(|b| bytes_of::<T>(b.len())).sum();
+        let out_bytes = bytes_of::<T>(bufs.total_len());
         let total = self.allreduce_sum(out_bytes);
         let avg_per_message = total / (p as u64 * p as u64);
         if avg_per_message < self.grid_threshold_bytes as u64 {
@@ -398,17 +500,28 @@ impl Comm {
     }
 }
 
+/// Merge two equally-bucketed flat buffers: bucket `j` of the result is
+/// `a.bucket(j) ++ b.bucket(j)`. One pass, one allocation.
+fn merge_flat<T: Clone>(a: FlatBuckets<T>, b: FlatBuckets<T>) -> FlatBuckets<T> {
+    debug_assert_eq!(a.buckets(), b.buckets());
+    let p = a.buckets();
+    let mut out = FlatBuilder::with_capacity(a.total_len() + b.total_len(), p);
+    for j in 0..p {
+        out.extend_from_slice(a.bucket(j));
+        out.extend_from_slice(b.bucket(j));
+        out.seal();
+    }
+    out.finish(p)
+}
+
 /// Convenience used by algorithm crates: deliver keyed items to explicit
 /// destination PEs. `items` is a list of `(dest, item)`; the result is the
 /// list of items delivered to this PE (sender order preserved within each
-/// source).
-pub fn route<T: Send + 'static>(comm: &Comm, items: Vec<(usize, T)>) -> Vec<T> {
-    let p = comm.size();
-    let mut bufs: Buckets<T> = (0..p).map(|_| Vec::new()).collect();
-    for (dest, item) in items {
-        bufs[dest].push(item);
-    }
-    comm.sparse_alltoallv(bufs).into_iter().flatten().collect()
+/// source). The bucketing is a count-then-scatter pass and the flattening
+/// of the receive buffer is free — no nested vectors anywhere.
+pub fn route<T: Clone + Send + Sync + 'static>(comm: &Comm, items: Vec<(usize, T)>) -> Vec<T> {
+    let bufs = FlatBuckets::from_pairs(comm.size(), items);
+    comm.sparse_alltoallv(bufs).into_payload()
 }
 
 #[cfg(test)]
@@ -432,8 +545,18 @@ mod tests {
                     // Phase partner lists are consistent with the routing.
                     assert!(g.phase1_senders(t).contains(&i));
                     assert!(g.phase2_senders(j).contains(&t));
+                    // The canonical relay list contains the destination.
+                    assert!(g.row_dests(g.virtual_row(j)).contains(&j));
                 }
             }
+            // Every destination appears in exactly one row's relay list.
+            let mut seen = vec![0usize; p];
+            for q in 0..g.r {
+                for j in g.row_dests(q) {
+                    seen[j] += 1;
+                }
+            }
+            assert!(seen.iter().all(|&c| c == 1), "p={p}");
         }
     }
 

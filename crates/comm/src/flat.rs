@@ -1,0 +1,295 @@
+//! Flat zero-copy communication buffers.
+//!
+//! [`FlatBuckets`] is the MPI `sdispls`/`rdispls` layout: one contiguous
+//! payload vector plus a displacement array, replacing the
+//! allocation-heavy `Vec<Vec<T>>` bucket representation on every exchange
+//! of the MST pipeline. Construction is a count-then-scatter pass — a
+//! counting pass over the destinations, a prefix sum, and a stable
+//! index-gather pass that materialises the bucket-ordered payload in one
+//! allocation (the source vector lives until the gather finishes, so
+//! peak memory is twice the payload for scatter-built buffers). No
+//! per-bucket vectors, no reallocation, and flattening the received
+//! payload back into one sequence ([`FlatBuckets::into_payload`]) is
+//! free. Payloads already grouped by destination skip the scatter
+//! entirely via [`FlatBuckets::from_counts`].
+
+/// A bucketed sequence stored contiguously: bucket `j` is
+/// `data[displs[j]..displs[j + 1]]`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FlatBuckets<T> {
+    data: Vec<T>,
+    /// `buckets + 1` monotone offsets into `data`; `displs[0] == 0` and
+    /// `displs[buckets] == data.len()`.
+    displs: Vec<usize>,
+}
+
+impl<T> FlatBuckets<T> {
+    /// `buckets` empty buckets.
+    pub fn empty(buckets: usize) -> Self {
+        Self {
+            data: Vec::new(),
+            displs: vec![0; buckets + 1],
+        }
+    }
+
+    /// Wrap an already bucket-ordered payload: bucket `j` holds the next
+    /// `counts[j]` elements of `data`. The counts must cover the payload
+    /// exactly.
+    pub fn from_counts(data: Vec<T>, counts: &[usize]) -> Self {
+        let mut displs = Vec::with_capacity(counts.len() + 1);
+        let mut acc = 0usize;
+        displs.push(0);
+        for &c in counts {
+            acc += c;
+            displs.push(acc);
+        }
+        assert_eq!(acc, data.len(), "counts must cover the payload exactly");
+        Self { data, displs }
+    }
+
+    /// Count-then-scatter from explicit per-element destinations:
+    /// `dests[k]` is the bucket of `items[k]`. A counting pass fills the
+    /// displacement array; a stable index-gather pass then materialises
+    /// the payload in bucket order (elements of one bucket keep their
+    /// input order, which the exchange determinism tests rely on). The
+    /// only allocations are the `O(p)` offset arrays, one `u32` index
+    /// buffer and the output payload — no per-bucket vectors.
+    pub fn from_dests(buckets: usize, items: Vec<T>, dests: &[u32]) -> Self
+    where
+        T: Clone,
+    {
+        assert_eq!(items.len(), dests.len());
+        let mut displs = vec![0usize; buckets + 1];
+        for &d in dests {
+            displs[d as usize + 1] += 1;
+        }
+        for j in 0..buckets {
+            displs[j + 1] += displs[j];
+        }
+        let mut pos = displs[..buckets].to_vec();
+        let mut idx = vec![0u32; items.len()];
+        for (k, &d) in dests.iter().enumerate() {
+            idx[pos[d as usize]] = k as u32;
+            pos[d as usize] += 1;
+        }
+        let data: Vec<T> = idx.iter().map(|&k| items[k as usize].clone()).collect();
+        Self { data, displs }
+    }
+
+    /// Count-then-scatter with a destination function.
+    pub fn from_dest_fn(buckets: usize, items: Vec<T>, dest: impl Fn(&T) -> usize) -> Self
+    where
+        T: Clone,
+    {
+        let dests: Vec<u32> = items.iter().map(|x| dest(x) as u32).collect();
+        Self::from_dests(buckets, items, &dests)
+    }
+
+    /// Count-then-scatter from `(destination, item)` pairs.
+    pub fn from_pairs(buckets: usize, pairs: Vec<(usize, T)>) -> Self
+    where
+        T: Clone,
+    {
+        let dests: Vec<u32> = pairs.iter().map(|(d, _)| *d as u32).collect();
+        let items: Vec<T> = pairs.into_iter().map(|(_, x)| x).collect();
+        Self::from_dests(buckets, items, &dests)
+    }
+
+    /// Convert from the nested representation (tests / interop).
+    pub fn from_nested(nested: Vec<Vec<T>>) -> Self {
+        let counts: Vec<usize> = nested.iter().map(Vec::len).collect();
+        let mut data = Vec::with_capacity(counts.iter().sum());
+        for b in nested {
+            data.extend(b);
+        }
+        Self::from_counts(data, &counts)
+    }
+
+    /// Number of buckets.
+    #[inline]
+    pub fn buckets(&self) -> usize {
+        self.displs.len() - 1
+    }
+
+    /// Total number of elements across all buckets.
+    #[inline]
+    pub fn total_len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if no bucket holds any element.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Number of elements in bucket `j`.
+    #[inline]
+    pub fn count(&self, j: usize) -> usize {
+        self.displs[j + 1] - self.displs[j]
+    }
+
+    /// Bucket `j` as a slice.
+    #[inline]
+    pub fn bucket(&self, j: usize) -> &[T] {
+        &self.data[self.displs[j]..self.displs[j + 1]]
+    }
+
+    /// The displacement array (`buckets + 1` entries).
+    #[inline]
+    pub fn displs(&self) -> &[usize] {
+        &self.displs
+    }
+
+    /// The contiguous payload in bucket order.
+    #[inline]
+    pub fn payload(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Flatten into the payload (bucket order). Free: the payload *is*
+    /// the storage.
+    #[inline]
+    pub fn into_payload(self) -> Vec<T> {
+        self.data
+    }
+
+    /// Iterate buckets as slices, ascending bucket index.
+    pub fn iter_buckets(&self) -> impl Iterator<Item = &[T]> {
+        (0..self.buckets()).map(move |j| self.bucket(j))
+    }
+
+    /// Map every element, preserving the bucket structure.
+    pub fn map<U>(self, f: impl FnMut(T) -> U) -> FlatBuckets<U> {
+        FlatBuckets {
+            data: self.data.into_iter().map(f).collect(),
+            displs: self.displs,
+        }
+    }
+
+    /// Back to the nested representation (tests / interop).
+    pub fn to_nested(&self) -> Vec<Vec<T>>
+    where
+        T: Clone,
+    {
+        self.iter_buckets().map(<[T]>::to_vec).collect()
+    }
+}
+
+/// Sequential builder for a [`FlatBuckets`]: append elements of bucket
+/// 0, seal it, append bucket 1, … Used on receive paths where bucket
+/// contents arrive as slices of peers' published buffers.
+pub struct FlatBuilder<T> {
+    data: Vec<T>,
+    displs: Vec<usize>,
+}
+
+impl<T> FlatBuilder<T> {
+    pub fn with_capacity(elements: usize, buckets: usize) -> Self {
+        let mut displs = Vec::with_capacity(buckets + 1);
+        displs.push(0);
+        Self {
+            data: Vec::with_capacity(elements),
+            displs,
+        }
+    }
+
+    /// Append elements to the current (unsealed) bucket.
+    #[inline]
+    pub fn extend_from_slice(&mut self, s: &[T])
+    where
+        T: Clone,
+    {
+        self.data.extend_from_slice(s);
+    }
+
+    /// Append one element to the current bucket.
+    #[inline]
+    pub fn push(&mut self, v: T) {
+        self.data.push(v);
+    }
+
+    /// Close the current bucket; subsequent elements go to the next one.
+    #[inline]
+    pub fn seal(&mut self) {
+        self.displs.push(self.data.len());
+    }
+
+    /// Finish with exactly `buckets` buckets (trailing empties added).
+    pub fn finish(mut self, buckets: usize) -> FlatBuckets<T> {
+        assert!(self.displs.len() <= buckets + 1, "sealed too many buckets");
+        while self.displs.len() < buckets + 1 {
+            self.displs.push(self.data.len());
+        }
+        FlatBuckets {
+            data: self.data,
+            displs: self.displs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_dests_scatters_stably_into_bucket_order() {
+        let items = vec![10u64, 21, 12, 23, 14, 20];
+        let dests = vec![1u32, 2, 1, 2, 1, 2];
+        let fb = FlatBuckets::from_dests(4, items, &dests);
+        assert_eq!(fb.buckets(), 4);
+        assert_eq!(fb.count(0), 0);
+        assert_eq!(fb.count(3), 0);
+        // Stable: input order preserved within each bucket.
+        assert_eq!(fb.bucket(1), &[10, 12, 14]);
+        assert_eq!(fb.bucket(2), &[21, 23, 20]);
+        assert_eq!(fb.total_len(), 6);
+        assert_eq!(fb.payload(), &[10, 12, 14, 21, 23, 20]);
+    }
+
+    #[test]
+    fn nested_roundtrip() {
+        let nested = vec![vec![1u32, 2], vec![], vec![3], vec![4, 5, 6]];
+        let fb = FlatBuckets::from_nested(nested.clone());
+        assert_eq!(fb.to_nested(), nested);
+        assert_eq!(fb.displs(), &[0, 2, 2, 3, 6]);
+        assert_eq!(fb.into_payload(), vec![1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn builder_pads_trailing_empties() {
+        let mut b = FlatBuilder::with_capacity(4, 5);
+        b.extend_from_slice(&[1u8, 2]);
+        b.seal();
+        b.push(3);
+        b.seal();
+        let fb = b.finish(5);
+        assert_eq!(fb.buckets(), 5);
+        assert_eq!(fb.bucket(0), &[1, 2]);
+        assert_eq!(fb.bucket(1), &[3]);
+        for j in 2..5 {
+            assert!(fb.bucket(j).is_empty());
+        }
+    }
+
+    #[test]
+    fn from_counts_checks_coverage() {
+        let fb = FlatBuckets::from_counts(vec![7u16, 8, 9], &[1, 0, 2]);
+        assert_eq!(fb.bucket(0), &[7]);
+        assert_eq!(fb.bucket(2), &[8, 9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cover the payload")]
+    fn from_counts_rejects_mismatch() {
+        let _ = FlatBuckets::from_counts(vec![1u8], &[2]);
+    }
+
+    #[test]
+    fn empty_has_no_elements() {
+        let fb = FlatBuckets::<u64>::empty(3);
+        assert!(fb.is_empty());
+        assert_eq!(fb.buckets(), 3);
+        assert_eq!(fb.iter_buckets().map(<[u64]>::len).sum::<usize>(), 0);
+    }
+}

@@ -17,7 +17,9 @@
 //!   ([`Comm::alltoallv_grid`], Sec. VI-A of the paper), its
 //!   d-dimensional generalisation ([`Comm::alltoallv_dd`]), hypercube
 //!   ([`Comm::alltoallv_hypercube`]) and the threshold-based automatic
-//!   selection ([`Comm::sparse_alltoallv`])
+//!   selection ([`Comm::sparse_alltoallv`]) — all on the flat zero-copy
+//!   buffer representation ([`FlatBuckets`]: one contiguous payload plus
+//!   a displacement array, the MPI `sdispls`/`rdispls` layout)
 //! * sub-communicators ([`Comm::split`]), used by the 2D-partitioned
 //!   sparse-matrix baseline
 //!
@@ -49,12 +51,14 @@ mod alltoall;
 mod barrier;
 mod comm;
 mod cost;
+mod flat;
 mod machine;
 mod slots;
 
-pub use alltoall::{route, AlltoallKind, Buckets, GridTopology};
+pub use alltoall::{route, AlltoallKind, GridTopology};
 pub use comm::Comm;
 pub use cost::{Clock, CostModel, PeStats};
+pub use flat::{FlatBuckets, FlatBuilder};
 pub use machine::{Machine, MachineConfig, RunOutput};
 
 /// Bytes occupied by `n` elements of type `T` — the unit used for β-cost

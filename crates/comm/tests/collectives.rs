@@ -1,7 +1,7 @@
 //! Semantics tests for every collective, across odd/even/power-of-two PE
 //! counts and all all-to-all strategies.
 
-use kamsta_comm::{route, AlltoallKind, Machine, MachineConfig};
+use kamsta_comm::{route, AlltoallKind, FlatBuckets, Machine, MachineConfig};
 
 const PE_COUNTS: &[usize] = &[1, 2, 3, 4, 5, 7, 8, 13, 16];
 
@@ -185,13 +185,15 @@ fn alltoall_payload(_p: usize, src: usize, dst: usize) -> Vec<u64> {
 fn check_alltoall(p: usize, kind: AlltoallKind) {
     let out = Machine::run(MachineConfig::new(p).with_alltoall(kind), move |comm| {
         let me = comm.rank();
-        let bufs: Vec<Vec<u64>> = (0..p).map(|dst| alltoall_payload(p, me, dst)).collect();
-        match kind {
+        let bufs =
+            FlatBuckets::from_nested((0..p).map(|dst| alltoall_payload(p, me, dst)).collect());
+        let recv = match kind {
             AlltoallKind::Direct => comm.alltoallv_direct(bufs),
             AlltoallKind::Grid => comm.alltoallv_grid(bufs),
             AlltoallKind::Hypercube => comm.alltoallv_hypercube(bufs),
             AlltoallKind::Auto => comm.sparse_alltoallv(bufs),
-        }
+        };
+        recv.to_nested()
     });
     for (me, recv) in out.results.into_iter().enumerate() {
         assert_eq!(recv.len(), p);
@@ -247,7 +249,7 @@ fn grid_uses_fewer_message_startups_than_direct_at_scale() {
     let p = 64;
     let run = |kind: AlltoallKind| {
         Machine::run(MachineConfig::new(p).with_alltoall(kind), move |comm| {
-            let bufs: Vec<Vec<u64>> = (0..p).map(|d| vec![d as u64]).collect();
+            let bufs = FlatBuckets::from_nested((0..p).map(|d| vec![d as u64]).collect());
             match kind {
                 AlltoallKind::Direct => comm.alltoallv_direct(bufs),
                 _ => comm.alltoallv_grid(bufs),

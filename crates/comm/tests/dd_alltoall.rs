@@ -1,6 +1,6 @@
 //! Tests for the d-dimensional all-to-all generalisation (Sec. VI-A).
 
-use kamsta_comm::{Machine, MachineConfig};
+use kamsta_comm::{FlatBuckets, Machine, MachineConfig};
 
 fn payload(_p: usize, src: usize, dst: usize) -> Vec<u64> {
     let n = (src * 5 + dst * 11) % 4;
@@ -12,8 +12,8 @@ fn payload(_p: usize, src: usize, dst: usize) -> Vec<u64> {
 fn check_dd(p: usize, d: u32) {
     let out = Machine::run(MachineConfig::new(p), move |comm| {
         let me = comm.rank();
-        let bufs: Vec<Vec<u64>> = (0..p).map(|dst| payload(p, me, dst)).collect();
-        comm.alltoallv_dd(bufs, d)
+        let bufs = FlatBuckets::from_nested((0..p).map(|dst| payload(p, me, dst)).collect());
+        comm.alltoallv_dd(bufs, d).to_nested()
     });
     for (me, recv) in out.results.into_iter().enumerate() {
         for (src, got) in recv.into_iter().enumerate() {
@@ -45,7 +45,7 @@ fn higher_dimension_trades_startups_for_volume() {
     let p = 64;
     let run = |d: u32| {
         Machine::run(MachineConfig::new(p), move |comm| {
-            let bufs: Vec<Vec<u64>> = (0..p).map(|dst| vec![dst as u64; 2]).collect();
+            let bufs = FlatBuckets::from_nested((0..p).map(|dst| vec![dst as u64; 2]).collect());
             comm.alltoallv_dd(bufs, d);
         })
     };

@@ -1,7 +1,7 @@
 //! Property tests for the collective operations: arbitrary payloads and
 //! PE counts must round-trip exactly.
 
-use kamsta_comm::{AlltoallKind, Machine, MachineConfig};
+use kamsta_comm::{AlltoallKind, FlatBuckets, Machine, MachineConfig};
 use proptest::prelude::*;
 
 proptest! {
@@ -49,18 +49,21 @@ proptest! {
         let run = |kind: AlltoallKind| {
             Machine::run(MachineConfig::new(p).with_alltoall(kind), move |comm| {
                 let me = comm.rank() as u64;
-                let bufs: Vec<Vec<u64>> = (0..p)
-                    .map(|d| {
-                        let n = ((salt ^ (me * 31 + d as u64)) % 5) as usize;
-                        (0..n as u64).map(|k| salt ^ (me * 1000 + d as u64 * 10 + k)).collect()
-                    })
-                    .collect();
-                match kind {
+                let bufs = FlatBuckets::from_nested(
+                    (0..p)
+                        .map(|d| {
+                            let n = ((salt ^ (me * 31 + d as u64)) % 5) as usize;
+                            (0..n as u64).map(|k| salt ^ (me * 1000 + d as u64 * 10 + k)).collect()
+                        })
+                        .collect(),
+                );
+                let recv = match kind {
                     AlltoallKind::Direct => comm.alltoallv_direct(bufs),
                     AlltoallKind::Grid => comm.alltoallv_grid(bufs),
                     AlltoallKind::Hypercube => comm.alltoallv_hypercube(bufs),
                     AlltoallKind::Auto => comm.sparse_alltoallv(bufs),
-                }
+                };
+                recv.to_nested()
             })
             .results
         };
@@ -68,6 +71,48 @@ proptest! {
         prop_assert_eq!(&run(AlltoallKind::Grid), &direct);
         prop_assert_eq!(&run(AlltoallKind::Hypercube), &direct);
         prop_assert_eq!(&run(AlltoallKind::Auto), &direct);
+    }
+
+    #[test]
+    fn flat_buckets_roundtrip_nested_construction(
+        nested in prop::collection::vec(prop::collection::vec(any::<u64>(), 0..12), 1..10),
+    ) {
+        // The flat representation must agree with the old Vec<Vec<T>>
+        // construction in every observable way.
+        let flat = FlatBuckets::from_nested(nested.clone());
+        prop_assert_eq!(flat.buckets(), nested.len());
+        prop_assert_eq!(flat.total_len(), nested.iter().map(Vec::len).sum::<usize>());
+        for (j, bucket) in nested.iter().enumerate() {
+            prop_assert_eq!(flat.bucket(j), bucket.as_slice());
+            prop_assert_eq!(flat.count(j), bucket.len());
+        }
+        prop_assert_eq!(&flat.to_nested(), &nested);
+        let flat_payload: Vec<u64> = nested.iter().flatten().copied().collect();
+        prop_assert_eq!(flat.payload(), flat_payload.as_slice());
+        prop_assert_eq!(flat.into_payload(), flat_payload);
+    }
+
+    #[test]
+    fn flat_buckets_scatter_matches_nested_pushes(
+        buckets in 1usize..9,
+        pairs in prop::collection::vec((0usize..9, any::<u32>()), 0..60),
+    ) {
+        let pairs: Vec<(usize, u32)> =
+            pairs.into_iter().map(|(d, x)| (d % buckets, x)).collect();
+        // Reference: the old push-into-nested-buckets construction.
+        let mut nested: Vec<Vec<u32>> = vec![Vec::new(); buckets];
+        for &(d, x) in &pairs {
+            nested[d].push(x);
+        }
+        // Count-then-scatter must produce the identical (stable) layout.
+        let flat = FlatBuckets::from_pairs(buckets, pairs.clone());
+        prop_assert_eq!(&flat.to_nested(), &nested);
+        let by_fn = FlatBuckets::from_dest_fn(
+            buckets,
+            pairs.iter().map(|&(_, x)| x).collect::<Vec<u32>>(),
+            |_| 0,
+        );
+        prop_assert_eq!(by_fn.count(0), pairs.len());
     }
 
     #[test]

@@ -29,16 +29,19 @@
 
 use crate::instrument::{Phase, PhaseTimes, Phased};
 use crate::seq::UnionFind;
-use kamsta_comm::{route, Comm};
+use kamsta_comm::{route, Comm, FlatBuckets};
 use kamsta_graph::hash::FxHashMap;
 use kamsta_graph::{CEdge, DistGraph, InputGraph, VertexId, Weight};
+use std::borrow::Cow;
 
 /// Parallel-edge elimination strategy used by [`redistribute`]
-/// (Sec. VI-B's ablation: the hash-table prefilter "outperforms the pure
-/// sorting approach by up to a factor of 2.5").
+/// (Sec. VI-B's ablation: a local prefilter "outperforms the pure
+/// sorting approach by up to a factor of 2.5" because duplicates never
+/// travel through the distributed sort).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum DedupStrategy {
-    /// Local hash-table prefilter per `(u, v)` pair, then sort + dedup.
+    /// Local per-`(u, v)`-pair prefilter before the distributed sort
+    /// (radix sort on packed lexicographic keys + one dedup scan).
     #[default]
     HashFilter,
     /// Pure sorting: global sort, then dedup — the ablation baseline.
@@ -135,7 +138,9 @@ pub struct ContractOutcome {
 #[derive(Clone, Debug)]
 pub struct PreprocessOutcome {
     /// Local edges surviving contraction (intra-component edges removed),
-    /// still with original endpoints — [`relabel`] rewrites them.
+    /// still with original endpoints — [`relabel`] rewrites them. Empty
+    /// when the gate rejects (`applied == false`): the caller keeps using
+    /// its own graph, nothing is cloned.
     pub edges: Vec<CEdge>,
     /// Local component label per contracted vertex (identity for frozen
     /// shared vertices and for everything when the gate rejects).
@@ -156,30 +161,53 @@ pub struct PreprocessOutcome {
 /// Pull rather than push: the edge_cases regression showed that routing
 /// answers by home-of-reverse-edge misses duplicate holders; serving
 /// explicit requests delivers to every PE that asks.
+///
+/// The home PE is monotone in the vertex id, so the radix-sorted query
+/// list is already grouped by destination: both directions of the
+/// exchange are flat buffers built from a count array alone — no
+/// scatter pass and no per-item source tag. The reply carries *values
+/// only*: it rides back in the request's bucket, so position alone pairs
+/// it with the query — half the reply volume of a key-value exchange.
 fn pull<F>(
     comm: &Comm,
     g: &DistGraph,
-    mut queries: Vec<VertexId>,
+    queries: Vec<VertexId>,
     resolve: F,
 ) -> FxHashMap<VertexId, VertexId>
 where
     F: Fn(VertexId) -> VertexId,
 {
-    queries.sort_unstable();
-    queries.dedup();
-    comm.charge_local(queries.len() as u64);
-    let rank = comm.rank() as u32;
-    let requests: Vec<(usize, (u32, VertexId))> = queries
-        .iter()
-        .map(|&q| (g.home_of_vertex(q), (rank, q)))
-        .collect();
-    let incoming = route(comm, requests);
-    comm.charge_local(incoming.len() as u64);
-    let replies: Vec<(usize, (VertexId, VertexId))> = incoming
-        .into_iter()
-        .map(|(src, q)| (src as usize, (q, resolve(q))))
-        .collect();
-    route(comm, replies).into_iter().collect()
+    pull_values(comm, queries, |q| g.home_of_vertex(q), resolve)
+}
+
+/// The count-only request/reply exchange shared by [`pull`] and the
+/// [`DistArray`] lookups: radix-sort and dedup the queried ids, group
+/// them by their (monotone) home with a count array alone, resolve each
+/// incoming id at its home, and zip the value-only replies back by
+/// position. Collective.
+fn pull_values(
+    comm: &Comm,
+    mut ids: Vec<u64>,
+    home_of: impl Fn(u64) -> usize,
+    resolve: impl Fn(u64) -> u64,
+) -> FxHashMap<u64, u64> {
+    kamsta_sort::radix_sort_keys(&mut ids);
+    ids.dedup();
+    comm.charge_local(ids.len() as u64);
+    let p = comm.size();
+    let mut counts = vec![0usize; p];
+    for &id in &ids {
+        counts[home_of(id)] += 1;
+    }
+    let asked = ids.clone();
+    let requests = FlatBuckets::from_counts(ids, &counts);
+    let incoming = comm.sparse_alltoallv(requests);
+    comm.charge_local(incoming.total_len() as u64);
+    let reply_counts: Vec<usize> = (0..p).map(|j| incoming.count(j)).collect();
+    let answers: Vec<u64> = incoming.payload().iter().map(|&id| resolve(id)).collect();
+    let replies = FlatBuckets::from_counts(answers, &reply_counts);
+    let values = comm.sparse_alltoallv(replies).into_payload();
+    asked.into_iter().zip(values).collect()
 }
 
 // ---------------------------------------------------------------------
@@ -323,11 +351,13 @@ where
 /// Rewrite edge endpoints to component labels — sources through the local
 /// `label_of`, destinations through the ghost table — and drop the
 /// self-loops that contraction created. Preserves ids and weights, so the
-/// symmetric closure of the distributed edge list is maintained.
+/// symmetric closure of the distributed edge list is maintained. Borrows
+/// the edge slice: the output is a fresh vector either way, so callers
+/// never have to clone their graph to call this.
 pub fn relabel<F>(
     comm: &Comm,
     g: &DistGraph,
-    edges: Vec<CEdge>,
+    edges: &[CEdge],
     label_of: F,
     ghost: &FxHashMap<VertexId, VertexId>,
 ) -> Vec<CEdge>
@@ -337,8 +367,8 @@ where
     debug_assert!(g.pes() == comm.size());
     comm.charge_local(edges.len() as u64);
     edges
-        .into_iter()
-        .filter_map(|mut e| {
+        .iter()
+        .filter_map(|&(mut e)| {
             e.u = label_of(e.u);
             e.v = ghost.get(&e.v).copied().unwrap_or_else(|| label_of(e.v));
             (e.u != e.v).then_some(e)
@@ -366,7 +396,9 @@ pub fn redistribute(comm: &Comm, edges: Vec<CEdge>, cfg: &MstConfig) -> DistGrap
         }
     };
 
-    let mut sorted = kamsta_sort::sort_auto(comm, filtered, 0xC0FFEE);
+    // Distributed sort under the lexicographic order, local phases radix
+    // on the packed (u, v, w, id) key.
+    let mut sorted = kamsta_sort::sort_auto_by_key(comm, filtered, 0xC0FFEE, CEdge::lex_key);
     comm.charge_local(sorted.len() as u64);
     // Keep the first (lightest, smallest-id) copy of each consecutive pair
     // group; groups straddling PE boundaries are resolved below.
@@ -433,7 +465,7 @@ pub fn local_contract(comm: &Comm, g: &DistGraph, cfg: &MstConfig) -> Preprocess
         && (internal_global as f64) >= PREPROCESS_MIN_LOCAL_FRACTION * g.m_global as f64;
     if !applied {
         return PreprocessOutcome {
-            edges: g.edges.clone(),
+            edges: Vec::new(),
             labels: FxHashMap::default(),
             applied: false,
             mst_edge_ids: Vec::new(),
@@ -555,6 +587,22 @@ fn kruskal_ids(all: &[CEdge]) -> Vec<u64> {
     ids
 }
 
+/// Sort edges by `(weight_key, id)` — radix on the packed unique-weight
+/// key when every endpoint fits the 48-bit packable range, comparison
+/// sort otherwise (the non-packable fallback).
+fn sort_by_unique_weight(edges: &mut [CEdge]) {
+    let packable = edges
+        .iter()
+        .all(|e| e.u.max(e.v) <= kamsta_graph::PackedEdge::MAX_PACKABLE_VERTEX);
+    if packable {
+        kamsta_sort::radix_sort_by_key(edges, |e: &CEdge| {
+            (e.packed_weight_key().expect("checked packable").0, e.id)
+        });
+    } else {
+        edges.sort_unstable_by_key(|e| (e.weight_key(), e.id));
+    }
+}
+
 /// As [`kruskal_ids`], additionally returning the component label (the
 /// minimum member vertex id) of every vertex present in `all`.
 fn kruskal_ids_and_labels(all: &[CEdge]) -> (Vec<u64>, FxHashMap<VertexId, VertexId>) {
@@ -568,8 +616,8 @@ fn kruskal_ids_and_labels(all: &[CEdge]) -> (Vec<u64>, FxHashMap<VertexId, Verte
             });
         }
     }
-    let mut order: Vec<&CEdge> = all.iter().filter(|e| !e.is_self_loop()).collect();
-    order.sort_unstable_by_key(|e| (e.weight_key(), e.id));
+    let mut order: Vec<CEdge> = all.iter().filter(|e| !e.is_self_loop()).copied().collect();
+    sort_by_unique_weight(&mut order);
     let mut uf = UnionFind::new(verts.len());
     let mut ids = Vec::new();
     for e in order {
@@ -590,22 +638,41 @@ fn kruskal_ids_and_labels(all: &[CEdge]) -> (Vec<u64>, FxHashMap<VertexId, Verte
     (ids, labels)
 }
 
-/// Local keep-lightest-per-pair prefilter used before replicating a base
-/// case — identical duplicates and parallel copies never travel.
+/// Local keep-lightest-per-pair prefilter used by the `REDISTRIBUTE`
+/// dedup — identical duplicates and parallel copies never travel. A radix
+/// sort on the packed lexicographic key groups each ordered `(u, v)` pair
+/// with its lightest `(w, id)` copy first, so one dedup scan keeps
+/// exactly the survivors the old hash-table prefilter kept — already
+/// sorted. Both directions survive, keeping the edge list symmetric.
 fn prefilter_pairs(comm: &Comm, edges: &[CEdge]) -> Vec<CEdge> {
     comm.charge_local(edges.len() as u64);
-    let mut best: FxHashMap<(VertexId, VertexId), CEdge> = FxHashMap::default();
-    for e in edges {
-        if e.is_self_loop() {
-            continue;
-        }
-        let slot = best.entry((e.u, e.v)).or_insert(*e);
-        if (e.w, e.id) < (slot.w, slot.id) {
-            *slot = *e;
-        }
-    }
-    let mut out: Vec<CEdge> = best.into_values().collect();
-    out.sort_unstable();
+    let mut out: Vec<CEdge> = edges
+        .iter()
+        .filter(|e| !e.is_self_loop())
+        .copied()
+        .collect();
+    kamsta_sort::local_radix_sort(comm, &mut out, CEdge::lex_key);
+    out.dedup_by(|next, first| next.u == first.u && next.v == first.v);
+    out
+}
+
+/// Keep-lightest-per-*unordered*-pair prefilter for the replicated base
+/// cases. The symmetric closure holds both directions of every
+/// undirected edge machine-wide, and a sequential Kruskal can only ever
+/// use, per unordered pair, the copy minimal in `(w, id)` — the back
+/// edge and every (also heavier) parallel copy join two already-connected
+/// components. Keeping only the `u < v` direction halves the gathered
+/// volume; the pair-major lexicographic sort (`u, v, w, id` with
+/// `(u, v) = (min, max)` after the direction filter) then groups all
+/// remaining parallel copies of a pair, so one dedup scan keeps exactly
+/// the candidate the sequential tie-break would pick. The undirected
+/// MSF is unique under the unique-weight total order, so the forest is
+/// unchanged.
+fn prefilter_unordered(comm: &Comm, edges: &[CEdge]) -> Vec<CEdge> {
+    comm.charge_local(edges.len() as u64);
+    let mut out: Vec<CEdge> = edges.iter().filter(|e| e.u < e.v).copied().collect();
+    kamsta_sort::local_radix_sort(comm, &mut out, CEdge::lex_key);
+    out.dedup_by(|next, first| next.u == first.u && next.v == first.v);
     out
 }
 
@@ -614,7 +681,7 @@ fn prefilter_pairs(comm: &Comm, edges: &[CEdge]) -> Vec<CEdge> {
 /// ids — it is also the PE that claims them for `REDISTRIBUTE MST`, so
 /// nothing needs to be broadcast back. Collective.
 fn rooted_base_case(comm: &Comm, edges: &[CEdge]) -> Vec<u64> {
-    let mine = prefilter_pairs(comm, edges);
+    let mine = prefilter_unordered(comm, edges);
     match comm.gatherv(0, mine) {
         Some(all) => {
             comm.charge_local(2 * all.len() as u64);
@@ -635,43 +702,48 @@ fn rooted_base_case(comm: &Comm, edges: &[CEdge]) -> Vec<u64> {
 pub fn boruvka_mst(comm: &Comm, input: &InputGraph, cfg: &MstConfig) -> MstResult {
     let mut ph = Phased::new(comm);
     let p = comm.size();
-    let mut g = input.graph.clone();
     let mut msf_ids: Vec<u64> = Vec::new();
+    // The working graph: the pipeline reads the input graph in place
+    // until the first redistribution builds an owned one — the input is
+    // never cloned.
+    let mut cur: Option<DistGraph> = None;
 
     if cfg.preprocessing {
-        let pre = ph.measure(Phase::LocalPreprocessing, |c| local_contract(c, &g, cfg));
+        let pre = ph.measure(Phase::LocalPreprocessing, |c| {
+            local_contract(c, &input.graph, cfg)
+        });
         if pre.applied {
             msf_ids.extend(&pre.mst_edge_ids);
             let labels = pre.labels;
             let label_of = |v: VertexId| labels.get(&v).copied().unwrap_or(v);
-            let (ghost, relabeled) = ph.measure(Phase::ExchangeLabelsRelabel, |c| {
-                let ghost = exchange_labels(c, &g, label_of);
-                let relabeled = relabel(c, &g, pre.edges, label_of, &ghost);
-                (ghost, relabeled)
+            let relabeled = ph.measure(Phase::ExchangeLabelsRelabel, |c| {
+                let ghost = exchange_labels(c, &input.graph, label_of);
+                relabel(c, &input.graph, &pre.edges, label_of, &ghost)
             });
-            drop(ghost);
-            g = ph.measure(Phase::Redistribute, |c| redistribute(c, relabeled, cfg));
+            cur = Some(ph.measure(Phase::Redistribute, |c| redistribute(c, relabeled, cfg)));
         }
     }
 
-    while g.n_global > cfg.base_threshold(p) && g.m_global > 0 {
-        let sels = ph.measure(Phase::GraphSetupMinEdges, |c| min_edges(c, &g));
+    loop {
+        let g = cur.as_ref().unwrap_or(&input.graph);
+        if g.n_global <= cfg.base_threshold(p) || g.m_global == 0 {
+            break;
+        }
+        let sels = ph.measure(Phase::GraphSetupMinEdges, |c| min_edges(c, g));
         let outcome = ph.measure(Phase::ContractComponents, |c| {
-            contract_components(c, &g, &sels)
+            contract_components(c, g, &sels)
         });
         msf_ids.extend(&outcome.mst_edge_ids);
         let labels = outcome.labels;
         let label_of = |v: VertexId| labels.get(&v).copied().unwrap_or(v);
         let relabeled = ph.measure(Phase::ExchangeLabelsRelabel, |c| {
-            let ghost = exchange_labels(c, &g, label_of);
-            // `g` is rebuilt below; move the edges out instead of cloning
-            // O(m) per round.
-            let edges = std::mem::take(&mut g.edges);
-            relabel(c, &g, edges, label_of, &ghost)
+            let ghost = exchange_labels(c, g, label_of);
+            relabel(c, g, &g.edges, label_of, &ghost)
         });
-        g = ph.measure(Phase::Redistribute, |c| redistribute(c, relabeled, cfg));
+        cur = Some(ph.measure(Phase::Redistribute, |c| redistribute(c, relabeled, cfg)));
     }
 
+    let g = cur.as_ref().unwrap_or(&input.graph);
     let edges = ph.measure(Phase::BaseCaseRedistributeMst, |c| {
         // Non-root PEs receive no ids from the rooted base case.
         msf_ids.extend(rooted_base_case(c, &g.edges));
@@ -740,21 +812,16 @@ impl DistArray {
     }
 
     /// Fetch `a[id]` for every queried id (duplicates welcome); returns
-    /// an id → value map. Collective.
-    pub fn bulk_get(&self, comm: &Comm, mut ids: Vec<u64>) -> FxHashMap<u64, u64> {
-        ids.sort_unstable();
-        ids.dedup();
-        comm.charge_local(ids.len() as u64);
-        let rank = comm.rank() as u32;
-        let requests: Vec<(usize, (u32, u64))> =
-            ids.iter().map(|&id| (self.home(id), (rank, id))).collect();
-        let incoming = route(comm, requests);
-        comm.charge_local(incoming.len() as u64);
-        let replies: Vec<(usize, (u64, u64))> = incoming
-            .into_iter()
-            .map(|(src, id)| (src as usize, (id, self.values[(id - self.lo) as usize])))
-            .collect();
-        route(comm, replies).into_iter().collect()
+    /// an id → value map. Collective. The block home is monotone in the
+    /// id, so both exchange directions are count-only flat buffers (see
+    /// [`pull`]).
+    pub fn bulk_get(&self, comm: &Comm, ids: Vec<u64>) -> FxHashMap<u64, u64> {
+        pull_values(
+            comm,
+            ids,
+            |id| self.home(id),
+            |id| self.values[(id - self.lo) as usize],
+        )
     }
 
     /// Write `a[id] = value` for every pair (last writer per id wins
@@ -818,20 +885,13 @@ impl DistArray {
     /// than replicating the map when blocks are small relative to the
     /// graph. Collective.
     pub fn absorb_from_root(&mut self, comm: &Comm, map: Option<FxHashMap<u64, u64>>) {
-        let mut vals: Vec<u64> = self.values.clone();
-        vals.sort_unstable();
-        vals.dedup();
-        comm.charge_local(vals.len() as u64);
-        let rank = comm.rank() as u32;
-        let requests: Vec<(usize, (u32, u64))> = vals.into_iter().map(|v| (0, (rank, v))).collect();
-        let incoming = route(comm, requests);
         let map = map.unwrap_or_default();
-        comm.charge_local(incoming.len() as u64);
-        let replies: Vec<(usize, (u64, u64))> = incoming
-            .into_iter()
-            .map(|(src, v)| (src as usize, (v, map.get(&v).copied().unwrap_or(v))))
-            .collect();
-        let resolved: FxHashMap<u64, u64> = route(comm, replies).into_iter().collect();
+        let resolved = pull_values(
+            comm,
+            self.values.clone(),
+            |_| 0,
+            |v| map.get(&v).copied().unwrap_or(v),
+        );
         for v in self.values.iter_mut() {
             if let Some(&nv) = resolved.get(v) {
                 *v = nv;
@@ -874,17 +934,17 @@ struct FilterCtx<'a> {
 
 /// Base case: relabel through the representative array, replicate, solve
 /// sequentially, absorb the new components back into the array.
-fn filter_base_case(comm: &Comm, edges: Vec<CEdge>, reps: &mut DistArray, ctx: &mut FilterCtx) {
+fn filter_base_case(comm: &Comm, edges: &[CEdge], reps: &mut DistArray, ctx: &mut FilterCtx) {
     let mut endpoints: Vec<u64> = Vec::with_capacity(edges.len() * 2);
-    for e in &edges {
+    for e in edges {
         endpoints.push(e.u);
         endpoints.push(e.v);
     }
     let rep_of = reps.bulk_get(comm, endpoints);
     comm.charge_local(edges.len() as u64);
     let relabeled: Vec<CEdge> = edges
-        .into_iter()
-        .filter_map(|mut e| {
+        .iter()
+        .filter_map(|&(mut e)| {
             e.u = *rep_of.get(&e.u).unwrap_or(&e.u);
             e.v = *rep_of.get(&e.v).unwrap_or(&e.v);
             (e.u != e.v).then_some(e)
@@ -893,7 +953,7 @@ fn filter_base_case(comm: &Comm, edges: Vec<CEdge>, reps: &mut DistArray, ctx: &
     let kept = comm.allreduce_sum(relabeled.len() as u64);
     ctx.stats.base_case_calls += 1;
     ctx.stats.base_case_edges += kept;
-    let mine = prefilter_pairs(comm, &relabeled);
+    let mine = prefilter_unordered(comm, &relabeled);
     let labels_at_root = comm.gatherv(0, mine).map(|all| {
         comm.charge_local(2 * all.len() as u64);
         let (ids, labels) = kruskal_ids_and_labels(&all);
@@ -910,7 +970,7 @@ fn filter_base_case(comm: &Comm, edges: Vec<CEdge>, reps: &mut DistArray, ctx: &
 fn filter_rec(
     comm: &Comm,
     ph: &mut Phased<'_>,
-    edges: Vec<CEdge>,
+    edges: Cow<'_, [CEdge]>,
     reps: &mut DistArray,
     ctx: &mut FilterCtx,
     depth: u32,
@@ -921,7 +981,7 @@ fn filter_rec(
         return;
     }
     if m <= ctx.cfg.filter_min_edges_per_pe.saturating_mul(p as u64) || depth >= 60 {
-        ph_base(ph, edges, reps, ctx);
+        ph_base(ph, &edges, reps, ctx);
         return;
     }
     ctx.stats.partition_steps += 1;
@@ -930,7 +990,7 @@ fn filter_rec(
         c.charge_local(edges.len() as u64);
         let mut light = Vec::new();
         let mut heavy = Vec::new();
-        for e in edges {
+        for &e in edges.iter() {
             if e.weight_key() <= pivot {
                 light.push(e);
             } else {
@@ -942,10 +1002,10 @@ fn filter_rec(
     let m_light = comm.allreduce_sum(light.len() as u64);
     if m_light == m {
         // Degenerate split (all keys equal): the base case dedups it away.
-        ph_base(ph, light, reps, ctx);
+        ph_base(ph, &light, reps, ctx);
         return;
     }
-    filter_rec(comm, ph, light, reps, ctx, depth + 1);
+    filter_rec(comm, ph, Cow::Owned(light), reps, ctx, depth + 1);
 
     // Filter: a heavy edge whose endpoints already share a representative
     // is spanned by lighter edges and can never join the MSF.
@@ -966,10 +1026,10 @@ fn filter_rec(
         (survivors, dropped)
     });
     ctx.stats.filtered_edges += comm.allreduce_sum(dropped);
-    filter_rec(comm, ph, survivors, reps, ctx, depth + 1);
+    filter_rec(comm, ph, Cow::Owned(survivors), reps, ctx, depth + 1);
 }
 
-fn ph_base(ph: &mut Phased<'_>, edges: Vec<CEdge>, reps: &mut DistArray, ctx: &mut FilterCtx) {
+fn ph_base(ph: &mut Phased<'_>, edges: &[CEdge], reps: &mut DistArray, ctx: &mut FilterCtx) {
     ph.measure(Phase::BaseCaseRedistributeMst, |c| {
         filter_base_case(c, edges, reps, ctx)
     });
@@ -998,7 +1058,7 @@ pub fn filter_mst(comm: &Comm, input: &InputGraph, cfg: &MstConfig) -> (MstResul
     filter_rec(
         comm,
         &mut ph,
-        input.graph.edges.clone(),
+        Cow::Borrowed(input.graph.edges.as_slice()),
         &mut reps,
         &mut ctx,
         0,

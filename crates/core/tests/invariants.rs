@@ -54,7 +54,7 @@ fn pipeline_stages_preserve_symmetric_closure() {
             let labels = outcome.labels;
             let label_of = |v: u64| labels.get(&v).copied().unwrap_or(v);
             let ghost = exchange_labels(comm, &g, label_of);
-            let relabeled = relabel(comm, &g, g.edges.clone(), label_of, &ghost);
+            let relabeled = relabel(comm, &g, &g.edges, label_of, &ghost);
             stages.push((format!("relabel round {round}"), relabeled.clone()));
             g = ph.measure(Phase::Redistribute, |c| redistribute(c, relabeled, &cfg));
             stages.push((format!("redistribute round {round}"), g.edges.clone()));
@@ -87,7 +87,7 @@ fn preprocessing_preserves_consistency() {
         let labels = pre.labels.clone();
         let label_of = |v: u64| labels.get(&v).copied().unwrap_or(v);
         let ghost = exchange_labels(comm, &g, label_of);
-        let relabeled = relabel(comm, &g, pre.edges.clone(), label_of, &ghost);
+        let relabeled = relabel(comm, &g, &pre.edges, label_of, &ghost);
         let g2 = redistribute(comm, relabeled.clone(), &cfg);
         (relabeled, g2.edges.clone(), pre.applied)
     });

@@ -51,7 +51,7 @@ impl InputGraph {
             .map(|id| (home_of_id(&self.id_offsets, id), id))
             .collect();
         let mut mine = kamsta_comm::route(comm, items);
-        mine.sort_unstable();
+        kamsta_sort::radix_sort_keys(&mut mine);
         mine.dedup();
         comm.charge_local(self.compressed.len() as u64);
         self.compressed.lookup_sorted(&mine)

@@ -72,18 +72,20 @@ pub fn symmetrize(mut edges: Vec<WEdge>) -> Vec<WEdge> {
 /// Collective.
 pub fn distribute_from_root(comm: &Comm, edges: Option<Vec<WEdge>>) -> Vec<WEdge> {
     let p = comm.size();
-    let mut bufs: Vec<Vec<WEdge>> = (0..p).map(|_| Vec::new()).collect();
-    if comm.rank() == 0 {
+    let bufs = if comm.rank() == 0 {
         let mut edges = edges.expect("root must supply the edge list");
         edges.sort_unstable();
         let total = edges.len();
-        for (i, bucket) in bufs.iter_mut().enumerate() {
-            let lo = i * total / p;
-            let hi = (i + 1) * total / p;
-            *bucket = edges[lo..hi].to_vec();
-        }
-    }
-    comm.alltoallv_direct(bufs).into_iter().flatten().collect()
+        // Sorted blocks are contiguous: the payload is already in bucket
+        // order, so the flat buffer wraps it without a scatter pass.
+        let counts: Vec<usize> = (0..p)
+            .map(|i| (i + 1) * total / p - i * total / p)
+            .collect();
+        kamsta_comm::FlatBuckets::from_counts(edges, &counts)
+    } else {
+        kamsta_comm::FlatBuckets::empty(p)
+    };
+    comm.alltoallv_direct(bufs).into_payload()
 }
 
 #[cfg(test)]

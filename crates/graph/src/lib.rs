@@ -17,7 +17,7 @@ pub mod io;
 pub mod varint;
 
 pub use dist::{assign_ids, home_of_id, id_offsets, DistGraph, VertexSegments};
-pub use edge::{lighter, CEdge, HasWeightKey, VertexId, WEdge, Weight};
+pub use edge::{lighter, CEdge, HasWeightKey, PackedEdge, VertexId, WEdge, Weight};
 pub use gen::GraphConfig;
 pub use input::InputGraph;
 pub use varint::CompressedEdges;

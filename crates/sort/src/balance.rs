@@ -1,13 +1,13 @@
 //! Order-preserving rebalancing and global sortedness checks.
 
-use kamsta_comm::Comm;
+use kamsta_comm::{Comm, FlatBuckets};
 
 /// Redistribute a globally ordered sequence so PE `i` ends up with the
 /// contiguous block `[i·N/p, (i+1)·N/p)` of global positions — the output
 /// contract of the paper's `REDISTRIBUTE` (Sec. IV-C re-establishes the
 /// distributed graph data structure on balanced, sorted edges).
 /// Preserves global order. Collective.
-pub fn rebalance<T: Send + 'static>(comm: &Comm, data: Vec<T>) -> Vec<T> {
+pub fn rebalance<T: Clone + Send + Sync + 'static>(comm: &Comm, data: Vec<T>) -> Vec<T> {
     let p = comm.size();
     if p == 1 {
         return data;
@@ -17,27 +17,22 @@ pub fn rebalance<T: Send + 'static>(comm: &Comm, data: Vec<T>) -> Vec<T> {
     let total: u64 = counts.iter().sum();
     let my_offset: u64 = counts[..comm.rank()].iter().sum();
 
-    // Target block of PE i: [i·total/p, (i+1)·total/p).
+    // Target block of PE i: [i·total/p, (i+1)·total/p). My elements hold
+    // the contiguous global positions [my_offset, my_offset + n), so each
+    // destination receives a contiguous range of my payload: the flat
+    // buffer is the payload plus an O(p) count array — no per-item work.
     let target_start = |i: usize| (i as u64 * total) / p as u64;
-
-    let mut bufs: Vec<Vec<T>> = (0..p).map(|_| Vec::new()).collect();
-    for (k, item) in data.into_iter().enumerate() {
-        let pos = my_offset + k as u64;
-        // Find destination PE: the i with target_start(i) <= pos < target_start(i+1).
-        // pos·p/total is within 1 of the right PE; fix up locally.
-        let mut dest = ((pos.saturating_mul(p as u64)) / total.max(1)) as usize;
-        dest = dest.min(p - 1);
-        while dest > 0 && pos < target_start(dest) {
-            dest -= 1;
-        }
-        while dest + 1 < p && pos >= target_start(dest + 1) {
-            dest += 1;
-        }
-        bufs[dest].push(item);
-    }
+    let counts: Vec<usize> = (0..p)
+        .map(|i| {
+            let lo = target_start(i).clamp(my_offset, my_offset + n);
+            let hi = target_start(i + 1).clamp(my_offset, my_offset + n);
+            (hi - lo) as usize
+        })
+        .collect();
+    let bufs = FlatBuckets::from_counts(data, &counts);
     // Receiving in source-rank order preserves global order because source
     // ranks hold ascending global position ranges.
-    comm.alltoallv_direct(bufs).into_iter().flatten().collect()
+    comm.alltoallv_direct(bufs).into_payload()
 }
 
 /// Check that the distributed sequence is globally sorted (each PE locally

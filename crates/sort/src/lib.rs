@@ -22,13 +22,15 @@ mod balance;
 mod hypercube;
 mod local;
 mod merge;
+mod radix;
 mod sample;
 
 pub use balance::{is_globally_sorted, rebalance};
 pub use hypercube::hypercube_quicksort;
-pub use local::local_sort;
-pub use merge::multiway_merge;
-pub use sample::sample_sort;
+pub use local::{local_radix_sort, local_sort};
+pub use merge::{multiway_merge, multiway_merge_flat};
+pub use radix::{radix_sort_by_key, radix_sort_keys, RadixKey, SortOutcome};
+pub use sample::{sample_sort, sample_sort_by_key};
 
 use kamsta_comm::Comm;
 
@@ -49,5 +51,28 @@ where
         hypercube_quicksort(comm, data, seed)
     } else {
         sample_sort(comm, data, seed)
+    }
+}
+
+/// [`sort_auto`] with a packed radix key for the local phases. `key_of`
+/// must realise exactly `T`'s `Ord`; the hypercube path (small inputs,
+/// where startups dominate and local sorting is negligible) stays
+/// comparison-based. Collective.
+pub fn sort_auto_by_key<T, K>(
+    comm: &Comm,
+    data: Vec<T>,
+    seed: u64,
+    key_of: impl Fn(&T) -> K + Copy,
+) -> Vec<T>
+where
+    T: Ord + Copy + Send + Sync + 'static,
+    K: RadixKey,
+{
+    let total = comm.allreduce_sum(data.len() as u64);
+    let avg_per_pe = total / comm.size() as u64;
+    if avg_per_pe <= HYPERCUBE_THRESHOLD {
+        hypercube_quicksort(comm, data, seed)
+    } else {
+        sample_sort_by_key(comm, data, seed, key_of)
     }
 }

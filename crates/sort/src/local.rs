@@ -1,5 +1,6 @@
 //! Local sorting kernels with hybrid (rayon) parallelism.
 
+use crate::radix::{radix_sort_by_key, RadixKey, SortOutcome};
 use kamsta_comm::Comm;
 use rayon::prelude::*;
 
@@ -17,6 +18,36 @@ pub fn local_sort<T: Ord + Send>(comm: &Comm, data: &mut [T]) {
     } else {
         data.sort_unstable();
     }
+}
+
+/// Sort a local slice by a packed radix key, charging γ by what
+/// actually ran: `n` for an already-sorted scan, `n·passes` for the
+/// counting-sort passes, `n·log n` for the comparison fallback (as
+/// [`local_sort`] charges). Hybrid PEs with large slices use the rayon
+/// parallel comparison sort, exactly as [`local_sort`] does — the
+/// radix passes are sequential and must not cost the `-8` variants
+/// their thread speedup.
+pub fn local_radix_sort<T: Copy + Ord + Send, K: RadixKey>(
+    comm: &Comm,
+    data: &mut [T],
+    key_of: impl Fn(&T) -> K,
+) {
+    let n = data.len();
+    if n < 2 {
+        return;
+    }
+    let logn = kamsta_comm::ceil_log2(n).max(1) as u64;
+    if comm.threads_per_pe() > 1 && n > 4096 {
+        comm.charge_local(n as u64 * logn);
+        data.par_sort_unstable();
+        return;
+    }
+    let units = match radix_sort_by_key(data, key_of) {
+        SortOutcome::AlreadySorted => n as u64,
+        SortOutcome::Radix(passes) => n as u64 * (passes as u64).clamp(1, logn),
+        SortOutcome::Comparison => n as u64 * logn,
+    };
+    comm.charge_local(units);
 }
 
 #[cfg(test)]

@@ -1,5 +1,6 @@
 //! K-way merging of sorted runs (receive-side of the sample sort).
 
+use kamsta_comm::FlatBuckets;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -32,6 +33,31 @@ pub fn multiway_merge<T: Ord>(mut runs: Vec<Vec<T>>) -> Vec<T> {
     out
 }
 
+/// Merge the sorted runs of a flat receive buffer (one run per source
+/// bucket) into one sorted vector — the zero-copy receive side of the
+/// sample sort: runs are merged straight out of the contiguous buffer.
+///
+/// Same `O(n log k)` heap strategy and the same run-index tie-break as
+/// [`multiway_merge`], so distributed sorts stay deterministic.
+pub fn multiway_merge_flat<T: Ord + Clone>(runs: &FlatBuckets<T>) -> Vec<T> {
+    let k = runs.buckets();
+    let mut heads: Vec<std::slice::Iter<'_, T>> = runs.iter_buckets().map(<[T]>::iter).collect();
+    let mut heap: BinaryHeap<Reverse<(&T, usize)>> = BinaryHeap::with_capacity(k);
+    for (i, it) in heads.iter_mut().enumerate() {
+        if let Some(v) = it.next() {
+            heap.push(Reverse((v, i)));
+        }
+    }
+    let mut out = Vec::with_capacity(runs.total_len());
+    while let Some(Reverse((v, i))) = heap.pop() {
+        out.push(v.clone());
+        if let Some(next) = heads[i].next() {
+            heap.push(Reverse((next, i)));
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -53,6 +79,13 @@ mod tests {
         assert_eq!(multiway_merge::<u8>(vec![]), Vec::<u8>::new());
         assert_eq!(multiway_merge(vec![vec![2, 9]]), vec![2, 9]);
         assert_eq!(multiway_merge(vec![vec![], vec![5], vec![]]), vec![5]);
+    }
+
+    #[test]
+    fn flat_merge_matches_nested_merge() {
+        let nested = vec![vec![1u32, 4, 7], vec![2, 5, 8], vec![], vec![3, 3, 9]];
+        let flat = FlatBuckets::from_nested(nested.clone());
+        assert_eq!(multiway_merge_flat(&flat), multiway_merge(nested));
     }
 
     #[test]

@@ -1,0 +1,374 @@
+//! LSD radix sort on packed integer keys, with an adaptive
+//! profitability gate.
+//!
+//! The local phases of the distributed sorts — and the dedup prefilter of
+//! `REDISTRIBUTE` (Sec. VI-B) — sort edges under total orders that pack
+//! into wide integers (`kamsta-graph`'s `PackedEdge` and the full
+//! lexicographic `(u, v, w, id)` key). An OR/AND fold finds the bytes
+//! that actually vary; they are compacted into a narrow `u64`/`u128` so
+//! the stable counting passes move small records, and a one-scan
+//! sorted-input check skips re-sorting the prefilter's already-ordered
+//! output entirely.
+//!
+//! A counting pass costs roughly three comparison levels' worth of
+//! memory traffic per element, so radix only wins when the active key
+//! width is small relative to `log n` — vertex-id / edge-id sequences
+//! and late-round component labels, not full-entropy first-round edge
+//! keys. The sorters measure exactly that and fall back to
+//! `sort_unstable` otherwise (callers whose keys cannot be packed at
+//! all never reach the radix path — [`RadixKey`] is only implemented
+//! for packable keys). The returned pass count is `0` whenever the
+//! comparison path ran, which callers use for γ-cost charging.
+
+/// A sort key with byte-wise radix access. `Ord` must equal the
+/// big-endian byte order: byte `BYTES - 1` is the most significant.
+///
+/// The bit-wise fold operations power exact constant-byte detection in
+/// one cheap word-op pass: byte `b` is constant across the input iff the
+/// OR-fold and AND-fold of all keys agree on it.
+pub trait RadixKey: Copy + Ord {
+    /// Number of 8-bit digits in the key.
+    const BYTES: usize;
+    /// Digit `i`, with `i = 0` the least significant.
+    fn radix_byte(&self, i: usize) -> u8;
+    /// Byte-wise (in fact bit-wise) OR of two keys.
+    fn bit_or(a: Self, b: Self) -> Self;
+    /// Byte-wise (in fact bit-wise) AND of two keys.
+    fn bit_and(a: Self, b: Self) -> Self;
+}
+
+macro_rules! radix_key_uint {
+    ($t:ty, $bytes:expr) => {
+        impl RadixKey for $t {
+            const BYTES: usize = $bytes;
+            #[inline(always)]
+            fn radix_byte(&self, i: usize) -> u8 {
+                (self >> (8 * i)) as u8
+            }
+            #[inline(always)]
+            fn bit_or(a: Self, b: Self) -> Self {
+                a | b
+            }
+            #[inline(always)]
+            fn bit_and(a: Self, b: Self) -> Self {
+                a & b
+            }
+        }
+    };
+}
+
+radix_key_uint!(u32, 4);
+radix_key_uint!(u64, 8);
+radix_key_uint!(u128, 16);
+
+/// Lexicographic pair `(hi, lo)`: `lo` supplies the low 16 digits.
+impl RadixKey for (u128, u128) {
+    const BYTES: usize = 32;
+    #[inline(always)]
+    fn radix_byte(&self, i: usize) -> u8 {
+        if i < 16 {
+            (self.1 >> (8 * i)) as u8
+        } else {
+            (self.0 >> (8 * (i - 16))) as u8
+        }
+    }
+    #[inline(always)]
+    fn bit_or(a: Self, b: Self) -> Self {
+        (a.0 | b.0, a.1 | b.1)
+    }
+    #[inline(always)]
+    fn bit_and(a: Self, b: Self) -> Self {
+        (a.0 & b.0, a.1 & b.1)
+    }
+}
+
+/// Lexicographic pair `(hi, lo)` with a 64-bit low word.
+impl RadixKey for (u128, u64) {
+    const BYTES: usize = 24;
+    #[inline(always)]
+    fn radix_byte(&self, i: usize) -> u8 {
+        if i < 8 {
+            (self.1 >> (8 * i)) as u8
+        } else {
+            (self.0 >> (8 * (i - 8))) as u8
+        }
+    }
+    #[inline(always)]
+    fn bit_or(a: Self, b: Self) -> Self {
+        (a.0 | b.0, a.1 | b.1)
+    }
+    #[inline(always)]
+    fn bit_and(a: Self, b: Self) -> Self {
+        (a.0 & b.0, a.1 & b.1)
+    }
+}
+
+/// Below this length the comparison sort's constant factor wins.
+const SMALL_SORT_CUTOFF: usize = 96;
+
+/// How a sort call was executed — the caller's basis for γ-cost
+/// charging (a counting pass, a comparison level and a sortedness scan
+/// all move different amounts of data per element).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SortOutcome {
+    /// The input was already sorted: one scan, nothing moved.
+    AlreadySorted,
+    /// Radix path ran with this many counting passes.
+    Radix(usize),
+    /// Comparison fallback ran (small slice, unprofitable key entropy,
+    /// or a key too wide to compact): `n log n` comparisons.
+    Comparison,
+}
+
+impl SortOutcome {
+    /// Counting passes performed (0 unless the radix path ran).
+    pub fn passes(&self) -> usize {
+        match self {
+            SortOutcome::Radix(p) => *p,
+            _ => 0,
+        }
+    }
+}
+
+/// A counting pass moves each record once through a 256-way scatter —
+/// measured at roughly `RADIX_PASS_COST_IN_LEVELS` comparison levels of
+/// a pdqsort on the same data. Radix engages only when its pass count
+/// undercuts the comparison sort's `log n` levels by that factor.
+const RADIX_PASS_COST_IN_LEVELS: usize = 3;
+
+/// True if a radix sort with `passes` counting passes beats the
+/// comparison sort's `log n` levels on `n` elements.
+#[inline]
+fn radix_profitable(n: usize, passes: usize) -> bool {
+    passes * RADIX_PASS_COST_IN_LEVELS <= kamsta_comm::ceil_log2(n.max(2)) as usize
+}
+
+/// A narrow integer the active bytes of a wide key are compacted into
+/// before the counting passes — the passes then move 12/20-byte records
+/// instead of 28–40-byte ones.
+trait CompactKey: Copy + Default + Ord {
+    const BYTES: usize;
+    fn set_byte(&mut self, i: usize, b: u8);
+    fn digit8(&self, d: usize) -> usize;
+}
+
+macro_rules! compact_key_uint {
+    ($t:ty, $bytes:expr) => {
+        impl CompactKey for $t {
+            const BYTES: usize = $bytes;
+            #[inline(always)]
+            fn set_byte(&mut self, i: usize, b: u8) {
+                *self |= (b as $t) << (8 * i);
+            }
+            #[inline(always)]
+            fn digit8(&self, d: usize) -> usize {
+                ((self >> (8 * d)) & 0xFF) as usize
+            }
+        }
+    };
+}
+
+compact_key_uint!(u64, 8);
+compact_key_uint!(u128, 16);
+
+/// Stable LSD counting sort of `(compacted key, input index)` records;
+/// returns (sorted records, passes).
+fn sort_compact<T, K: RadixKey, C: CompactKey>(
+    data: &[T],
+    key_of: impl Fn(&T) -> K,
+    active: &[usize],
+) -> (Vec<(C, u32)>, usize) {
+    let mut keyed: Vec<(C, u32)> = data
+        .iter()
+        .enumerate()
+        .map(|(i, x)| {
+            let k = key_of(x);
+            let mut c = C::default();
+            for (slot, &b) in active.iter().enumerate() {
+                c.set_byte(slot, k.radix_byte(b));
+            }
+            (c, i as u32)
+        })
+        .collect();
+    let mut scratch = keyed.clone();
+    for d in 0..active.len() {
+        let mut hist = [0u32; 256];
+        for (c, _) in keyed.iter() {
+            hist[c.digit8(d)] += 1;
+        }
+        let mut acc = 0usize;
+        let mut offs = [0usize; 256];
+        for (o, &h) in offs.iter_mut().zip(hist.iter()) {
+            *o = acc;
+            acc += h as usize;
+        }
+        for &(c, i) in keyed.iter() {
+            let digit = c.digit8(d);
+            scratch[offs[digit]] = (c, i);
+            offs[digit] += 1;
+        }
+        std::mem::swap(&mut keyed, &mut scratch);
+    }
+    (keyed, active.len())
+}
+
+/// Sort `data` ascending by `key_of` with an LSD radix sort, falling
+/// back to `sort_unstable_by_key` when radix cannot win. Returns how
+/// the sort was executed ([`SortOutcome`]) for γ-cost charging.
+///
+/// The radix path is stable; the comparison fallback is not — callers
+/// needing deterministic results use keys that are total orders (every
+/// key in this workspace ends in a unique edge id), for which the
+/// distinction is unobservable.
+///
+/// The streaming OR/AND fold finds the bytes that actually vary; they
+/// are compacted into a `u64` (or `u128` for ≥ 9 active bytes) so the
+/// counting passes move narrow records. Keys whose active width exceeds
+/// 16 bytes — entropy a counting sort cannot beat comparisons on — fall
+/// back to `sort_unstable`.
+pub fn radix_sort_by_key<T: Copy, K: RadixKey>(
+    data: &mut [T],
+    key_of: impl Fn(&T) -> K,
+) -> SortOutcome {
+    let n = data.len();
+    if n < 2 {
+        return SortOutcome::AlreadySorted;
+    }
+    if n <= SMALL_SORT_CUTOFF {
+        data.sort_unstable_by_key(key_of);
+        return SortOutcome::Comparison;
+    }
+    // One streaming pass: sortedness check + OR/AND folds, nothing
+    // allocated before the engage-or-fall-back decision. Already-sorted
+    // inputs are common on the hot path (the dedup prefilter hands its
+    // sorted output to the distributed sort).
+    let first = key_of(&data[0]);
+    let (mut ors, mut ands, mut prev) = (first, first, first);
+    let mut sorted = true;
+    for x in &data[1..] {
+        let k = key_of(x);
+        sorted &= prev <= k;
+        prev = k;
+        ors = K::bit_or(ors, k);
+        ands = K::bit_and(ands, k);
+    }
+    if sorted {
+        return SortOutcome::AlreadySorted;
+    }
+    let active: Vec<usize> = (0..K::BYTES)
+        .filter(|&b| ors.radix_byte(b) != ands.radix_byte(b))
+        .collect();
+    if !radix_profitable(n, active.len()) || active.len() > <u128 as CompactKey>::BYTES {
+        data.sort_unstable_by_key(key_of);
+        return SortOutcome::Comparison;
+    }
+    let (order, passes): (Vec<u32>, usize) = if active.len() <= <u64 as CompactKey>::BYTES {
+        let (keyed, passes) = sort_compact::<T, K, u64>(data, &key_of, &active);
+        (keyed.into_iter().map(|(_, i)| i).collect(), passes)
+    } else {
+        let (keyed, passes) = sort_compact::<T, K, u128>(data, &key_of, &active);
+        (keyed.into_iter().map(|(_, i)| i).collect(), passes)
+    };
+    let gathered: Vec<T> = order.iter().map(|&i| data[i as usize]).collect();
+    data.copy_from_slice(&gathered);
+    SortOutcome::Radix(passes)
+}
+
+/// Sort a key sequence itself; same execution and fallback rules as
+/// [`radix_sort_by_key`] with the identity key.
+pub fn radix_sort_keys<K: RadixKey>(data: &mut [K]) -> SortOutcome {
+    radix_sort_by_key(data, |&k| k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn splitmix(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    #[test]
+    fn sorts_u64_like_comparison_sort() {
+        let mut s = 7u64;
+        let mut v: Vec<u64> = (0..5000).map(|_| splitmix(&mut s) % 1_000_003).collect();
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        let outcome = radix_sort_keys(&mut v);
+        assert!(
+            matches!(outcome, SortOutcome::Radix(p) if p > 0),
+            "large input must take the radix path: {outcome:?}"
+        );
+        assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn skips_constant_bytes() {
+        // Keys fit in 16 bits: only 2 of the 8 byte passes may run.
+        let mut s = 11u64;
+        let mut v: Vec<u64> = (0..4096).map(|_| splitmix(&mut s) % 65_536).collect();
+        let outcome = radix_sort_keys(&mut v);
+        assert!(
+            matches!(outcome, SortOutcome::Radix(p) if p <= 2),
+            "constant high bytes must be skipped: {outcome:?}"
+        );
+        assert!(v.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn wide_tuple_keys_match_tuple_order() {
+        let mut s = 13u64;
+        let mut v: Vec<(u128, u64)> = (0..3000)
+            .map(|_| {
+                (
+                    (splitmix(&mut s) as u128) << 64 | splitmix(&mut s) as u128,
+                    splitmix(&mut s),
+                )
+            })
+            .collect();
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        radix_sort_keys(&mut v);
+        assert_eq!(v, expect);
+        let mut w: Vec<(u128, u128)> = (0..3000)
+            .map(|_| {
+                (
+                    splitmix(&mut s) as u128,
+                    (splitmix(&mut s) as u128) << 64 | splitmix(&mut s) as u128,
+                )
+            })
+            .collect();
+        let mut expect = w.clone();
+        expect.sort_unstable();
+        radix_sort_keys(&mut w);
+        assert_eq!(w, expect);
+    }
+
+    #[test]
+    fn by_key_sorts_payloads_stably() {
+        // Payload (k, tag); key only looks at k — equal keys must keep
+        // insertion order (stability).
+        let mut s = 17u64;
+        let items: Vec<(u32, u32)> = (0..2000)
+            .map(|i| ((splitmix(&mut s) % 50) as u32, i as u32))
+            .collect();
+        let mut sorted = items.clone();
+        let outcome = radix_sort_by_key(&mut sorted, |&(k, _)| k);
+        assert!(matches!(outcome, SortOutcome::Radix(p) if p > 0));
+        let mut expect = items;
+        expect.sort_by_key(|&(k, _)| k); // std stable sort
+        assert_eq!(sorted, expect);
+    }
+
+    #[test]
+    fn small_inputs_use_comparison_fallback() {
+        let mut v: Vec<u64> = vec![5, 3, 9, 1];
+        let outcome = radix_sort_keys(&mut v);
+        assert_eq!(outcome, SortOutcome::Comparison);
+        assert_eq!(v, vec![1, 3, 5, 9]);
+    }
+}

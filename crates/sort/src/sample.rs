@@ -9,9 +9,10 @@
 //! per-partner volumes, making this "two-level" in the AMS sense as well.
 
 use crate::hypercube::hypercube_quicksort;
-use crate::local::local_sort;
-use crate::merge::multiway_merge;
-use kamsta_comm::Comm;
+use crate::local::{local_radix_sort, local_sort};
+use crate::merge::multiway_merge_flat;
+use crate::radix::RadixKey;
+use kamsta_comm::{Comm, FlatBuckets};
 
 /// Oversampling: samples taken per PE for splitter selection. Regular
 /// sampling with 16 per PE bounds bucket skew well for balanced inputs.
@@ -22,16 +23,44 @@ const OVERSAMPLING: usize = 16;
 ///
 /// The output is bucket-partitioned, not perfectly balanced; callers that
 /// need balanced blocks compose with [`crate::rebalance`].
-pub fn sample_sort<T>(comm: &Comm, mut data: Vec<T>, seed: u64) -> Vec<T>
+pub fn sample_sort<T>(comm: &Comm, data: Vec<T>, seed: u64) -> Vec<T>
+where
+    T: Ord + Clone + Send + Sync + 'static,
+{
+    sample_sort_impl(comm, data, seed, |c, d| local_sort(c, d))
+}
+
+/// [`sample_sort`] with the local phase replaced by the LSD radix sort on
+/// packed keys ([`crate::radix`]). `key_of` must realise exactly `T`'s
+/// `Ord` — the distributed plumbing (splitters, merge) still compares.
+pub fn sample_sort_by_key<T, K>(
+    comm: &Comm,
+    data: Vec<T>,
+    seed: u64,
+    key_of: impl Fn(&T) -> K + Copy,
+) -> Vec<T>
+where
+    T: Ord + Copy + Send + Sync + 'static,
+    K: RadixKey,
+{
+    sample_sort_impl(comm, data, seed, move |c, d| local_radix_sort(c, d, key_of))
+}
+
+fn sample_sort_impl<T>(
+    comm: &Comm,
+    mut data: Vec<T>,
+    seed: u64,
+    local: impl Fn(&Comm, &mut [T]),
+) -> Vec<T>
 where
     T: Ord + Clone + Send + Sync + 'static,
 {
     let p = comm.size();
     if p == 1 {
-        local_sort(comm, &mut data);
+        local(comm, &mut data);
         return data;
     }
-    local_sort(comm, &mut data);
+    local(comm, &mut data);
 
     // Regular sampling of the locally sorted run.
     let s = OVERSAMPLING.min(data.len());
@@ -61,23 +90,26 @@ where
     let splitters = comm.allgatherv(owned_splitters);
 
     // Bucket the locally sorted data: bucket b holds elements in
-    // (splitters[b-1], splitters[b]].
-    let mut bufs: Vec<Vec<T>> = (0..p).map(|_| Vec::new()).collect();
+    // (splitters[b-1], splitters[b]]. The buckets are contiguous ranges
+    // of the sorted run, so the flat buffer wraps the payload directly —
+    // only the count array is computed, nothing is copied.
+    let mut counts = vec![0usize; p];
     if splitters.is_empty() {
-        bufs[0] = data;
+        counts[0] = data.len();
     } else {
         comm.charge_local((data.len() as u64) * (kamsta_comm::ceil_log2(p) as u64));
         let mut start = 0usize;
         for (b, spl) in splitters.iter().enumerate() {
             let end = start + data[start..].partition_point(|x| x <= spl);
-            bufs[b] = data[start..end].to_vec();
+            counts[b] = end - start;
             start = end;
         }
-        bufs[splitters.len()] = data[start..].to_vec();
+        counts[splitters.len()] = data.len() - start;
     }
+    let bufs = FlatBuckets::from_counts(data, &counts);
 
     // Deliver and merge the sorted runs.
     let runs = comm.sparse_alltoallv(bufs);
-    comm.charge_local(runs.iter().map(|r| r.len() as u64).sum::<u64>());
-    multiway_merge(runs)
+    comm.charge_local(runs.total_len() as u64);
+    multiway_merge_flat(&runs)
 }

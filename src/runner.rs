@@ -190,11 +190,11 @@ fn run_algorithm(
             )
         }
         Algorithm::SparseMatrix => {
-            let msf = sparse_matrix(comm, input.graph.edges.clone());
+            let msf = sparse_matrix(comm, &input.graph.edges);
             (msf, None, None)
         }
         Algorithm::MndMst => {
-            let msf = mnd_mst(comm, input.graph.edges.clone(), &MndConfig::default());
+            let msf = mnd_mst(comm, &input.graph.edges, &MndConfig::default());
             (msf, None, None)
         }
     };
