@@ -1,0 +1,100 @@
+//! **Dyn throughput**: updates/sec of the batch-dynamic MSF maintainer
+//! vs from-scratch recomputation at every batch boundary, over a sweep
+//! of batch sizes — the amortisation curve of the certificate re-solve.
+//!
+//! Environment:
+//!
+//! * `KAMSTA_MAX_CORES` — simulated core count (default 16);
+//! * `KAMSTA_V_PER_CORE` / `KAMSTA_M_PER_CORE` — weak-scaling sizes
+//!   (defaults 10 / 14);
+//! * `KAMSTA_DYN_OPS` — total update operations per sweep point
+//!   (default 1024);
+//! * `KAMSTA_DYN_BATCHES` — comma-separated batch sizes
+//!   (default `16,64,256`);
+//! * `KAMSTA_DYN_OUT` — optional JSON output path.
+
+use kamsta_bench::{bench_mst_config, dyn_throughput_workload, env_usize, Table, WeakScale};
+
+const SEED: u64 = 42;
+const FAMILIES: [&str; 3] = ["GNM", "2D-RGG", "RMAT"];
+
+fn batch_sizes() -> Vec<usize> {
+    std::env::var("KAMSTA_DYN_BATCHES")
+        .ok()
+        .map(|s| {
+            s.split(',')
+                .filter_map(|x| x.trim().parse().ok())
+                .filter(|&b| b > 0)
+                .collect()
+        })
+        .filter(|v: &Vec<usize>| !v.is_empty())
+        .unwrap_or_else(|| vec![16, 64, 256])
+}
+
+fn main() {
+    let cores = env_usize("KAMSTA_MAX_CORES", 16);
+    let ops = env_usize("KAMSTA_DYN_OPS", 1024);
+    let ws = WeakScale::from_env();
+    let cfg = bench_mst_config();
+
+    let mut table = Table::new(&[
+        "family",
+        "batch",
+        "ops",
+        "upd/s",
+        "dyn wall",
+        "scratch wall",
+        "speedup",
+        "modeled x",
+        "resolves",
+        "cert edges",
+    ]);
+    let mut json_entries: Vec<String> = Vec::new();
+    for family in FAMILIES {
+        let config = ws.config(family, cores);
+        for batch in batch_sizes() {
+            let batches = (ops / batch).max(1);
+            let t = dyn_throughput_workload(cores, config, cfg, SEED, batches, batch);
+            table.row(vec![
+                family.to_string(),
+                batch.to_string(),
+                t.ops.to_string(),
+                format!("{:.0}", t.updates_per_second()),
+                format!("{:.4}s", t.dyn_wall),
+                format!("{:.4}s", t.scratch_wall),
+                format!("{:.2}x", t.wall_speedup()),
+                format!("{:.2}x", t.modeled_speedup()),
+                t.stats.resolves.to_string(),
+                t.stats.certificate_edges.to_string(),
+            ]);
+            json_entries.push(format!(
+                "    {{\"family\": \"{family}\", \"batch\": {batch}, \"ops\": {}, \
+                 \"updates_per_second\": {:.3}, \"dyn_wall\": {:.6}, \
+                 \"scratch_wall\": {:.6}, \"dyn_modeled\": {:.6}, \
+                 \"scratch_modeled\": {:.6}, \"wall_speedup\": {:.3}, \
+                 \"modeled_speedup\": {:.3}, \"final_weight\": {}}}",
+                t.ops,
+                t.updates_per_second(),
+                t.dyn_wall,
+                t.scratch_wall,
+                t.dyn_modeled,
+                t.scratch_modeled,
+                t.wall_speedup(),
+                t.modeled_speedup(),
+                t.final_weight,
+            ));
+        }
+    }
+    println!("dyn_throughput: cores={cores} seed={SEED} (dyn apply vs from-scratch per batch)");
+    table.print();
+
+    if let Ok(path) = std::env::var("KAMSTA_DYN_OUT") {
+        let json = format!(
+            "{{\n  \"bench\": \"dyn_throughput\", \"cores\": {cores}, \"seed\": {SEED},\n  \
+             \"entries\": [\n{}\n  ]\n}}\n",
+            json_entries.join(",\n")
+        );
+        std::fs::write(&path, json).expect("write dyn throughput JSON");
+        eprintln!("wrote {path}");
+    }
+}

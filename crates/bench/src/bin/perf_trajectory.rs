@@ -3,7 +3,16 @@
 //! regress against each other (`BENCH_pr<N>.json` at the repo root).
 //!
 //! Instances: the GNM / RMAT / RoadLike weak-scaling configurations at
-//! fixed seeds, run with `boruvka-1` and `filterBoruvka-1`.
+//! fixed seeds, run with `boruvka-1` and `filterBoruvka-1`, plus the
+//! batch-dynamic workload (`dyn-64`: random updates in batches of 64 on
+//! GNM, wall time of the dynamic path; its `edges_per_second` field
+//! reports updates per *modeled* second and `input_edges` the op
+//! count).
+//!
+//! Since PR 3, `modeled_time`/`edges_per_second` of the static entries
+//! cover the MST computation only (input generation and preparation
+//! excluded, matching the paper's methodology); `wall_time` still spans
+//! the whole simulation.
 //!
 //! Environment:
 //!
@@ -15,10 +24,10 @@
 //! * `KAMSTA_BASELINE` — path to a previous run's JSON; when set, its
 //!   entries are embedded under `"baseline"` and per-entry speedups are
 //!   computed;
-//! * `KAMSTA_PERF_OUT` — output path (default `BENCH_pr2.json`).
+//! * `KAMSTA_PERF_OUT` — output path (default `BENCH_pr3.json`).
 
 use kamsta::{Algorithm, MstConfig, RunSummary};
-use kamsta_bench::{bench_mst_config, env_usize, Variant, WeakScale};
+use kamsta_bench::{bench_mst_config, dyn_throughput_workload, env_usize, Variant, WeakScale};
 
 const SEED: u64 = 42;
 const FAMILIES: [&str; 3] = ["GNM", "RMAT", "ROAD"];
@@ -128,7 +137,7 @@ fn main() {
     let ws = WeakScale::from_env();
     let cfg = bench_mst_config();
     let out_path =
-        std::env::var("KAMSTA_PERF_OUT").unwrap_or_else(|_| "BENCH_pr2.json".to_string());
+        std::env::var("KAMSTA_PERF_OUT").unwrap_or_else(|_| "BENCH_pr3.json".to_string());
     let baseline: Vec<(String, String, f64, f64)> = std::env::var("KAMSTA_BASELINE")
         .ok()
         .and_then(|p| std::fs::read_to_string(p).ok())
@@ -157,6 +166,42 @@ fn main() {
                 entries.push(e);
             }
         }
+    }
+
+    // The batch-dynamic workload: 8 batches of 64 random updates on the
+    // GNM instance, best-of-reps like the static entries.
+    let (dyn_batches, dyn_batch) = (8usize, 64usize);
+    let mut best: Option<kamsta_bench::DynThroughput> = None;
+    for _ in 0..reps.max(1) {
+        let t = dyn_throughput_workload(
+            cores,
+            ws.config("GNM", cores),
+            cfg,
+            SEED,
+            dyn_batches,
+            dyn_batch,
+        );
+        if best.is_none_or(|b| t.dyn_wall < b.dyn_wall) {
+            best = Some(t);
+        }
+    }
+    if let Some(t) = best {
+        eprintln!(
+            "  GNM dyn-{dyn_batch:<12} wall {:.4}s modeled {:.4}s ({:.2}x vs scratch)",
+            t.dyn_wall,
+            t.dyn_modeled,
+            t.wall_speedup()
+        );
+        entries.push(Entry {
+            instance: "GNM",
+            cores,
+            algo: format!("dyn-{dyn_batch}"),
+            wall_time: t.dyn_wall,
+            modeled_time: t.dyn_modeled,
+            edges_per_second: t.ops as f64 / t.dyn_modeled.max(f64::MIN_POSITIVE),
+            msf_weight: t.final_weight,
+            input_edges: t.ops,
+        });
     }
 
     let lookup = |inst: &str, algo: &str| -> Option<(f64, f64)> {

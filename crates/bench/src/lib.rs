@@ -14,6 +14,153 @@
 //!   scaled down per DESIGN.md S3).
 
 use kamsta::{Algorithm, GraphConfig, MstConfig, RunSummary, Runner};
+use kamsta_comm::{Comm, Machine, MachineConfig};
+use kamsta_core::dist::boruvka_mst;
+use kamsta_dyn::{DynConfig, DynMst, WorkloadGen};
+use kamsta_graph::io::distribute_from_root;
+use kamsta_graph::{InputGraph, WEdge};
+
+/// Measurements of one batch-dynamic update workload against the
+/// from-scratch alternative (same deterministic update stream, same
+/// final graph — the helper asserts the final forests agree).
+#[derive(Clone, Copy, Debug)]
+pub struct DynThroughput {
+    /// Total update operations applied.
+    pub ops: u64,
+    /// Number of batches.
+    pub batches: u64,
+    /// Updates per batch.
+    pub batch_size: usize,
+    /// Wall seconds spent applying all batches dynamically.
+    pub dyn_wall: f64,
+    /// Modeled seconds of the dynamic path.
+    pub dyn_modeled: f64,
+    /// Wall seconds spent recomputing from scratch at every boundary.
+    pub scratch_wall: f64,
+    /// Modeled seconds of the from-scratch path.
+    pub scratch_modeled: f64,
+    /// Final forest weight (identical on both paths).
+    pub final_weight: u64,
+    /// Lifetime statistics of the dynamic maintainer.
+    pub stats: kamsta_dyn::UpdateStats,
+}
+
+impl DynThroughput {
+    /// Updates per wall second through the dynamic path.
+    pub fn updates_per_second(&self) -> f64 {
+        self.ops as f64 / self.dyn_wall.max(f64::MIN_POSITIVE)
+    }
+
+    /// Wall speedup of dynamic maintenance over recompute-per-batch.
+    pub fn wall_speedup(&self) -> f64 {
+        self.scratch_wall / self.dyn_wall.max(f64::MIN_POSITIVE)
+    }
+
+    /// Modeled speedup of dynamic maintenance over recompute-per-batch.
+    pub fn modeled_speedup(&self) -> f64 {
+        self.scratch_modeled / self.dyn_modeled.max(f64::MIN_POSITIVE)
+    }
+}
+
+/// The vertex-space bound and initial canonical live set of a prepared
+/// input — identical on every PE, so both measurement machines replay
+/// the same [`WorkloadGen`] stream.
+fn workload_base(comm: &Comm, input: &InputGraph) -> (u64, Vec<WEdge>) {
+    let n = kamsta_dyn::vertex_bound(comm, input);
+    let mut initial: Vec<WEdge> = comm.allgatherv(
+        input
+            .graph
+            .edges
+            .iter()
+            .filter(|e| e.u < e.v)
+            .map(|e| e.wedge())
+            .collect(),
+    );
+    initial.sort_unstable();
+    initial.dedup_by(|b, a| a.u == b.u && a.v == b.v);
+    (n, initial)
+}
+
+/// Run the same random update stream through the batch-dynamic
+/// maintainer and through from-scratch recomputation at every batch
+/// boundary, timing both (bootstrap and generation excluded).
+pub fn dyn_throughput_workload(
+    cores: usize,
+    config: GraphConfig,
+    cfg: MstConfig,
+    seed: u64,
+    batches: usize,
+    batch_size: usize,
+) -> DynThroughput {
+    let machine = MachineConfig::new(cores);
+    let wl_seed = seed ^ 0x00DA_BEBC;
+
+    let dyn_out = Machine::run(machine.clone(), |comm| {
+        let input = InputGraph::generate(comm, config, seed);
+        let (n, initial) = workload_base(comm, &input);
+        let mut dynmst = DynMst::bootstrap(comm, DynConfig::new(n).with_mst(cfg), &input);
+        let mut workload = WorkloadGen::new(n, wl_seed, &initial);
+        comm.barrier();
+        let before = comm.stats();
+        let t0 = std::time::Instant::now();
+        for _ in 0..batches {
+            let batch = workload.next_batch(batch_size);
+            let slice: &[_] = if comm.rank() == 0 { &batch } else { &[] };
+            dynmst.apply_batch(comm, slice);
+        }
+        comm.barrier();
+        let wall = t0.elapsed().as_secs_f64();
+        let stats = comm.stats().since(&before);
+        (
+            wall,
+            stats.modeled_time,
+            dynmst.msf_weight(),
+            dynmst.stats(),
+        )
+    });
+
+    let scratch_out = Machine::run(machine, |comm| {
+        let input = InputGraph::generate(comm, config, seed);
+        let (n, initial) = workload_base(comm, &input);
+        let mut workload = WorkloadGen::new(n, wl_seed, &initial);
+        let mut weight = 0u64;
+        comm.barrier();
+        let before = comm.stats();
+        let t0 = std::time::Instant::now();
+        for _ in 0..batches {
+            let _ = workload.next_batch(batch_size);
+            let reference = workload.symmetric_edges();
+            let slice = distribute_from_root(comm, (comm.rank() == 0).then_some(reference));
+            let ref_input = InputGraph::from_sorted_edges(comm, slice);
+            let r = boruvka_mst(comm, &ref_input, &cfg);
+            weight = comm.allreduce_sum(r.edges.iter().map(|e| e.w as u64).sum::<u64>());
+        }
+        comm.barrier();
+        let wall = t0.elapsed().as_secs_f64();
+        let stats = comm.stats().since(&before);
+        (wall, stats.modeled_time, weight)
+    });
+
+    let dyn_wall = dyn_out.results.iter().map(|r| r.0).fold(0.0, f64::max);
+    let dyn_modeled = dyn_out.results.iter().map(|r| r.1).fold(0.0, f64::max);
+    let scratch_wall = scratch_out.results.iter().map(|r| r.0).fold(0.0, f64::max);
+    let scratch_modeled = scratch_out.results.iter().map(|r| r.1).fold(0.0, f64::max);
+    assert_eq!(
+        dyn_out.results[0].2, scratch_out.results[0].2,
+        "dynamic and from-scratch forests must weigh the same"
+    );
+    DynThroughput {
+        ops: (batches * batch_size) as u64,
+        batches: batches as u64,
+        batch_size,
+        dyn_wall,
+        dyn_modeled,
+        scratch_wall,
+        scratch_modeled,
+        final_weight: dyn_out.results[0].2,
+        stats: dyn_out.results[0].3,
+    }
+}
 
 /// Read a `usize` environment knob.
 pub fn env_usize(name: &str, default: usize) -> usize {

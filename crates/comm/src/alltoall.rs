@@ -498,6 +498,30 @@ impl Comm {
             self.alltoallv_direct(bufs)
         }
     }
+
+    /// Positional request/reply exchange: deliver `requests` to their
+    /// bucket PEs, resolve every incoming request at the receiver with
+    /// `resolve`, and ship the answers back *value-only* — each reply
+    /// rides in the bucket of its request, so position alone pairs answer
+    /// with question at half the wire volume of a key-value reply.
+    /// Returns the answers aligned with the request payload order.
+    /// Collective.
+    ///
+    /// This is the wire pattern behind the MST pipeline's pull-based
+    /// label protocol and the batch-dynamic layer's membership lookups.
+    pub fn request_reply<Q, A>(&self, requests: FlatBuckets<Q>, resolve: impl Fn(&Q) -> A) -> Vec<A>
+    where
+        Q: Clone + Send + Sync + 'static,
+        A: Clone + Send + Sync + 'static,
+    {
+        let p = self.size();
+        let incoming = self.sparse_alltoallv(requests);
+        self.charge_local(incoming.total_len() as u64);
+        let reply_counts: Vec<usize> = (0..p).map(|j| incoming.count(j)).collect();
+        let answers: Vec<A> = incoming.payload().iter().map(&resolve).collect();
+        let replies = FlatBuckets::from_counts(answers, &reply_counts);
+        self.sparse_alltoallv(replies).into_payload()
+    }
 }
 
 /// Merge two equally-bucketed flat buffers: bucket `j` of the result is

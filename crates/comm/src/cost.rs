@@ -139,6 +139,20 @@ pub struct PeStats {
     pub local_ops: u64,
 }
 
+impl PeStats {
+    /// Counter deltas since an earlier snapshot of the same clock — the
+    /// phase-scoped measurement the experiment harness uses to report
+    /// algorithm cost without input-preparation traffic.
+    pub fn since(&self, before: &PeStats) -> PeStats {
+        PeStats {
+            modeled_time: self.modeled_time - before.modeled_time,
+            messages: self.messages - before.messages,
+            bytes: self.bytes - before.bytes,
+            local_ops: self.local_ops - before.local_ops,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

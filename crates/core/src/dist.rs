@@ -182,8 +182,8 @@ where
 
 /// The count-only request/reply exchange shared by [`pull`] and the
 /// [`DistArray`] lookups: radix-sort and dedup the queried ids, group
-/// them by their (monotone) home with a count array alone, resolve each
-/// incoming id at its home, and zip the value-only replies back by
+/// them by their (monotone) home with a count array alone, and run the
+/// value-only [`Comm::request_reply`] wire pattern — replies zip back by
 /// position. Collective.
 fn pull_values(
     comm: &Comm,
@@ -194,19 +194,13 @@ fn pull_values(
     kamsta_sort::radix_sort_keys(&mut ids);
     ids.dedup();
     comm.charge_local(ids.len() as u64);
-    let p = comm.size();
-    let mut counts = vec![0usize; p];
+    let mut counts = vec![0usize; comm.size()];
     for &id in &ids {
         counts[home_of(id)] += 1;
     }
     let asked = ids.clone();
     let requests = FlatBuckets::from_counts(ids, &counts);
-    let incoming = comm.sparse_alltoallv(requests);
-    comm.charge_local(incoming.total_len() as u64);
-    let reply_counts: Vec<usize> = (0..p).map(|j| incoming.count(j)).collect();
-    let answers: Vec<u64> = incoming.payload().iter().map(|&id| resolve(id)).collect();
-    let replies = FlatBuckets::from_counts(answers, &reply_counts);
-    let values = comm.sparse_alltoallv(replies).into_payload();
+    let values = comm.request_reply(requests, |&id| resolve(id));
     asked.into_iter().zip(values).collect()
 }
 
@@ -226,7 +220,7 @@ pub fn min_edges(comm: &Comm, g: &DistGraph) -> Vec<MinEdge> {
         let best = g.edges[range]
             .iter()
             .filter(|e| !e.is_self_loop())
-            .min_by_key(|e| (e.weight_key(), e.id));
+            .min_by_key(|e| (e.w, e.id));
         if let Some(&edge) = best {
             let sel = MinEdge { v, edge };
             if g.is_shared(v) {
@@ -242,7 +236,7 @@ pub fn min_edges(comm: &Comm, g: &DistGraph) -> Vec<MinEdge> {
         let mut winner: FxHashMap<VertexId, CEdge> = FxHashMap::default();
         for cand in all_cands {
             let slot = winner.entry(cand.v).or_insert(cand.edge);
-            if (cand.edge.weight_key(), cand.edge.id) < (slot.weight_key(), slot.id) {
+            if (cand.edge.w, cand.edge.id) < (slot.w, slot.id) {
                 *slot = cand.edge;
             }
         }
@@ -501,7 +495,7 @@ pub fn local_contract(comm: &Comm, g: &DistGraph, cfg: &MstConfig) -> Preprocess
                 }
             }
             let slot = best.entry(cu).or_insert(*e);
-            if (e.weight_key(), e.id) < (slot.weight_key(), slot.id) {
+            if (e.w, e.id) < (slot.w, slot.id) {
                 *slot = *e;
             }
         }
@@ -587,20 +581,12 @@ fn kruskal_ids(all: &[CEdge]) -> Vec<u64> {
     ids
 }
 
-/// Sort edges by `(weight_key, id)` — radix on the packed unique-weight
-/// key when every endpoint fits the 48-bit packable range, comparison
-/// sort otherwise (the non-packable fallback).
+/// Sort edges by the unique-weight total order `(w, id)` — the
+/// pair-canonical ids make this the paper's `(w, min, max)` order on
+/// *original* endpoints, invariant under contraction. One radix sort on
+/// the packed 96-bit key.
 fn sort_by_unique_weight(edges: &mut [CEdge]) {
-    let packable = edges
-        .iter()
-        .all(|e| e.u.max(e.v) <= kamsta_graph::PackedEdge::MAX_PACKABLE_VERTEX);
-    if packable {
-        kamsta_sort::radix_sort_by_key(edges, |e: &CEdge| {
-            (e.packed_weight_key().expect("checked packable").0, e.id)
-        });
-    } else {
-        edges.sort_unstable_by_key(|e| (e.weight_key(), e.id));
-    }
+    kamsta_sort::radix_sort_by_key(edges, |e: &CEdge| ((e.w as u128) << 64) | e.id as u128);
 }
 
 /// As [`kruskal_ids`], additionally returning the component label (the
@@ -904,7 +890,10 @@ impl DistArray {
 // Algorithm 2: Filter-Borůvka
 // ---------------------------------------------------------------------
 
-type WeightKey = (Weight, VertexId, VertexId);
+/// The unique-weight total order Filter-Borůvka partitions on: `(w, id)`
+/// with pair-canonical ids — direction-symmetric (both copies of an
+/// undirected edge share the id) and contraction-invariant.
+type WeightKey = (Weight, u64);
 
 /// Deterministic sample-median pivot over the unique-weight keys.
 fn sample_pivot(comm: &Comm, edges: &[CEdge]) -> WeightKey {
@@ -917,7 +906,7 @@ fn sample_pivot(comm: &Comm, edges: &[CEdge]) -> WeightKey {
                 .iter()
                 .step_by(stride)
                 .take(SAMPLES_PER_PE)
-                .map(|e| e.weight_key()),
+                .map(|e| (e.w, e.id)),
         );
     }
     let mut all = comm.allgatherv(sample);
@@ -991,7 +980,7 @@ fn filter_rec(
         let mut light = Vec::new();
         let mut heavy = Vec::new();
         for &e in edges.iter() {
-            if e.weight_key() <= pivot {
+            if (e.w, e.id) <= pivot {
                 light.push(e);
             } else {
                 heavy.push(e);

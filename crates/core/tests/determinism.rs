@@ -1,0 +1,104 @@
+//! Cross-p determinism: on fixed seeds, [`boruvka_mst`] must report the
+//! *identical MSF edge-id set* — not just the same weight — for
+//! p ∈ {1, 2, 4, 16}. The generators are partition-invariant and ids are
+//! global sorted positions, so the input id space is the same at every
+//! p; the canonicalisation in `REDISTRIBUTE MST` (minimal-id `u < v`
+//! copy per claim) then makes the reported set a pure function of the
+//! undirected MSF, which the unique-weight order `(w, min, max)` makes
+//! unique.
+
+use kamsta_comm::{Machine, MachineConfig};
+use kamsta_core::dist::{boruvka_mst, filter_mst, MstConfig};
+use kamsta_graph::{GraphConfig, InputGraph};
+
+fn cfg() -> MstConfig {
+    MstConfig {
+        base_case_constant: 8,
+        filter_min_edges_per_pe: 16,
+        ..MstConfig::default()
+    }
+}
+
+fn instances() -> Vec<(GraphConfig, u64)> {
+    vec![
+        (GraphConfig::Gnm { n: 90, m: 640 }, 3),
+        (GraphConfig::Grid2D { rows: 9, cols: 9 }, 5),
+        (GraphConfig::RoadLike { rows: 8, cols: 9 }, 7),
+        (GraphConfig::Rgg2D { n: 80, m: 500 }, 9),
+        (GraphConfig::Rgg3D { n: 80, m: 500 }, 11),
+        (
+            GraphConfig::Rhg {
+                n: 80,
+                m: 520,
+                gamma: 3.0,
+            },
+            13,
+        ),
+        (GraphConfig::Rmat { scale: 6, m: 400 }, 17),
+    ]
+}
+
+/// The globally sorted MSF edge-id set of one run.
+fn boruvka_ids(p: usize, config: GraphConfig, seed: u64) -> Vec<u64> {
+    let out = Machine::run(MachineConfig::new(p), move |comm| {
+        let input = InputGraph::generate(comm, config, seed);
+        let r = boruvka_mst(comm, &input, &cfg());
+        r.edges.iter().map(|e| e.id).collect::<Vec<u64>>()
+    });
+    let mut ids: Vec<u64> = out.results.into_iter().flatten().collect();
+    ids.sort_unstable();
+    ids
+}
+
+fn filter_ids(p: usize, config: GraphConfig, seed: u64) -> Vec<u64> {
+    let out = Machine::run(MachineConfig::new(p), move |comm| {
+        let input = InputGraph::generate(comm, config, seed);
+        let (r, _) = filter_mst(comm, &input, &cfg());
+        r.edges.iter().map(|e| e.id).collect::<Vec<u64>>()
+    });
+    let mut ids: Vec<u64> = out.results.into_iter().flatten().collect();
+    ids.sort_unstable();
+    ids
+}
+
+#[test]
+fn boruvka_msf_id_set_identical_across_p() {
+    for (config, seed) in instances() {
+        let base = boruvka_ids(1, config, seed);
+        assert!(!base.is_empty(), "{config:?} produced an empty forest");
+        for p in [2usize, 4, 16] {
+            let ids = boruvka_ids(p, config, seed);
+            assert_eq!(
+                ids, base,
+                "{config:?} seed {seed}: id set differs between p=1 and p={p}"
+            );
+        }
+    }
+}
+
+#[test]
+fn filter_and_boruvka_agree_on_the_id_set() {
+    // Both algorithms walk the same unique-weight order, so after
+    // canonicalisation they must claim the same input edges.
+    for (config, seed) in instances().into_iter().take(3) {
+        let b = boruvka_ids(4, config, seed);
+        let f = filter_ids(4, config, seed);
+        assert_eq!(b, f, "{config:?} seed {seed}");
+    }
+}
+
+#[test]
+fn preprocessing_does_not_change_the_id_set() {
+    // The Fig. 4 ablation flips which stage claims each edge; the
+    // canonical reporting must hide that.
+    let config = GraphConfig::Grid2D { rows: 10, cols: 10 };
+    let with = boruvka_ids(4, config, 21);
+    let out = Machine::run(MachineConfig::new(4), move |comm| {
+        let input = InputGraph::generate(comm, config, 21);
+        let r = boruvka_mst(comm, &input, &cfg().without_preprocessing());
+        r.edges.iter().map(|e| e.id).collect::<Vec<u64>>()
+    });
+    let mut without: Vec<u64> = out.results.into_iter().flatten().collect();
+    without.sort_unstable();
+    assert_eq!(with, without);
+}

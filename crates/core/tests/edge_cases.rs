@@ -98,6 +98,84 @@ fn more_pes_than_edges() {
     check(12, sym(&[(0, 1, 1), (1, 2, 2), (5, 6, 3)]));
 }
 
+/// The canonical MSF of one run: both algorithms' edge sets, each as a
+/// sorted list of `u < v` wedges.
+fn canonical_msf(p: usize, edges: &[WEdge]) -> (Vec<WEdge>, Vec<WEdge>) {
+    let for_run = edges.to_vec();
+    let out = Machine::run(MachineConfig::new(p), move |comm| {
+        let slice = distribute_from_root(comm, (comm.rank() == 0).then(|| for_run.clone()));
+        let input = InputGraph::from_sorted_edges(comm, slice);
+        let b = boruvka_mst(comm, &input, &cfg());
+        let (f, _) = filter_mst(comm, &input, &cfg());
+        let canon = |e: &kamsta_graph::CEdge| {
+            let e = e.wedge();
+            if e.u < e.v {
+                e
+            } else {
+                e.reversed()
+            }
+        };
+        (
+            b.edges.iter().map(canon).collect::<Vec<_>>(),
+            f.edges.iter().map(canon).collect::<Vec<_>>(),
+        )
+    });
+    let mut msf_b: Vec<WEdge> = out.results.iter().flat_map(|(b, _)| b.clone()).collect();
+    let mut msf_f: Vec<WEdge> = out.results.iter().flat_map(|(_, f)| f.clone()).collect();
+    msf_b.sort_unstable();
+    msf_f.sort_unstable();
+    (msf_b, msf_f)
+}
+
+/// Tie-breaking corpus: inputs made almost entirely of weight ties must
+/// still yield one *identical* canonical forest at every PE count — the
+/// `(w, min, max)` determinism the differential harness builds on.
+fn check_tiebreak_invariance(edges: Vec<WEdge>) {
+    let (base_b, base_f) = canonical_msf(1, &edges);
+    assert_eq!(base_b, base_f, "algorithms disagree at p=1");
+    verify_msf(&edges, &base_b).unwrap();
+    for p in [2usize, 4, 7, 16] {
+        let (b, f) = canonical_msf(p, &edges);
+        assert_eq!(b, base_b, "boruvka p={p} broke a tie differently");
+        assert_eq!(f, base_f, "filter p={p} broke a tie differently");
+    }
+}
+
+#[test]
+fn star_graph_ties_deterministic_across_p() {
+    // A hub with every spoke at the same weight: n − 1 equally good
+    // trees by weight, exactly one by (w, min, max).
+    check_tiebreak_invariance(sym(&(1..40u64).map(|k| (0, k, 9)).collect::<Vec<_>>()));
+}
+
+#[test]
+fn all_equal_weights_deterministic_across_p() {
+    // A clique where every weight collides.
+    let mut pairs = Vec::new();
+    for i in 0..16u64 {
+        for j in (i + 1)..16 {
+            pairs.push((i, j, 42));
+        }
+    }
+    check_tiebreak_invariance(sym(&pairs));
+}
+
+#[test]
+fn duplicate_edges_deterministic_across_p() {
+    // Exact duplicate copies (multigraph) on top of equal-weight cycles.
+    let mut edges = Vec::new();
+    for k in 0..24u64 {
+        for _ in 0..3 {
+            edges.push(WEdge::new(k, (k + 1) % 24, 5));
+            edges.push(WEdge::new((k + 1) % 24, k, 5));
+        }
+        edges.push(WEdge::new(k, (k + 7) % 24, 5));
+        edges.push(WEdge::new((k + 7) % 24, k, 5));
+    }
+    edges.sort_unstable();
+    check_tiebreak_invariance(edges);
+}
+
 #[test]
 fn long_path_many_rounds() {
     // A path forces Θ(log n) Borůvka rounds with alternating weights.

@@ -162,6 +162,46 @@ impl DistGraph {
         idx.saturating_sub(1)
     }
 
+    /// The PEs that can hold the globally *first* copy of the directed
+    /// content `e = (u, v, w)`. Every PE before the holder starts
+    /// strictly below `e`, so with `cnt = #{i : locator[i] < e}` the
+    /// holder is PE `cnt − 1` — except when locator entries equal to
+    /// `e` follow: an entry can mean "my slice starts with `e`" *or*
+    /// "I am empty and inherited the next holder's first edge"
+    /// (sparse inputs — a 2-edge certificate re-solve at p = 16 —
+    /// make such runs long), and the two are indistinguishable from
+    /// the replicated locator alone. All entries of the equal run are
+    /// therefore candidates; queried PEs not holding `e` answer
+    /// `None` and the caller min-merges, so a superset is always
+    /// safe. Empty result means no PE can hold a copy (`e` precedes
+    /// the global minimum). The common dense case stays one
+    /// candidate. Used to canonicalise pair ids.
+    pub fn first_copy_homes(&self, e: &WEdge) -> Vec<usize> {
+        let cnt = self.locator.partition_point(|first| first < e);
+        let mut homes = Vec::new();
+        if cnt > 0 {
+            homes.push(cnt - 1);
+        }
+        let mut j = cnt;
+        while j < self.p && self.locator[j] == *e {
+            homes.push(j);
+            j += 1;
+        }
+        homes
+    }
+
+    /// Minimal id among this PE's copies of the exact directed content
+    /// `e` (`None` when the slice holds no copy). Local: one binary
+    /// search on the lex-sorted slice, whose `(u, v, w, id)` order puts
+    /// the minimal-id copy first in its content group.
+    pub fn first_copy_id(&self, e: &WEdge) -> Option<u64> {
+        let idx = self.edges.partition_point(|x| x.wedge() < *e);
+        self.edges
+            .get(idx)
+            .filter(|x| x.wedge() == *e)
+            .map(|x| x.id)
+    }
+
     /// True if `v` appears as a source of one of this PE's edges.
     pub fn is_local_vertex(&self, v: VertexId) -> bool {
         self.edges

@@ -53,6 +53,14 @@ impl WEdge {
     pub fn is_self_loop(&self) -> bool {
         self.u == self.v
     }
+
+    /// The lexicographic order `(u, v, w)` — exactly this type's `Ord` —
+    /// packed into a radix-sortable wide key (endpoints in the high
+    /// word, weight in the low).
+    #[inline]
+    pub fn lex_key(&self) -> (u128, u64) {
+        (((self.u as u128) << 64) | self.v as u128, self.w as u64)
+    }
 }
 
 /// A directed weighted edge carrying the global id of the *original* input

@@ -56,7 +56,9 @@ pub fn gnm(comm: &Comm, n: u64, m: u64, seed: u64) -> Vec<WEdge> {
     let b = BUCKETS.min(n);
     let p = comm.size();
     let me = comm.rank();
-    let mu = (m / 2).max(1) as f64; // undirected edge budget
+    // Undirected edge budget; an explicit m = 0 must stay empty (the
+    // degenerate-input corpus relies on it) rather than rounding up.
+    let mu = if m == 0 { 0.0 } else { (m / 2).max(1) as f64 };
     let total_pairs = (n as f64) * (n as f64 - 1.0) / 2.0;
     let my_range = block_range(n, p, me);
     let mut edges: Vec<WEdge> = Vec::with_capacity((2 * m as usize / p).max(16));

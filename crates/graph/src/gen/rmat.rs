@@ -68,7 +68,12 @@ fn rmat_pair(params: &RmatParams, seed: u64, k: u64) -> (u64, u64) {
 /// edges during `REDISTRIBUTE`). Collective; internally runs the
 /// distributed sorter.
 pub fn rmat(comm: &Comm, params: RmatParams, seed: u64) -> Vec<WEdge> {
-    let mu = (params.m / 2).max(1);
+    // An explicit m = 0 must stay empty (degenerate-input corpus).
+    let mu = if params.m == 0 {
+        0
+    } else {
+        (params.m / 2).max(1)
+    };
     let range = super::block_range(mu, comm.size(), comm.rank());
     let mut edges = Vec::with_capacity(2 * (range.end - range.start) as usize);
     for k in range {

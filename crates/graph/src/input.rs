@@ -6,7 +6,63 @@ use crate::dist::{assign_ids, home_of_id, id_offsets, DistGraph};
 use crate::edge::{CEdge, WEdge};
 use crate::gen::GraphConfig;
 use crate::varint::CompressedEdges;
-use kamsta_comm::Comm;
+use kamsta_comm::{Comm, FlatBuckets};
+
+/// Rewrite every backward (`u > v`) copy's id to the id of its
+/// undirected edge's globally *first* forward copy, so both directions
+/// share one canonical id. This makes `(w, id)` a direction-symmetric,
+/// **contraction-invariant** realisation of the paper's unique-weight
+/// total order: for equal weights, forward global positions order
+/// exactly by `(min(u,v), max(u,v))`, but unlike endpoint-based keys the
+/// id survives relabeling unchanged — so every pipeline stage breaks
+/// weight ties identically at every PE count, and `REDISTRIBUTE MST`
+/// decodes every claim to the `u < v` copy. Exact duplicate copies of a
+/// pair all map to the group's minimal id; surplus duplicates keep
+/// their own (never-selected) position ids. Collective.
+fn canonicalize_pair_ids(comm: &Comm, graph: &mut DistGraph) {
+    let p = comm.size();
+    let me = comm.rank();
+    // Each backward copy asks the forward content's first-copy holder
+    // for the group's first id. The holder is locator-decidable, so the
+    // common case is one query — or none at all when the twin is local
+    // (most edges of the high-locality families).
+    let mut twin: Vec<Option<u64>> = vec![None; graph.edges.len()];
+    let mut queries: Vec<(usize, (WEdge, u32))> = Vec::new();
+    for (k, e) in graph.edges.iter().enumerate() {
+        if e.u > e.v {
+            let fwd = WEdge::new(e.v, e.u, e.w);
+            for home in graph.first_copy_homes(&fwd) {
+                if home == me {
+                    if let Some(id) = graph.first_copy_id(&fwd) {
+                        let slot = &mut twin[k];
+                        *slot = Some(slot.map_or(id, |x| x.min(id)));
+                    }
+                } else {
+                    queries.push((home, (fwd, k as u32)));
+                }
+            }
+        }
+    }
+    comm.charge_local(graph.edges.len() as u64);
+    // Tags stay on the sender: replies ride back positionally in the
+    // request buckets, so only the bare content crosses the wire.
+    let requests = FlatBuckets::from_pairs(p, queries);
+    let sent = requests.payload().to_vec();
+    let answers = comm.request_reply(requests.map(|(fwd, _)| fwd), |fwd| graph.first_copy_id(fwd));
+    for ((_, k), a) in sent.into_iter().zip(answers) {
+        if let Some(id) = a {
+            let slot = &mut twin[k as usize];
+            *slot = Some(slot.map_or(id, |x| x.min(id)));
+        }
+    }
+    // Asymmetric hand-built inputs may lack the forward copy; such
+    // backward edges keep their own position id.
+    for (e, t) in graph.edges.iter_mut().zip(twin) {
+        if let Some(id) = t {
+            e.id = id;
+        }
+    }
+}
 
 /// A fully prepared MST input: the distributed graph plus the compressed
 /// id→edge mapping and its routing table.
@@ -20,13 +76,15 @@ pub struct InputGraph {
 
 impl InputGraph {
     /// Prepare an input from this PE's slice of a globally sorted edge
-    /// list: assign global-position ids, compress the original list, and
-    /// establish the distributed structure. Collective.
+    /// list: assign global-position ids, compress the original list,
+    /// establish the distributed structure, and canonicalise pair ids
+    /// (see [`canonicalize_pair_ids`]). Collective.
     pub fn from_sorted_edges(comm: &Comm, edges: Vec<WEdge>) -> Self {
         let with_ids = assign_ids(comm, edges);
         let offsets = id_offsets(comm, with_ids.len());
         let compressed = CompressedEdges::compress(&with_ids, offsets[comm.rank()]);
-        let graph = DistGraph::establish(comm, with_ids);
+        let mut graph = DistGraph::establish(comm, with_ids);
+        canonicalize_pair_ids(comm, &mut graph);
         Self {
             graph,
             compressed,
@@ -41,10 +99,24 @@ impl InputGraph {
         Self::from_sorted_edges(comm, edges)
     }
 
+    /// Prepare an input from an arbitrarily distributed, *unsorted* edge
+    /// list: globally sort it with the distributed sorter (local phases
+    /// radix on the packed `(u, v, w)` key), rebalance, and establish the
+    /// structure. The certificate re-solves of the batch-dynamic layer
+    /// enter here. Collective.
+    pub fn from_unsorted_edges(comm: &Comm, edges: Vec<WEdge>) -> Self {
+        let sorted = kamsta_sort::sort_auto_by_key(comm, edges, 0x00D1_5C0E, WEdge::lex_key);
+        let balanced = kamsta_sort::rebalance(comm, sorted);
+        Self::from_sorted_edges(comm, balanced)
+    }
+
     /// `REDISTRIBUTE MST`: route identified MST edge ids back to their
-    /// original home PEs and decode them from the compressed list.
-    /// Returns this PE's original edges that belong to the MSF, sorted.
-    /// Collective.
+    /// original home PEs and decode them from the compressed list. Ids
+    /// are pair-canonical (see [`canonicalize_pair_ids`]), so every
+    /// claim decodes to the `u < v` copy of its undirected edge — one
+    /// direction per MSF edge globally, independent of which stage or
+    /// direction claimed it. Returns this PE's original edges that
+    /// belong to the MSF, sorted. Collective.
     pub fn redistribute_mst(&self, comm: &Comm, ids: Vec<u64>) -> Vec<CEdge> {
         let items: Vec<(usize, u64)> = ids
             .into_iter()
@@ -85,19 +157,97 @@ mod tests {
     fn mst_id_redistribution_roundtrip() {
         let out = Machine::run(MachineConfig::new(3), |comm| {
             let input = InputGraph::generate(comm, GraphConfig::Grid2D { rows: 4, cols: 4 }, 3);
-            // Pretend some scattered ids were identified as MST edges:
-            // every PE claims ids it does not own.
-            let total = input.graph.m_global;
-            let claim: Vec<u64> = (0..total)
-                .filter(|id| id % 3 == comm.rank() as u64)
-                .collect();
+            // Claim every id the pipeline could ever claim — the
+            // canonical pair ids carried by this PE's edges. Both
+            // directions share the id, so most ids are claimed by two
+            // PEs at once and many claims route off-PE; the dedup at
+            // the home must collapse them.
+            let claim: Vec<u64> = input.graph.edges.iter().map(|e| e.id).collect();
             let mine = input.redistribute_mst(comm, claim);
-            // Every returned edge must be an original local edge.
-            let ok = mine.iter().all(|e| input.graph.edges.contains(e));
+            // Every returned edge must be an original local edge in the
+            // canonical direction.
+            let ok = mine
+                .iter()
+                .all(|e| e.u < e.v && input.graph.edges.contains(e));
             (mine.len() as u64, ok)
         });
+        // Both directions of an edge share one id, so the claims cover
+        // exactly one u < v copy per undirected edge.
         let total: u64 = out.results.iter().map(|(l, _)| l).sum();
-        assert_eq!(total, 2 * (4 * 3 + 3 * 4), "all ids delivered home");
+        assert_eq!(total, 4 * 3 + 3 * 4, "one canonical copy per edge");
         assert!(out.results.iter().all(|(_, ok)| *ok));
+    }
+
+    #[test]
+    fn pair_ids_survive_empty_pes() {
+        // Regression: with far fewer edges than PEs, the locator
+        // fill-back gives empty PEs the next holder's first edge, and
+        // the first-copy holder is no longer locator[cnt]'s PE — the
+        // canonicalisation must still find it. 2 directed edges over
+        // 4 (and 16) PEs leave most slices empty.
+        for p in [4usize, 16] {
+            let out = Machine::run(MachineConfig::new(p), |comm| {
+                let edges = vec![
+                    WEdge::new(0, 1, 5),
+                    WEdge::new(1, 0, 5),
+                    WEdge::new(2, 9, 3),
+                    WEdge::new(9, 2, 3),
+                ];
+                let slice =
+                    crate::io::distribute_from_root(comm, (comm.rank() == 0).then_some(edges));
+                let input = InputGraph::from_sorted_edges(comm, slice);
+                input.graph.edges.clone()
+            });
+            let all: Vec<CEdge> = out.results.into_iter().flatten().collect();
+            assert_eq!(all.len(), 4);
+            for e in &all {
+                let twin = all
+                    .iter()
+                    .find(|t| (t.u, t.v) == (e.v, e.u))
+                    .expect("symmetric closure");
+                assert_eq!(e.id, twin.id, "p={p}: directions of {e:?} disagree");
+            }
+        }
+    }
+
+    #[test]
+    fn pair_ids_are_direction_symmetric_and_order_by_weight_key() {
+        let out = Machine::run(MachineConfig::new(4), |comm| {
+            let input = InputGraph::generate(comm, GraphConfig::Gnm { n: 40, m: 300 }, 9);
+            input.graph.edges.clone()
+        });
+        let all: Vec<CEdge> = out.results.into_iter().flatten().collect();
+        // Both directions of an undirected edge carry the same id…
+        let mut by_pair = std::collections::HashMap::new();
+        for e in &all {
+            by_pair
+                .entry((e.u.min(e.v), e.u.max(e.v), e.w))
+                .or_insert_with(Vec::new)
+                .push(e.id);
+        }
+        for ((u, v, w), ids) in by_pair {
+            let min = *ids.iter().min().unwrap();
+            // Every backward copy points at the group's first forward
+            // copy (surplus exact-duplicate forward copies may keep
+            // their own, never-selected ids).
+            for e in all.iter().filter(|e| e.u > e.v) {
+                if (e.v, e.u, e.w) == (u, v, w) {
+                    assert_eq!(e.id, min, "backward copy of ({u}, {v}, {w})");
+                }
+            }
+        }
+        // …and for equal weights, distinct contents order exactly like
+        // (w, min, max).
+        for a in &all {
+            for b in &all {
+                if a.w == b.w && a.weight_key() != b.weight_key() {
+                    assert_eq!(
+                        a.id < b.id,
+                        a.weight_key() < b.weight_key(),
+                        "{a:?} vs {b:?}"
+                    );
+                }
+            }
+        }
     }
 }

@@ -39,6 +39,55 @@ fn generate(p: usize, config: GraphConfig, seed: u64) -> Vec<WEdge> {
     all
 }
 
+/// Degenerate corpus: m = 0 and single-vertex configurations must
+/// produce valid — sorted, symmetric, loop-free, partition-invariant —
+/// and, where the family can honour it exactly, *empty* edge lists.
+#[test]
+fn degenerate_configs_generate_cleanly() {
+    let corpus = vec![
+        GraphConfig::Gnm { n: 2, m: 0 },
+        GraphConfig::Gnm { n: 50, m: 0 },
+        GraphConfig::Grid2D { rows: 1, cols: 1 },
+        GraphConfig::RoadLike { rows: 1, cols: 1 },
+        GraphConfig::Rmat { scale: 0, m: 0 },
+        GraphConfig::Rmat { scale: 5, m: 0 },
+        GraphConfig::Rgg2D { n: 1, m: 0 },
+        GraphConfig::Rgg3D { n: 1, m: 0 },
+        GraphConfig::Rhg {
+            n: 8,
+            m: 0,
+            gamma: 3.0,
+        },
+    ];
+    for config in corpus {
+        let a = generate(1, config, 7);
+        let b = generate(4, config, 7);
+        assert_eq!(a, b, "{config:?}: degenerate output must not depend on p");
+        assert!(a.windows(2).all(|w| w[0] <= w[1]), "{config:?}: sorted");
+        let set: HashSet<(u64, u64, u32)> = a.iter().map(|e| (e.u, e.v, e.w)).collect();
+        for e in &a {
+            assert!(!e.is_self_loop(), "{config:?}: self-loop {e:?}");
+            assert!(
+                set.contains(&(e.v, e.u, e.w)),
+                "{config:?}: missing back edge of {e:?}"
+            );
+        }
+    }
+    // Families whose structure pins the edge count honour m = 0 / one
+    // vertex exactly.
+    for config in [
+        GraphConfig::Gnm { n: 40, m: 0 },
+        GraphConfig::Grid2D { rows: 1, cols: 1 },
+        GraphConfig::Rmat { scale: 5, m: 0 },
+        GraphConfig::RoadLike { rows: 1, cols: 1 },
+    ] {
+        assert!(
+            generate(3, config, 1).is_empty(),
+            "{config:?} must generate no edges"
+        );
+    }
+}
+
 #[test]
 fn all_families_symmetric_and_loop_free() {
     for config in families(3) {

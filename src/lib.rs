@@ -31,21 +31,30 @@
 //! | [`sort`] | hypercube quicksort + AMS-style sample sort |
 //! | [`graph`] | distributed edge lists, generators, varint codec, IO |
 //! | [`core`] | distributed Borůvka + Filter-Borůvka, references, verifier |
+//! | [`dynamic`] | batch-dynamic MSF maintenance (certificate re-solves) |
 //! | [`baselines`] | sparseMatrix and MND-MST competitor analogues |
+//!
+//! On top, [`MstService`] serves forest queries over a mutating edge
+//! set: updates queue, apply in batches through [`DynMst`], and queries
+//! answer from the cached sharded state.
 
 pub use kamsta_baselines as baselines;
 pub use kamsta_comm as comm;
 pub use kamsta_core as core;
+pub use kamsta_dyn as dynamic;
 pub use kamsta_graph as graph;
 pub use kamsta_sort as sort;
 
 mod runner;
+mod service;
 
 pub use kamsta_comm::{AlltoallKind, CostModel, Machine, MachineConfig};
 pub use kamsta_core::dist::{DedupStrategy, MstConfig};
 pub use kamsta_core::{verify_msf, Phase, PhaseTimes};
+pub use kamsta_dyn::{DynConfig, DynMst, Update, UpdateStats};
 pub use kamsta_graph::{GraphConfig, InputGraph, WEdge};
 pub use runner::{Algorithm, RunSummary, Runner};
+pub use service::{MstService, Request, Response};
 
 /// Convenience: single-node minimum spanning forest of an edge list
 /// (undirected or symmetric directed), via the shared-memory parallel

@@ -1,0 +1,327 @@
+//! The serving front-end over the batch-dynamic maintainer: a request
+//! loop that queues updates, applies them in batches on the simulated
+//! machine, and answers forest queries from the cached sharded state
+//! without spinning the machine up at all.
+//!
+//! Batching policy: updates accumulate in a queue and flush either when
+//! the queue reaches `max_batch` (amortising the per-batch certificate
+//! re-solve over many updates — the knob `dyn_throughput` sweeps) or
+//! when a query arrives (queries are strongly consistent: they always
+//! observe every previously submitted update). Between flushes the
+//! per-PE [`DynShard`]s and the replicated scalars are checkpointed in
+//! the service, so consecutive machine runs resume where the last one
+//! left off.
+
+use kamsta_comm::{Machine, MachineConfig};
+use kamsta_dyn::{
+    home_of_pair, BatchOutcome, DynConfig, DynMst, DynReplicated, DynShard, Update, UpdateStats,
+};
+use kamsta_graph::{GraphConfig, InputGraph, VertexId, WEdge};
+
+/// One request to the service loop.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// Mutate the edge set (queued, applied in batches).
+    Update(Update),
+    /// Total weight of the current forest.
+    MsfWeight,
+    /// Number of edges in the current forest.
+    MsfEdgeCount,
+    /// Is `{u, v}` a forest edge?
+    InMsf(VertexId, VertexId),
+    /// Force the queued updates through now.
+    Flush,
+}
+
+/// The service's answer to one [`Request`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Response {
+    /// The update was queued (and possibly auto-flushed).
+    Queued,
+    /// The update referenced a vertex outside `[0, n)` and was dropped
+    /// — a malformed client request must not panic the machine.
+    Rejected,
+    /// Outcome of an explicit flush (`None` when nothing was queued).
+    Flushed(Option<BatchOutcome>),
+    /// Forest weight.
+    Weight(u64),
+    /// Forest size.
+    Count(u64),
+    /// Forest membership.
+    Membership(bool),
+}
+
+/// An MSF service over a simulated machine: owns the sharded dynamic
+/// state, batches updates, serves queries from cache.
+pub struct MstService {
+    machine: MachineConfig,
+    cfg: DynConfig,
+    shards: Vec<DynShard>,
+    rep: DynReplicated,
+    queue: Vec<Update>,
+    max_batch: usize,
+}
+
+impl MstService {
+    /// An empty service over `[0, cfg.n)` on a `pes`-PE machine.
+    pub fn new(pes: usize, cfg: DynConfig) -> Self {
+        Self {
+            machine: MachineConfig::new(pes),
+            cfg,
+            shards: vec![DynShard::default(); pes],
+            rep: DynReplicated::default(),
+            queue: Vec::new(),
+            max_batch: 64,
+        }
+    }
+
+    /// Override the auto-flush threshold (default 64 queued updates).
+    pub fn with_max_batch(mut self, max_batch: usize) -> Self {
+        self.max_batch = max_batch.max(1);
+        self
+    }
+
+    /// Override the machine configuration (all-to-all strategy, cost
+    /// model); the PE count must stay at the constructed value.
+    pub fn with_machine(mut self, machine: MachineConfig) -> Self {
+        assert_eq!(machine.pes, self.shards.len(), "PE count is fixed");
+        self.machine = machine;
+        self
+    }
+
+    /// Replace the edge set by a generated family and solve its MSF once
+    /// through the static pipeline (dropping any queued updates).
+    pub fn load_generated(&mut self, config: GraphConfig, seed: u64) {
+        let cfg = self.cfg;
+        let out = Machine::run(self.machine.clone(), move |comm| {
+            let input = InputGraph::generate(comm, config, seed);
+            DynMst::bootstrap(comm, cfg, &input).into_parts()
+        });
+        self.queue.clear();
+        self.install(out.results);
+    }
+
+    /// True if every endpoint of the update lies in the configured
+    /// vertex space `[0, n)`.
+    pub fn in_range(&self, up: &Update) -> bool {
+        let (u, v) = match *up {
+            Update::Insert(e) => (e.u, e.v),
+            Update::Delete { u, v } => (u, v),
+        };
+        u < self.cfg.n && v < self.cfg.n
+    }
+
+    /// Queue one update; flush automatically at the batch threshold.
+    /// Returns the flush outcome when one ran. Out-of-range updates
+    /// are dropped (see [`Self::handle`] for the reporting variant) —
+    /// the maintainer would otherwise panic the whole machine
+    /// mid-flush on a malformed client request.
+    pub fn submit(&mut self, up: Update) -> Option<BatchOutcome> {
+        if !self.in_range(&up) {
+            return None;
+        }
+        self.queue.push(up);
+        if self.queue.len() >= self.max_batch {
+            self.flush()
+        } else {
+            None
+        }
+    }
+
+    /// Apply every queued update as one batch. `None` when the queue was
+    /// empty.
+    pub fn flush(&mut self) -> Option<BatchOutcome> {
+        if self.queue.is_empty() {
+            return None;
+        }
+        let batch = std::mem::take(&mut self.queue);
+        let (cfg, rep) = (self.cfg, self.rep);
+        let shards = &self.shards;
+        let out = Machine::run(self.machine.clone(), move |comm| {
+            let shard = shards[comm.rank()].clone();
+            let mut dynmst = DynMst::from_parts(comm, cfg, shard, rep);
+            let slice: &[Update] = if comm.rank() == 0 { &batch } else { &[] };
+            let outcome = dynmst.apply_batch(comm, slice);
+            let (shard, rep) = dynmst.into_parts();
+            (shard, rep, outcome)
+        });
+        let outcome = out.results[0].2;
+        self.install(out.results.into_iter().map(|(s, r, _)| (s, r)).collect());
+        Some(outcome)
+    }
+
+    /// Forest weight (flushes pending updates first).
+    pub fn msf_weight(&mut self) -> u64 {
+        self.flush();
+        self.rep.weight
+    }
+
+    /// Forest size (flushes pending updates first).
+    pub fn msf_edge_count(&mut self) -> u64 {
+        self.flush();
+        self.rep.msf_edges
+    }
+
+    /// Forest membership of `{u, v}`, answered by a binary search on the
+    /// pair's home shard — no machine run (flushes pending updates
+    /// first).
+    pub fn in_msf(&mut self, u: VertexId, v: VertexId) -> bool {
+        self.flush();
+        if u == v || u >= self.cfg.n || v >= self.cfg.n {
+            return false;
+        }
+        let (a, b) = (u.min(v), u.max(v));
+        let shard = &self.shards[home_of_pair(self.cfg.n, self.shards.len(), a, b)];
+        shard
+            .msf
+            .binary_search_by(|e| (e.u, e.v).cmp(&(a, b)))
+            .is_ok()
+    }
+
+    /// The full forest as a canonical sorted edge list (flushes first).
+    pub fn msf_edges(&mut self) -> Vec<WEdge> {
+        self.flush();
+        let mut out: Vec<WEdge> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.msf.iter().map(|e| e.wedge()))
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Lifetime update statistics (does not flush).
+    pub fn stats(&self) -> UpdateStats {
+        self.rep.stats
+    }
+
+    /// Number of queued, not yet applied updates.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Serve one request.
+    pub fn handle(&mut self, req: Request) -> Response {
+        match req {
+            Request::Update(up) => {
+                if !self.in_range(&up) {
+                    return Response::Rejected;
+                }
+                self.submit(up);
+                Response::Queued
+            }
+            Request::Flush => Response::Flushed(self.flush()),
+            Request::MsfWeight => Response::Weight(self.msf_weight()),
+            Request::MsfEdgeCount => Response::Count(self.msf_edge_count()),
+            Request::InMsf(u, v) => Response::Membership(self.in_msf(u, v)),
+        }
+    }
+
+    /// The request loop: serve a whole script of requests in order.
+    pub fn run_loop(&mut self, requests: impl IntoIterator<Item = Request>) -> Vec<Response> {
+        requests.into_iter().map(|r| self.handle(r)).collect()
+    }
+
+    fn install(&mut self, results: Vec<(DynShard, DynReplicated)>) {
+        self.rep = results[0].1;
+        self.shards = results.into_iter().map(|(s, _)| s).collect();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kamsta_core::dist::MstConfig;
+
+    fn service(pes: usize, n: u64) -> MstService {
+        let cfg = DynConfig::new(n).with_mst(MstConfig {
+            base_case_constant: 8,
+            filter_min_edges_per_pe: 16,
+            ..MstConfig::default()
+        });
+        MstService::new(pes, cfg)
+    }
+
+    #[test]
+    fn queries_flush_the_queue_first() {
+        let mut s = service(3, 8).with_max_batch(100);
+        s.submit(Update::Insert(WEdge::new(0, 1, 3)));
+        s.submit(Update::Insert(WEdge::new(1, 2, 4)));
+        assert_eq!(s.pending(), 2);
+        assert_eq!(s.msf_weight(), 7, "read-your-writes");
+        assert_eq!(s.pending(), 0);
+        assert!(s.in_msf(1, 0) && s.in_msf(2, 1));
+        assert!(!s.in_msf(0, 2) && !s.in_msf(5, 5));
+    }
+
+    #[test]
+    fn auto_flush_at_the_batch_threshold() {
+        let mut s = service(2, 16).with_max_batch(4);
+        for k in 0..3u64 {
+            assert!(s.submit(Update::Insert(WEdge::new(k, k + 1, 1))).is_none());
+        }
+        let outcome = s.submit(Update::Insert(WEdge::new(3, 4, 1)));
+        assert!(outcome.is_some(), "4th update crosses the threshold");
+        assert_eq!(s.pending(), 0);
+        assert_eq!(outcome.unwrap().msf_edges, 4);
+        assert_eq!(s.stats().batches, 1);
+    }
+
+    #[test]
+    fn request_loop_serves_a_script() {
+        let mut s = service(2, 6).with_max_batch(50);
+        let responses = s.run_loop([
+            Request::Update(Update::Insert(WEdge::new(0, 1, 2))),
+            Request::Update(Update::Insert(WEdge::new(1, 2, 3))),
+            Request::Update(Update::Insert(WEdge::new(0, 2, 9))),
+            Request::MsfWeight,
+            Request::InMsf(0, 2),
+            Request::Update(Update::Delete { u: 1, v: 2 }),
+            Request::MsfWeight,
+            Request::InMsf(0, 2),
+            Request::MsfEdgeCount,
+            Request::Flush,
+        ]);
+        assert_eq!(
+            responses,
+            vec![
+                Response::Queued,
+                Response::Queued,
+                Response::Queued,
+                Response::Weight(5),
+                Response::Membership(false),
+                Response::Queued,
+                Response::Weight(11), // 0-2 replaces the deleted 1-2
+                Response::Membership(true),
+                Response::Count(2),
+                Response::Flushed(None),
+            ]
+        );
+    }
+
+    #[test]
+    fn out_of_range_updates_are_rejected_not_fatal() {
+        let mut s = service(2, 8).with_max_batch(2);
+        assert_eq!(
+            s.handle(Request::Update(Update::Insert(WEdge::new(0, 99, 1)))),
+            Response::Rejected
+        );
+        assert!(s.submit(Update::Delete { u: 99, v: 0 }).is_none());
+        assert_eq!(s.pending(), 0, "rejected updates never enter the queue");
+        s.submit(Update::Insert(WEdge::new(0, 7, 3)));
+        assert_eq!(s.msf_weight(), 3, "the service keeps serving");
+    }
+
+    #[test]
+    fn generated_load_then_updates() {
+        let mut s = service(4, 64);
+        s.load_generated(GraphConfig::Grid2D { rows: 8, cols: 8 }, 5);
+        assert_eq!(s.msf_edge_count(), 63, "spanning tree of the grid");
+        let before = s.msf_weight();
+        // Insert a zero-ish weight shortcut: must enter the forest.
+        s.submit(Update::Insert(WEdge::new(0, 63, 1)));
+        assert!(s.in_msf(0, 63));
+        assert!(s.msf_weight() < before + 1);
+        assert_eq!(s.msf_edge_count(), 63, "still spanning, one cycle broken");
+    }
+}

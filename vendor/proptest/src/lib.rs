@@ -251,7 +251,10 @@ pub mod test_runner {
         }
     }
 
-    /// Runner configuration; only `cases` is honoured.
+    /// Runner configuration; only `cases` is honoured. As with the real
+    /// crate, the `PROPTEST_CASES` environment variable overrides the
+    /// configured count at run time (the CI nightly job uses it to turn
+    /// the same suites into long soak runs).
     #[derive(Clone, Debug)]
     pub struct ProptestConfig {
         pub cases: u32,
@@ -300,7 +303,13 @@ macro_rules! __proptest_impl {
         $(
             $(#[$meta])+
             fn $name() {
-                let config = $cfg;
+                let mut config = $cfg;
+                if let Some(cases) = ::std::env::var("PROPTEST_CASES")
+                    .ok()
+                    .and_then(|v| v.parse::<u32>().ok())
+                {
+                    config.cases = cases;
+                }
                 let mut rng = $crate::test_runner::TestRng::deterministic(concat!(
                     module_path!(), "::", stringify!($name)
                 ));
