@@ -1,0 +1,113 @@
+//! Criterion micro-bench: latency of the synchronization substrate
+//! itself — barrier round-trips and the small-payload collectives every
+//! MST phase leans on — independent of the MST pipeline, so substrate
+//! regressions show up without graph-algorithm noise (DESIGN.md §6).
+//!
+//! Each measurement spans a whole `Machine::run` (thread spawn + `ROUNDS`
+//! back-to-back collectives), so the per-collective latency is the
+//! per-iteration time divided by `ROUNDS` after subtracting the spawn
+//! cost visible in the `spawn_only` baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kamsta_comm::{FlatBuckets, Machine, MachineConfig};
+
+const PES: [usize; 4] = [2, 4, 16, 64];
+const ROUNDS: usize = 64;
+
+fn bench_spawn_baseline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate_spawn_only");
+    group.sample_size(10);
+    for p in PES {
+        group.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, &p| {
+            b.iter(|| Machine::run(MachineConfig::new(p), |comm| comm.rank()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_barrier_roundtrip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate_barrier_roundtrip");
+    group.sample_size(10);
+    for p in PES {
+        group.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, &p| {
+            b.iter(|| {
+                Machine::run(MachineConfig::new(p), |comm| {
+                    for _ in 0..ROUNDS {
+                        comm.barrier();
+                    }
+                })
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_broadcast(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate_broadcast_u64");
+    group.sample_size(10);
+    for p in PES {
+        group.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, &p| {
+            b.iter(|| {
+                Machine::run(MachineConfig::new(p), |comm| {
+                    let mut acc = 0u64;
+                    for r in 0..ROUNDS as u64 {
+                        let v = (comm.rank() == 0).then_some(r);
+                        acc ^= comm.broadcast(0, v);
+                    }
+                    acc
+                })
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_allreduce(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate_allreduce_sum");
+    group.sample_size(10);
+    for p in PES {
+        group.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, &p| {
+            b.iter(|| {
+                Machine::run(MachineConfig::new(p), |comm| {
+                    let mut acc = 0u64;
+                    for r in 0..ROUNDS as u64 {
+                        acc ^= comm.allreduce_sum(comm.rank() as u64 + r);
+                    }
+                    acc
+                })
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_alltoall_small(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate_alltoall_4words");
+    group.sample_size(10);
+    for p in PES {
+        group.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, &p| {
+            b.iter(|| {
+                Machine::run(MachineConfig::new(p), move |comm| {
+                    let mut total = 0usize;
+                    for _ in 0..ROUNDS / 4 {
+                        let bufs =
+                            FlatBuckets::from_nested((0..p).map(|d| vec![d as u64; 4]).collect());
+                        total += comm.sparse_alltoallv(bufs).total_len();
+                    }
+                    total
+                })
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_spawn_baseline,
+    bench_barrier_roundtrip,
+    bench_broadcast,
+    bench_allreduce,
+    bench_alltoall_small
+);
+criterion_main!(benches);

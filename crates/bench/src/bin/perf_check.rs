@@ -1,0 +1,67 @@
+//! **Perf check**: CI gate over a `perf_trajectory` JSON. Reads the file
+//! given as the first argument (default `BENCH_pr4.json`), inspects every
+//! *static* entry (the `dyn-*` workload is excluded — its wall time is
+//! dominated by the update stream, not the substrate) and fails with exit
+//! code 1 if any entry's `wall_speedup_vs_baseline` falls below the
+//! threshold — i.e. if its wall time regressed by more than the allowed
+//! fraction against the baseline the trajectory run was given.
+//!
+//! Environment:
+//!
+//! * `KAMSTA_PERF_MIN_SPEEDUP` — minimum acceptable speedup (default
+//!   `0.9`: fail on a >10% wall-time regression).
+
+use kamsta_bench::{perf_entry_lines, perf_json_field as field};
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_pr4.json".to_string());
+    let min: f64 = std::env::var("KAMSTA_PERF_MIN_SPEEDUP")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.9);
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("perf_check: cannot read {path}: {e}"));
+
+    let mut checked = 0usize;
+    let mut failures = Vec::new();
+    for line in perf_entry_lines(&text) {
+        let (Some(inst), Some(algo)) = (field(line, "instance"), field(line, "algo")) else {
+            continue;
+        };
+        if algo.starts_with("dyn-") {
+            continue;
+        }
+        let Some(speedup) = field(line, "wall_speedup_vs_baseline").and_then(|s| s.parse().ok())
+        else {
+            eprintln!("perf_check: {inst}/{algo} has no wall_speedup_vs_baseline — skipped");
+            continue;
+        };
+        checked += 1;
+        let speedup: f64 = speedup;
+        let status = if speedup < min { "FAIL" } else { "ok" };
+        eprintln!("perf_check: {inst:>5}/{algo:<16} wall speedup {speedup:.3} [{status}]");
+        if speedup < min {
+            failures.push(format!("{inst}/{algo}: {speedup:.3} < {min:.3}"));
+        }
+    }
+
+    if checked == 0 {
+        eprintln!("perf_check: no static entries with speedups found in {path}");
+        std::process::exit(1);
+    }
+    if !failures.is_empty() {
+        eprintln!(
+            "perf_check: wall-time regression beyond {:.0}% on {} entr{}:",
+            (1.0 - min) * 100.0,
+            failures.len(),
+            if failures.len() == 1 { "y" } else { "ies" }
+        );
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        std::process::exit(1);
+    }
+    eprintln!("perf_check: all {checked} static entries within budget (min speedup {min:.3})");
+}

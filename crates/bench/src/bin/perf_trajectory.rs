@@ -6,8 +6,10 @@
 //! fixed seeds, run with `boruvka-1` and `filterBoruvka-1`, plus the
 //! batch-dynamic workload (`dyn-64`: random updates in batches of 64 on
 //! GNM, wall time of the dynamic path; its `edges_per_second` field
-//! reports updates per *modeled* second and `input_edges` the op
-//! count).
+//! reports the *touched-edge volume* — certificate edges examined by
+//! the re-solves — per modeled second, so dyn throughput stays
+//! comparable across PRs regardless of the op count; `input_edges` is
+//! the op count).
 //!
 //! Since PR 3, `modeled_time`/`edges_per_second` of the static entries
 //! cover the MST computation only (input generation and preparation
@@ -22,9 +24,11 @@
 //! * `KAMSTA_PERF_REPS` — timing repetitions, minimum wall time is kept
 //!   (default 3);
 //! * `KAMSTA_BASELINE` — path to a previous run's JSON; when set, its
-//!   entries are embedded under `"baseline"` and per-entry speedups are
-//!   computed;
-//! * `KAMSTA_PERF_OUT` — output path (default `BENCH_pr3.json`).
+//!   **current entries** (one per instance×algo; the previous run's own
+//!   nested `"baseline"` section is ignored) are embedded under
+//!   `"baseline"` together with a `"baseline_source"` naming the file
+//!   they came from, and per-entry speedups are computed;
+//! * `KAMSTA_PERF_OUT` — output path (default `BENCH_pr4.json`).
 
 use kamsta::{Algorithm, MstConfig, RunSummary};
 use kamsta_bench::{bench_mst_config, dyn_throughput_workload, env_usize, Variant, WeakScale};
@@ -103,20 +107,16 @@ fn json_entry(e: &Entry, speedup: Option<(f64, f64)>) -> String {
 /// Minimal extraction of `(instance, algo, wall_time, modeled_time)`
 /// tuples from a previous run's JSON (written by this binary — the format
 /// is under our control, so no general parser is needed).
+///
+/// Only the previous run's own `"entries"` section is read: scanning
+/// stops at its `"baseline"` key, and duplicate `(instance, algo)` rows
+/// keep the first occurrence — so a baseline file that itself embeds a
+/// baseline contributes exactly one row per instance×algo instead of
+/// accumulating prior PRs' rows on every hop.
 fn parse_baseline(text: &str) -> Vec<(String, String, f64, f64)> {
-    let mut out = Vec::new();
-    for line in text.lines() {
-        let line = line.trim();
-        if !line.contains("\"instance\"") {
-            continue;
-        }
-        let field = |name: &str| -> Option<String> {
-            let tag = format!("\"{name}\": ");
-            let at = line.find(&tag)? + tag.len();
-            let rest = &line[at..];
-            let end = rest.find([',', '}']).unwrap_or(rest.len());
-            Some(rest[..end].trim().trim_matches('"').to_string())
-        };
+    let mut out: Vec<(String, String, f64, f64)> = Vec::new();
+    for line in kamsta_bench::perf_entry_lines(text) {
+        let field = |name: &str| kamsta_bench::perf_json_field(line, name);
         if let (Some(inst), Some(algo), Some(w), Some(m)) = (
             field("instance"),
             field("algo"),
@@ -124,7 +124,9 @@ fn parse_baseline(text: &str) -> Vec<(String, String, f64, f64)> {
             field("modeled_time"),
         ) {
             if let (Ok(w), Ok(m)) = (w.parse(), m.parse()) {
-                out.push((inst, algo, w, m));
+                if !out.iter().any(|(i, a, _, _)| *i == inst && *a == algo) {
+                    out.push((inst, algo, w, m));
+                }
             }
         }
     }
@@ -137,9 +139,10 @@ fn main() {
     let ws = WeakScale::from_env();
     let cfg = bench_mst_config();
     let out_path =
-        std::env::var("KAMSTA_PERF_OUT").unwrap_or_else(|_| "BENCH_pr3.json".to_string());
-    let baseline: Vec<(String, String, f64, f64)> = std::env::var("KAMSTA_BASELINE")
-        .ok()
+        std::env::var("KAMSTA_PERF_OUT").unwrap_or_else(|_| "BENCH_pr4.json".to_string());
+    let baseline_source = std::env::var("KAMSTA_BASELINE").ok();
+    let baseline: Vec<(String, String, f64, f64)> = baseline_source
+        .as_ref()
         .and_then(|p| std::fs::read_to_string(p).ok())
         .map(|t| parse_baseline(&t))
         .unwrap_or_default();
@@ -192,13 +195,18 @@ fn main() {
             t.dyn_modeled,
             t.wall_speedup()
         );
+        // Throughput over the *touched-edge volume* (certificate edges
+        // examined by the re-solves), not the op count: ops say nothing
+        // about how much graph the dynamic path actually processed, so
+        // only the touched volume is comparable across PRs.
+        let touched = t.stats.certificate_edges;
         entries.push(Entry {
             instance: "GNM",
             cores,
             algo: format!("dyn-{dyn_batch}"),
             wall_time: t.dyn_wall,
             modeled_time: t.dyn_modeled,
-            edges_per_second: t.ops as f64 / t.dyn_modeled.max(f64::MIN_POSITIVE),
+            edges_per_second: touched as f64 / t.dyn_modeled.max(f64::MIN_POSITIVE),
             msf_weight: t.final_weight,
             input_edges: t.ops,
         });
@@ -236,6 +244,8 @@ fn main() {
                 )
             })
             .collect();
+        let source = baseline_source.as_deref().unwrap_or("unknown");
+        json.push_str(&format!(",\n  \"baseline_source\": \"{source}\""));
         json.push_str(",\n  \"baseline\": [\n");
         json.push_str(&base.join(",\n"));
         json.push_str("\n  ]");

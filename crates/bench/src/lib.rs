@@ -162,6 +162,31 @@ pub fn dyn_throughput_workload(
     }
 }
 
+/// Extract the value of `"name": value` from one line of a
+/// `perf_trajectory` JSON. The format is written by this crate
+/// (one entry object per line), so a line-oriented scan suffices —
+/// no general JSON parser. Shared by `perf_trajectory` (baseline
+/// embedding) and `perf_check` (the CI regression gate) so the two
+/// cannot drift apart.
+pub fn perf_json_field(line: &str, name: &str) -> Option<String> {
+    let tag = format!("\"{name}\": ");
+    let at = line.find(&tag)? + tag.len();
+    let rest = &line[at..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    Some(rest[..end].trim().trim_matches('"').to_string())
+}
+
+/// The trimmed entry rows of a `perf_trajectory` JSON: every line
+/// carrying an `"instance"` field **before** the embedded `"baseline"`
+/// section, so a file that itself embeds a baseline contributes only
+/// its own measurements.
+pub fn perf_entry_lines(text: &str) -> impl Iterator<Item = &str> {
+    text.lines()
+        .map(str::trim)
+        .take_while(|line| !line.starts_with("\"baseline\""))
+        .filter(|line| line.contains("\"instance\""))
+}
+
 /// Read a `usize` environment knob.
 pub fn env_usize(name: &str, default: usize) -> usize {
     std::env::var(name)

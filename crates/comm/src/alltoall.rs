@@ -25,7 +25,6 @@
 
 use crate::comm::{bytes_of, Comm};
 use crate::flat::{FlatBuckets, FlatBuilder};
-use std::sync::Arc;
 
 /// Strategy selector for [`Comm::sparse_alltoallv`].
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -146,11 +145,12 @@ struct GridMsg<T> {
 impl Comm {
     /// Raw data-plane exchange on flat buffers: deliver `bufs.bucket(j)`
     /// to PE `j`, reading only from the PEs in `recv_from` (ascending).
-    /// The send side publishes its single contiguous buffer once —
-    /// zero-copy; each receiver copies out its slice per source into one
-    /// contiguous receive buffer keyed by source rank. Performs no cost
-    /// charging; the public wrappers charge according to their
-    /// communication pattern.
+    /// The send side publishes its single contiguous buffer once into its
+    /// typed exchange cell — zero-copy; after the single barrier each
+    /// receiver copies out its slice per source straight from the peers'
+    /// cells into one contiguous receive buffer keyed by source rank.
+    /// Performs no cost charging; the public wrappers charge according to
+    /// their communication pattern.
     fn raw_exchange_flat<T: Clone + Send + Sync + 'static>(
         &self,
         bufs: FlatBuckets<T>,
@@ -160,21 +160,27 @@ impl Comm {
         let me = self.rank();
         assert_eq!(bufs.buckets(), p, "need one bucket per destination PE");
         debug_assert!(recv_from.windows(2).all(|w| w[0] < w[1]));
-        self.slots().put_shared(me, bufs);
+        if p == 1 {
+            return if recv_from.is_empty() {
+                FlatBuckets::empty(1)
+            } else {
+                bufs
+            };
+        }
+        let round = self.round::<FlatBuckets<T>>();
+        round.publish(bufs);
         self.sync();
-        let arcs: Vec<(usize, Arc<FlatBuckets<T>>)> = recv_from
+        let sources: Vec<(usize, &FlatBuckets<T>)> = recv_from
             .iter()
-            .map(|&src| (src, self.slots().read_shared::<FlatBuckets<T>>(src)))
+            .map(|&src| (src, round.read(src)))
             .collect();
-        self.sync();
-        self.slots().clear(me);
-        let total: usize = arcs.iter().map(|(_, a)| a.count(me)).sum();
+        let total: usize = sources.iter().map(|(_, b)| b.count(me)).sum();
         let mut out = FlatBuilder::with_capacity(total, p);
-        let mut it = arcs.iter().peekable();
+        let mut it = sources.iter().peekable();
         for src in 0..p {
-            if let Some((s, a)) = it.peek() {
+            if let Some((s, b)) = it.peek() {
                 if *s == src {
-                    out.extend_from_slice(a.bucket(me));
+                    out.extend_from_slice(b.bucket(me));
                     it.next();
                 }
             }
@@ -247,7 +253,10 @@ impl Comm {
         };
 
         let senders1 = grid.phase1_senders(me);
-        let arcs1 = self.publish_read_grid(msg1, &senders1);
+        let round1 = self.round::<GridMsg<T>>();
+        round1.publish(msg1);
+        self.sync();
+        let arcs1: Vec<&GridMsg<T>> = senders1.iter().map(|&src| round1.read(src)).collect();
         let in1: u64 = arcs1
             .iter()
             .map(|a| bytes_of::<T>(a.data.count(me)) + bytes_of::<u32>(a.sub.count(me)))
@@ -288,7 +297,10 @@ impl Comm {
         };
 
         let senders2 = grid.phase2_senders(me);
-        let arcs2 = self.publish_read_grid(msg2, &senders2);
+        let round2 = self.round::<GridMsg<T>>();
+        round2.publish(msg2);
+        self.sync();
+        let arcs2: Vec<&GridMsg<T>> = senders2.iter().map(|&src| round2.read(src)).collect();
         let in2: u64 = arcs2
             .iter()
             .map(|a| bytes_of::<T>(a.data.count(me)) + bytes_of::<u32>(a.sub.count(me)))
@@ -332,25 +344,6 @@ impl Comm {
             out.seal();
         }
         out.finish(p)
-    }
-
-    /// One publish/read round of [`GridMsg`]s: publish mine, collect the
-    /// `Arc`s of the PEs in `from` (they stay alive past the slot clear).
-    fn publish_read_grid<T: Send + Sync + 'static>(
-        &self,
-        msg: GridMsg<T>,
-        from: &[usize],
-    ) -> Vec<Arc<GridMsg<T>>> {
-        let me = self.rank();
-        self.slots().put_shared(me, msg);
-        self.sync();
-        let arcs: Vec<Arc<GridMsg<T>>> = from
-            .iter()
-            .map(|&src| self.slots().read_shared::<GridMsg<T>>(src))
-            .collect();
-        self.sync();
-        self.slots().clear(me);
-        arcs
     }
 
     /// Hypercube all-to-all: `log p` pairwise phases, each moving all data

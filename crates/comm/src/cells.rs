@@ -1,0 +1,270 @@
+//! Typed, epoch-stamped exchange cells — the blackboard the collectives
+//! publish through.
+//!
+//! The previous substrate stored every published value as a
+//! `Mutex<Option<Box<dyn Any + Send>>>`: one heap allocation to box the
+//! value, a mutex acquisition per slot access, a `downcast` per read, and
+//! a five-step **two-superstep** discipline (publish → barrier → read →
+//! barrier → clear) whose second barrier existed only so publishers knew
+//! their slot could be reused.
+//!
+//! This module replaces all of that with **typed cell sets**: for each
+//! payload type `T`, a [`CellRegistry`] lazily creates one array of
+//! cache-line-padded [`ExchangeCell<T>`]s (one per PE). Values are moved
+//! into the cell in place — no boxing, no downcasting, and no lock on the
+//! hot path (the registry's mutex is touched once per *type*, not per
+//! access; each `Comm` handle caches the `Arc` thereafter).
+//!
+//! ## Single-superstep protocol
+//!
+//! Every use of a cell set is one *round*, numbered by a per-PE epoch
+//! counter that advances identically on all PEs (collectives are called
+//! in the same order on every PE — standard SPMD discipline). A round is:
+//!
+//! 1. publish: write the value into your own cell's `epoch & 1` lane,
+//!    then store the epoch stamp (Release);
+//! 2. one barrier;
+//! 3. read peers' cells directly (`&T`, stamp-validated) or move values
+//!    out ([`Round::take`]); **no second barrier, no clear**.
+//!
+//! Why this is safe: a reader of round `e` holds its references strictly
+//! between the barriers of rounds `e` and `e + 1` (its next use of the
+//! set). A publisher can only overwrite lane `e & 1` in round `e + 2`,
+//! and it reaches that publish only after passing the round-`e + 1`
+//! barrier — which happens-after *every* PE arrived at that barrier, i.e.
+//! after every reader of round `e` finished. The epoch stamp turns this
+//! argument into a runtime check: `Round::read`/`take` assert the lane
+//! carries exactly the expected epoch, so any protocol violation (a
+//! missing publish, a skipped collective on one PE, an out-of-order
+//! round) fails loudly instead of returning torn data.
+//!
+//! Values that are published but never taken (e.g. an `exchange` nobody
+//! listens to) simply stay in their lane and are dropped when the lane is
+//! reused two rounds later, or when the machine run ends.
+
+use parking_lot::Mutex;
+use std::any::{Any, TypeId};
+use std::cell::UnsafeCell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// One PE's publication cell for payload type `T`: two value lanes
+/// (epoch parity) with epoch stamps, padded so neighbouring PEs' cells
+/// never share a cache line.
+#[repr(align(128))]
+pub(crate) struct ExchangeCell<T> {
+    stamps: [AtomicU64; 2],
+    values: [UnsafeCell<Option<T>>; 2],
+}
+
+// Safety: lane access is serialised by the single-superstep protocol
+// (writes before a barrier, reads after it, reuse two rounds later) —
+// see the module docs. `T: Send` suffices for the cell to be shared:
+// values only *move* across threads through `publish`/`take`; methods
+// that hand out `&T` across threads additionally require `T: Sync`.
+unsafe impl<T: Send> Sync for ExchangeCell<T> {}
+
+impl<T> ExchangeCell<T> {
+    fn new() -> Self {
+        Self {
+            stamps: [AtomicU64::new(0), AtomicU64::new(0)],
+            values: [UnsafeCell::new(None), UnsafeCell::new(None)],
+        }
+    }
+
+    /// Publish `value` for round `e` (called by the owning PE only,
+    /// before the round's barrier).
+    fn publish(&self, e: u64, value: T) {
+        let lane = (e & 1) as usize;
+        // Safety: any reader of this lane finished two rounds ago (module
+        // docs); the owning PE is the only writer.
+        unsafe {
+            *self.values[lane].get() = Some(value);
+        }
+        self.stamps[lane].store(e, Ordering::Release);
+    }
+
+    /// Validate the stamp of round `e`'s lane and panic with a protocol
+    /// diagnosis if it does not match.
+    fn check_stamp(&self, e: u64, what: &str) -> usize {
+        let lane = (e & 1) as usize;
+        let stamp = self.stamps[lane].load(Ordering::Acquire);
+        assert!(
+            stamp == e,
+            "exchange-cell {what} of epoch {e} found stamp {stamp}: \
+             a PE skipped a publish or collectives ran out of order"
+        );
+        lane
+    }
+
+    /// Borrow the value published for round `e`. Called after the round's
+    /// barrier; the reference must be dropped before this PE's next use
+    /// of the same cell set (enforced by `Round`'s borrow).
+    fn read(&self, e: u64) -> &T
+    where
+        T: Sync,
+    {
+        let lane = self.check_stamp(e, "read");
+        // Safety: stamp == e proves the publish of round e is visible
+        // (Acquire pairs with the publisher's Release), and no write can
+        // touch this lane until round e + 2.
+        unsafe { (*self.values[lane].get()).as_ref() }
+            .expect("exchange cell empty despite matching stamp")
+    }
+
+    /// Move the value published for round `e` out of the cell. At most
+    /// one PE may take from a given cell per round (the protocol's
+    /// designated receiver).
+    fn take(&self, e: u64) -> T {
+        let lane = self.check_stamp(e, "take");
+        // Safety: as in `read`, plus take-exclusivity: only the
+        // designated receiver of this round touches the Option.
+        unsafe { (*self.values[lane].get()).take() }
+            .unwrap_or_else(|| panic!("exchange cell taken twice in epoch {e}"))
+    }
+}
+
+/// The per-type cell array: one [`ExchangeCell<T>`] per PE.
+pub(crate) struct CellSet<T> {
+    cells: Box<[ExchangeCell<T>]>,
+}
+
+impl<T> CellSet<T> {
+    fn new(p: usize) -> Self {
+        Self {
+            cells: (0..p).map(|_| ExchangeCell::new()).collect(),
+        }
+    }
+}
+
+/// Lazily-populated map from payload type to its [`CellSet`]. Shared by
+/// all PEs of a communicator; the mutex is hit once per (PE, type) —
+/// every subsequent round goes through the `Comm` handle's local cache.
+pub(crate) struct CellRegistry {
+    p: usize,
+    sets: Mutex<HashMap<TypeId, Arc<dyn Any + Send + Sync>>>,
+}
+
+impl std::fmt::Debug for CellRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "CellRegistry(p = {})", self.p)
+    }
+}
+
+impl CellRegistry {
+    pub(crate) fn new(p: usize) -> Self {
+        Self {
+            p,
+            sets: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The cell set for type `T`, created on first use. All PEs resolve
+    /// the same `Arc`.
+    pub(crate) fn get<T: Send + 'static>(&self) -> Arc<CellSet<T>> {
+        let mut sets = self.sets.lock();
+        let entry = sets
+            .entry(TypeId::of::<T>())
+            .or_insert_with(|| Arc::new(CellSet::<T>::new(self.p)));
+        Arc::clone(entry)
+            .downcast::<CellSet<T>>()
+            .expect("registry entry keyed by TypeId")
+    }
+}
+
+/// One single-superstep round on a typed cell set: the epoch is fixed at
+/// construction ([`crate::Comm`] advances its per-type counter), and all
+/// publishes/reads/takes of the round go through this handle.
+pub(crate) struct Round<T> {
+    set: Arc<CellSet<T>>,
+    epoch: u64,
+    rank: usize,
+}
+
+impl<T: Send + 'static> Round<T> {
+    pub(crate) fn new(set: Arc<CellSet<T>>, epoch: u64, rank: usize) -> Self {
+        Self { set, epoch, rank }
+    }
+
+    /// Publish this PE's value for the round (before the barrier).
+    pub(crate) fn publish(&self, value: T) {
+        self.set.cells[self.rank].publish(self.epoch, value);
+    }
+
+    /// Borrow the value PE `r` published this round (after the barrier).
+    pub(crate) fn read(&self, r: usize) -> &T
+    where
+        T: Sync,
+    {
+        self.set.cells[r].read(self.epoch)
+    }
+
+    /// Move the value PE `r` published this round out of its cell (after
+    /// the barrier; at most one taker per cell per round).
+    pub(crate) fn take(&self, r: usize) -> T {
+        self.set.cells[r].take(self.epoch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn publish_take_roundtrip() {
+        let set: Arc<CellSet<Vec<u32>>> = CellRegistry::new(2).get();
+        let r0 = Round::new(Arc::clone(&set), 1, 0);
+        r0.publish(vec![1, 2, 3]);
+        let r1 = Round::new(set, 1, 1);
+        assert_eq!(r1.take(0), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn reads_are_non_destructive() {
+        let set: Arc<CellSet<String>> = CellRegistry::new(1).get();
+        let round = Round::new(set, 1, 0);
+        round.publish(String::from("hello"));
+        assert_eq!(round.read(0), "hello");
+        assert_eq!(round.read(0), "hello");
+    }
+
+    #[test]
+    fn lanes_alternate_and_reuse_drops_stale_values() {
+        let set: Arc<CellSet<u64>> = CellRegistry::new(1).get();
+        for e in 1..=6 {
+            let round = Round::new(Arc::clone(&set), e, 0);
+            round.publish(e * 10);
+            assert_eq!(*round.read(0), e * 10);
+        }
+    }
+
+    #[test]
+    fn registry_returns_one_set_per_type() {
+        let reg = CellRegistry::new(3);
+        let a: Arc<CellSet<u32>> = reg.get();
+        let b: Arc<CellSet<u32>> = reg.get();
+        assert!(Arc::ptr_eq(&a, &b));
+        let _c: Arc<CellSet<u64>> = reg.get(); // distinct type, no clash
+    }
+
+    #[test]
+    #[should_panic(expected = "skipped a publish")]
+    fn stale_epoch_read_panics() {
+        let set: Arc<CellSet<u8>> = CellRegistry::new(1).get();
+        let r1 = Round::new(Arc::clone(&set), 1, 0);
+        r1.publish(7);
+        let r2 = Round::new(set, 2, 0);
+        let _ = r2.take(0); // nothing published in epoch 2
+    }
+
+    #[test]
+    #[should_panic(expected = "taken twice")]
+    fn double_take_panics() {
+        let set: Arc<CellSet<u8>> = CellRegistry::new(1).get();
+        let round = Round::new(set, 1, 0);
+        round.publish(9);
+        let _ = round.take(0);
+        let _ = round.take(0);
+    }
+}

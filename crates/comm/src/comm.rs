@@ -2,31 +2,52 @@
 //!
 //! Every operation on [`Comm`] is *collective*: all PEs of the communicator
 //! must call it in the same order (standard MPI semantics). Collectives are
-//! built from the blackboard ([`crate::slots::Slots`]) and the clock-synced
-//! barrier; the modeled α-β cost of each operation follows the complexity
-//! stated in Sec. II-A of the paper (e.g. `O(α log p + βℓ)` for broadcast,
-//! (all)reduce and prefix sums).
+//! built from typed exchange cells ([`crate::cells`]) and the dissemination
+//! barrier with folded-in clock max-reduction; the modeled α-β cost of each
+//! operation follows the complexity stated in Sec. II-A of the paper (e.g.
+//! `O(α log p + βℓ)` for broadcast, (all)reduce and prefix sums).
+//!
+//! Each collective is a **single superstep**: publish into your own typed
+//! cell, one barrier, read peers' cells directly. Epoch stamps on the
+//! cells validate that readers see exactly the round they expect, which is
+//! what lets the old publish → barrier → read → barrier → clear discipline
+//! drop its second barrier (see `cells.rs` for the safety argument). On a
+//! single-PE communicator the collectives skip synchronisation entirely.
 
 use crate::alltoall::AlltoallKind;
 use crate::barrier::ClockBarrier;
+use crate::cells::{CellRegistry, CellSet, Round};
 use crate::cost::{Clock, CostModel, PeStats};
-use crate::slots::Slots;
+use std::any::{Any, TypeId};
+use std::cell::RefCell;
+use std::collections::HashMap;
 use std::sync::Arc;
 
 /// State shared by all PEs of one communicator.
 #[derive(Debug)]
 pub(crate) struct CommShared {
     pub(crate) barrier: ClockBarrier,
-    pub(crate) slots: Slots,
+    pub(crate) cells: CellRegistry,
 }
 
 impl CommShared {
-    pub(crate) fn new(p: usize) -> Self {
+    /// `machine_pes` is the machine-wide PE thread count — sub-communicator
+    /// barriers judge host oversubscription by it, not by their own size.
+    pub(crate) fn new(p: usize, machine_pes: usize) -> Self {
         Self {
-            barrier: ClockBarrier::new(p),
-            slots: Slots::new(p),
+            barrier: ClockBarrier::new(p, machine_pes),
+            cells: CellRegistry::new(p),
         }
     }
+}
+
+/// This PE's cached handle on one cell set plus its round counter. The
+/// counter is PE-local but advances identically on every PE (collectives
+/// run in the same order everywhere), so all PEs agree on each round's
+/// epoch without sharing a counter.
+struct CellCacheEntry {
+    set: Arc<dyn Any + Send + Sync>,
+    epoch: u64,
 }
 
 /// A PE's handle on one communicator (MPI communicator analogue).
@@ -36,9 +57,12 @@ impl CommShared {
 pub struct Comm {
     rank: usize,
     size: usize,
+    /// PE threads of the whole machine (constant across `split`).
+    machine_pes: usize,
     shared: Arc<CommShared>,
     clock: Arc<Clock>,
     cost: CostModel,
+    cell_cache: RefCell<HashMap<TypeId, CellCacheEntry>>,
     pub(crate) alltoall_kind: AlltoallKind,
     pub(crate) grid_threshold_bytes: usize,
 }
@@ -57,9 +81,11 @@ pub(crate) fn bytes_of<T>(n: usize) -> u64 {
 }
 
 impl Comm {
+    #[allow(clippy::too_many_arguments)] // internal constructor mirroring MachineConfig
     pub(crate) fn new(
         rank: usize,
         size: usize,
+        machine_pes: usize,
         shared: Arc<CommShared>,
         clock: Arc<Clock>,
         cost: CostModel,
@@ -69,9 +95,11 @@ impl Comm {
         Self {
             rank,
             size,
+            machine_pes,
             shared,
             clock,
             cost,
+            cell_cache: RefCell::new(HashMap::new()),
             alltoall_kind,
             grid_threshold_bytes,
         }
@@ -135,10 +163,33 @@ impl Comm {
     }
 
     /// Internal rendezvous: synchronises threads *and* max-syncs modeled
-    /// clocks, but charges nothing. Collectives are built from this.
+    /// clocks (the max-reduction rides inside the dissemination rounds),
+    /// but charges nothing. Collectives are built from this.
     pub(crate) fn sync(&self) {
-        let synced = self.shared.barrier.wait(self.clock.now());
+        if self.size == 1 {
+            return;
+        }
+        let synced = self.shared.barrier.wait(self.rank, self.clock.now());
         self.clock.set(synced);
+    }
+
+    /// Start a single-superstep round on the cell set for type `T`: the
+    /// per-type epoch advances by one (identically on every PE), the set
+    /// is resolved from the PE-local cache (registry mutex only on first
+    /// use of a type).
+    pub(crate) fn round<T: Send + 'static>(&self) -> Round<T> {
+        let mut cache = self.cell_cache.borrow_mut();
+        let entry = cache
+            .entry(TypeId::of::<T>())
+            .or_insert_with(|| CellCacheEntry {
+                set: self.shared.cells.get::<T>(),
+                epoch: 0,
+            });
+        entry.epoch += 1;
+        let set = Arc::clone(&entry.set)
+            .downcast::<CellSet<T>>()
+            .expect("cell cache entry keyed by TypeId");
+        Round::new(set, entry.epoch, self.rank)
     }
 
     /// Explicit barrier (collective). Charges `α·log p`.
@@ -156,18 +207,18 @@ impl Comm {
     /// Non-root PEs pass `None`. Cost: `α log p + β·bytes`.
     pub fn broadcast<T: Clone + Send + Sync + 'static>(&self, root: usize, value: Option<T>) -> T {
         debug_assert!(root < self.size);
+        if self.size == 1 {
+            self.charge_comm(self.log2p(), bytes_of::<T>(1));
+            return value.expect("root must supply a value to broadcast");
+        }
+        let round = self.round::<T>();
         if self.rank == root {
-            let v = value.expect("root must supply a value to broadcast");
-            self.shared.slots.put_shared(root, v);
+            round.publish(value.expect("root must supply a value to broadcast"));
         }
         self.sync();
-        let arc = self.shared.slots.read_shared::<T>(root);
-        self.sync();
-        if self.rank == root {
-            self.shared.slots.clear(root);
-        }
+        let out = round.read(root).clone();
         self.charge_comm(self.log2p(), bytes_of::<T>(1));
-        (*arc).clone()
+        out
     }
 
     /// Broadcast a vector from `root`; cost `α log p + β·len·size_of::<T>()`.
@@ -177,36 +228,38 @@ impl Comm {
         value: Option<Vec<T>>,
     ) -> Vec<T> {
         debug_assert!(root < self.size);
-        if self.rank == root {
+        if self.size == 1 {
             let v = value.expect("root must supply a value to broadcast");
-            self.shared.slots.put_shared(root, v);
+            self.charge_comm(self.log2p(), bytes_of::<T>(v.len()));
+            return v;
         }
-        self.sync();
-        let arc = self.shared.slots.read_shared::<Vec<T>>(root);
-        self.sync();
+        let round = self.round::<Vec<T>>();
         if self.rank == root {
-            self.shared.slots.clear(root);
+            round.publish(value.expect("root must supply a value to broadcast"));
         }
-        self.charge_comm(self.log2p(), bytes_of::<T>(arc.len()));
-        (*arc).clone()
+        self.sync();
+        let src = round.read(root);
+        let out = src.clone();
+        self.charge_comm(self.log2p(), bytes_of::<T>(out.len()));
+        out
     }
 
     /// Gather one value per PE at `root` (rank order). Returns `Some` on the
     /// root, `None` elsewhere.
     pub fn gather<T: Send + 'static>(&self, root: usize, value: T) -> Option<Vec<T>> {
         debug_assert!(root < self.size);
-        self.shared.slots.put(self.rank, value);
+        if self.size == 1 {
+            self.charge_comm(self.log2p(), bytes_of::<T>(1));
+            return Some(vec![value]);
+        }
+        let round = self.round::<T>();
+        round.publish(value);
         self.sync();
         let out = if self.rank == root {
-            let mut all = Vec::with_capacity(self.size);
-            for r in 0..self.size {
-                all.push(self.shared.slots.take::<T>(r));
-            }
-            Some(all)
+            Some((0..self.size).map(|r| round.take(r)).collect())
         } else {
             None
         };
-        self.sync();
         let total = bytes_of::<T>(self.size);
         if self.rank == root {
             self.charge_comm(self.log2p(), total);
@@ -219,19 +272,23 @@ impl Comm {
     /// Gather a vector per PE at `root`, concatenated in rank order.
     pub fn gatherv<T: Send + 'static>(&self, root: usize, value: Vec<T>) -> Option<Vec<T>> {
         debug_assert!(root < self.size);
+        if self.size == 1 {
+            self.charge_comm(self.log2p(), bytes_of::<T>(value.len()));
+            return Some(value);
+        }
         let own = bytes_of::<T>(value.len());
-        self.shared.slots.put(self.rank, value);
+        let round = self.round::<Vec<T>>();
+        round.publish(value);
         self.sync();
         let out = if self.rank == root {
             let mut all = Vec::new();
             for r in 0..self.size {
-                all.extend(self.shared.slots.take::<Vec<T>>(r));
+                all.extend(round.take(r));
             }
             Some(all)
         } else {
             None
         };
-        self.sync();
         match &out {
             Some(all) => self.charge_comm(self.log2p(), bytes_of::<T>(all.len())),
             None => self.charge_comm(self.log2p(), own),
@@ -251,30 +308,31 @@ impl Comm {
     /// real-world counterpart needs no communication (e.g. [`Comm::split`]
     /// membership derived from static structure).
     fn allgather_uncharged<T: Clone + Send + Sync + 'static>(&self, value: T) -> Vec<T> {
-        self.shared.slots.put_shared(self.rank, value);
-        self.sync();
-        let mut all = Vec::with_capacity(self.size);
-        for r in 0..self.size {
-            all.push((*self.shared.slots.read_shared::<T>(r)).clone());
+        if self.size == 1 {
+            return vec![value];
         }
+        let round = self.round::<T>();
+        round.publish(value);
         self.sync();
-        self.shared.slots.clear(self.rank);
-        all
+        (0..self.size).map(|r| round.read(r).clone()).collect()
     }
 
     /// All PEs obtain the concatenation (rank order) of every PE's vector.
     /// Cost: `α log p + β·ℓ` with ℓ the sum of all message lengths
     /// (the allgather/gossiping bound from Sec. II-A).
     pub fn allgatherv<T: Clone + Send + Sync + 'static>(&self, value: Vec<T>) -> Vec<T> {
-        self.shared.slots.put_shared(self.rank, value);
-        self.sync();
-        let mut all = Vec::new();
-        for r in 0..self.size {
-            let part = self.shared.slots.read_shared::<Vec<T>>(r);
-            all.extend(part.iter().cloned());
+        if self.size == 1 {
+            self.charge_comm(self.log2p(), bytes_of::<T>(value.len()));
+            return value;
         }
+        let round = self.round::<Vec<T>>();
+        round.publish(value);
         self.sync();
-        self.shared.slots.clear(self.rank);
+        let total: usize = (0..self.size).map(|r| round.read(r).len()).sum();
+        let mut all = Vec::with_capacity(total);
+        for r in 0..self.size {
+            all.extend_from_slice(round.read(r));
+        }
         self.charge_comm(self.log2p(), bytes_of::<T>(all.len()));
         all
     }
@@ -426,18 +484,23 @@ impl Comm {
         send: Option<(usize, V)>,
         recv_from: Option<usize>,
     ) -> Option<V> {
+        if self.size == 1 {
+            debug_assert!(send.is_none(), "self-exchange is a protocol bug");
+            debug_assert!(recv_from.is_none());
+            return None;
+        }
+        let round = self.round::<V>();
         let sent = send.is_some();
         if let Some((dest, payload)) = send {
             debug_assert!(dest < self.size, "exchange dest out of range");
             debug_assert_ne!(dest, self.rank, "self-exchange is a protocol bug");
-            self.shared.slots.put(self.rank, payload);
+            round.publish(payload);
         }
         self.sync();
         let received = recv_from.map(|src| {
             debug_assert_ne!(src, self.rank);
-            self.shared.slots.take::<V>(src)
+            round.take(src)
         });
-        self.sync();
         if sent || received.is_some() {
             self.charge_comm(1, 0); // β charged by callers who know sizes
         }
@@ -471,32 +534,27 @@ impl Comm {
         let group_size = members.len();
         let leader_global = members[0].1;
 
-        if self.rank == leader_global {
-            self.shared
-                .slots
-                .put_shared(self.rank, CommShared::new(group_size));
-        }
-        self.sync();
-        let group_shared = self.shared.slots.read_shared::<CommShared>(leader_global);
-        self.sync();
-        if self.rank == leader_global {
-            self.shared.slots.clear(self.rank);
-        }
+        let group_shared = if self.size == 1 {
+            Arc::new(CommShared::new(1, self.machine_pes))
+        } else {
+            let round = self.round::<Arc<CommShared>>();
+            if self.rank == leader_global {
+                round.publish(Arc::new(CommShared::new(group_size, self.machine_pes)));
+            }
+            self.sync();
+            Arc::clone(round.read(leader_global))
+        };
 
         Comm::new(
             my_new_rank,
             group_size,
+            self.machine_pes,
             group_shared,
             Arc::clone(&self.clock),
             self.cost,
             self.alltoall_kind,
             self.grid_threshold_bytes,
         )
-    }
-
-    // internal accessors for the alltoall module
-    pub(crate) fn slots(&self) -> &Slots {
-        &self.shared.slots
     }
 }
 

@@ -23,6 +23,17 @@
 //! * sub-communicators ([`Comm::split`]), used by the 2D-partitioned
 //!   sparse-matrix baseline
 //!
+//! ## Synchronization substrate
+//!
+//! Collectives run on a low-latency substrate (see `DESIGN.md` §6): an
+//! O(log p) *dissemination barrier* whose rounds carry the BSP clock
+//! max-reduction, and typed, epoch-stamped *exchange cells* (one
+//! cache-padded cell array per payload type) that make every collective a
+//! **single superstep** — publish, one barrier, read peers' cells in
+//! place. There is no central counter, no per-value heap boxing, no mutex
+//! on the hot path, and no second barrier; single-PE communicators skip
+//! synchronisation entirely.
+//!
 //! ## Cost model
 //!
 //! Because the paper's evaluation ran on up to 2^16 cores of SuperMUC-NG,
@@ -49,11 +60,11 @@
 
 mod alltoall;
 mod barrier;
+mod cells;
 mod comm;
 mod cost;
 mod flat;
 mod machine;
-mod slots;
 
 pub use alltoall::{route, AlltoallKind, GridTopology};
 pub use comm::Comm;

@@ -102,7 +102,7 @@ impl Machine {
     {
         assert!(cfg.pes > 0, "machine needs at least one PE");
         let p = cfg.pes;
-        let shared = Arc::new(CommShared::new(p));
+        let shared = Arc::new(CommShared::new(p, p));
         let clocks: Vec<Arc<Clock>> = (0..p).map(|_| Arc::new(Clock::new())).collect();
         let start = Instant::now();
 
@@ -123,6 +123,7 @@ impl Machine {
                         .spawn_scoped(scope, move || {
                             let comm = Comm::new(
                                 rank,
+                                p,
                                 p,
                                 Arc::clone(shared_ref),
                                 clock,

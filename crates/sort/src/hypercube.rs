@@ -88,7 +88,9 @@ fn fold_in_surplus<T: Ord + Send + 'static>(comm: &Comm, data: Vec<T>, q: usize)
         data.extend(incoming);
         data
     } else {
-        comm.exchange::<(usize, Vec<T>)>(None, None);
+        // Idle PEs still advance the same typed exchange round as the
+        // fold participants (`V = Vec<T>`).
+        comm.exchange::<Vec<T>>(None, None);
         data
     }
 }
