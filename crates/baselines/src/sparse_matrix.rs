@@ -25,6 +25,32 @@ struct Cand {
     orig_v: u64,
 }
 
+/// Wire format: fixed-width field walk, declaration order.
+impl kamsta_comm::Wire for Cand {
+    fn wire_write(&self, out: &mut Vec<u8>) {
+        self.w.wire_write(out);
+        self.tie.wire_write(out);
+        self.id.wire_write(out);
+        self.to.wire_write(out);
+        self.orig_u.wire_write(out);
+        self.orig_v.wire_write(out);
+    }
+    fn wire_read(r: &mut kamsta_comm::WireReader<'_>) -> Result<Self, kamsta_comm::WireError> {
+        Ok(Self {
+            w: u32::wire_read(r)?,
+            tie: <(u64, u64)>::wire_read(r)?,
+            id: u64::wire_read(r)?,
+            to: u64::wire_read(r)?,
+            orig_u: u64::wire_read(r)?,
+            orig_v: u64::wire_read(r)?,
+        })
+    }
+    #[inline]
+    fn wire_min_size() -> usize {
+        52
+    }
+}
+
 /// Compute the MSF with the 2D-partitioned Awerbuch–Shiloach scheme.
 /// Returns this PE's share of the MSF edges (original endpoints).
 /// Collective.

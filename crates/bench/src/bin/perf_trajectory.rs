@@ -2,8 +2,10 @@
 //! instance set, written as machine-readable JSON so successive PRs can
 //! regress against each other (`BENCH_pr<N>.json` at the repo root).
 //!
-//! Instances: the GNM / RMAT / RoadLike weak-scaling configurations at
-//! fixed seeds, run with `boruvka-1` and `filterBoruvka-1`, plus the
+//! Instances: the GNM / RMAT / RoadLike / 2D-RGG / RHG weak-scaling
+//! configurations (the latter two are the paper's Fig. 3 geometric
+//! families) at fixed seeds, run with `boruvka-1` and `filterBoruvka-1`,
+//! plus the
 //! batch-dynamic workload (`dyn-64`: random updates in batches of 64 on
 //! GNM, wall time of the dynamic path; its `edges_per_second` field
 //! reports the *touched-edge volume* — certificate edges examined by
@@ -28,13 +30,18 @@
 //!   nested `"baseline"` section is ignored) are embedded under
 //!   `"baseline"` together with a `"baseline_source"` naming the file
 //!   they came from, and per-entry speedups are computed;
-//! * `KAMSTA_PERF_OUT` — output path (default `BENCH_pr4.json`).
+//! * `KAMSTA_PERF_OUT` — output path (default `BENCH_pr5.json`);
+//! * `KAMSTA_TRANSPORT` — transport backend (`cells` | `bytes`) for the
+//!   simulated machines, resolved by `MachineConfig` itself.
 
 use kamsta::{Algorithm, MstConfig, RunSummary};
 use kamsta_bench::{bench_mst_config, dyn_throughput_workload, env_usize, Variant, WeakScale};
 
 const SEED: u64 = 42;
-const FAMILIES: [&str; 3] = ["GNM", "RMAT", "ROAD"];
+/// The weak-scaling families: the PR 2 set (GNM / RMAT / ROAD) plus the
+/// paper's Fig. 3 geometric families (2D-RGG, RHG), absent from the
+/// BENCH files before PR 5.
+const FAMILIES: [&str; 5] = ["GNM", "RMAT", "ROAD", "2D-RGG", "RHG"];
 
 struct Entry {
     instance: &'static str,
@@ -139,7 +146,7 @@ fn main() {
     let ws = WeakScale::from_env();
     let cfg = bench_mst_config();
     let out_path =
-        std::env::var("KAMSTA_PERF_OUT").unwrap_or_else(|_| "BENCH_pr4.json".to_string());
+        std::env::var("KAMSTA_PERF_OUT").unwrap_or_else(|_| "BENCH_pr5.json".to_string());
     let baseline_source = std::env::var("KAMSTA_BASELINE").ok();
     let baseline: Vec<(String, String, f64, f64)> = baseline_source
         .as_ref()

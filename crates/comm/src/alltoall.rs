@@ -22,9 +22,16 @@
 //! arrays — the exact `sdispls`/`rdispls` layout of `MPI_Alltoallv`.
 //! Indirect routes carry a small flat `u32` header per hop describing the
 //! sub-message split; β is charged on the true contiguous byte counts.
+//!
+//! All strategies are written **once** against the transport boundary
+//! ([`crate::transport`]): the flat and paired-flat exchange primitives
+//! deliver buckets whether the backend is the zero-copy cell blackboard
+//! or the `Wire`-encoded byte queues; charges sit above the boundary, so
+//! modeled costs are identical under either backend.
 
 use crate::comm::{bytes_of, Comm};
 use crate::flat::{FlatBuckets, FlatBuilder};
+use crate::wire::Wire;
 
 /// Strategy selector for [`Comm::sparse_alltoallv`].
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -134,73 +141,19 @@ impl GridTopology {
     }
 }
 
-/// A relayed grid message: the payload buckets (indexed by next-hop PE)
-/// plus, per next-hop, the `u32` lengths of the sub-messages in canonical
-/// order — the flat header that replaces per-message tagging.
-struct GridMsg<T> {
-    data: FlatBuckets<T>,
-    sub: FlatBuckets<u32>,
-}
-
 impl Comm {
-    /// Raw data-plane exchange on flat buffers: deliver `bufs.bucket(j)`
-    /// to PE `j`, reading only from the PEs in `recv_from` (ascending).
-    /// The send side publishes its single contiguous buffer once into its
-    /// typed exchange cell — zero-copy; after the single barrier each
-    /// receiver copies out its slice per source straight from the peers'
-    /// cells into one contiguous receive buffer keyed by source rank.
-    /// Performs no cost charging; the public wrappers charge according to
-    /// their communication pattern.
-    fn raw_exchange_flat<T: Clone + Send + Sync + 'static>(
-        &self,
-        bufs: FlatBuckets<T>,
-        recv_from: &[usize],
-    ) -> FlatBuckets<T> {
-        let p = self.size();
-        let me = self.rank();
-        assert_eq!(bufs.buckets(), p, "need one bucket per destination PE");
-        debug_assert!(recv_from.windows(2).all(|w| w[0] < w[1]));
-        if p == 1 {
-            return if recv_from.is_empty() {
-                FlatBuckets::empty(1)
-            } else {
-                bufs
-            };
-        }
-        let round = self.round::<FlatBuckets<T>>();
-        round.publish(bufs);
-        self.sync();
-        let sources: Vec<(usize, &FlatBuckets<T>)> = recv_from
-            .iter()
-            .map(|&src| (src, round.read(src)))
-            .collect();
-        let total: usize = sources.iter().map(|(_, b)| b.count(me)).sum();
-        let mut out = FlatBuilder::with_capacity(total, p);
-        let mut it = sources.iter().peekable();
-        for src in 0..p {
-            if let Some((s, b)) = it.peek() {
-                if *s == src {
-                    out.extend_from_slice(b.bucket(me));
-                    it.next();
-                }
-            }
-            out.seal();
-        }
-        out.finish(p)
-    }
-
     /// Direct (one-level) all-to-all: the `MPI_Alltoallv` analogue.
     ///
     /// Returns `recv` with `recv.bucket(i)` = payload sent by PE `i` to
     /// this PE. Cost: `α·p + β·max(bytes out, bytes in)`.
-    pub fn alltoallv_direct<T: Clone + Send + Sync + 'static>(
+    pub fn alltoallv_direct<T: Wire + Clone + Send + Sync + 'static>(
         &self,
         bufs: FlatBuckets<T>,
     ) -> FlatBuckets<T> {
         let p = self.size();
         let out_bytes = bytes_of::<T>(bufs.total_len());
         let all: Vec<usize> = (0..p).collect();
-        let recv = self.raw_exchange_flat(bufs, &all);
+        let recv = self.raw_exchange_flat(bufs, &all, &all);
         let in_bytes = bytes_of::<T>(recv.total_len());
         self.charge_comm(p as u64, out_bytes.max(in_bytes));
         recv
@@ -211,7 +164,7 @@ impl Comm {
     /// travel as flat `u32` count headers over the canonical
     /// ([`GridTopology::row_dests`], [`GridTopology::phase1_senders`])
     /// orders, so the payload stays a single contiguous buffer per hop.
-    pub fn alltoallv_grid<T: Clone + Send + Sync + 'static>(
+    pub fn alltoallv_grid<T: Wire + Clone + Send + Sync + 'static>(
         &self,
         bufs: FlatBuckets<T>,
     ) -> FlatBuckets<T> {
@@ -247,103 +200,102 @@ impl Comm {
             sub1_counts[t] = dests.len();
         }
         let out1 = bytes_of::<T>(data1.len()) + bytes_of::<u32>(sub1.len());
-        let msg1 = GridMsg {
-            data: FlatBuckets::from_counts(data1, &counts1),
-            sub: FlatBuckets::from_counts(sub1, &sub1_counts),
-        };
 
+        // My column relays both ways: I push phase-1 buckets to exactly
+        // the PEs that pop phase-1 frames from me.
         let senders1 = grid.phase1_senders(me);
-        let round1 = self.round::<GridMsg<T>>();
-        round1.publish(msg1);
-        self.sync();
-        let arcs1: Vec<&GridMsg<T>> = senders1.iter().map(|&src| round1.read(src)).collect();
-        let in1: u64 = arcs1
-            .iter()
-            .map(|a| bytes_of::<T>(a.data.count(me)) + bytes_of::<u32>(a.sub.count(me)))
-            .sum();
+        let dests2: Vec<usize> = rows.bucket(grid.row(me)).to_vec();
+
+        // Phase 2 regroup happens inside the round, while the sources'
+        // payloads are still borrowed (cells) / freshly decoded (bytes):
+        // for destination j, the sub-messages of all original senders (my
+        // column, ascending) are concatenated; offsets into each sender's
+        // phase-1 slice are derived from its count header.
+        let (in1, data2, sub2, counts2, sub2_counts) = self.paired_flat_round_with(
+            FlatBuckets::from_counts(data1, &counts1),
+            FlatBuckets::from_counts(sub1, &sub1_counts),
+            &senders1,
+            &senders1,
+            |parts| {
+                let in1: u64 = parts
+                    .iter()
+                    .map(|(d, s)| bytes_of::<T>(d.len()) + bytes_of::<u32>(s.len()))
+                    .sum();
+                let mut offsets: Vec<usize> = vec![0; parts.len()];
+                let mut counts2 = vec![0usize; p];
+                let mut sub2_counts = vec![0usize; p];
+                let mut data2: Vec<T> = Vec::new();
+                let mut sub2: Vec<u32> = Vec::new();
+                for (dj, &j) in dests2.iter().enumerate() {
+                    for (si, (d, s)) in parts.iter().enumerate() {
+                        let cnt = if s.is_empty() { 0 } else { s[dj] as usize };
+                        let off = offsets[si];
+                        data2.extend_from_slice(&d[off..off + cnt]);
+                        offsets[si] = off + cnt;
+                        sub2.push(cnt as u32);
+                        counts2[j] += cnt;
+                        sub2_counts[j] += 1;
+                    }
+                }
+                (in1, data2, sub2, counts2, sub2_counts)
+            },
+        );
         self.charge_comm(senders1.len() as u64, out1.max(in1));
 
-        // Phase 2: regroup by final destination. For destination j, the
-        // sub-messages of all original senders (my column, ascending) are
-        // concatenated; offsets into each sender's phase-1 slice are
-        // derived from its count header.
-        let dests2 = rows.bucket(grid.row(me));
-        let mut offsets: Vec<usize> = vec![0; arcs1.len()];
-        let mut counts2 = vec![0usize; p];
-        let mut sub2_counts = vec![0usize; p];
-        let mut data2: Vec<T> = Vec::new();
-        let mut sub2: Vec<u32> = Vec::new();
-        for (dj, &j) in dests2.iter().enumerate() {
-            for (si, a) in arcs1.iter().enumerate() {
-                let subs = a.sub.bucket(me);
-                let cnt = if subs.is_empty() {
-                    0
-                } else {
-                    subs[dj] as usize
-                };
-                let off = offsets[si];
-                data2.extend_from_slice(&a.data.bucket(me)[off..off + cnt]);
-                offsets[si] = off + cnt;
-                sub2.push(cnt as u32);
-                counts2[j] += cnt;
-                sub2_counts[j] += 1;
-            }
-        }
-        drop(arcs1);
         let out2 = bytes_of::<T>(data2.len()) + bytes_of::<u32>(sub2.len());
-        let msg2 = GridMsg {
-            data: FlatBuckets::from_counts(data2, &counts2),
-            sub: FlatBuckets::from_counts(sub2, &sub2_counts),
-        };
-
         let senders2 = grid.phase2_senders(me);
-        let round2 = self.round::<GridMsg<T>>();
-        round2.publish(msg2);
-        self.sync();
-        let arcs2: Vec<&GridMsg<T>> = senders2.iter().map(|&src| round2.read(src)).collect();
-        let in2: u64 = arcs2
-            .iter()
-            .map(|a| bytes_of::<T>(a.data.count(me)) + bytes_of::<u32>(a.sub.count(me)))
-            .sum();
-        self.charge_comm(senders2.len() as u64, out2.max(in2));
 
         // Assemble the final receive buffer keyed by original source: the
         // message from source s arrived via intermediate(s, me), at the
         // source's position (its row) within that intermediate's column.
-        let total: usize = arcs2.iter().map(|a| a.data.count(me)).sum();
-        // Flat per-(intermediate, source-slot) exclusive prefix sums over
-        // each intermediate's count header.
-        let mut pre_start = Vec::with_capacity(arcs2.len() + 1);
-        pre_start.push(0);
-        let mut prefix: Vec<usize> = Vec::new();
-        for a in &arcs2 {
-            let mut acc = 0usize;
-            prefix.push(0);
-            for &c in a.sub.bucket(me) {
-                acc += c as usize;
-                prefix.push(acc);
-            }
-            pre_start.push(prefix.len());
-        }
-        // O(1) lookup from an intermediate's rank to its position in the
-        // ascending senders2 list.
-        let mut sender2_pos = vec![usize::MAX; p];
-        for (ti, &t) in senders2.iter().enumerate() {
-            sender2_pos[t] = ti;
-        }
-        let mut out = FlatBuilder::with_capacity(total, p);
-        for s in 0..p {
-            let ti = sender2_pos[grid.intermediate(s, me)];
-            if ti != usize::MAX {
-                let slot = grid.row(s);
-                let pre = &prefix[pre_start[ti]..pre_start[ti + 1]];
-                if slot + 1 < pre.len() {
-                    out.extend_from_slice(&arcs2[ti].data.bucket(me)[pre[slot]..pre[slot + 1]]);
+        let (in2, out) = self.paired_flat_round_with(
+            FlatBuckets::from_counts(data2, &counts2),
+            FlatBuckets::from_counts(sub2, &sub2_counts),
+            &dests2,
+            &senders2,
+            |parts| {
+                let in2: u64 = parts
+                    .iter()
+                    .map(|(d, s)| bytes_of::<T>(d.len()) + bytes_of::<u32>(s.len()))
+                    .sum();
+                let total: usize = parts.iter().map(|(d, _)| d.len()).sum();
+                // Flat per-(intermediate, source-slot) exclusive prefix
+                // sums over each intermediate's count header.
+                let mut pre_start = Vec::with_capacity(parts.len() + 1);
+                pre_start.push(0);
+                let mut prefix: Vec<usize> = Vec::new();
+                for (_, s) in parts {
+                    let mut acc = 0usize;
+                    prefix.push(0);
+                    for &c in *s {
+                        acc += c as usize;
+                        prefix.push(acc);
+                    }
+                    pre_start.push(prefix.len());
                 }
-            }
-            out.seal();
-        }
-        out.finish(p)
+                // O(1) lookup from an intermediate's rank to its position
+                // in the ascending senders2 list.
+                let mut sender2_pos = vec![usize::MAX; p];
+                for (ti, &t) in senders2.iter().enumerate() {
+                    sender2_pos[t] = ti;
+                }
+                let mut out = FlatBuilder::with_capacity(total, p);
+                for s in 0..p {
+                    let ti = sender2_pos[grid.intermediate(s, me)];
+                    if ti != usize::MAX {
+                        let slot = grid.row(s);
+                        let pre = &prefix[pre_start[ti]..pre_start[ti + 1]];
+                        if slot + 1 < pre.len() {
+                            out.extend_from_slice(&parts[ti].0[pre[slot]..pre[slot + 1]]);
+                        }
+                    }
+                    out.seal();
+                }
+                (in2, out.finish(p))
+            },
+        );
+        self.charge_comm(senders2.len() as u64, out2.max(in2));
+        out
     }
 
     /// Hypercube all-to-all: `log p` pairwise phases, each moving all data
@@ -354,7 +306,7 @@ impl Comm {
     /// destination with a 4-byte source tag per element (charged).
     /// Requires power-of-two `p`; other sizes fall back to the grid
     /// variant.
-    pub fn alltoallv_hypercube<T: Clone + Send + Sync + 'static>(
+    pub fn alltoallv_hypercube<T: Wire + Clone + Send + Sync + 'static>(
         &self,
         bufs: FlatBuckets<T>,
     ) -> FlatBuckets<T> {
@@ -412,7 +364,7 @@ impl Comm {
     /// `d×` the volume; carried elements are tagged `(dest, src)` (8
     /// bytes, charged). Requires `p = side^d` exactly; other shapes fall
     /// back to the 2D grid (`d = 2`) or direct (`d < 2`).
-    pub fn alltoallv_dd<T: Clone + Send + Sync + 'static>(
+    pub fn alltoallv_dd<T: Wire + Clone + Send + Sync + 'static>(
         &self,
         bufs: FlatBuckets<T>,
         d: u32,
@@ -446,7 +398,8 @@ impl Comm {
             };
             let out = FlatBuckets::from_dest_fn(p, carried, |&(dest, _, _)| hop(dest as usize));
             let out_bytes = bytes_of::<(u32, u32, T)>(out.total_len() - out.count(me));
-            // Partners: PEs agreeing with me on all digits except k.
+            // Partners: PEs agreeing with me on all digits except k — a
+            // symmetric relation, so the send and receive sets coincide.
             let mut partners: Vec<usize> = (0..side)
                 .map(|v| {
                     (me as isize + (v as isize - digit(me, k) as isize) * side.pow(k) as isize)
@@ -454,7 +407,7 @@ impl Comm {
                 })
                 .collect();
             partners.sort_unstable();
-            let received = self.raw_exchange_flat(out, &partners);
+            let received = self.raw_exchange_flat(out, &partners, &partners);
             let in_bytes = bytes_of::<(u32, u32, T)>(received.total_len() - received.count(me));
             carried = received.into_payload();
             self.charge_comm(side as u64, out_bytes.max(in_bytes));
@@ -468,7 +421,7 @@ impl Comm {
     /// measure the global average bytes per message and use the two-level
     /// grid when it is below the threshold (500 bytes on the paper's
     /// system), the direct exchange otherwise.
-    pub fn sparse_alltoallv<T: Clone + Send + Sync + 'static>(
+    pub fn sparse_alltoallv<T: Wire + Clone + Send + Sync + 'static>(
         &self,
         bufs: FlatBuckets<T>,
     ) -> FlatBuckets<T> {
@@ -504,8 +457,8 @@ impl Comm {
     /// label protocol and the batch-dynamic layer's membership lookups.
     pub fn request_reply<Q, A>(&self, requests: FlatBuckets<Q>, resolve: impl Fn(&Q) -> A) -> Vec<A>
     where
-        Q: Clone + Send + Sync + 'static,
-        A: Clone + Send + Sync + 'static,
+        Q: Wire + Clone + Send + Sync + 'static,
+        A: Wire + Clone + Send + Sync + 'static,
     {
         let p = self.size();
         let incoming = self.sparse_alltoallv(requests);
@@ -536,7 +489,10 @@ fn merge_flat<T: Clone>(a: FlatBuckets<T>, b: FlatBuckets<T>) -> FlatBuckets<T> 
 /// list of items delivered to this PE (sender order preserved within each
 /// source). The bucketing is a count-then-scatter pass and the flattening
 /// of the receive buffer is free — no nested vectors anywhere.
-pub fn route<T: Clone + Send + Sync + 'static>(comm: &Comm, items: Vec<(usize, T)>) -> Vec<T> {
+pub fn route<T: Wire + Clone + Send + Sync + 'static>(
+    comm: &Comm,
+    items: Vec<(usize, T)>,
+) -> Vec<T> {
     let bufs = FlatBuckets::from_pairs(comm.size(), items);
     comm.sparse_alltoallv(bufs).into_payload()
 }

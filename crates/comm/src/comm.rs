@@ -16,10 +16,13 @@
 
 use crate::alltoall::AlltoallKind;
 use crate::barrier::ClockBarrier;
+use crate::bytestream::ByteHub;
 use crate::cells::{CellRegistry, CellSet, Round};
 use crate::cost::{Clock, CostModel, PeStats};
+use crate::transport::{To, TransportKind};
+use crate::wire::Wire;
 use std::any::{Any, TypeId};
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -27,16 +30,27 @@ use std::sync::Arc;
 #[derive(Debug)]
 pub(crate) struct CommShared {
     pub(crate) barrier: ClockBarrier,
+    /// The typed cell blackboard. Data plane of the cells transport;
+    /// under the byte transport it still carries the *out-of-band*
+    /// communicator-construction plumbing of [`Comm::split`] (a real
+    /// multi-process launcher builds sub-communicators out-of-band too).
     pub(crate) cells: CellRegistry,
+    /// The per-PE-pair byte queues — `Some` iff this communicator runs
+    /// the [`TransportKind::Bytes`] backend.
+    pub(crate) bytes: Option<ByteHub>,
 }
 
 impl CommShared {
     /// `machine_pes` is the machine-wide PE thread count — sub-communicator
     /// barriers judge host oversubscription by it, not by their own size.
-    pub(crate) fn new(p: usize, machine_pes: usize) -> Self {
+    pub(crate) fn new(p: usize, machine_pes: usize, transport: TransportKind) -> Self {
         Self {
             barrier: ClockBarrier::new(p, machine_pes),
             cells: CellRegistry::new(p),
+            bytes: match transport {
+                TransportKind::Cells => None,
+                TransportKind::Bytes => Some(ByteHub::new(p)),
+            },
         }
     }
 }
@@ -63,6 +77,9 @@ pub struct Comm {
     clock: Arc<Clock>,
     cost: CostModel,
     cell_cache: RefCell<HashMap<TypeId, CellCacheEntry>>,
+    /// Round sequence of the byte transport; advances identically on
+    /// every PE (SPMD collective order), stamping each frame.
+    seq: Cell<u64>,
     pub(crate) alltoall_kind: AlltoallKind,
     pub(crate) grid_threshold_bytes: usize,
 }
@@ -100,6 +117,7 @@ impl Comm {
             clock,
             cost,
             cell_cache: RefCell::new(HashMap::new()),
+            seq: Cell::new(0),
             alltoall_kind,
             grid_threshold_bytes,
         }
@@ -173,11 +191,38 @@ impl Comm {
         self.clock.set(synced);
     }
 
+    /// The byte-transport queue fabric, when this communicator runs the
+    /// bytes backend.
+    #[inline]
+    pub(crate) fn hub(&self) -> Option<&ByteHub> {
+        self.shared.bytes.as_ref()
+    }
+
+    /// The transport this communicator runs over.
+    #[inline]
+    pub fn transport(&self) -> TransportKind {
+        if self.shared.bytes.is_some() {
+            TransportKind::Bytes
+        } else {
+            TransportKind::Cells
+        }
+    }
+
+    /// Next byte-transport round sequence number (advances identically
+    /// on every PE: collectives are SPMD-ordered).
+    #[inline]
+    pub(crate) fn next_seq(&self) -> u64 {
+        let s = self.seq.get() + 1;
+        self.seq.set(s);
+        s
+    }
+
     /// Start a single-superstep round on the cell set for type `T`: the
     /// per-type epoch advances by one (identically on every PE), the set
     /// is resolved from the PE-local cache (registry mutex only on first
-    /// use of a type).
-    pub(crate) fn round<T: Send + 'static>(&self) -> Round<T> {
+    /// use of a type). Cells-backend data plane, plus the out-of-band
+    /// plumbing of [`Comm::split`] under either backend.
+    pub(crate) fn cells_round<T: Send + 'static>(&self) -> Round<T> {
         let mut cache = self.cell_cache.borrow_mut();
         let entry = cache
             .entry(TypeId::of::<T>())
@@ -205,24 +250,31 @@ impl Comm {
     /// Broadcast `value` from `root` to all PEs (collective).
     ///
     /// Non-root PEs pass `None`. Cost: `α log p + β·bytes`.
-    pub fn broadcast<T: Clone + Send + Sync + 'static>(&self, root: usize, value: Option<T>) -> T {
+    pub fn broadcast<T: Wire + Clone + Send + Sync + 'static>(
+        &self,
+        root: usize,
+        value: Option<T>,
+    ) -> T {
         debug_assert!(root < self.size);
         if self.size == 1 {
             self.charge_comm(self.log2p(), bytes_of::<T>(1));
             return value.expect("root must supply a value to broadcast");
         }
-        let round = self.round::<T>();
+        let round = self.xround::<T>();
         if self.rank == root {
-            round.publish(value.expect("root must supply a value to broadcast"));
+            round.post(
+                To::All,
+                value.expect("root must supply a value to broadcast"),
+            );
         }
         self.sync();
-        let out = round.read(root).clone();
+        let out = round.read(root).into_owned();
         self.charge_comm(self.log2p(), bytes_of::<T>(1));
         out
     }
 
     /// Broadcast a vector from `root`; cost `α log p + β·len·size_of::<T>()`.
-    pub fn broadcast_vec<T: Clone + Send + Sync + 'static>(
+    pub fn broadcast_vec<T: Wire + Clone + Send + Sync + 'static>(
         &self,
         root: usize,
         value: Option<Vec<T>>,
@@ -233,27 +285,29 @@ impl Comm {
             self.charge_comm(self.log2p(), bytes_of::<T>(v.len()));
             return v;
         }
-        let round = self.round::<Vec<T>>();
+        let round = self.xround::<Vec<T>>();
         if self.rank == root {
-            round.publish(value.expect("root must supply a value to broadcast"));
+            round.post(
+                To::All,
+                value.expect("root must supply a value to broadcast"),
+            );
         }
         self.sync();
-        let src = round.read(root);
-        let out = src.clone();
+        let out = round.read(root).into_owned();
         self.charge_comm(self.log2p(), bytes_of::<T>(out.len()));
         out
     }
 
     /// Gather one value per PE at `root` (rank order). Returns `Some` on the
     /// root, `None` elsewhere.
-    pub fn gather<T: Send + 'static>(&self, root: usize, value: T) -> Option<Vec<T>> {
+    pub fn gather<T: Wire + Send + 'static>(&self, root: usize, value: T) -> Option<Vec<T>> {
         debug_assert!(root < self.size);
         if self.size == 1 {
             self.charge_comm(self.log2p(), bytes_of::<T>(1));
             return Some(vec![value]);
         }
-        let round = self.round::<T>();
-        round.publish(value);
+        let round = self.xround::<T>();
+        round.post(To::One(root), value);
         self.sync();
         let out = if self.rank == root {
             Some((0..self.size).map(|r| round.take(r)).collect())
@@ -270,15 +324,15 @@ impl Comm {
     }
 
     /// Gather a vector per PE at `root`, concatenated in rank order.
-    pub fn gatherv<T: Send + 'static>(&self, root: usize, value: Vec<T>) -> Option<Vec<T>> {
+    pub fn gatherv<T: Wire + Send + 'static>(&self, root: usize, value: Vec<T>) -> Option<Vec<T>> {
         debug_assert!(root < self.size);
         if self.size == 1 {
             self.charge_comm(self.log2p(), bytes_of::<T>(value.len()));
             return Some(value);
         }
         let own = bytes_of::<T>(value.len());
-        let round = self.round::<Vec<T>>();
-        round.publish(value);
+        let round = self.xround::<Vec<T>>();
+        round.post(To::One(root), value);
         self.sync();
         let out = if self.rank == root {
             let mut all = Vec::new();
@@ -298,7 +352,7 @@ impl Comm {
 
     /// All PEs obtain the vector of every PE's `value`, in rank order.
     /// Cost: `α log p + β·p·size_of::<T>()` (ℓ = total message length).
-    pub fn allgather<T: Clone + Send + Sync + 'static>(&self, value: T) -> Vec<T> {
+    pub fn allgather<T: Wire + Clone + Send + Sync + 'static>(&self, value: T) -> Vec<T> {
         let all = self.allgather_uncharged(value);
         self.charge_comm(self.log2p(), bytes_of::<T>(self.size));
         all
@@ -307,31 +361,33 @@ impl Comm {
     /// Allgather without cost charging — for simulation plumbing whose
     /// real-world counterpart needs no communication (e.g. [`Comm::split`]
     /// membership derived from static structure).
-    fn allgather_uncharged<T: Clone + Send + Sync + 'static>(&self, value: T) -> Vec<T> {
+    fn allgather_uncharged<T: Wire + Clone + Send + Sync + 'static>(&self, value: T) -> Vec<T> {
         if self.size == 1 {
             return vec![value];
         }
-        let round = self.round::<T>();
-        round.publish(value);
+        let round = self.xround::<T>();
+        round.post(To::All, value);
         self.sync();
-        (0..self.size).map(|r| round.read(r).clone()).collect()
+        (0..self.size).map(|r| round.read(r).into_owned()).collect()
     }
 
     /// All PEs obtain the concatenation (rank order) of every PE's vector.
     /// Cost: `α log p + β·ℓ` with ℓ the sum of all message lengths
     /// (the allgather/gossiping bound from Sec. II-A).
-    pub fn allgatherv<T: Clone + Send + Sync + 'static>(&self, value: Vec<T>) -> Vec<T> {
+    pub fn allgatherv<T: Wire + Clone + Send + Sync + 'static>(&self, value: Vec<T>) -> Vec<T> {
         if self.size == 1 {
             self.charge_comm(self.log2p(), bytes_of::<T>(value.len()));
             return value;
         }
-        let round = self.round::<Vec<T>>();
-        round.publish(value);
+        let round = self.xround::<Vec<T>>();
+        round.post(To::All, value);
         self.sync();
-        let total: usize = (0..self.size).map(|r| round.read(r).len()).sum();
+        // One read per source (the byte transport consumes its queues).
+        let parts: Vec<_> = (0..self.size).map(|r| round.read(r)).collect();
+        let total: usize = parts.iter().map(|v| v.len()).sum();
         let mut all = Vec::with_capacity(total);
-        for r in 0..self.size {
-            all.extend_from_slice(round.read(r));
+        for v in &parts {
+            all.extend_from_slice(v);
         }
         self.charge_comm(self.log2p(), bytes_of::<T>(all.len()));
         all
@@ -345,7 +401,7 @@ impl Comm {
     /// fold). Cost: `α log p + β·size_of::<T>()`.
     pub fn reduce<T, F>(&self, root: usize, value: T, op: F) -> Option<T>
     where
-        T: Clone + Send + Sync + 'static,
+        T: Wire + Clone + Send + Sync + 'static,
         F: Fn(&T, &T) -> T,
     {
         let gathered = self.gather(root, value);
@@ -361,7 +417,7 @@ impl Comm {
     /// Cost: `α log p + β·size_of::<T>()`.
     pub fn allreduce<T, F>(&self, value: T, op: F) -> T
     where
-        T: Clone + Send + Sync + 'static,
+        T: Wire + Clone + Send + Sync + 'static,
         F: Fn(&T, &T) -> T,
     {
         let all = self.allgather(value);
@@ -400,7 +456,7 @@ impl Comm {
     /// and commutative (element-wise min/max/sum style).
     pub fn allreduce_vec<T, F>(&self, mut value: Vec<T>, op: F) -> Vec<T>
     where
-        T: Clone + Send + 'static,
+        T: Wire + Clone + Send + 'static,
         F: Fn(&T, &T) -> T,
     {
         let p = self.size;
@@ -456,7 +512,7 @@ impl Comm {
     /// `identity`. Cost: `α log p + β·size_of::<T>()`.
     pub fn exscan<T, F>(&self, value: T, identity: T, op: F) -> T
     where
-        T: Clone + Send + Sync + 'static,
+        T: Wire + Clone + Send + Sync + 'static,
         F: Fn(&T, &T) -> T,
     {
         let all = self.allgather(value);
@@ -479,7 +535,7 @@ impl Comm {
     ///
     /// `send` is `(destination, payload)`; `recv_from` names the rank whose
     /// payload to take. Cost per side: `α + β·payload bytes`.
-    pub fn exchange<V: Send + 'static>(
+    pub fn exchange<V: Wire + Send + 'static>(
         &self,
         send: Option<(usize, V)>,
         recv_from: Option<usize>,
@@ -489,12 +545,12 @@ impl Comm {
             debug_assert!(recv_from.is_none());
             return None;
         }
-        let round = self.round::<V>();
+        let round = self.xround::<V>();
         let sent = send.is_some();
         if let Some((dest, payload)) = send {
             debug_assert!(dest < self.size, "exchange dest out of range");
             debug_assert_ne!(dest, self.rank, "self-exchange is a protocol bug");
-            round.publish(payload);
+            round.post(To::One(dest), payload);
         }
         self.sync();
         let received = recv_from.map(|src| {
@@ -534,12 +590,22 @@ impl Comm {
         let group_size = members.len();
         let leader_global = members[0].1;
 
+        // The child's shared state is handed out through the cell
+        // blackboard under *either* backend: communicator construction is
+        // out-of-band plumbing (a process launcher would build the child's
+        // queues/sockets out-of-band too), not data-plane traffic. The
+        // child inherits the parent's transport kind.
+        let kind = self.transport();
         let group_shared = if self.size == 1 {
-            Arc::new(CommShared::new(1, self.machine_pes))
+            Arc::new(CommShared::new(1, self.machine_pes, kind))
         } else {
-            let round = self.round::<Arc<CommShared>>();
+            let round = self.cells_round::<Arc<CommShared>>();
             if self.rank == leader_global {
-                round.publish(Arc::new(CommShared::new(group_size, self.machine_pes)));
+                round.publish(Arc::new(CommShared::new(
+                    group_size,
+                    self.machine_pes,
+                    kind,
+                )));
             }
             self.sync();
             Arc::clone(round.read(leader_global))

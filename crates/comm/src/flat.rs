@@ -176,6 +176,45 @@ impl<T> FlatBuckets<T> {
     }
 }
 
+/// Wire format: varint bucket count, varint per-bucket element counts
+/// (the `sdispls` array as deltas — overwhelmingly small), then the
+/// contiguous payload. This is the framing the byte-stream transport
+/// uses for whole-structure sends (pairwise hypercube hops); per-bucket
+/// scatter sends use the slice framing of [`crate::wire::write_slice`].
+impl<T: crate::wire::Wire> crate::wire::Wire for FlatBuckets<T> {
+    fn wire_write(&self, out: &mut Vec<u8>) {
+        crate::wire::write_uvarint(out, self.buckets() as u64);
+        for j in 0..self.buckets() {
+            crate::wire::write_uvarint(out, self.count(j) as u64);
+        }
+        for x in &self.data {
+            x.wire_write(out);
+        }
+    }
+
+    fn wire_read(r: &mut crate::wire::WireReader<'_>) -> Result<Self, crate::wire::WireError> {
+        let buckets = r.length(1)?;
+        let mut displs = Vec::with_capacity(buckets + 1);
+        displs.push(0usize);
+        let mut acc = 0usize;
+        for _ in 0..buckets {
+            let c = r.length(T::wire_min_size())?;
+            acc = acc
+                .checked_add(c)
+                .ok_or(crate::wire::WireError::Malformed("bucket count overflow"))?;
+            displs.push(acc);
+        }
+        if T::wire_min_size() > 0 && acc.saturating_mul(T::wire_min_size()) > r.remaining() {
+            return Err(crate::wire::WireError::Truncated);
+        }
+        let mut data = Vec::with_capacity(acc);
+        for _ in 0..acc {
+            data.push(T::wire_read(r)?);
+        }
+        Ok(Self { data, displs })
+    }
+}
+
 /// Sequential builder for a [`FlatBuckets`]: append elements of bucket
 /// 0, seal it, append bucket 1, … Used on receive paths where bucket
 /// contents arrive as slices of peers' published buffers.

@@ -34,6 +34,23 @@
 //! on the hot path, and no second barrier; single-PE communicators skip
 //! synchronisation entirely.
 //!
+//! ## Transport boundary
+//!
+//! Every collective is written once against an internal transport
+//! boundary (`DESIGN.md` §8) with two backends, selected per machine via
+//! [`MachineConfig::with_transport`] or `KAMSTA_TRANSPORT={cells,bytes}`:
+//!
+//! * [`TransportKind::Cells`] (default) — the zero-copy exchange-cell
+//!   blackboard above;
+//! * [`TransportKind::Bytes`] — per-PE-pair byte queues carrying
+//!   [`Wire`]-encoded frames (fixed-width little-endian Pod fields,
+//!   varint counts), the in-process shape of a socket/process transport.
+//!
+//! Payloads crossing collectives therefore implement [`Wire`]. Modeled
+//! α-β-γ charges sit above the boundary and count `size_of`-based
+//! logical bytes, so cost counters are bit-for-bit identical under both
+//! backends — the determinism suites double as cross-transport oracles.
+//!
 //! ## Cost model
 //!
 //! Because the paper's evaluation ran on up to 2^16 cores of SuperMUC-NG,
@@ -60,17 +77,22 @@
 
 mod alltoall;
 mod barrier;
+mod bytestream;
 mod cells;
 mod comm;
 mod cost;
 mod flat;
 mod machine;
+mod transport;
+pub mod wire;
 
 pub use alltoall::{route, AlltoallKind, GridTopology};
 pub use comm::Comm;
 pub use cost::{Clock, CostModel, PeStats};
 pub use flat::{FlatBuckets, FlatBuilder};
-pub use machine::{Machine, MachineConfig, RunOutput};
+pub use machine::{Machine, MachineConfig, MachineError, RunOutput};
+pub use transport::TransportKind;
+pub use wire::{Wire, WireError, WireReader};
 
 /// Bytes occupied by `n` elements of type `T` — the unit used for β-cost
 /// accounting throughout the workspace.

@@ -3,8 +3,44 @@
 use crate::alltoall::AlltoallKind;
 use crate::comm::{Comm, CommShared};
 use crate::cost::{Clock, CostModel, PeStats};
+use crate::transport::TransportKind;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// A rejected machine configuration. Surfaced by
+/// [`MachineConfig::validate`] / [`Machine::try_run`] so front-ends (the
+/// `MstService`, the runner binaries) can refuse bad configs gracefully
+/// instead of poisoning a PE thread mid-run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MachineError {
+    /// `pes == 0`: a machine needs at least one processing element.
+    NoPes,
+    /// `KAMSTA_TRANSPORT` was set to something other than
+    /// `cells`/`bytes`.
+    UnknownTransport(String),
+    /// A front-end with state sharded over a fixed PE count was handed a
+    /// config for a different count.
+    PeCountMismatch { expected: usize, got: usize },
+}
+
+impl std::fmt::Display for MachineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MachineError::NoPes => write!(f, "machine needs at least one PE"),
+            MachineError::UnknownTransport(v) => {
+                write!(
+                    f,
+                    "unknown KAMSTA_TRANSPORT value {v:?} (expected \"cells\" or \"bytes\")"
+                )
+            }
+            MachineError::PeCountMismatch { expected, got } => {
+                write!(f, "PE count is fixed at {expected}, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MachineError {}
 
 /// Configuration of a simulated distributed machine run.
 #[derive(Clone, Debug)]
@@ -20,6 +56,9 @@ pub struct MachineConfig {
     pub grid_threshold_bytes: usize,
     /// Stack size per PE thread.
     pub stack_size: usize,
+    /// Transport backend; `None` resolves `KAMSTA_TRANSPORT` at run time
+    /// (default: [`TransportKind::Cells`]).
+    pub transport: Option<TransportKind>,
 }
 
 impl MachineConfig {
@@ -31,7 +70,32 @@ impl MachineConfig {
             alltoall: AlltoallKind::Auto,
             grid_threshold_bytes: 500,
             stack_size: 4 << 20,
+            transport: None,
         }
+    }
+
+    /// Pin the transport backend, overriding `KAMSTA_TRANSPORT`.
+    pub fn with_transport(mut self, transport: TransportKind) -> Self {
+        self.transport = Some(transport);
+        self
+    }
+
+    /// The transport this config resolves to (explicit choice, else the
+    /// `KAMSTA_TRANSPORT` environment variable, else cells).
+    pub fn resolved_transport(&self) -> Result<TransportKind, MachineError> {
+        match self.transport {
+            Some(k) => Ok(k),
+            None => TransportKind::from_env(),
+        }
+    }
+
+    /// Check the configuration, returning a typed error instead of
+    /// panicking a PE thread later.
+    pub fn validate(&self) -> Result<(), MachineError> {
+        if self.pes == 0 {
+            return Err(MachineError::NoPes);
+        }
+        self.resolved_transport().map(|_| ())
     }
 
     /// Set hybrid threads per PE (the paper's `-1` / `-8` variants).
@@ -100,9 +164,21 @@ impl Machine {
         F: Fn(&Comm) -> R + Send + Sync,
         R: Send,
     {
-        assert!(cfg.pes > 0, "machine needs at least one PE");
+        Self::try_run(cfg, rank_fn).unwrap_or_else(|e| panic!("invalid machine config: {e}"))
+    }
+
+    /// [`Machine::run`] with the configuration checked up front: a bad
+    /// config (zero PEs, unknown `KAMSTA_TRANSPORT`) comes back as
+    /// [`MachineError`] before any thread is spawned.
+    pub fn try_run<F, R>(cfg: MachineConfig, rank_fn: F) -> Result<RunOutput<R>, MachineError>
+    where
+        F: Fn(&Comm) -> R + Send + Sync,
+        R: Send,
+    {
+        cfg.validate()?;
+        let transport = cfg.resolved_transport()?;
         let p = cfg.pes;
-        let shared = Arc::new(CommShared::new(p, p));
+        let shared = Arc::new(CommShared::new(p, p, transport));
         let clocks: Vec<Arc<Clock>> = (0..p).map(|_| Arc::new(Clock::new())).collect();
         let start = Instant::now();
 
@@ -162,7 +238,7 @@ impl Machine {
         let wall = start.elapsed();
         let stats: Vec<PeStats> = clocks.iter().map(|c| c.stats()).collect();
         let modeled_time = stats.iter().map(|s| s.modeled_time).fold(0.0, f64::max);
-        RunOutput {
+        Ok(RunOutput {
             results: results
                 .into_iter()
                 .map(|r| r.expect("PE finished without result"))
@@ -170,7 +246,7 @@ impl Machine {
             stats,
             modeled_time,
             wall,
-        }
+        })
     }
 }
 

@@ -1,0 +1,411 @@
+//! The transport boundary: one collective layer, two backends.
+//!
+//! Every collective in this crate is written **once**, against the three
+//! primitives below; each primitive has a shared-cells implementation
+//! (the epoch-stamped zero-copy blackboard of [`crate::cells`]) and a
+//! byte-stream implementation (the [`Wire`]-encoded per-PE-pair queues
+//! of [`crate::bytestream`]):
+//!
+//! 1. **Blackboard round** ([`XRound`]) — post one typed value with a
+//!    recipient set ([`To`]), barrier, read/take peers' values. Cells:
+//!    publish in place, readers borrow ([`Rx::Borrowed`]). Bytes: encode
+//!    once, enqueue per recipient, receivers decode ([`Rx::Owned`]).
+//! 2. **Flat exchange** ([`crate::Comm::flat_round_with`]) — deliver
+//!    `bufs.bucket(j)` to PE `j`. Cells: publish the whole
+//!    [`FlatBuckets`] once, each receiver slices its bucket from the
+//!    peers' cells (zero-copy). Bytes: encode each destination's bucket
+//!    with a varint count header into its pair queue.
+//! 3. **Paired flat exchange** ([`crate::Comm::paired_flat_round_with`])
+//!    — the grid route's payload + sub-message-count header in a single
+//!    round.
+//!
+//! Exchange patterns are declared on **both** sides: the sender names
+//! the PEs that will pop from it (`send_to`), the receiver the PEs it
+//! pops from (`recv_from`), and the two must describe the same edge set
+//! — the cells backend ignores `send_to` (blackboard reads are free),
+//! the byte backend delivers exactly those frames. Receivers read each
+//! source **at most once per round** (the byte queues are consumed), a
+//! discipline the cells backend also satisfies.
+//!
+//! Modeled α/β charges live in the collectives above this boundary,
+//! never in the primitives, and count `size_of`-based logical bytes —
+//! so the cost counters of a run are bit-for-bit identical under both
+//! backends, which the determinism suites exploit as a cross-transport
+//! oracle.
+
+use crate::bytestream::ByteHub;
+use crate::cells::Round;
+use crate::comm::Comm;
+use crate::flat::{FlatBuckets, FlatBuilder};
+use crate::machine::MachineError;
+use crate::wire::{self, Wire, WireReader};
+use std::any::TypeId;
+use std::cell::RefCell;
+use std::ops::Deref;
+
+/// Which transport a machine's collectives run over.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum TransportKind {
+    /// Epoch-stamped typed exchange cells: in-process, zero-copy.
+    #[default]
+    Cells,
+    /// Per-PE-pair byte queues carrying `Wire`-encoded frames.
+    Bytes,
+}
+
+impl TransportKind {
+    /// Resolve the transport from `KAMSTA_TRANSPORT` (`cells` | `bytes`;
+    /// unset means [`TransportKind::Cells`]). An unrecognised value is a
+    /// configuration error, surfaced through
+    /// [`crate::MachineConfig::validate`] rather than silently ignored.
+    pub fn from_env() -> Result<Self, MachineError> {
+        match std::env::var("KAMSTA_TRANSPORT") {
+            Err(_) => Ok(TransportKind::Cells),
+            Ok(v) => match v.as_str() {
+                "cells" => Ok(TransportKind::Cells),
+                "bytes" => Ok(TransportKind::Bytes),
+                other => Err(MachineError::UnknownTransport(other.to_string())),
+            },
+        }
+    }
+}
+
+/// Recipient set of a blackboard post. The cells backend ignores this
+/// (its blackboard is readable by everyone for free); the byte backend
+/// encodes once and enqueues exactly these frames.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum To {
+    /// Every other PE of the communicator (plus the local slot).
+    All,
+    /// One PE (possibly self).
+    One(usize),
+}
+
+/// A value received in a round: borrowed straight out of a peer's cell
+/// on the cells backend, decoded and owned on the byte backend.
+pub(crate) enum Rx<'r, T> {
+    Borrowed(&'r T),
+    Owned(T),
+}
+
+impl<T> Deref for Rx<'_, T> {
+    type Target = T;
+    #[inline]
+    fn deref(&self) -> &T {
+        match self {
+            Rx::Borrowed(r) => r,
+            Rx::Owned(v) => v,
+        }
+    }
+}
+
+impl<T: Clone> Rx<'_, T> {
+    /// The value by ownership — cloning only when it is still borrowed
+    /// from a cell, never re-cloning an already-owned decode.
+    #[inline]
+    pub(crate) fn into_owned(self) -> T {
+        match self {
+            Rx::Borrowed(r) => r.clone(),
+            Rx::Owned(v) => v,
+        }
+    }
+}
+
+/// One blackboard round over whichever backend the communicator uses.
+pub(crate) enum XRound<'c, T: Send + 'static> {
+    Cells(Round<T>),
+    Bytes(BytesRound<'c, T>),
+}
+
+/// Byte-backend state of one blackboard round: the pair queues plus a
+/// local slot standing in for "my own cell".
+pub(crate) struct BytesRound<'c, T> {
+    hub: &'c ByteHub,
+    seq: u64,
+    rank: usize,
+    size: usize,
+    local: RefCell<Option<T>>,
+}
+
+impl<'c, T: Wire + Send + 'static> BytesRound<'c, T> {
+    pub(crate) fn new(hub: &'c ByteHub, seq: u64, rank: usize, size: usize) -> Self {
+        Self {
+            hub,
+            seq,
+            rank,
+            size,
+            local: RefCell::new(None),
+        }
+    }
+
+    fn post(&self, to: To, value: T) {
+        match to {
+            To::All => self.hub.post_value(
+                self.rank,
+                (0..self.size).filter(|&d| d != self.rank),
+                self.seq,
+                &value,
+            ),
+            To::One(dst) if dst != self.rank => {
+                self.hub
+                    .post_value(self.rank, std::iter::once(dst), self.seq, &value)
+            }
+            To::One(_) => {}
+        }
+        *self.local.borrow_mut() = Some(value);
+    }
+
+    fn take(&self, src: usize) -> T {
+        if src == self.rank {
+            self.local
+                .borrow_mut()
+                .take()
+                .expect("byte-stream round: own value taken twice or never posted")
+        } else {
+            self.hub.take_value(src, self.rank, self.seq, "round")
+        }
+    }
+}
+
+impl<T: Wire + Send + 'static> XRound<'_, T> {
+    /// Post this PE's value for the round (before the barrier).
+    pub(crate) fn post(&self, to: To, value: T) {
+        match self {
+            XRound::Cells(r) => r.publish(value),
+            XRound::Bytes(b) => b.post(to, value),
+        }
+    }
+
+    /// The value PE `src` posted this round (after the barrier); at most
+    /// one `read`/`take` per source per round.
+    pub(crate) fn read(&self, src: usize) -> Rx<'_, T>
+    where
+        T: Sync,
+    {
+        match self {
+            XRound::Cells(r) => Rx::Borrowed(r.read(src)),
+            XRound::Bytes(b) => Rx::Owned(b.take(src)),
+        }
+    }
+
+    /// Move PE `src`'s posted value out of the round.
+    pub(crate) fn take(&self, src: usize) -> T {
+        match self {
+            XRound::Cells(r) => r.take(src),
+            XRound::Bytes(b) => b.take(src),
+        }
+    }
+}
+
+/// A relayed grid message on the cells backend: payload buckets indexed
+/// by next-hop PE plus, per next-hop, the `u32` lengths of the
+/// sub-messages in canonical order — the flat header that replaces
+/// per-message tagging.
+pub(crate) struct GridMsg<T> {
+    pub(crate) data: FlatBuckets<T>,
+    pub(crate) sub: FlatBuckets<u32>,
+}
+
+impl Comm {
+    /// Start a blackboard round on the communicator's transport.
+    pub(crate) fn xround<T: Wire + Send + 'static>(&self) -> XRound<'_, T> {
+        match self.hub() {
+            None => XRound::Cells(self.cells_round::<T>()),
+            Some(hub) => XRound::Bytes(BytesRound::new(
+                hub,
+                self.next_seq(),
+                self.rank(),
+                self.size(),
+            )),
+        }
+    }
+
+    /// **Flat exchange** (transport primitive 2): deliver `bufs.bucket(j)`
+    /// to PE `j` for every `j` in `send_to`, then hand `consume` this PE's
+    /// received parts as `(source, slice)` pairs in `recv_from` order.
+    /// `send_to`/`recv_from` must describe the same communication edge
+    /// set on all PEs; both must be ascending. Charges nothing — callers
+    /// charge per their pattern.
+    pub(crate) fn flat_round_with<T, R>(
+        &self,
+        bufs: FlatBuckets<T>,
+        send_to: &[usize],
+        recv_from: &[usize],
+        consume: impl FnOnce(&[(usize, &[T])]) -> R,
+    ) -> R
+    where
+        T: Wire + Clone + Send + Sync + 'static,
+    {
+        let me = self.rank();
+        debug_assert_eq!(bufs.buckets(), self.size(), "one bucket per destination PE");
+        debug_assert!(recv_from.windows(2).all(|w| w[0] < w[1]));
+        match self.hub() {
+            None => {
+                let round = self.cells_round::<FlatBuckets<T>>();
+                round.publish(bufs);
+                self.sync();
+                let parts: Vec<(usize, &[T])> = recv_from
+                    .iter()
+                    .map(|&src| (src, round.read(src).bucket(me)))
+                    .collect();
+                consume(&parts)
+            }
+            Some(hub) => {
+                let seq = self.next_seq();
+                let ty = TypeId::of::<FlatBuckets<T>>();
+                // Self-delivery never touches the wire: the local bucket
+                // is handed to `consume` straight out of `bufs` (often the
+                // largest bucket of a home-sharded exchange).
+                for &dst in send_to {
+                    if dst == me {
+                        continue;
+                    }
+                    let mut out = Vec::new();
+                    wire::write_slice(&mut out, bufs.bucket(dst));
+                    hub.push(me, dst, seq, ty, out);
+                }
+                self.sync();
+                let owned: Vec<(usize, Vec<T>)> = recv_from
+                    .iter()
+                    .filter(|&&src| src != me)
+                    .map(|&src| {
+                        let bytes = hub.pop(src, me, seq, ty, "flat exchange");
+                        let mut r = WireReader::new(&bytes);
+                        let part = wire::read_vec::<T>(&mut r)
+                            .and_then(|v| r.finish().map(|()| v))
+                            .unwrap_or_else(|e| {
+                                panic!("flat exchange of round {seq}: decode failed: {e}")
+                            });
+                        (src, part)
+                    })
+                    .collect();
+                let mut decoded = owned.iter();
+                let parts: Vec<(usize, &[T])> = recv_from
+                    .iter()
+                    .map(|&src| {
+                        if src == me {
+                            (me, bufs.bucket(me))
+                        } else {
+                            let (s, v) = decoded.next().expect("one decode per remote source");
+                            debug_assert_eq!(*s, src);
+                            (src, v.as_slice())
+                        }
+                    })
+                    .collect();
+                consume(&parts)
+            }
+        }
+    }
+
+    /// **Paired flat exchange** (transport primitive 3): one round
+    /// delivering `(data.bucket(j), sub.bucket(j))` to PE `j` — the grid
+    /// route's payload plus its flat `u32` count header, without paying a
+    /// second barrier. `consume` receives `(data, sub)` slices per source
+    /// in `recv_from` order.
+    pub(crate) fn paired_flat_round_with<T, R>(
+        &self,
+        data: FlatBuckets<T>,
+        sub: FlatBuckets<u32>,
+        send_to: &[usize],
+        recv_from: &[usize],
+        consume: impl FnOnce(&[(&[T], &[u32])]) -> R,
+    ) -> R
+    where
+        T: Wire + Clone + Send + Sync + 'static,
+    {
+        let me = self.rank();
+        match self.hub() {
+            None => {
+                let round = self.cells_round::<GridMsg<T>>();
+                round.publish(GridMsg { data, sub });
+                self.sync();
+                let parts: Vec<(&[T], &[u32])> = recv_from
+                    .iter()
+                    .map(|&src| {
+                        let m = round.read(src);
+                        (m.data.bucket(me), m.sub.bucket(me))
+                    })
+                    .collect();
+                consume(&parts)
+            }
+            Some(hub) => {
+                let seq = self.next_seq();
+                let ty = TypeId::of::<GridMsg<T>>();
+                // Self-delivery stays off the wire, as in `flat_round_with`.
+                for &dst in send_to {
+                    if dst == me {
+                        continue;
+                    }
+                    let mut out = Vec::new();
+                    wire::write_slice(&mut out, sub.bucket(dst));
+                    wire::write_slice(&mut out, data.bucket(dst));
+                    hub.push(me, dst, seq, ty, out);
+                }
+                self.sync();
+                let owned: Vec<(Vec<T>, Vec<u32>)> = recv_from
+                    .iter()
+                    .filter(|&&src| src != me)
+                    .map(|&src| {
+                        let bytes = hub.pop(src, me, seq, ty, "paired flat exchange");
+                        let mut r = WireReader::new(&bytes);
+                        let decoded = wire::read_vec::<u32>(&mut r).and_then(|s| {
+                            let d = wire::read_vec::<T>(&mut r)?;
+                            r.finish()?;
+                            Ok((d, s))
+                        });
+                        decoded.unwrap_or_else(|e| {
+                            panic!("paired flat exchange of round {seq}: decode failed: {e}")
+                        })
+                    })
+                    .collect();
+                let mut decoded = owned.iter();
+                let parts: Vec<(&[T], &[u32])> = recv_from
+                    .iter()
+                    .map(|&src| {
+                        if src == me {
+                            (data.bucket(me), sub.bucket(me))
+                        } else {
+                            let (d, s) = decoded.next().expect("one decode per remote source");
+                            (d.as_slice(), s.as_slice())
+                        }
+                    })
+                    .collect();
+                consume(&parts)
+            }
+        }
+    }
+
+    /// Flat exchange materialised as a source-keyed [`FlatBuckets`]:
+    /// bucket `src` of the result is the payload PE `src` addressed to
+    /// this PE (empty for sources outside `recv_from`).
+    pub(crate) fn raw_exchange_flat<T: Wire + Clone + Send + Sync + 'static>(
+        &self,
+        bufs: FlatBuckets<T>,
+        send_to: &[usize],
+        recv_from: &[usize],
+    ) -> FlatBuckets<T> {
+        let p = self.size();
+        if p == 1 {
+            return if recv_from.is_empty() {
+                FlatBuckets::empty(1)
+            } else {
+                bufs
+            };
+        }
+        self.flat_round_with(bufs, send_to, recv_from, |parts| {
+            let total: usize = parts.iter().map(|(_, b)| b.len()).sum();
+            let mut out = FlatBuilder::with_capacity(total, p);
+            let mut it = parts.iter().peekable();
+            for src in 0..p {
+                if let Some((s, b)) = it.peek() {
+                    if *s == src {
+                        out.extend_from_slice(b);
+                        it.next();
+                    }
+                }
+                out.seal();
+            }
+            out.finish(p)
+        })
+    }
+}

@@ -1,0 +1,503 @@
+//! The `Wire` encoding layer of the transport boundary.
+//!
+//! Every value that crosses the byte-stream transport is encoded by a
+//! [`Wire`] impl. The format is deliberately boring — it has to be
+//! readable by a future out-of-process peer that shares nothing but this
+//! specification:
+//!
+//! * **Pod-like scalars** (`u8..u128`, `i32`/`i64`, `f32`/`f64`,
+//!   [`Weight`]-style newtypes in downstream crates) are fixed-width
+//!   little-endian — the layout the radix sorter and the flat buffers
+//!   already assume, so encoding a `&[CEdge]` is a plain field walk.
+//! * **Counts and displacements** (`usize`, `Vec` lengths, `FlatBuckets`
+//!   bucket counts) are LEB128 varints — the 7-bit codec of
+//!   `kamsta-graph`'s compressed edge lists, which wins on the small
+//!   values these overwhelmingly are.
+//! * **Containers** (`Vec<T>`, `Option<T>`, tuples, `FlatBuckets<T>`)
+//!   compose element encodings with varint length/count headers.
+//!
+//! Decoding is total: every read is bounds-checked and returns
+//! [`WireError`] on truncated or malformed input instead of panicking,
+//! so a corrupt frame from a (future) remote peer cannot take the
+//! process down.
+//!
+//! The **modeled** β-cost of a collective is charged on
+//! `size_of::<T>()`-based logical bytes (see [`crate::bytes_for`]), *not*
+//! on the encoded length — the cost model describes the simulated
+//! machine, and keeping it encoding-independent is what makes modeled
+//! times bit-for-bit identical across transports.
+
+use std::sync::Arc;
+
+/// Errors surfaced by checked wire decoding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer ended before the value was complete.
+    Truncated,
+    /// A varint ran past the 10-byte / 64-bit limit.
+    VarintOverflow,
+    /// A structurally invalid encoding (bad tag, count mismatch, …).
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "wire input truncated"),
+            WireError::VarintOverflow => write!(f, "varint exceeds 64 bits"),
+            WireError::Malformed(what) => write!(f, "malformed wire value: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Append `x` as a LEB128-style 7-bit varint (at most 10 bytes).
+#[inline]
+pub fn write_uvarint(out: &mut Vec<u8>, mut x: u64) {
+    loop {
+        let byte = (x & 0x7F) as u8;
+        x >>= 7;
+        if x == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Checked varint decode from `buf` starting at `*pos`, advancing it.
+///
+/// Rejects truncated input ([`WireError::Truncated`]) and continuations
+/// past the 64-bit capacity ([`WireError::VarintOverflow`]) — including
+/// the 10-byte encodings whose final byte carries bits above 2^63.
+#[inline]
+pub fn try_read_uvarint(buf: &[u8], pos: &mut usize) -> Result<u64, WireError> {
+    let mut x = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let &byte = buf.get(*pos).ok_or(WireError::Truncated)?;
+        *pos += 1;
+        let low = (byte & 0x7F) as u64;
+        if shift >= 64 || (shift == 63 && low > 1) {
+            return Err(WireError::VarintOverflow);
+        }
+        x |= low << shift;
+        if byte & 0x80 == 0 {
+            return Ok(x);
+        }
+        shift += 7;
+    }
+}
+
+/// A bounds-checked cursor over an encoded buffer.
+pub struct WireReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> WireReader<'a> {
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    #[inline]
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Take the next `n` raw bytes.
+    #[inline]
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let end = self.pos.checked_add(n).ok_or(WireError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(WireError::Truncated);
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    /// Take a fixed-size array of raw bytes.
+    #[inline]
+    pub fn take_array<const N: usize>(&mut self) -> Result<[u8; N], WireError> {
+        let s = self.take(N)?;
+        let mut a = [0u8; N];
+        a.copy_from_slice(s);
+        Ok(a)
+    }
+
+    /// Decode a varint.
+    #[inline]
+    pub fn uvarint(&mut self) -> Result<u64, WireError> {
+        try_read_uvarint(self.buf, &mut self.pos)
+    }
+
+    /// Decode a varint-encoded length, rejecting lengths that could not
+    /// possibly fit in the remaining input (`min_elem_bytes` is a lower
+    /// bound on one element's encoding) — a cheap guard against
+    /// allocation bombs from corrupt frames. Zero-width elements (`()`)
+    /// occupy no input and allocate nothing, so their counts pass
+    /// unchecked.
+    #[inline]
+    pub fn length(&mut self, min_elem_bytes: usize) -> Result<usize, WireError> {
+        let n = self.uvarint()?;
+        let n = usize::try_from(n).map_err(|_| WireError::Malformed("length exceeds usize"))?;
+        if min_elem_bytes > 0 && n.saturating_mul(min_elem_bytes) > self.remaining() {
+            return Err(WireError::Truncated);
+        }
+        Ok(n)
+    }
+
+    /// Assert the value consumed the whole buffer (frame framing is
+    /// exact: one value per frame).
+    pub fn finish(self) -> Result<(), WireError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(WireError::Malformed("trailing bytes after value"))
+        }
+    }
+}
+
+/// A value that can cross the byte-stream transport.
+///
+/// Implementations must round-trip: `decode(encode(x)) == x`, consuming
+/// exactly the bytes `encode` produced.
+pub trait Wire: Sized {
+    /// Append this value's encoding to `out`.
+    fn wire_write(&self, out: &mut Vec<u8>);
+    /// Decode one value from the reader.
+    fn wire_read(r: &mut WireReader<'_>) -> Result<Self, WireError>;
+    /// A lower bound on the encoded size of any value of this type, used
+    /// to sanity-check length headers before allocating. Conservative
+    /// (1) by default.
+    #[inline]
+    fn wire_min_size() -> usize {
+        1
+    }
+}
+
+/// Encode one value into a fresh buffer.
+pub fn encode<T: Wire>(value: &T) -> Vec<u8> {
+    let mut out = Vec::new();
+    value.wire_write(&mut out);
+    out
+}
+
+/// Decode one value, requiring the buffer to be consumed exactly.
+pub fn decode<T: Wire>(buf: &[u8]) -> Result<T, WireError> {
+    let mut r = WireReader::new(buf);
+    let v = T::wire_read(&mut r)?;
+    r.finish()?;
+    Ok(v)
+}
+
+/// Append a varint count followed by the elements of `s`.
+pub fn write_slice<T: Wire>(out: &mut Vec<u8>, s: &[T]) {
+    write_uvarint(out, s.len() as u64);
+    for x in s {
+        x.wire_write(out);
+    }
+}
+
+/// Decode a counted slice written by [`write_slice`].
+pub fn read_vec<T: Wire>(r: &mut WireReader<'_>) -> Result<Vec<T>, WireError> {
+    let n = r.length(T::wire_min_size())?;
+    let mut v = Vec::with_capacity(n);
+    for _ in 0..n {
+        v.push(T::wire_read(r)?);
+    }
+    Ok(v)
+}
+
+macro_rules! wire_le_int {
+    ($($t:ty),*) => {$(
+        impl Wire for $t {
+            #[inline]
+            fn wire_write(&self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.to_le_bytes());
+            }
+            #[inline]
+            fn wire_read(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+                Ok(<$t>::from_le_bytes(r.take_array()?))
+            }
+            #[inline]
+            fn wire_min_size() -> usize {
+                std::mem::size_of::<$t>()
+            }
+        }
+    )*};
+}
+
+wire_le_int!(u8, u16, u32, u64, u128, i8, i16, i32, i64, i128);
+
+impl Wire for f32 {
+    #[inline]
+    fn wire_write(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_bits().to_le_bytes());
+    }
+    #[inline]
+    fn wire_read(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(f32::from_bits(u32::from_le_bytes(r.take_array()?)))
+    }
+    #[inline]
+    fn wire_min_size() -> usize {
+        4
+    }
+}
+
+impl Wire for f64 {
+    #[inline]
+    fn wire_write(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_bits().to_le_bytes());
+    }
+    #[inline]
+    fn wire_read(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(f64::from_bits(u64::from_le_bytes(r.take_array()?)))
+    }
+    #[inline]
+    fn wire_min_size() -> usize {
+        8
+    }
+}
+
+/// `usize` values are counts/ranks/displacements — varint wins.
+impl Wire for usize {
+    #[inline]
+    fn wire_write(&self, out: &mut Vec<u8>) {
+        write_uvarint(out, *self as u64);
+    }
+    #[inline]
+    fn wire_read(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        usize::try_from(r.uvarint()?).map_err(|_| WireError::Malformed("usize overflow"))
+    }
+}
+
+impl Wire for bool {
+    #[inline]
+    fn wire_write(&self, out: &mut Vec<u8>) {
+        out.push(*self as u8);
+    }
+    #[inline]
+    fn wire_read(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match r.take_array::<1>()?[0] {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(WireError::Malformed("bool tag")),
+        }
+    }
+}
+
+impl Wire for () {
+    #[inline]
+    fn wire_write(&self, _out: &mut Vec<u8>) {}
+    #[inline]
+    fn wire_read(_r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(())
+    }
+    #[inline]
+    fn wire_min_size() -> usize {
+        0
+    }
+}
+
+macro_rules! wire_tuple {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Wire),+> Wire for ($($name,)+) {
+            #[inline]
+            fn wire_write(&self, out: &mut Vec<u8>) {
+                $(self.$idx.wire_write(out);)+
+            }
+            #[inline]
+            fn wire_read(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+                Ok(($($name::wire_read(r)?,)+))
+            }
+            #[inline]
+            fn wire_min_size() -> usize {
+                0 $(+ $name::wire_min_size())+
+            }
+        }
+    };
+}
+
+wire_tuple!(A: 0);
+wire_tuple!(A: 0, B: 1);
+wire_tuple!(A: 0, B: 1, C: 2);
+wire_tuple!(A: 0, B: 1, C: 2, D: 3);
+wire_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4);
+
+impl<T: Wire> Wire for Option<T> {
+    fn wire_write(&self, out: &mut Vec<u8>) {
+        match self {
+            None => out.push(0),
+            Some(v) => {
+                out.push(1);
+                v.wire_write(out);
+            }
+        }
+    }
+    fn wire_read(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match r.take_array::<1>()?[0] {
+            0 => Ok(None),
+            1 => Ok(Some(T::wire_read(r)?)),
+            _ => Err(WireError::Malformed("Option tag")),
+        }
+    }
+}
+
+impl<T: Wire> Wire for Vec<T> {
+    fn wire_write(&self, out: &mut Vec<u8>) {
+        write_slice(out, self);
+    }
+    fn wire_read(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        read_vec(r)
+    }
+}
+
+impl Wire for String {
+    fn wire_write(&self, out: &mut Vec<u8>) {
+        write_uvarint(out, self.len() as u64);
+        out.extend_from_slice(self.as_bytes());
+    }
+    fn wire_read(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let n = r.length(1)?;
+        let bytes = r.take(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::Malformed("non-UTF-8 string"))
+    }
+}
+
+/// `Arc<T>` encodes as its inner value (decode re-allocates; only used
+/// by replicated read-mostly payloads).
+impl<T: Wire> Wire for Arc<T> {
+    fn wire_write(&self, out: &mut Vec<u8>) {
+        (**self).wire_write(out);
+    }
+    fn wire_read(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(Arc::new(T::wire_read(r)?))
+    }
+    #[inline]
+    fn wire_min_size() -> usize {
+        T::wire_min_size()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Wire + PartialEq + std::fmt::Debug>(v: T) {
+        let buf = encode(&v);
+        assert_eq!(decode::<T>(&buf).unwrap(), v);
+    }
+
+    #[test]
+    fn scalar_roundtrips() {
+        roundtrip(0u8);
+        roundtrip(u8::MAX);
+        roundtrip(u16::MAX);
+        roundtrip(123u32);
+        roundtrip(u64::MAX);
+        roundtrip(u128::MAX);
+        roundtrip(-7i32);
+        roundtrip(i64::MIN);
+        roundtrip(3.25f32);
+        roundtrip(-0.0f64);
+        roundtrip(f64::INFINITY);
+        roundtrip(true);
+        roundtrip(false);
+        roundtrip(());
+        roundtrip(usize::MAX);
+    }
+
+    #[test]
+    fn nan_survives_by_bits() {
+        let buf = encode(&f64::NAN);
+        assert!(decode::<f64>(&buf).unwrap().is_nan());
+    }
+
+    #[test]
+    fn container_roundtrips() {
+        roundtrip(Some(42u64));
+        roundtrip(None::<u64>);
+        roundtrip(vec![1u32, 2, 3]);
+        roundtrip(Vec::<u64>::new());
+        roundtrip(vec![(); 5]); // zero-width elements decode, not Truncated
+        roundtrip((1u32, 2u64, 3usize));
+        roundtrip((1u8, (2u16, vec![3u32]), Some(4u64), false, 5i64));
+        roundtrip(String::from("héllo"));
+        roundtrip(vec![Some((1u64, 2u32)), None]);
+        assert_eq!(*decode::<Arc<u64>>(&encode(&Arc::new(9u64))).unwrap(), 9);
+    }
+
+    #[test]
+    fn uvarint_boundaries() {
+        for k in 0..10u32 {
+            for x in [
+                (1u64 << (7 * k)).wrapping_sub(1),
+                1u64.checked_shl(7 * k).unwrap_or(0),
+            ] {
+                let mut buf = Vec::new();
+                write_uvarint(&mut buf, x);
+                let mut pos = 0;
+                assert_eq!(try_read_uvarint(&buf, &mut pos), Ok(x), "x={x}");
+                assert_eq!(pos, buf.len());
+            }
+        }
+        let mut buf = Vec::new();
+        write_uvarint(&mut buf, u64::MAX);
+        assert_eq!(buf.len(), 10);
+        let mut pos = 0;
+        assert_eq!(try_read_uvarint(&buf, &mut pos), Ok(u64::MAX));
+    }
+
+    #[test]
+    fn truncated_input_is_an_error_not_a_panic() {
+        assert_eq!(decode::<u64>(&[1, 2, 3]), Err(WireError::Truncated));
+        assert_eq!(
+            try_read_uvarint(&[0x80, 0x80], &mut 0),
+            Err(WireError::Truncated)
+        );
+        // Vec claiming a huge length over a short buffer.
+        let mut bomb = Vec::new();
+        write_uvarint(&mut bomb, 1 << 40);
+        assert_eq!(decode::<Vec<u64>>(&bomb), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn varint_overflow_is_detected() {
+        // 11 continuation bytes.
+        let over = [0xFFu8; 11];
+        assert_eq!(
+            try_read_uvarint(&over, &mut 0),
+            Err(WireError::VarintOverflow)
+        );
+        // 10-byte encoding whose last byte has bits beyond 2^63.
+        let mut buf = vec![0xFF; 9];
+        buf.push(0x02);
+        assert_eq!(
+            try_read_uvarint(&buf, &mut 0),
+            Err(WireError::VarintOverflow)
+        );
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut buf = encode(&7u32);
+        buf.push(0);
+        assert_eq!(
+            decode::<u32>(&buf),
+            Err(WireError::Malformed("trailing bytes after value"))
+        );
+    }
+
+    #[test]
+    fn malformed_tags_rejected() {
+        assert_eq!(decode::<bool>(&[2]), Err(WireError::Malformed("bool tag")));
+        assert_eq!(
+            decode::<Option<u8>>(&[9, 0]),
+            Err(WireError::Malformed("Option tag"))
+        );
+    }
+}

@@ -1,0 +1,70 @@
+//! MachineConfig validation: bad configurations come back as typed
+//! [`MachineError`]s through `validate`/`try_run` instead of poisoning a
+//! PE thread.
+//!
+//! Everything lives in one `#[test]` because the `KAMSTA_TRANSPORT`
+//! checks mutate process-global environment state — a single test per
+//! binary keeps that serial.
+
+use kamsta_comm::{Machine, MachineConfig, MachineError, TransportKind};
+
+#[test]
+fn invalid_configs_are_typed_errors() {
+    // Zero PEs.
+    let cfg = MachineConfig::new(0);
+    assert_eq!(cfg.validate(), Err(MachineError::NoPes));
+    assert!(matches!(
+        Machine::try_run(cfg, |_| ()),
+        Err(MachineError::NoPes)
+    ));
+
+    // A valid config runs through try_run.
+    let out = Machine::try_run(MachineConfig::new(3), |comm| comm.rank()).unwrap();
+    assert_eq!(out.results, vec![0, 1, 2]);
+
+    // Explicit transport wins over the environment.
+    std::env::set_var("KAMSTA_TRANSPORT", "bytes");
+    assert_eq!(
+        MachineConfig::new(2).resolved_transport(),
+        Ok(TransportKind::Bytes)
+    );
+    assert_eq!(
+        MachineConfig::new(2)
+            .with_transport(TransportKind::Cells)
+            .resolved_transport(),
+        Ok(TransportKind::Cells)
+    );
+
+    // A typo'd KAMSTA_TRANSPORT is rejected loudly, not silently run on
+    // the default backend...
+    std::env::set_var("KAMSTA_TRANSPORT", "carrier-pigeon");
+    let cfg = MachineConfig::new(2);
+    assert_eq!(
+        cfg.validate(),
+        Err(MachineError::UnknownTransport("carrier-pigeon".into()))
+    );
+    assert!(Machine::try_run(cfg, |_| ()).is_err());
+    // ...unless the caller pinned the transport programmatically.
+    assert!(MachineConfig::new(2)
+        .with_transport(TransportKind::Bytes)
+        .validate()
+        .is_ok());
+
+    std::env::remove_var("KAMSTA_TRANSPORT");
+    assert_eq!(
+        MachineConfig::new(2).resolved_transport(),
+        Ok(TransportKind::Cells)
+    );
+
+    // Errors render a human-readable message for service logs.
+    assert!(MachineError::NoPes.to_string().contains("at least one PE"));
+    assert!(MachineError::UnknownTransport("x".into())
+        .to_string()
+        .contains("KAMSTA_TRANSPORT"));
+    assert!((MachineError::PeCountMismatch {
+        expected: 4,
+        got: 2
+    })
+    .to_string()
+    .contains("fixed at 4"));
+}

@@ -123,6 +123,24 @@ pub struct MinEdge {
     pub edge: CEdge,
 }
 
+/// Wire format: fixed-width `v` then the `CEdge` field walk (36 bytes).
+impl kamsta_comm::Wire for MinEdge {
+    fn wire_write(&self, out: &mut Vec<u8>) {
+        self.v.wire_write(out);
+        self.edge.wire_write(out);
+    }
+    fn wire_read(r: &mut kamsta_comm::WireReader<'_>) -> Result<Self, kamsta_comm::WireError> {
+        Ok(Self {
+            v: VertexId::wire_read(r)?,
+            edge: CEdge::wire_read(r)?,
+        })
+    }
+    #[inline]
+    fn wire_min_size() -> usize {
+        8 + <CEdge as kamsta_comm::Wire>::wire_min_size()
+    }
+}
+
 /// Output of one `CONTRACT COMPONENTS` round.
 #[derive(Clone, Debug)]
 pub struct ContractOutcome {

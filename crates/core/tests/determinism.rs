@@ -7,7 +7,7 @@
 //! undirected MSF, which the unique-weight order `(w, min, max)` makes
 //! unique.
 
-use kamsta_comm::{Machine, MachineConfig};
+use kamsta_comm::{Machine, MachineConfig, TransportKind};
 use kamsta_core::dist::{boruvka_mst, filter_mst, MstConfig};
 use kamsta_graph::{GraphConfig, InputGraph};
 
@@ -84,6 +84,39 @@ fn filter_and_boruvka_agree_on_the_id_set() {
         let b = boruvka_ids(4, config, seed);
         let f = filter_ids(4, config, seed);
         assert_eq!(b, f, "{config:?} seed {seed}");
+    }
+}
+
+#[test]
+fn transports_agree_on_id_sets_and_modeled_cost_counters() {
+    // The cross-transport oracle at the pipeline level: the whole MST
+    // run — generation, preparation, Borůvka — must produce the same
+    // MSF edge-id set *and* bit-identical modeled cost counters under
+    // the shared-cells and byte-stream backends, at every p. Charges
+    // sit above the transport boundary, so any divergence is a
+    // transport bug, not a modeling choice.
+    let run = |p: usize, config: GraphConfig, seed: u64, t: TransportKind| {
+        let out = Machine::run(MachineConfig::new(p).with_transport(t), move |comm| {
+            let input = InputGraph::generate(comm, config, seed);
+            let r = boruvka_mst(comm, &input, &cfg());
+            r.edges.iter().map(|e| e.id).collect::<Vec<u64>>()
+        });
+        let mut ids: Vec<u64> = out.results.iter().flatten().copied().collect();
+        ids.sort_unstable();
+        let (msgs, bytes) = (out.total_messages(), out.total_bytes());
+        (ids, out.stats, msgs, bytes)
+    };
+    for (config, seed) in instances().into_iter().take(4) {
+        for p in [1usize, 2, 4, 16] {
+            let (ids_c, stats_c, msgs_c, bytes_c) = run(p, config, seed, TransportKind::Cells);
+            let (ids_b, stats_b, msgs_b, bytes_b) = run(p, config, seed, TransportKind::Bytes);
+            assert_eq!(ids_c, ids_b, "{config:?} p={p}: MSF id sets diverge");
+            assert_eq!(msgs_c, msgs_b, "{config:?} p={p}: total_messages diverge");
+            assert_eq!(bytes_c, bytes_b, "{config:?} p={p}: total_bytes diverge");
+            for (rank, (c, b)) in stats_c.iter().zip(&stats_b).enumerate() {
+                assert_eq!(c, b, "{config:?} p={p} rank={rank}: PeStats diverge");
+            }
+        }
     }
 }
 

@@ -191,6 +191,30 @@ struct Routed {
     delete: bool,
 }
 
+/// Wire format: fixed-width field walk, declaration order.
+impl kamsta_comm::Wire for Routed {
+    fn wire_write(&self, out: &mut Vec<u8>) {
+        self.u.wire_write(out);
+        self.v.wire_write(out);
+        self.w.wire_write(out);
+        self.id.wire_write(out);
+        self.delete.wire_write(out);
+    }
+    fn wire_read(r: &mut kamsta_comm::WireReader<'_>) -> Result<Self, kamsta_comm::WireError> {
+        Ok(Self {
+            u: VertexId::wire_read(r)?,
+            v: VertexId::wire_read(r)?,
+            w: Weight::wire_read(r)?,
+            id: u64::wire_read(r)?,
+            delete: bool::wire_read(r)?,
+        })
+    }
+    #[inline]
+    fn wire_min_size() -> usize {
+        29
+    }
+}
+
 /// The sharded batch-dynamic MSF maintainer. All `&mut self` methods
 /// taking a [`Comm`] are collective.
 pub struct DynMst {

@@ -8,7 +8,7 @@
 //! Case counts scale with the `PROPTEST_CASES` environment variable
 //! (the CI nightly job raises it; see `.github/workflows/ci.yml`).
 
-use kamsta_comm::{Machine, MachineConfig};
+use kamsta_comm::{Machine, MachineConfig, TransportKind};
 use kamsta_core::dist::{boruvka_mst, MstConfig};
 use kamsta_dyn::{DynConfig, DynMst, WorkloadGen};
 use kamsta_graph::io::distribute_from_root;
@@ -157,6 +157,41 @@ proptest! {
 
 /// The acceptance workload: 1000 random operations on GNM at p = 16,
 /// weight and edge set checked at every one of the 20 batch boundaries.
+#[test]
+fn dyn_pipeline_is_transport_invariant() {
+    // The batch-dynamic pipeline as a cross-transport oracle: the same
+    // update stream must yield identical forests (weight, edge set) and
+    // bit-identical modeled cost counters under both backends, at every
+    // acceptance p. (The full differential corpus additionally runs
+    // under `KAMSTA_TRANSPORT=bytes` in CI's matrix leg.)
+    let run = |p: usize, t: TransportKind| {
+        let config = GraphConfig::Gnm { n: 64, m: 400 };
+        let out = Machine::run(MachineConfig::new(p).with_transport(t), move |comm| {
+            let input = InputGraph::generate(comm, config, 23);
+            let n = kamsta_dyn::vertex_bound(comm, &input);
+            let mut dynmst = DynMst::bootstrap(comm, DynConfig::new(n).with_mst(mst_cfg()), &input);
+            let initial = dynmst.collect_edges(comm);
+            let mut workload = WorkloadGen::new(n, 0x7A57, &initial);
+            for _ in 0..4 {
+                let batch = workload.next_batch(16);
+                let slice: &[_] = if comm.rank() == 0 { &batch } else { &[] };
+                dynmst.apply_batch(comm, slice);
+            }
+            (dynmst.msf_weight(), dynmst.collect_msf(comm))
+        });
+        (out.results, out.stats)
+    };
+    for p in [1usize, 2, 4, 16] {
+        let (res_c, stats_c) = run(p, TransportKind::Cells);
+        let (res_b, stats_b) = run(p, TransportKind::Bytes);
+        assert_eq!(res_c, res_b, "p={p}: dyn results diverge across transports");
+        assert_eq!(
+            stats_c, stats_b,
+            "p={p}: dyn cost counters diverge across transports"
+        );
+    }
+}
+
 #[test]
 fn gnm_p16_thousand_op_workload() {
     run_sequence(16, GraphConfig::Gnm { n: 96, m: 640 }, 42, 20, 50);

@@ -203,6 +203,63 @@ impl kamsta_sort::RadixKey for PackedEdge {
     }
 }
 
+/// Wire formats (transport boundary): edges are Pod-like, so they cross
+/// the byte transport as fixed-width little-endian field walks — `WEdge`
+/// as `u, v, w` (20 bytes), `CEdge` as `u, v, w, id` (28 bytes),
+/// `PackedEdge` as its `u128` key (16 bytes).
+impl kamsta_comm::Wire for WEdge {
+    fn wire_write(&self, out: &mut Vec<u8>) {
+        self.u.wire_write(out);
+        self.v.wire_write(out);
+        self.w.wire_write(out);
+    }
+    fn wire_read(r: &mut kamsta_comm::WireReader<'_>) -> Result<Self, kamsta_comm::WireError> {
+        Ok(Self {
+            u: VertexId::wire_read(r)?,
+            v: VertexId::wire_read(r)?,
+            w: Weight::wire_read(r)?,
+        })
+    }
+    #[inline]
+    fn wire_min_size() -> usize {
+        20
+    }
+}
+
+impl kamsta_comm::Wire for CEdge {
+    fn wire_write(&self, out: &mut Vec<u8>) {
+        self.u.wire_write(out);
+        self.v.wire_write(out);
+        self.w.wire_write(out);
+        self.id.wire_write(out);
+    }
+    fn wire_read(r: &mut kamsta_comm::WireReader<'_>) -> Result<Self, kamsta_comm::WireError> {
+        Ok(Self {
+            u: VertexId::wire_read(r)?,
+            v: VertexId::wire_read(r)?,
+            w: Weight::wire_read(r)?,
+            id: u64::wire_read(r)?,
+        })
+    }
+    #[inline]
+    fn wire_min_size() -> usize {
+        28
+    }
+}
+
+impl kamsta_comm::Wire for PackedEdge {
+    fn wire_write(&self, out: &mut Vec<u8>) {
+        self.0.wire_write(out);
+    }
+    fn wire_read(r: &mut kamsta_comm::WireReader<'_>) -> Result<Self, kamsta_comm::WireError> {
+        Ok(Self(u128::wire_read(r)?))
+    }
+    #[inline]
+    fn wire_min_size() -> usize {
+        16
+    }
+}
+
 impl PartialOrd for CEdge {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))

@@ -7,36 +7,42 @@
 //! MST edges are looked up here to recover original endpoints.
 
 use crate::edge::{CEdge, VertexId, Weight};
+pub use kamsta_comm::WireError;
 
 /// Append `x` as LEB128-style 7-bit varint.
+///
+/// Delegates to the transport layer's codec
+/// ([`kamsta_comm::wire::write_uvarint`]) so the compressed edge lists
+/// and the byte-stream wire format share one encoding.
 #[inline]
-pub fn write_varint(out: &mut Vec<u8>, mut x: u64) {
-    loop {
-        let byte = (x & 0x7F) as u8;
-        x >>= 7;
-        if x == 0 {
-            out.push(byte);
-            return;
-        }
-        out.push(byte | 0x80);
-    }
+pub fn write_varint(out: &mut Vec<u8>, x: u64) {
+    kamsta_comm::wire::write_uvarint(out, x);
+}
+
+/// Checked varint decode from `buf` starting at `*pos`, advancing it.
+///
+/// Returns [`WireError::Truncated`] when the buffer ends inside a value
+/// (including a trailing continuation byte at the very end) and
+/// [`WireError::VarintOverflow`] when the encoding runs past 64 bits —
+/// instead of panicking on an out-of-bounds index or silently wrapping
+/// the shift. `pos` is still advanced past the bytes consumed so far,
+/// so callers can report the exact failure offset.
+#[inline]
+pub fn try_read_varint(buf: &[u8], pos: &mut usize) -> Result<u64, WireError> {
+    kamsta_comm::wire::try_read_uvarint(buf, pos)
 }
 
 /// Read a varint from `buf` starting at `*pos`, advancing it.
+///
+/// # Panics
+///
+/// Panics on truncated or overlong input. Use this only on buffers this
+/// module produced itself (the [`CompressedEdges`] internals, whose
+/// well-formedness is a construction invariant); anything read from the
+/// outside world goes through [`try_read_varint`].
 #[inline]
 pub fn read_varint(buf: &[u8], pos: &mut usize) -> u64 {
-    let mut x = 0u64;
-    let mut shift = 0u32;
-    loop {
-        let byte = buf[*pos];
-        *pos += 1;
-        x |= ((byte & 0x7F) as u64) << shift;
-        if byte & 0x80 == 0 {
-            return x;
-        }
-        shift += 7;
-        debug_assert!(shift < 64, "varint too long");
-    }
+    try_read_varint(buf, pos).unwrap_or_else(|e| panic!("corrupt varint stream at {pos}: {e}"))
 }
 
 /// A compressed, immutable copy of a PE's slice of the initial edge list.
@@ -174,24 +180,65 @@ mod tests {
 
     #[test]
     fn varint_roundtrip_boundaries() {
-        let cases = [
-            0u64,
-            1,
-            127,
-            128,
-            129,
-            16_383,
-            16_384,
-            u32::MAX as u64,
-            u64::MAX,
-        ];
+        // Every 2^(7k) continuation boundary (k = 1..9): the largest
+        // value of each encoded length, the first value of the next
+        // length, and their neighbours — plus u64::MAX (the full
+        // 10-byte encoding).
+        let mut cases = vec![0u64, 1, u32::MAX as u64, u64::MAX, u64::MAX - 1];
+        for k in 1..=9u32 {
+            let boundary = 1u64 << (7 * k);
+            cases.extend([boundary - 1, boundary, boundary + 1]);
+        }
         for &x in &cases {
             let mut buf = Vec::new();
             write_varint(&mut buf, x);
+            assert_eq!(buf.len(), 1 + (63 - x.max(1).leading_zeros() as usize) / 7);
             let mut pos = 0;
-            assert_eq!(read_varint(&buf, &mut pos), x);
+            assert_eq!(read_varint(&buf, &mut pos), x, "x={x}");
             assert_eq!(pos, buf.len());
+            let mut pos = 0;
+            assert_eq!(try_read_varint(&buf, &mut pos), Ok(x), "x={x}");
         }
+    }
+
+    #[test]
+    fn truncated_varint_is_a_checked_error() {
+        for x in [128u64, 1 << 14, 1 << 62, u64::MAX] {
+            let mut buf = Vec::new();
+            write_varint(&mut buf, x);
+            for cut in 0..buf.len() {
+                let mut pos = 0;
+                assert_eq!(
+                    try_read_varint(&buf[..cut], &mut pos),
+                    Err(WireError::Truncated),
+                    "x={x} cut={cut}"
+                );
+            }
+        }
+        // Empty input.
+        assert_eq!(try_read_varint(&[], &mut 0), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn overlong_varint_is_a_checked_error() {
+        // 11 continuation bytes: more than 64 bits of payload.
+        assert_eq!(
+            try_read_varint(&[0x80; 11], &mut 0),
+            Err(WireError::VarintOverflow)
+        );
+        // A 10-byte encoding whose final byte sets bits above 2^63.
+        let mut buf = vec![0xFF; 9];
+        buf.push(0x7F);
+        assert_eq!(
+            try_read_varint(&buf, &mut 0),
+            Err(WireError::VarintOverflow)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "corrupt varint stream")]
+    fn read_varint_documents_its_panic_on_truncation() {
+        let _ = read_varint(&[0x80], &mut 0);
     }
 
     fn sample_edges() -> Vec<CEdge> {

@@ -1,13 +1,13 @@
 //! Order-preserving rebalancing and global sortedness checks.
 
-use kamsta_comm::{Comm, FlatBuckets};
+use kamsta_comm::{Comm, FlatBuckets, Wire};
 
 /// Redistribute a globally ordered sequence so PE `i` ends up with the
 /// contiguous block `[i·N/p, (i+1)·N/p)` of global positions — the output
 /// contract of the paper's `REDISTRIBUTE` (Sec. IV-C re-establishes the
 /// distributed graph data structure on balanced, sorted edges).
 /// Preserves global order. Collective.
-pub fn rebalance<T: Clone + Send + Sync + 'static>(comm: &Comm, data: Vec<T>) -> Vec<T> {
+pub fn rebalance<T: Wire + Clone + Send + Sync + 'static>(comm: &Comm, data: Vec<T>) -> Vec<T> {
     let p = comm.size();
     if p == 1 {
         return data;
@@ -38,7 +38,10 @@ pub fn rebalance<T: Clone + Send + Sync + 'static>(comm: &Comm, data: Vec<T>) ->
 /// Check that the distributed sequence is globally sorted (each PE locally
 /// sorted, and boundaries between consecutive non-empty PEs in order).
 /// Returns the same verdict on every PE. Collective.
-pub fn is_globally_sorted<T: Ord + Clone + Send + Sync + 'static>(comm: &Comm, data: &[T]) -> bool {
+pub fn is_globally_sorted<T: Wire + Ord + Clone + Send + Sync + 'static>(
+    comm: &Comm,
+    data: &[T],
+) -> bool {
     let locally_sorted = data.windows(2).all(|w| w[0] <= w[1]);
     let boundary: Option<(T, T)> = match (data.first(), data.last()) {
         (Some(f), Some(l)) => Some((f.clone(), l.clone())),

@@ -13,7 +13,7 @@
 //! harmless for the splitter-sorting use case and still globally sorted.
 
 use crate::local::local_sort;
-use kamsta_comm::Comm;
+use kamsta_comm::{Comm, Wire};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -40,7 +40,7 @@ fn median<T: Ord>(mut sample: Vec<T>) -> Option<T> {
 /// sorted result (rank-order concatenation is sorted). Collective.
 pub fn hypercube_quicksort<T>(comm: &Comm, data: Vec<T>, seed: u64) -> Vec<T>
 where
-    T: Ord + Clone + Send + Sync + 'static,
+    T: Wire + Ord + Clone + Send + Sync + 'static,
 {
     let p = comm.size();
     if p == 1 {
@@ -71,7 +71,7 @@ where
 
 /// Ship data of ranks `>= q` to rank `r - q`; returns the (possibly
 /// grown) local data. Collective over `comm`.
-fn fold_in_surplus<T: Ord + Send + 'static>(comm: &Comm, data: Vec<T>, q: usize) -> Vec<T> {
+fn fold_in_surplus<T: Wire + Ord + Send + 'static>(comm: &Comm, data: Vec<T>, q: usize) -> Vec<T> {
     let me = comm.rank();
     let extras = comm.size() - q;
     if me >= q {
@@ -98,7 +98,7 @@ fn fold_in_surplus<T: Ord + Send + 'static>(comm: &Comm, data: Vec<T>, q: usize)
 /// The quicksort rounds on a power-of-two communicator.
 fn hypercube_phase<T>(sub: &Comm, mut data: Vec<T>, seed: u64) -> Vec<T>
 where
-    T: Ord + Clone + Send + Sync + 'static,
+    T: Wire + Ord + Clone + Send + Sync + 'static,
 {
     let q = sub.size();
     debug_assert!(q.is_power_of_two());

@@ -32,7 +32,7 @@ pub use merge::{multiway_merge, multiway_merge_flat};
 pub use radix::{radix_sort_by_key, radix_sort_keys, RadixKey, SortOutcome};
 pub use sample::{sample_sort, sample_sort_by_key};
 
-use kamsta_comm::Comm;
+use kamsta_comm::{Comm, Wire};
 
 /// Average elements per PE below which the hypercube sorter wins
 /// (Sec. VI-C: "we use distributed hypercube quicksort if the average
@@ -43,7 +43,7 @@ pub const HYPERCUBE_THRESHOLD: u64 = 512;
 /// small inputs, two-level sample sort for large ones. Collective.
 pub fn sort_auto<T>(comm: &Comm, data: Vec<T>, seed: u64) -> Vec<T>
 where
-    T: Ord + Clone + Send + Sync + 'static,
+    T: Wire + Ord + Clone + Send + Sync + 'static,
 {
     let total = comm.allreduce_sum(data.len() as u64);
     let avg_per_pe = total / comm.size() as u64;
@@ -65,7 +65,7 @@ pub fn sort_auto_by_key<T, K>(
     key_of: impl Fn(&T) -> K + Copy,
 ) -> Vec<T>
 where
-    T: Ord + Copy + Send + Sync + 'static,
+    T: Wire + Ord + Copy + Send + Sync + 'static,
     K: RadixKey,
 {
     let total = comm.allreduce_sum(data.len() as u64);

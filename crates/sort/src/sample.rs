@@ -12,7 +12,7 @@ use crate::hypercube::hypercube_quicksort;
 use crate::local::{local_radix_sort, local_sort};
 use crate::merge::multiway_merge_flat;
 use crate::radix::RadixKey;
-use kamsta_comm::{Comm, FlatBuckets};
+use kamsta_comm::{Comm, FlatBuckets, Wire};
 
 /// Oversampling: samples taken per PE for splitter selection. Regular
 /// sampling with 16 per PE bounds bucket skew well for balanced inputs.
@@ -25,7 +25,7 @@ const OVERSAMPLING: usize = 16;
 /// need balanced blocks compose with [`crate::rebalance`].
 pub fn sample_sort<T>(comm: &Comm, data: Vec<T>, seed: u64) -> Vec<T>
 where
-    T: Ord + Clone + Send + Sync + 'static,
+    T: Wire + Ord + Clone + Send + Sync + 'static,
 {
     sample_sort_impl(comm, data, seed, |c, d| local_sort(c, d))
 }
@@ -40,7 +40,7 @@ pub fn sample_sort_by_key<T, K>(
     key_of: impl Fn(&T) -> K + Copy,
 ) -> Vec<T>
 where
-    T: Ord + Copy + Send + Sync + 'static,
+    T: Wire + Ord + Copy + Send + Sync + 'static,
     K: RadixKey,
 {
     sample_sort_impl(comm, data, seed, move |c, d| local_radix_sort(c, d, key_of))
@@ -53,7 +53,7 @@ fn sample_sort_impl<T>(
     local: impl Fn(&Comm, &mut [T]),
 ) -> Vec<T>
 where
-    T: Ord + Clone + Send + Sync + 'static,
+    T: Wire + Ord + Clone + Send + Sync + 'static,
 {
     let p = comm.size();
     if p == 1 {

@@ -48,7 +48,9 @@ pub use kamsta_sort as sort;
 mod runner;
 mod service;
 
-pub use kamsta_comm::{AlltoallKind, CostModel, Machine, MachineConfig};
+pub use kamsta_comm::{
+    AlltoallKind, CostModel, Machine, MachineConfig, MachineError, TransportKind,
+};
 pub use kamsta_core::dist::{DedupStrategy, MstConfig};
 pub use kamsta_core::{verify_msf, Phase, PhaseTimes};
 pub use kamsta_dyn::{DynConfig, DynMst, Update, UpdateStats};

@@ -3,7 +3,7 @@
 //! benchmark harness reports.
 
 use kamsta_baselines::{mnd_mst, sparse_matrix, MndConfig};
-use kamsta_comm::{AlltoallKind, CostModel, Machine, MachineConfig};
+use kamsta_comm::{AlltoallKind, CostModel, Machine, MachineConfig, TransportKind};
 use kamsta_core::dist::{boruvka_mst, filter_mst, FilterStats, MstConfig};
 use kamsta_core::PhaseTimes;
 use kamsta_graph::{GraphConfig, InputGraph, WEdge};
@@ -92,6 +92,12 @@ impl Runner {
     /// Override the all-to-all strategy (Fig. 2 ablation).
     pub fn with_alltoall(mut self, kind: AlltoallKind) -> Self {
         self.machine = self.machine.with_alltoall(kind);
+        self
+    }
+
+    /// Pin the communication transport (overrides `KAMSTA_TRANSPORT`).
+    pub fn with_transport(mut self, transport: TransportKind) -> Self {
+        self.machine = self.machine.with_transport(transport);
         self
     }
 

@@ -12,7 +12,7 @@
 //! the service, so consecutive machine runs resume where the last one
 //! left off.
 
-use kamsta_comm::{Machine, MachineConfig};
+use kamsta_comm::{Machine, MachineConfig, MachineError};
 use kamsta_dyn::{
     home_of_pair, BatchOutcome, DynConfig, DynMst, DynReplicated, DynShard, Update, UpdateStats,
 };
@@ -64,15 +64,34 @@ pub struct MstService {
 
 impl MstService {
     /// An empty service over `[0, cfg.n)` on a `pes`-PE machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid machine configuration (zero PEs, bad
+    /// `KAMSTA_TRANSPORT`); services that must stay up on client-supplied
+    /// configs use [`MstService::try_new`].
     pub fn new(pes: usize, cfg: DynConfig) -> Self {
-        Self {
-            machine: MachineConfig::new(pes),
+        Self::try_new(pes, cfg).unwrap_or_else(|e| panic!("invalid machine config: {e}"))
+    }
+
+    /// [`MstService::new`] with the machine configuration validated up
+    /// front: a bad config comes back as [`MachineError`] instead of
+    /// poisoning a PE thread on the first flush.
+    pub fn try_new(pes: usize, cfg: DynConfig) -> Result<Self, MachineError> {
+        let mut machine = MachineConfig::new(pes);
+        machine.validate()?;
+        // Pin the env-resolved transport so the validation is durable: a
+        // KAMSTA_TRANSPORT change after construction must not poison a
+        // later auto-flush.
+        machine.transport = Some(machine.resolved_transport()?);
+        Ok(Self {
+            machine,
             cfg,
             shards: vec![DynShard::default(); pes],
             rep: DynReplicated::default(),
             queue: Vec::new(),
             max_batch: 64,
-        }
+        })
     }
 
     /// Override the auto-flush threshold (default 64 queued updates).
@@ -83,10 +102,25 @@ impl MstService {
 
     /// Override the machine configuration (all-to-all strategy, cost
     /// model); the PE count must stay at the constructed value.
-    pub fn with_machine(mut self, machine: MachineConfig) -> Self {
-        assert_eq!(machine.pes, self.shards.len(), "PE count is fixed");
+    pub fn with_machine(self, machine: MachineConfig) -> Self {
+        self.try_with_machine(machine)
+            .unwrap_or_else(|e| panic!("invalid machine config: {e}"))
+    }
+
+    /// [`MstService::with_machine`] with validation: rejects a changed PE
+    /// count or an otherwise invalid config as [`MachineError`] instead
+    /// of panicking.
+    pub fn try_with_machine(mut self, mut machine: MachineConfig) -> Result<Self, MachineError> {
+        if machine.pes != self.shards.len() {
+            return Err(MachineError::PeCountMismatch {
+                expected: self.shards.len(),
+                got: machine.pes,
+            });
+        }
+        machine.validate()?;
+        machine.transport = Some(machine.resolved_transport()?);
         self.machine = machine;
-        self
+        Ok(self)
     }
 
     /// Replace the edge set by a generated family and solve its MSF once
@@ -310,6 +344,24 @@ mod tests {
         assert_eq!(s.pending(), 0, "rejected updates never enter the queue");
         s.submit(Update::Insert(WEdge::new(0, 7, 3)));
         assert_eq!(s.msf_weight(), 3, "the service keeps serving");
+    }
+
+    #[test]
+    fn zero_pe_config_is_rejected_not_a_thread_poison() {
+        let cfg = DynConfig::new(8);
+        let Err(err) = MstService::try_new(0, cfg) else {
+            panic!("zero PEs must be rejected");
+        };
+        assert_eq!(err, kamsta_comm::MachineError::NoPes);
+        // And a PE-count change through the builder is typed too.
+        let svc = MstService::try_new(2, cfg).unwrap();
+        assert!(matches!(
+            svc.try_with_machine(MachineConfig::new(3)),
+            Err(kamsta_comm::MachineError::PeCountMismatch {
+                expected: 2,
+                got: 3
+            })
+        ));
     }
 
     #[test]

@@ -170,11 +170,62 @@ pub mod arbitrary {
 
     impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
+    macro_rules! impl_arbitrary_wide_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary_value(rng: &mut TestRng) -> $t {
+                    (((rng.next_u64() as u128) << 64) | rng.next_u64() as u128) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_wide_int!(u128, i128);
+
     impl Arbitrary for bool {
         fn arbitrary_value(rng: &mut TestRng) -> bool {
             rng.next_u64() & 1 == 1
         }
     }
+
+    /// Full-domain floats by bit pattern — includes NaNs and infinities,
+    /// as the real crate's `any::<f64>()` can produce.
+    impl Arbitrary for f32 {
+        fn arbitrary_value(rng: &mut TestRng) -> f32 {
+            f32::from_bits(rng.next_u64() as u32)
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary_value(rng: &mut TestRng) -> f64 {
+            f64::from_bits(rng.next_u64())
+        }
+    }
+
+    impl<T: Arbitrary> Arbitrary for Option<T> {
+        fn arbitrary_value(rng: &mut TestRng) -> Option<T> {
+            if rng.next_u64() & 1 == 1 {
+                Some(T::arbitrary_value(rng))
+            } else {
+                None
+            }
+        }
+    }
+
+    macro_rules! impl_arbitrary_tuple {
+        ($($name:ident),+) => {
+            impl<$($name: Arbitrary),+> Arbitrary for ($($name,)+) {
+                fn arbitrary_value(rng: &mut TestRng) -> Self {
+                    ($($name::arbitrary_value(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_arbitrary_tuple!(A);
+    impl_arbitrary_tuple!(A, B);
+    impl_arbitrary_tuple!(A, B, C);
+    impl_arbitrary_tuple!(A, B, C, D);
 }
 
 pub mod collection {
