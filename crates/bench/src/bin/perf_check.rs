@@ -1,5 +1,5 @@
 //! **Perf check**: CI gate over a `perf_trajectory` JSON. Reads the file
-//! given as the first argument (default `BENCH_pr5.json`), inspects every
+//! given as the first argument (default `BENCH_pr6.json`), inspects every
 //! *static* entry (the `dyn-*` workload is excluded — its wall time is
 //! dominated by the update stream, not the substrate) and fails with exit
 //! code 1 if any entry's `wall_speedup_vs_baseline` falls below the
@@ -16,7 +16,7 @@ use kamsta_bench::{perf_entry_lines, perf_json_field as field};
 fn main() {
     let path = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_pr5.json".to_string());
+        .unwrap_or_else(|| "BENCH_pr6.json".to_string());
     let min: f64 = std::env::var("KAMSTA_PERF_MIN_SPEEDUP")
         .ok()
         .and_then(|v| v.parse().ok())

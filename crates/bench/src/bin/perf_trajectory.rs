@@ -30,11 +30,18 @@
 //!   nested `"baseline"` section is ignored) are embedded under
 //!   `"baseline"` together with a `"baseline_source"` naming the file
 //!   they came from, and per-entry speedups are computed;
-//! * `KAMSTA_PERF_OUT` — output path (default `BENCH_pr5.json`);
-//! * `KAMSTA_TRANSPORT` — transport backend (`cells` | `bytes`) for the
-//!   simulated machines, resolved by `MachineConfig` itself.
+//! * `KAMSTA_PERF_OUT` — output path (default `BENCH_pr6.json`);
+//! * `KAMSTA_TRANSPORT` — transport backend (`cells` | `bytes` |
+//!   `sockets`) for the simulated machines, resolved by `MachineConfig`
+//!   itself.
+//!
+//! Independent of `KAMSTA_TRANSPORT`, every run additionally emits a
+//! `boruvka-1-sockets` entry per family: the same workload pinned to
+//! the TCP socket transport, so the real-wire overhead is tracked PR
+//! over PR (modeled counters are transport-invariant by construction —
+//! only the walls differ).
 
-use kamsta::{Algorithm, MstConfig, RunSummary};
+use kamsta::{Algorithm, MstConfig, RunSummary, TransportKind};
 use kamsta_bench::{bench_mst_config, dyn_throughput_workload, env_usize, Variant, WeakScale};
 
 const SEED: u64 = 42;
@@ -61,11 +68,16 @@ fn run_entry(
     cfg: MstConfig,
     ws: &WeakScale,
     reps: usize,
+    transport: Option<TransportKind>,
 ) -> Option<Entry> {
     let config = ws.config(family, cores);
     let mut best: Option<RunSummary> = None;
     for _ in 0..reps.max(1) {
-        let s = v.run(cores, config, cfg, SEED)?;
+        let mut runner = v.runner(cores, cfg)?;
+        if let Some(t) = transport {
+            runner = runner.with_transport(t);
+        }
+        let s = runner.run_generated(config, v.algo, SEED);
         let keep = match &best {
             Some(b) => s.wall_time < b.wall_time,
             None => true,
@@ -75,10 +87,14 @@ fn run_entry(
         }
     }
     let s = best?;
+    let algo = match transport {
+        Some(TransportKind::Sockets) => format!("{}-sockets", v.label()),
+        _ => v.label(),
+    };
     Some(Entry {
         instance: family,
         cores,
-        algo: v.label(),
+        algo,
         wall_time: s.wall_time,
         modeled_time: s.modeled_time,
         edges_per_second: s.edges_per_second,
@@ -146,7 +162,7 @@ fn main() {
     let ws = WeakScale::from_env();
     let cfg = bench_mst_config();
     let out_path =
-        std::env::var("KAMSTA_PERF_OUT").unwrap_or_else(|_| "BENCH_pr5.json".to_string());
+        std::env::var("KAMSTA_PERF_OUT").unwrap_or_else(|_| "BENCH_pr6.json".to_string());
     let baseline_source = std::env::var("KAMSTA_BASELINE").ok();
     let baseline: Vec<(String, String, f64, f64)> = baseline_source
         .as_ref()
@@ -168,13 +184,30 @@ fn main() {
     let mut entries: Vec<Entry> = Vec::new();
     for family in FAMILIES {
         for v in variants {
-            if let Some(e) = run_entry(family, cores, v, cfg, &ws, reps) {
+            if let Some(e) = run_entry(family, cores, v, cfg, &ws, reps, None) {
                 eprintln!(
                     "{family:>5} {:<16} wall {:.4}s modeled {:.4}s",
                     e.algo, e.wall_time, e.modeled_time
                 );
                 entries.push(e);
             }
+        }
+        // The socket-transport wall for the same workload: real TCP
+        // between the PE threads, modeled counters unchanged.
+        if let Some(e) = run_entry(
+            family,
+            cores,
+            variants[0],
+            cfg,
+            &ws,
+            reps,
+            Some(TransportKind::Sockets),
+        ) {
+            eprintln!(
+                "{family:>5} {:<16} wall {:.4}s modeled {:.4}s",
+                e.algo, e.wall_time, e.modeled_time
+            );
+            entries.push(e);
         }
     }
 

@@ -53,6 +53,13 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::thread::Thread;
 use std::time::Duration;
 
+/// Typed panic payload of a poisoned barrier: some *other* PE failed
+/// first, and this PE is being unwound only so the machine can tear
+/// down. The runner in `machine.rs` downcasts for it and swallows the
+/// unwind — only the originating PE's failure is reported.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct BarrierPoisoned;
+
 /// One dissemination signal inbox: per episode parity, an epoch stamp
 /// plus the sender's running clock maximum. The whole inbox sits on its
 /// own padded line so the signal write of one PE never false-shares
@@ -236,7 +243,7 @@ impl ClockBarrier {
                 return;
             }
             if self.poisoned.load(Ordering::SeqCst) {
-                panic!("barrier poisoned: a peer PE panicked");
+                std::panic::panic_any(BarrierPoisoned);
             }
             std::thread::yield_now();
         }
@@ -245,7 +252,7 @@ impl ClockBarrier {
                 return;
             }
             if self.poisoned.load(Ordering::SeqCst) {
-                panic!("barrier poisoned: a peer PE panicked");
+                std::panic::panic_any(BarrierPoisoned);
             }
             // Register, then re-check the stamp before parking: the
             // SeqCst fence pairs with the writer's (see `wait`), so a

@@ -1,46 +1,47 @@
 //! The byte-stream transport backend: per-PE-pair byte queues carrying
-//! [`Wire`]-encoded frames.
+//! [`Wire`](crate::wire)-encoded frames.
 //!
 //! Where the shared-cells backend publishes typed values on a zero-copy
 //! blackboard, this backend moves **bytes**: a sender encodes its value
 //! once and pushes one frame per recipient onto the `(src → dst)` queue;
 //! after the round's barrier each receiver pops its frames and decodes.
 //! Nothing is shared between PEs but the queues themselves, which is
-//! exactly the shape of a socket or pipe transport — swapping the
-//! in-process `VecDeque`s for file descriptors (and the [`TypeId`] frame
-//! tag for a registered message tag) is a local change to this module,
-//! with a process/socket launcher as the drop-in follow-up.
+//! exactly the shape of a socket transport — and since the socket
+//! backend of [`crate::socket`] landed, both feed the same byte-lane
+//! code path in `transport.rs`, stamped with the same numeric type tags
+//! ([`crate::wire::type_tag`]).
 //!
 //! ## Framing and the round discipline
 //!
 //! Collectives are SPMD-ordered, so every PE advances an identical
 //! per-communicator round sequence number ([`crate::Comm`] owns the
 //! counter). Each frame is stamped with the sender's sequence number and
-//! payload [`TypeId`]; a receiver popping for round `s`:
+//! payload type tag; a receiver popping for round `s`:
 //!
 //! * discards frames with `seq < s` — posts from earlier rounds that no
 //!   protocol step ever consumed (the byte analogue of a stale cell lane
 //!   being overwritten two epochs later);
-//! * panics on `seq > s` or a type mismatch — a PE skipped a send or the
-//!   collectives ran out of order, the same protocol violations the cell
-//!   epoch stamps turn into panics on the shared-cells path.
+//! * returns a typed [`TransportError::Protocol`] on `seq > s`, a type
+//!   mismatch, or a missing frame — a PE skipped a send or the
+//!   collectives ran out of order. The error propagates through
+//!   [`crate::Machine::try_run`] instead of tearing the process down
+//!   with a panic string, matching the socket path's failure surface.
 //!
 //! Queues are `parking_lot`-mutexed `VecDeque`s; the round barrier — not
 //! the queue lock — is what orders sends before receives, so lock
 //! contention is a pop/push critical section, never a wait-for-data spin.
 
-use crate::wire::{self, Wire};
+use crate::transport::TransportError;
 use parking_lot::Mutex;
-use std::any::TypeId;
 use std::collections::VecDeque;
 
 /// One encoded message travelling a PE-pair queue.
 pub(crate) struct Frame {
     /// The sender's round sequence number at post time.
     seq: u64,
-    /// Payload type tag. A socket transport would replace this with a
-    /// registered numeric message tag; in-process, `TypeId` is exact.
-    ty: TypeId,
+    /// Payload type tag ([`crate::wire::type_tag`]) — the same stamp the
+    /// socket frames carry on the wire.
+    tag: u64,
     bytes: Vec<u8>,
 }
 
@@ -70,110 +71,97 @@ impl ByteHub {
     }
 
     /// Push an already-encoded frame onto the `(src → dst)` queue.
-    pub(crate) fn push(&self, src: usize, dst: usize, seq: u64, ty: TypeId, bytes: Vec<u8>) {
+    pub(crate) fn push(&self, src: usize, dst: usize, seq: u64, tag: u64, bytes: Vec<u8>) {
         self.queue(src, dst)
             .lock()
-            .push_back(Frame { seq, ty, bytes });
+            .push_back(Frame { seq, tag, bytes });
     }
 
     /// Pop the frame of round `seq` from the `(src → dst)` queue,
     /// discarding stale (never-consumed) frames from earlier rounds.
-    /// Panics on protocol violations, mirroring the cell stamp asserts.
-    pub(crate) fn pop(&self, src: usize, dst: usize, seq: u64, ty: TypeId, what: &str) -> Vec<u8> {
-        let mut q = self.queue(src, dst).lock();
-        loop {
-            let frame = q.pop_front().unwrap_or_else(|| {
-                panic!(
-                    "byte-stream {what} of round {seq}: no frame from PE {src} — \
-                     a PE skipped a send or collectives ran out of order"
-                )
-            });
-            if frame.seq < seq {
-                continue; // posted but never consumed; drop like a stale lane
-            }
-            assert!(
-                frame.seq == seq && frame.ty == ty,
-                "byte-stream {what} of round {seq}: found frame of round {} — \
-                 a PE skipped a send or collectives ran out of order",
-                frame.seq
-            );
-            return frame.bytes;
-        }
-    }
-
-    /// Encode `value` once and push it to every recipient in `dsts`.
-    pub(crate) fn post_value<T: Wire + 'static>(
-        &self,
-        src: usize,
-        dsts: impl Iterator<Item = usize>,
-        seq: u64,
-        value: &T,
-    ) {
-        let ty = TypeId::of::<T>();
-        let mut encoded: Option<Vec<u8>> = None;
-        for dst in dsts {
-            let bytes = encoded.get_or_insert_with(|| wire::encode(value)).clone();
-            self.push(src, dst, seq, ty, bytes);
-        }
-    }
-
-    /// Pop and decode the round-`seq` value from `src`.
-    pub(crate) fn take_value<T: Wire + 'static>(
+    /// Protocol violations are typed errors, mirroring the socket path.
+    pub(crate) fn pop(
         &self,
         src: usize,
         dst: usize,
         seq: u64,
+        tag: u64,
         what: &str,
-    ) -> T {
-        let bytes = self.pop(src, dst, seq, TypeId::of::<T>(), what);
-        wire::decode(&bytes)
-            .unwrap_or_else(|e| panic!("byte-stream {what} of round {seq}: decode failed: {e}"))
+    ) -> Result<Vec<u8>, TransportError> {
+        let mut q = self.queue(src, dst).lock();
+        loop {
+            let Some(frame) = q.pop_front() else {
+                return Err(TransportError::Protocol(format!(
+                    "byte-stream {what} of round {seq}: no frame from PE {src} — \
+                     a PE skipped a send or collectives ran out of order"
+                )));
+            };
+            if frame.seq < seq {
+                continue; // posted but never consumed; drop like a stale lane
+            }
+            if frame.seq != seq || frame.tag != tag {
+                return Err(TransportError::Protocol(format!(
+                    "byte-stream {what} of round {seq}: found frame of round {} — \
+                     a PE skipped a send or collectives ran out of order",
+                    frame.seq
+                )));
+            }
+            return Ok(frame.bytes);
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::wire::{self, type_tag};
 
     #[test]
     fn push_pop_roundtrip() {
         let hub = ByteHub::new(2);
-        hub.post_value(0, [1usize].into_iter(), 1, &vec![1u64, 2, 3]);
-        let got: Vec<u64> = hub.take_value(0, 1, 1, "test");
+        let tag = type_tag::<Vec<u64>>();
+        hub.push(0, 1, 1, tag, wire::encode(&vec![1u64, 2, 3]));
+        let got: Vec<u64> = wire::decode(&hub.pop(0, 1, 1, tag, "test").unwrap()).unwrap();
         assert_eq!(got, vec![1, 2, 3]);
     }
 
     #[test]
     fn stale_frames_are_discarded() {
         let hub = ByteHub::new(2);
-        hub.post_value(0, [1usize].into_iter(), 1, &7u32); // never consumed
-        hub.post_value(0, [1usize].into_iter(), 3, &9u32);
-        let got: u32 = hub.take_value(0, 1, 3, "test");
+        let tag = type_tag::<u32>();
+        hub.push(0, 1, 1, tag, wire::encode(&7u32)); // never consumed
+        hub.push(0, 1, 3, tag, wire::encode(&9u32));
+        let got: u32 = wire::decode(&hub.pop(0, 1, 3, tag, "test").unwrap()).unwrap();
         assert_eq!(got, 9);
     }
 
     #[test]
-    #[should_panic(expected = "skipped a send")]
-    fn missing_frame_panics() {
+    fn missing_frame_is_a_typed_error() {
         let hub = ByteHub::new(2);
-        let _: u32 = hub.take_value(0, 1, 1, "test");
+        let err = hub.pop(0, 1, 1, type_tag::<u32>(), "test").unwrap_err();
+        assert!(
+            matches!(err, TransportError::Protocol(ref m) if m.contains("skipped a send")),
+            "{err:?}"
+        );
     }
 
     #[test]
-    #[should_panic(expected = "skipped a send")]
-    fn future_frame_panics() {
+    fn future_frame_is_a_typed_error() {
         let hub = ByteHub::new(2);
-        hub.post_value(0, [1usize].into_iter(), 5, &1u8);
-        let _: u8 = hub.take_value(0, 1, 2, "test");
+        let tag = type_tag::<u8>();
+        hub.push(0, 1, 5, tag, wire::encode(&1u8));
+        let err = hub.pop(0, 1, 2, tag, "test").unwrap_err();
+        assert!(
+            matches!(err, TransportError::Protocol(ref m) if m.contains("skipped a send")),
+            "{err:?}"
+        );
     }
 
     #[test]
-    fn encode_once_per_recipient_set() {
-        let hub = ByteHub::new(3);
-        hub.post_value(0, [1usize, 2].into_iter(), 1, &String::from("x"));
-        let a: String = hub.take_value(0, 1, 1, "test");
-        let b: String = hub.take_value(0, 2, 1, "test");
-        assert_eq!(a, "x");
-        assert_eq!(b, "x");
+    fn tag_mismatch_is_a_typed_error() {
+        let hub = ByteHub::new(2);
+        hub.push(0, 1, 1, type_tag::<u8>(), wire::encode(&1u8));
+        let err = hub.pop(0, 1, 1, type_tag::<u16>(), "test").unwrap_err();
+        assert!(matches!(err, TransportError::Protocol(_)), "{err:?}");
     }
 }

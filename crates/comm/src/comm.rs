@@ -19,7 +19,8 @@ use crate::barrier::ClockBarrier;
 use crate::bytestream::ByteHub;
 use crate::cells::{CellRegistry, CellSet, Round};
 use crate::cost::{Clock, CostModel, PeStats};
-use crate::transport::{To, TransportKind};
+use crate::socket::SocketFabric;
+use crate::transport::{raise, To, TransportKind};
 use crate::wire::Wire;
 use std::any::{Any, TypeId};
 use std::cell::{Cell, RefCell};
@@ -48,7 +49,9 @@ impl CommShared {
             barrier: ClockBarrier::new(p, machine_pes),
             cells: CellRegistry::new(p),
             bytes: match transport {
-                TransportKind::Cells => None,
+                // Sockets carry their frames on the fabric owned by the
+                // `Comm` itself, not on shared in-process state.
+                TransportKind::Cells | TransportKind::Sockets => None,
                 TransportKind::Bytes => Some(ByteHub::new(p)),
             },
         }
@@ -77,9 +80,25 @@ pub struct Comm {
     clock: Arc<Clock>,
     cost: CostModel,
     cell_cache: RefCell<HashMap<TypeId, CellCacheEntry>>,
-    /// Round sequence of the byte transport; advances identically on
-    /// every PE (SPMD collective order), stamping each frame.
+    /// Round sequence of the byte lane; advances identically on every PE
+    /// (SPMD collective order), stamping each frame.
     seq: Cell<u64>,
+    /// The socket mesh — `Some` iff this communicator runs the
+    /// [`TransportKind::Sockets`] backend. Shared (via `Arc`) with every
+    /// sub-communicator split off this one: frames are demultiplexed by
+    /// `comm_id`, not by connection.
+    socket: Option<Arc<SocketFabric>>,
+    /// Local rank → machine-world rank, for sub-communicators over the
+    /// socket mesh. `None` means the identity (the world communicator).
+    group: Option<Arc<Vec<usize>>>,
+    /// Communicator id stamped on socket frames (world = 0; children
+    /// derive theirs deterministically in [`Comm::split`]).
+    comm_id: u64,
+    /// Socket-barrier episode counter (advances identically on every PE).
+    bepoch: Cell<u64>,
+    /// How many `split`s this communicator has performed — salt for the
+    /// children's `comm_id` derivation.
+    splits: Cell<u64>,
     pub(crate) alltoall_kind: AlltoallKind,
     pub(crate) grid_threshold_bytes: usize,
 }
@@ -118,8 +137,42 @@ impl Comm {
             cost,
             cell_cache: RefCell::new(HashMap::new()),
             seq: Cell::new(0),
+            socket: None,
+            group: None,
+            comm_id: 0,
+            bepoch: Cell::new(0),
+            splits: Cell::new(0),
             alltoall_kind,
             grid_threshold_bytes,
+        }
+    }
+
+    /// Re-home this communicator onto a socket mesh: frames travel the
+    /// fabric stamped with `comm_id`, local ranks map to world ranks via
+    /// `group` (`None` = identity, i.e. the world communicator).
+    pub(crate) fn into_socket(
+        mut self,
+        fabric: Arc<SocketFabric>,
+        group: Option<Arc<Vec<usize>>>,
+        comm_id: u64,
+    ) -> Self {
+        debug_assert_eq!(
+            group.as_ref().map_or(fabric.size(), |g| g.len()),
+            self.size,
+            "socket group table must cover the communicator"
+        );
+        self.socket = Some(fabric);
+        self.group = group;
+        self.comm_id = comm_id;
+        self
+    }
+
+    /// Machine-world rank of this communicator's local rank `local`.
+    #[inline]
+    fn world_of(&self, local: usize) -> usize {
+        match &self.group {
+            None => local,
+            Some(g) => g[local],
         }
     }
 
@@ -180,15 +233,44 @@ impl Comm {
         self.clock.record_comm(msgs, bytes);
     }
 
-    /// Internal rendezvous: synchronises threads *and* max-syncs modeled
+    /// Internal rendezvous: synchronises PEs *and* max-syncs modeled
     /// clocks (the max-reduction rides inside the dissemination rounds),
     /// but charges nothing. Collectives are built from this.
     pub(crate) fn sync(&self) {
         if self.size == 1 {
             return;
         }
-        let synced = self.shared.barrier.wait(self.rank, self.clock.now());
+        let synced = if self.socket.is_some() {
+            self.socket_barrier()
+        } else {
+            self.shared.barrier.wait(self.rank, self.clock.now())
+        };
         self.clock.set(synced);
+    }
+
+    /// Dissemination barrier over the socket mesh, folding in the clock
+    /// max exactly like [`ClockBarrier::wait`]: round `k` sends the
+    /// running maximum to rank `me + 2^k` and receives from `me − 2^k`
+    /// (mod size), `⌈log₂ size⌉` rounds in total. `max` is associative,
+    /// commutative, and exact over `f64`, so every PE converges on the
+    /// bit-identical synced clock the in-process barrier would produce.
+    fn socket_barrier(&self) -> f64 {
+        let fab = self.socket.as_ref().expect("socket barrier without mesh");
+        let episode = self.bepoch.get() + 1;
+        self.bepoch.set(episode);
+        let mut best = self.clock.now();
+        for k in 0..crate::ceil_log2(self.size) {
+            let code = (episode << 8) | k as u64;
+            let to = self.world_of((self.rank + (1 << k)) % self.size);
+            let from = self.world_of((self.rank + self.size - (1 << k)) % self.size);
+            fab.send_barrier(to, self.comm_id, code, best.to_bits())
+                .unwrap_or_else(|e| raise(e));
+            let bits = fab
+                .recv_barrier(from, self.comm_id, code)
+                .unwrap_or_else(|e| raise(e));
+            best = best.max(f64::from_bits(bits));
+        }
+        best
     }
 
     /// The byte-transport queue fabric, when this communicator runs the
@@ -198,10 +280,45 @@ impl Comm {
         self.shared.bytes.as_ref()
     }
 
+    /// Whether this communicator's frames travel a byte lane (in-process
+    /// queues or sockets) rather than the cells blackboard.
+    #[inline]
+    pub(crate) fn has_byte_lane(&self) -> bool {
+        self.socket.is_some() || self.shared.bytes.is_some()
+    }
+
+    /// Push an encoded frame to local rank `dst` on whichever byte lane
+    /// this communicator runs. Transport failures abort the PE with a
+    /// typed error (see [`crate::transport::raise`]).
+    pub(crate) fn lane_push(&self, dst: usize, seq: u64, tag: u64, bytes: Vec<u8>) {
+        if let Some(fab) = &self.socket {
+            fab.send_data(self.world_of(dst), self.comm_id, seq, tag, &bytes)
+                .unwrap_or_else(|e| raise(e));
+        } else if let Some(hub) = self.hub() {
+            hub.push(self.rank, dst, seq, tag, bytes);
+        } else {
+            unreachable!("lane_push on the cells transport");
+        }
+    }
+
+    /// Pop the round-`seq` frame from local rank `src` off the byte lane.
+    pub(crate) fn lane_pop(&self, src: usize, seq: u64, tag: u64, what: &str) -> Vec<u8> {
+        let popped = if let Some(fab) = &self.socket {
+            fab.recv_data(self.world_of(src), self.comm_id, seq, tag, what)
+        } else if let Some(hub) = self.hub() {
+            hub.pop(src, self.rank, seq, tag, what)
+        } else {
+            unreachable!("lane_pop on the cells transport");
+        };
+        popped.unwrap_or_else(|e| raise(e))
+    }
+
     /// The transport this communicator runs over.
     #[inline]
     pub fn transport(&self) -> TransportKind {
-        if self.shared.bytes.is_some() {
+        if self.socket.is_some() {
+            TransportKind::Sockets
+        } else if self.shared.bytes.is_some() {
             TransportKind::Bytes
         } else {
             TransportKind::Cells
@@ -590,11 +707,39 @@ impl Comm {
         let group_size = members.len();
         let leader_global = members[0].1;
 
+        // Sockets: nothing to hand out at all. Every member derived the
+        // same member list from the allgather above, so each builds its
+        // child locally — the parent's fabric is shared by `Arc`, local
+        // ranks map to world ranks through the group table, and frames
+        // are told apart by a deterministically derived communicator id
+        // (identical on every member: the split counter advances in SPMD
+        // order and the color is common to the group).
+        if let Some(fab) = &self.socket {
+            let split_no = self.splits.get() + 1;
+            self.splits.set(split_no);
+            let world: Vec<usize> = members.iter().map(|&(_, r)| self.world_of(r)).collect();
+            let child_id = mix_comm_id(self.comm_id, split_no, color as u64);
+            // The shared cells/barrier are unused under sockets; a
+            // single-slot stand-in keeps the type uniform.
+            let standin = Arc::new(CommShared::new(1, self.machine_pes, TransportKind::Cells));
+            return Comm::new(
+                my_new_rank,
+                group_size,
+                self.machine_pes,
+                standin,
+                Arc::clone(&self.clock),
+                self.cost,
+                self.alltoall_kind,
+                self.grid_threshold_bytes,
+            )
+            .into_socket(Arc::clone(fab), Some(Arc::new(world)), child_id);
+        }
+
         // The child's shared state is handed out through the cell
-        // blackboard under *either* backend: communicator construction is
-        // out-of-band plumbing (a process launcher would build the child's
-        // queues/sockets out-of-band too), not data-plane traffic. The
-        // child inherits the parent's transport kind.
+        // blackboard under *either* in-process backend: communicator
+        // construction is out-of-band plumbing (a process launcher builds
+        // the child's group table out-of-band too, as above), not
+        // data-plane traffic. The child inherits the parent's transport.
         let kind = self.transport();
         let group_shared = if self.size == 1 {
             Arc::new(CommShared::new(1, self.machine_pes, kind))
@@ -622,6 +767,23 @@ impl Comm {
             self.grid_threshold_bytes,
         )
     }
+}
+
+/// Derive a child communicator id from the parent's id, its split
+/// counter, and the group color — splitmix64-style finalizer, so sibling
+/// groups and successive split generations land on distinct ids with
+/// overwhelming probability (ids only need to be distinct among
+/// communicators alive on one fabric at once).
+fn mix_comm_id(parent: u64, split_no: u64, color: u64) -> u64 {
+    let mut x = parent
+        ^ split_no.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ color.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    x
 }
 
 /// Element-wise combine; `self_first` fixes the operand order so all PEs of

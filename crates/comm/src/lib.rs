@@ -37,18 +37,24 @@
 //! ## Transport boundary
 //!
 //! Every collective is written once against an internal transport
-//! boundary (`DESIGN.md` §8) with two backends, selected per machine via
-//! [`MachineConfig::with_transport`] or `KAMSTA_TRANSPORT={cells,bytes}`:
+//! boundary (`DESIGN.md` §8) with three backends, selected per machine
+//! via [`MachineConfig::with_transport`] or
+//! `KAMSTA_TRANSPORT={cells,bytes,sockets}`:
 //!
 //! * [`TransportKind::Cells`] (default) — the zero-copy exchange-cell
 //!   blackboard above;
 //! * [`TransportKind::Bytes`] — per-PE-pair byte queues carrying
 //!   [`Wire`]-encoded frames (fixed-width little-endian Pod fields,
-//!   varint counts), the in-process shape of a socket/process transport.
+//!   varint counts), the in-process shape of a socket transport;
+//! * [`TransportKind::Sockets`] — the same frames over per-PE-pair TCP
+//!   streams, between threads ([`Machine::try_run`] binds a loopback
+//!   mesh) or OS processes ([`Machine::try_run_worker`] + the
+//!   `kamsta_launch` binary). Failures are typed [`TransportError`]s
+//!   bounded by the configured io timeout, never hangs.
 //!
 //! Payloads crossing collectives therefore implement [`Wire`]. Modeled
 //! α-β-γ charges sit above the boundary and count `size_of`-based
-//! logical bytes, so cost counters are bit-for-bit identical under both
+//! logical bytes, so cost counters are bit-for-bit identical under all
 //! backends — the determinism suites double as cross-transport oracles.
 //!
 //! ## Cost model
@@ -83,6 +89,7 @@ mod comm;
 mod cost;
 mod flat;
 mod machine;
+mod socket;
 mod transport;
 pub mod wire;
 
@@ -90,8 +97,12 @@ pub use alltoall::{route, AlltoallKind, GridTopology};
 pub use comm::Comm;
 pub use cost::{Clock, CostModel, PeStats};
 pub use flat::{FlatBuckets, FlatBuilder};
-pub use machine::{Machine, MachineConfig, MachineError, RunOutput};
-pub use transport::TransportKind;
+pub use machine::{
+    Machine, MachineConfig, MachineError, ResolvedConfig, RunOutput, SocketSetup, SocketSetupCfg,
+    WorkerRun,
+};
+pub use socket::serve_rendezvous;
+pub use transport::{TransportError, TransportKind};
 pub use wire::{Wire, WireError, WireReader};
 
 /// Bytes occupied by `n` elements of type `T` — the unit used for β-cost

@@ -1,14 +1,26 @@
-//! The machine: spawns one thread per PE and runs an SPMD rank program.
+//! The machine: runs an SPMD rank program on `p` PEs — as threads of
+//! this process (cells, bytes, or a loopback socket mesh), or as one
+//! rank of a multi-process socket machine ([`Machine::try_run_worker`],
+//! driven by the `kamsta_launch` binary).
+//!
+//! All configuration validation and environment resolution lives in
+//! **one** place, [`MachineConfig::resolve`]; every entry point funnels
+//! through it, so there is exactly one code path that can reject a
+//! config or read `KAMSTA_TRANSPORT` / `KAMSTA_SOCKET_TIMEOUT_MS`.
 
 use crate::alltoall::AlltoallKind;
+use crate::barrier::BarrierPoisoned;
 use crate::comm::{Comm, CommShared};
 use crate::cost::{Clock, CostModel, PeStats};
-use crate::transport::TransportKind;
+use crate::socket::{self, SocketFabric};
+use crate::transport::{TransportError, TransportKind};
+use parking_lot::Mutex;
+use std::net::{SocketAddr, TcpListener};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// A rejected machine configuration. Surfaced by
-/// [`MachineConfig::validate`] / [`Machine::try_run`] so front-ends (the
+/// A rejected machine configuration or a failed run. Surfaced by
+/// [`MachineConfig::resolve`] / [`Machine::try_run`] so front-ends (the
 /// `MstService`, the runner binaries) can refuse bad configs gracefully
 /// instead of poisoning a PE thread mid-run.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -16,11 +28,22 @@ pub enum MachineError {
     /// `pes == 0`: a machine needs at least one processing element.
     NoPes,
     /// `KAMSTA_TRANSPORT` was set to something other than
-    /// `cells`/`bytes`.
+    /// `cells`/`bytes`/`sockets`.
     UnknownTransport(String),
     /// A front-end with state sharded over a fixed PE count was handed a
     /// config for a different count.
     PeCountMismatch { expected: usize, got: usize },
+    /// `KAMSTA_SOCKET_TIMEOUT_MS` (or `with_io_timeout`) was zero or
+    /// unparsable.
+    InvalidTimeout(String),
+    /// The socket setup does not fit the run mode: endpoints for the
+    /// wrong PE count, unparsable addresses, socket options on a
+    /// non-socket transport, or a rendezvous config handed to the
+    /// in-process runner.
+    SocketConfig(String),
+    /// A PE failed at run time with a typed transport error — a peer
+    /// died, a deadline passed, or the frame protocol was violated.
+    Transport { rank: usize, source: TransportError },
 }
 
 impl std::fmt::Display for MachineError {
@@ -30,19 +53,47 @@ impl std::fmt::Display for MachineError {
             MachineError::UnknownTransport(v) => {
                 write!(
                     f,
-                    "unknown KAMSTA_TRANSPORT value {v:?} (expected \"cells\" or \"bytes\")"
+                    "unknown KAMSTA_TRANSPORT value {v:?} (expected \"cells\", \"bytes\" or \"sockets\")"
                 )
             }
             MachineError::PeCountMismatch { expected, got } => {
                 write!(f, "PE count is fixed at {expected}, got {got}")
             }
+            MachineError::InvalidTimeout(v) => {
+                write!(
+                    f,
+                    "invalid socket io timeout {v:?} (want positive milliseconds)"
+                )
+            }
+            MachineError::SocketConfig(m) => write!(f, "socket configuration error: {m}"),
+            MachineError::Transport { rank, source } => {
+                write!(f, "transport failure on PE {rank}: {source}")
+            }
         }
     }
 }
 
-impl std::error::Error for MachineError {}
+impl std::error::Error for MachineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MachineError::Transport { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
 
-/// Configuration of a simulated distributed machine run.
+/// How a sockets-transport machine finds its peers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SocketSetupCfg {
+    /// A static rank-indexed address table: entry `r` is where rank `r`
+    /// listens. Workers know their rank a priori.
+    Endpoints(Vec<String>),
+    /// A rendezvous server (the launcher) that assigns ranks and
+    /// broadcasts the address table.
+    Rendezvous(String),
+}
+
+/// Configuration of a distributed machine run.
 #[derive(Clone, Debug)]
 pub struct MachineConfig {
     /// Number of processing elements (MPI ranks in the paper).
@@ -59,6 +110,34 @@ pub struct MachineConfig {
     /// Transport backend; `None` resolves `KAMSTA_TRANSPORT` at run time
     /// (default: [`TransportKind::Cells`]).
     pub transport: Option<TransportKind>,
+    /// Socket connect/send/receive deadline; `None` resolves
+    /// `KAMSTA_SOCKET_TIMEOUT_MS` at run time (default: 30 s).
+    pub io_timeout: Option<Duration>,
+    /// Peer discovery for the sockets transport; `None` means an
+    /// in-process loopback mesh on ephemeral ports.
+    pub socket_setup: Option<SocketSetupCfg>,
+}
+
+/// A [`MachineConfig`] after the single validation/env-resolution pass.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ResolvedConfig {
+    /// The transport the run will use.
+    pub transport: TransportKind,
+    /// The socket io deadline in effect (meaningful under sockets).
+    pub io_timeout: Duration,
+    /// Socket peer discovery — `Some` iff `transport` is sockets.
+    pub sockets: Option<SocketSetup>,
+}
+
+/// Resolved socket peer discovery.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SocketSetup {
+    /// In-process mesh over ephemeral loopback ports.
+    Loopback,
+    /// Static rank-indexed address table.
+    Endpoints(Vec<SocketAddr>),
+    /// Rendezvous server assigning ranks.
+    Rendezvous { addr: SocketAddr },
 }
 
 impl MachineConfig {
@@ -71,6 +150,8 @@ impl MachineConfig {
             grid_threshold_bytes: 500,
             stack_size: 4 << 20,
             transport: None,
+            io_timeout: None,
+            socket_setup: None,
         }
     }
 
@@ -80,22 +161,102 @@ impl MachineConfig {
         self
     }
 
-    /// The transport this config resolves to (explicit choice, else the
-    /// `KAMSTA_TRANSPORT` environment variable, else cells).
-    pub fn resolved_transport(&self) -> Result<TransportKind, MachineError> {
-        match self.transport {
-            Some(k) => Ok(k),
-            None => TransportKind::from_env(),
-        }
+    /// Run over sockets against a static rank-indexed address table
+    /// (entry `r` is where rank `r` listens). Implies
+    /// [`TransportKind::Sockets`].
+    pub fn with_endpoints<S: Into<String>>(mut self, addrs: impl IntoIterator<Item = S>) -> Self {
+        self.transport = Some(TransportKind::Sockets);
+        self.socket_setup = Some(SocketSetupCfg::Endpoints(
+            addrs.into_iter().map(Into::into).collect(),
+        ));
+        self
     }
 
-    /// Check the configuration, returning a typed error instead of
-    /// panicking a PE thread later.
-    pub fn validate(&self) -> Result<(), MachineError> {
+    /// Run over sockets, discovering peers through a rendezvous server
+    /// (the launcher). Implies [`TransportKind::Sockets`].
+    pub fn with_rendezvous(mut self, addr: impl Into<String>) -> Self {
+        self.transport = Some(TransportKind::Sockets);
+        self.socket_setup = Some(SocketSetupCfg::Rendezvous(addr.into()));
+        self
+    }
+
+    /// Bound every socket connect/send/receive by `timeout`, overriding
+    /// `KAMSTA_SOCKET_TIMEOUT_MS`.
+    pub fn with_io_timeout(mut self, timeout: Duration) -> Self {
+        self.io_timeout = Some(timeout);
+        self
+    }
+
+    /// **The** validation and environment-resolution pass: every entry
+    /// point (`try_run`, `try_run_worker`, the service builder) funnels
+    /// through here, and nothing else reads the `KAMSTA_TRANSPORT` /
+    /// `KAMSTA_SOCKET_TIMEOUT_MS` variables or rejects a config shape.
+    pub fn resolve(&self) -> Result<ResolvedConfig, MachineError> {
         if self.pes == 0 {
             return Err(MachineError::NoPes);
         }
-        self.resolved_transport().map(|_| ())
+        let transport = match self.transport {
+            Some(k) => k,
+            None => TransportKind::from_env()?,
+        };
+        let io_timeout = match self.io_timeout {
+            Some(d) if !d.is_zero() => d,
+            Some(d) => return Err(MachineError::InvalidTimeout(format!("{d:?}"))),
+            None => match std::env::var("KAMSTA_SOCKET_TIMEOUT_MS") {
+                Err(_) => Duration::from_secs(30),
+                Ok(v) => match v.parse::<u64>() {
+                    Ok(ms) if ms > 0 => Duration::from_millis(ms),
+                    _ => return Err(MachineError::InvalidTimeout(v)),
+                },
+            },
+        };
+        let sockets = match (transport, &self.socket_setup) {
+            (TransportKind::Sockets, None) => Some(SocketSetup::Loopback),
+            (TransportKind::Sockets, Some(SocketSetupCfg::Endpoints(addrs))) => {
+                if addrs.len() != self.pes {
+                    return Err(MachineError::SocketConfig(format!(
+                        "{} endpoints for a {}-PE machine",
+                        addrs.len(),
+                        self.pes
+                    )));
+                }
+                let mut parsed = Vec::with_capacity(addrs.len());
+                for a in addrs {
+                    parsed.push(a.parse().map_err(|_| {
+                        MachineError::SocketConfig(format!("unparsable endpoint {a:?}"))
+                    })?);
+                }
+                Some(SocketSetup::Endpoints(parsed))
+            }
+            (TransportKind::Sockets, Some(SocketSetupCfg::Rendezvous(addr))) => {
+                let addr = addr.parse().map_err(|_| {
+                    MachineError::SocketConfig(format!("unparsable rendezvous address {addr:?}"))
+                })?;
+                Some(SocketSetup::Rendezvous { addr })
+            }
+            (_, None) => None,
+            (_, Some(_)) => {
+                return Err(MachineError::SocketConfig(format!(
+                    "socket endpoints/rendezvous configured, but the transport is {transport:?}"
+                )))
+            }
+        };
+        Ok(ResolvedConfig {
+            transport,
+            io_timeout,
+            sockets,
+        })
+    }
+
+    /// The transport this config resolves to. Shim over
+    /// [`MachineConfig::resolve`].
+    pub fn resolved_transport(&self) -> Result<TransportKind, MachineError> {
+        self.resolve().map(|r| r.transport)
+    }
+
+    /// Check the configuration. Shim over [`MachineConfig::resolve`].
+    pub fn validate(&self) -> Result<(), MachineError> {
+        self.resolve().map(|_| ())
     }
 
     /// Set hybrid threads per PE (the paper's `-1` / `-8` variants).
@@ -150,104 +311,345 @@ impl<R> RunOutput<R> {
     }
 }
 
-/// The simulated distributed machine.
+/// One rank's view of a multi-process machine run
+/// ([`Machine::try_run_worker`]).
+#[derive(Debug)]
+pub struct WorkerRun<R> {
+    /// The rank this process ran as (assigned by the rendezvous when the
+    /// config did not pin it).
+    pub rank: usize,
+    /// This rank's return value.
+    pub result: R,
+    /// This rank's cost statistics.
+    pub stats: PeStats,
+    /// Real wall-clock time of this rank (mesh construction included).
+    pub wall: Duration,
+}
+
+/// The distributed machine.
 pub struct Machine;
 
 impl Machine {
     /// Run `rank_fn` on `cfg.pes` PEs; blocks until all PEs return.
     ///
     /// `rank_fn` receives this PE's [`Comm`] for the world communicator.
-    /// If any PE panics, the barrier is poisoned (unblocking peers) and the
-    /// panic is propagated to the caller.
+    /// If any PE panics, the barrier is poisoned (unblocking peers) and
+    /// the panic is propagated to the caller.
+    ///
+    /// Thin wrapper over [`Machine::try_run`]: **panics** on a rejected
+    /// config or a transport failure. Front-ends that must not panic use
+    /// `try_run`.
     pub fn run<F, R>(cfg: MachineConfig, rank_fn: F) -> RunOutput<R>
     where
         F: Fn(&Comm) -> R + Send + Sync,
         R: Send,
     {
-        Self::try_run(cfg, rank_fn).unwrap_or_else(|e| panic!("invalid machine config: {e}"))
+        Self::try_run(cfg, rank_fn).unwrap_or_else(|e| panic!("machine run failed: {e}"))
     }
 
-    /// [`Machine::run`] with the configuration checked up front: a bad
-    /// config (zero PEs, unknown `KAMSTA_TRANSPORT`) comes back as
-    /// [`MachineError`] before any thread is spawned.
+    /// [`Machine::run`] with failures typed: a bad config (zero PEs,
+    /// unknown `KAMSTA_TRANSPORT`, malformed endpoints) comes back as
+    /// [`MachineError`] before any thread is spawned, and a transport
+    /// failure at run time (peer death, timeout, protocol violation —
+    /// possible under sockets and bytes) comes back as
+    /// [`MachineError::Transport`] instead of unwinding.
     pub fn try_run<F, R>(cfg: MachineConfig, rank_fn: F) -> Result<RunOutput<R>, MachineError>
     where
         F: Fn(&Comm) -> R + Send + Sync,
         R: Send,
     {
-        cfg.validate()?;
-        let transport = cfg.resolved_transport()?;
+        let resolved = cfg.resolve()?;
         let p = cfg.pes;
-        let shared = Arc::new(CommShared::new(p, p, transport));
-        let clocks: Vec<Arc<Clock>> = (0..p).map(|_| Arc::new(Clock::new())).collect();
-        let start = Instant::now();
+        match resolved.sockets {
+            None => {
+                let shared = Arc::new(CommShared::new(p, p, resolved.transport));
+                let shared_ref = &shared;
+                run_pes(
+                    &cfg,
+                    |rank, clock| {
+                        Ok(Comm::new(
+                            rank,
+                            p,
+                            p,
+                            Arc::clone(shared_ref),
+                            clock,
+                            cfg.cost,
+                            cfg.alltoall,
+                            cfg.grid_threshold_bytes,
+                        ))
+                    },
+                    || shared_ref.barrier.poison(),
+                    &rank_fn,
+                )
+            }
+            Some(SocketSetup::Rendezvous { .. }) => Err(MachineError::SocketConfig(
+                "rendezvous discovery is for worker processes — use \
+                 Machine::try_run_worker or the kamsta_launch binary"
+                    .to_string(),
+            )),
+            Some(ref setup) => {
+                // In-process socket mesh: bind all listeners up front so
+                // every PE thread's connect has a live accept side, then
+                // let each thread build its own fabric. Failed PEs drop
+                // their fabric, which surfaces at peers as `PeerClosed`
+                // bounded by the io timeout — no poison flag needed.
+                let mut addrs = Vec::with_capacity(p);
+                let mut listeners = Vec::with_capacity(p);
+                for rank in 0..p {
+                    let listener = match setup {
+                        SocketSetup::Loopback => TcpListener::bind("127.0.0.1:0"),
+                        SocketSetup::Endpoints(table) => TcpListener::bind(table[rank]),
+                        SocketSetup::Rendezvous { .. } => unreachable!("matched above"),
+                    }
+                    .map_err(|e| MachineError::SocketConfig(format!("binding rank {rank}: {e}")))?;
+                    addrs.push(listener.local_addr().map_err(|e| {
+                        MachineError::SocketConfig(format!("binding rank {rank}: {e}"))
+                    })?);
+                    listeners.push(Mutex::new(Some(listener)));
+                }
+                let addrs_ref = &addrs;
+                let listeners_ref = &listeners;
+                let timeout = resolved.io_timeout;
+                run_pes(
+                    &cfg,
+                    move |rank, clock| {
+                        let listener = listeners_ref[rank]
+                            .lock()
+                            .take()
+                            .expect("listener taken once per rank");
+                        let fabric =
+                            SocketFabric::connect_mesh(rank, listener, addrs_ref, timeout)?;
+                        Ok(Comm::new(
+                            rank,
+                            p,
+                            p,
+                            Arc::new(CommShared::new(1, p, TransportKind::Cells)),
+                            clock,
+                            cfg.cost,
+                            cfg.alltoall,
+                            cfg.grid_threshold_bytes,
+                        )
+                        .into_socket(Arc::new(fabric), None, 0))
+                    },
+                    || {},
+                    &rank_fn,
+                )
+            }
+        }
+    }
 
-        let mut results: Vec<Option<R>> = (0..p).map(|_| None).collect();
-        std::thread::scope(|scope| {
-            let rank_fn = &rank_fn;
-            let shared_ref = &shared;
-            let cfg_ref = &cfg;
-            let handles: Vec<_> = results
-                .iter_mut()
-                .zip(clocks.iter())
-                .enumerate()
-                .map(|(rank, (result_slot, clock))| {
-                    let clock = Arc::clone(clock);
-                    std::thread::Builder::new()
-                        .name(format!("pe-{rank}"))
-                        .stack_size(cfg_ref.stack_size)
-                        .spawn_scoped(scope, move || {
-                            let comm = Comm::new(
-                                rank,
-                                p,
-                                p,
-                                Arc::clone(shared_ref),
-                                clock,
-                                cfg_ref.cost,
-                                cfg_ref.alltoall,
-                                cfg_ref.grid_threshold_bytes,
-                            );
-                            let out =
-                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                                    rank_fn(&comm)
-                                }));
-                            match out {
-                                Ok(r) => *result_slot = Some(r),
-                                Err(payload) => {
-                                    shared_ref.barrier.poison();
-                                    std::panic::resume_unwind(payload);
+    /// Run **one rank** of a multi-process socket machine in this
+    /// process. The config must use the sockets transport with either
+    /// static endpoints (then `rank` is required and names this
+    /// process's slot) or a rendezvous server (then `rank` is an
+    /// optional preference the rendezvous honours).
+    ///
+    /// Blocks until this rank's program returns; peers run in other
+    /// processes. Transport failures — a dead peer, a missed deadline —
+    /// come back as [`MachineError::Transport`], bounded by the
+    /// configured io timeout.
+    pub fn try_run_worker<F, R>(
+        cfg: MachineConfig,
+        rank: Option<usize>,
+        rank_fn: F,
+    ) -> Result<WorkerRun<R>, MachineError>
+    where
+        F: FnOnce(&Comm) -> R,
+    {
+        let resolved = cfg.resolve()?;
+        let start = Instant::now();
+        let timeout = resolved.io_timeout;
+        let (my_rank, listener, table) = match resolved.sockets {
+            None | Some(SocketSetup::Loopback) => {
+                return Err(MachineError::SocketConfig(
+                    "try_run_worker needs with_endpoints(..) or with_rendezvous(..) \
+                     on the sockets transport"
+                        .to_string(),
+                ))
+            }
+            Some(SocketSetup::Endpoints(table)) => {
+                let Some(r) = rank else {
+                    return Err(MachineError::SocketConfig(
+                        "static endpoints need an explicit rank for this worker".to_string(),
+                    ));
+                };
+                if r >= table.len() {
+                    return Err(MachineError::SocketConfig(format!(
+                        "worker rank {r} out of range for {} endpoints",
+                        table.len()
+                    )));
+                }
+                let listener = TcpListener::bind(table[r])
+                    .map_err(|e| MachineError::SocketConfig(format!("binding rank {r}: {e}")))?;
+                (r, listener, table)
+            }
+            Some(SocketSetup::Rendezvous { addr }) => {
+                let (r, listener, table) =
+                    socket::rendezvous_client(&addr.to_string(), rank, timeout)
+                        .map_err(|source| MachineError::Transport { rank: 0, source })?;
+                if table.len() != cfg.pes {
+                    return Err(MachineError::PeCountMismatch {
+                        expected: cfg.pes,
+                        got: table.len(),
+                    });
+                }
+                (r, listener, table)
+            }
+        };
+        let p = table.len();
+        let fabric =
+            SocketFabric::connect_mesh(my_rank, listener, &table, timeout).map_err(|source| {
+                MachineError::Transport {
+                    rank: my_rank,
+                    source,
+                }
+            })?;
+        let clock = Arc::new(Clock::new());
+        let comm = Comm::new(
+            my_rank,
+            p,
+            p,
+            Arc::new(CommShared::new(1, p, TransportKind::Cells)),
+            Arc::clone(&clock),
+            cfg.cost,
+            cfg.alltoall,
+            cfg.grid_threshold_bytes,
+        )
+        .into_socket(Arc::new(fabric), None, 0);
+        let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| rank_fn(&comm)));
+        drop(comm);
+        match out {
+            Ok(result) => Ok(WorkerRun {
+                rank: my_rank,
+                result,
+                stats: clock.stats(),
+                wall: start.elapsed(),
+            }),
+            Err(payload) => match payload.downcast::<TransportError>() {
+                Ok(source) => Err(MachineError::Transport {
+                    rank: my_rank,
+                    source: *source,
+                }),
+                Err(payload) => std::panic::resume_unwind(payload),
+            },
+        }
+    }
+}
+
+/// The shared PE-thread runner behind every in-process mode of
+/// [`Machine::try_run`]: spawn `cfg.pes` named threads, build each PE's
+/// communicator with `make_comm`, and classify every unwind —
+///
+/// * a [`TransportError`] payload is recorded and `poison` is called so
+///   in-process peers unblock; the first one (preferring the PE where
+///   the failure *originated* over secondary `PeerClosed` fallout)
+///   becomes [`MachineError::Transport`];
+/// * a [`BarrierPoisoned`] payload is secondary fallout by definition
+///   and is swallowed;
+/// * anything else is a genuine program panic and is resumed on the
+///   caller, first by rank order.
+fn run_pes<F, R>(
+    cfg: &MachineConfig,
+    make_comm: impl Fn(usize, Arc<Clock>) -> Result<Comm, TransportError> + Sync,
+    poison: impl Fn() + Sync,
+    rank_fn: &F,
+) -> Result<RunOutput<R>, MachineError>
+where
+    F: Fn(&Comm) -> R + Send + Sync,
+    R: Send,
+{
+    let p = cfg.pes;
+    let clocks: Vec<Arc<Clock>> = (0..p).map(|_| Arc::new(Clock::new())).collect();
+    let start = Instant::now();
+
+    let mut results: Vec<Option<R>> = (0..p).map(|_| None).collect();
+    let mut terrs: Vec<Option<TransportError>> = (0..p).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let make_comm = &make_comm;
+        let poison = &poison;
+        let handles: Vec<_> = results
+            .iter_mut()
+            .zip(terrs.iter_mut())
+            .zip(clocks.iter())
+            .enumerate()
+            .map(|(rank, ((result_slot, terr_slot), clock))| {
+                let clock = Arc::clone(clock);
+                std::thread::Builder::new()
+                    .name(format!("pe-{rank}"))
+                    .stack_size(cfg.stack_size)
+                    .spawn_scoped(scope, move || {
+                        let comm = match make_comm(rank, clock) {
+                            Ok(c) => c,
+                            Err(e) => {
+                                *terr_slot = Some(e);
+                                poison();
+                                return;
+                            }
+                        };
+                        let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            rank_fn(&comm)
+                        }));
+                        // Drop the comm before classifying: under sockets
+                        // this closes the fabric, turning this PE's exit
+                        // into `PeerClosed` at its peers.
+                        drop(comm);
+                        match out {
+                            Ok(r) => *result_slot = Some(r),
+                            Err(payload) => {
+                                poison();
+                                match payload.downcast::<TransportError>() {
+                                    Ok(e) => *terr_slot = Some(*e),
+                                    Err(payload) => {
+                                        if !payload.is::<BarrierPoisoned>() {
+                                            std::panic::resume_unwind(payload);
+                                        }
+                                    }
                                 }
                             }
-                        })
-                        .expect("failed to spawn PE thread")
-                })
-                .collect();
-            // Scoped threads are joined on scope exit; join explicitly to
-            // surface the *first* panic deterministically by rank order.
-            let mut first_panic = None;
-            for h in handles {
-                if let Err(e) = h.join() {
-                    first_panic.get_or_insert(e);
-                }
+                        }
+                    })
+                    .expect("failed to spawn PE thread")
+            })
+            .collect();
+        // Scoped threads are joined on scope exit; join explicitly to
+        // surface the *first* genuine panic deterministically by rank.
+        let mut first_panic = None;
+        for h in handles {
+            if let Err(e) = h.join() {
+                first_panic.get_or_insert(e);
             }
-            if let Some(e) = first_panic {
-                std::panic::resume_unwind(e);
-            }
-        });
+        }
+        if let Some(e) = first_panic {
+            std::panic::resume_unwind(e);
+        }
+    });
 
-        let wall = start.elapsed();
-        let stats: Vec<PeStats> = clocks.iter().map(|c| c.stats()).collect();
-        let modeled_time = stats.iter().map(|s| s.modeled_time).fold(0.0, f64::max);
-        Ok(RunOutput {
-            results: results
-                .into_iter()
-                .map(|r| r.expect("PE finished without result"))
-                .collect(),
-            stats,
-            modeled_time,
-            wall,
-        })
+    // Transport failure: report where it originated when that is
+    // distinguishable — `PeerClosed` is usually fallout from another
+    // PE's death, so any other error class wins; ties go to rank order.
+    let originating = terrs
+        .iter()
+        .position(|e| matches!(e, Some(TransportError::Protocol(_) | TransportError::Io(_))))
+        .or_else(|| terrs.iter().position(|e| e.is_some()));
+    if let Some(rank) = originating {
+        return Err(MachineError::Transport {
+            rank,
+            source: terrs[rank].take().expect("position() found it"),
+        });
     }
+
+    let wall = start.elapsed();
+    let stats: Vec<PeStats> = clocks.iter().map(|c| c.stats()).collect();
+    let modeled_time = stats.iter().map(|s| s.modeled_time).fold(0.0, f64::max);
+    Ok(RunOutput {
+        results: results
+            .into_iter()
+            .map(|r| r.expect("PE finished without result"))
+            .collect(),
+        stats,
+        modeled_time,
+        wall,
+    })
 }
 
 #[cfg(test)]

@@ -1,0 +1,983 @@
+//! The socket transport backend: per-PE-pair TCP streams carrying
+//! length-prefixed [`Wire`](crate::wire) frames.
+//!
+//! Where the byte-stream backend moves frames through in-process
+//! `VecDeque`s, this backend moves the **same frames** through real OS
+//! sockets — between threads of one process (the in-process machine
+//! mode of `Machine::try_run`) or between OS processes spawned by the
+//! `kamsta_launch` binary (`Machine::try_run_worker`). The collective
+//! layer above the transport boundary is untouched: the three
+//! primitives of `transport.rs` route their encoded buckets through
+//! [`SocketFabric`] instead of the [`ByteHub`](crate::bytestream), and
+//! the dissemination barrier runs over [`CH_BARRIER`] frames.
+//!
+//! ## Mesh topology and bootstrap
+//!
+//! The fabric is a full mesh: one TCP stream per unordered PE pair.
+//! [`SocketFabric::connect_mesh`] builds it from a rank-indexed address
+//! table: rank `i` **connects** to every rank `j < i` (sending a
+//! [`CH_HELLO`] frame naming itself) and **accepts** from every
+//! `j > i` on its own listener, in whatever order those peers dial in —
+//! the hello identifies them. Connect refusals are retried until the
+//! deadline (peers bind their listeners at different times), so
+//! arbitrarily staggered start-up is tolerated up to the timeout.
+//!
+//! ## The progress engine
+//!
+//! All-to-all rounds write to every peer before reading from any. With
+//! blocking sockets two PEs whose kernel send buffers fill would
+//! deadlock writing to each other; every stream is therefore
+//! **permanently non-blocking** after the mesh is up, and both the send
+//! and the receive path run a pump loop: on `WouldBlock`, drain every
+//! link's readable bytes into per-communicator pending queues
+//! ([`SocketFabric::pump_all`]), then retry until the io deadline.
+//! Received frames are demultiplexed by communicator id and channel, so
+//! sub-communicator traffic and barrier signals interleave freely on
+//! the shared pair streams.
+//!
+//! ## Failure model
+//!
+//! Every wait is bounded by the machine's io timeout and every failure
+//! is a typed [`TransportError`], never a hang: EOF on a link is
+//! [`TransportError::PeerClosed`] (flagged `mid_frame` when the stream
+//! died inside a frame), a deadline miss is [`TransportError::Timeout`],
+//! and out-of-order rounds, tag mismatches, oversized or malformed
+//! frames are [`TransportError::Protocol`]. Teardown is by drop: a PE
+//! that errors (or finishes) closes its streams, which surfaces at its
+//! peers as `PeerClosed` on their next receive — graceful exit and
+//! process death look the same, which is the point.
+
+use crate::transport::TransportError;
+use crate::wire::{
+    self, FrameHeader, Wire, CH_BARRIER, CH_DATA, CH_HELLO, FRAME_HEADER_LEN, MAX_FRAME_PAYLOAD,
+};
+use parking_lot::Mutex;
+use std::collections::{HashMap, VecDeque};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::time::{Duration, Instant};
+
+/// Magic carried in the `b` field of hello frames, guarding against a
+/// non-kamsta peer (or a different protocol revision) joining the mesh.
+const HELLO_MAGIC: u64 = 0x6B61_6D73_7461_2D36; // "kamsta-6"
+
+/// Pseudo communicator id of rendezvous traffic — outside the id space
+/// `Comm::split` derives (which starts from the world id 0).
+const RENDEZVOUS_COMM: u64 = u64::MAX;
+
+/// Back-off of the pump loops when no byte moved: long enough to yield
+/// the core on oversubscribed hosts, short enough to stay invisible
+/// next to loopback round trips.
+const PUMP_IDLE: Duration = Duration::from_micros(50);
+
+fn io_error(peer: usize, e: &std::io::Error) -> TransportError {
+    match e.kind() {
+        ErrorKind::ConnectionReset
+        | ErrorKind::ConnectionAborted
+        | ErrorKind::BrokenPipe
+        | ErrorKind::UnexpectedEof => TransportError::PeerClosed {
+            peer,
+            mid_frame: false,
+        },
+        _ => TransportError::Io(format!("peer {peer}: {e}")),
+    }
+}
+
+/// One decoded data-plane frame waiting to be consumed.
+struct DataFrame {
+    seq: u64,
+    tag: u64,
+    bytes: Vec<u8>,
+}
+
+/// Per-communicator pending queues of one link. TCP preserves order per
+/// stream, and within one communicator the SPMD round order makes that
+/// arrival order the consumption order — so plain FIFOs suffice.
+#[derive(Default)]
+struct Pending {
+    data: VecDeque<DataFrame>,
+    barrier: VecDeque<(u64, u64)>,
+}
+
+/// One live stream to a peer plus its parse state.
+struct Link {
+    stream: TcpStream,
+    /// Received, not yet frame-parsed bytes (at most one partial frame
+    /// plus whatever arrived behind it in the last read burst).
+    rd: Vec<u8>,
+    /// The peer's end is gone (EOF or reset observed).
+    closed: bool,
+    pending: HashMap<u64, Pending>,
+}
+
+impl Link {
+    fn new(stream: TcpStream) -> Self {
+        Self {
+            stream,
+            rd: Vec::new(),
+            closed: false,
+            pending: HashMap::new(),
+        }
+    }
+
+    /// Drain everything currently readable (non-blocking) and parse
+    /// complete frames into the pending queues. Returns whether any
+    /// bytes arrived.
+    fn pump(&mut self, peer: usize) -> Result<bool, TransportError> {
+        if self.closed {
+            return Ok(false);
+        }
+        let mut progressed = false;
+        let mut buf = [0u8; 64 * 1024];
+        loop {
+            match self.stream.read(&mut buf) {
+                Ok(0) => {
+                    self.closed = true;
+                    break;
+                }
+                Ok(n) => {
+                    self.rd.extend_from_slice(&buf[..n]);
+                    progressed = true;
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) => {
+                    self.closed = true;
+                    return Err(io_error(peer, &e));
+                }
+            }
+        }
+        self.parse_frames(peer)?;
+        Ok(progressed)
+    }
+
+    fn parse_frames(&mut self, peer: usize) -> Result<(), TransportError> {
+        let mut off = 0;
+        while self.rd.len() - off >= FRAME_HEADER_LEN {
+            let h = FrameHeader::parse(&self.rd[off..off + FRAME_HEADER_LEN])
+                .map_err(|e| TransportError::Protocol(format!("frame from PE {peer}: {e}")))?;
+            if h.len > MAX_FRAME_PAYLOAD {
+                return Err(TransportError::Protocol(format!(
+                    "oversized frame from PE {peer}: {} bytes (cap {MAX_FRAME_PAYLOAD})",
+                    h.len
+                )));
+            }
+            let total = FRAME_HEADER_LEN + h.len as usize;
+            if self.rd.len() - off < total {
+                break; // partial frame: wait for the rest
+            }
+            let payload = self.rd[off + FRAME_HEADER_LEN..off + total].to_vec();
+            off += total;
+            let entry = self.pending.entry(h.comm).or_default();
+            match h.channel {
+                CH_DATA => entry.data.push_back(DataFrame {
+                    seq: h.a,
+                    tag: h.b,
+                    bytes: payload,
+                }),
+                CH_BARRIER => entry.barrier.push_back((h.a, h.b)),
+                _ => {
+                    return Err(TransportError::Protocol(format!(
+                        "unexpected hello frame from PE {peer} after mesh construction"
+                    )))
+                }
+            }
+        }
+        self.rd.drain(..off);
+        Ok(())
+    }
+}
+
+/// This PE's end of the full socket mesh: one [`Link`] per peer, shared
+/// by the world communicator and everything `Comm::split` derives.
+///
+/// Links are mutexed for `Sync` (the `Comm` holding the fabric may move
+/// between threads); within one PE access is single-threaded, so the
+/// locks never contend.
+pub(crate) struct SocketFabric {
+    rank: usize,
+    p: usize,
+    timeout: Duration,
+    /// `links[peer]`; `None` exactly at `peer == rank`.
+    links: Box<[Option<Mutex<Link>>]>,
+}
+
+impl std::fmt::Debug for SocketFabric {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SocketFabric(rank {} of {})", self.rank, self.p)
+    }
+}
+
+impl SocketFabric {
+    /// Build the mesh from a rank-indexed address table. `listener` must
+    /// already be bound to `addrs[rank]` (peers are dialling it). Blocks
+    /// until all `p − 1` links are up or `timeout` expires.
+    pub(crate) fn connect_mesh(
+        rank: usize,
+        listener: TcpListener,
+        addrs: &[SocketAddr],
+        timeout: Duration,
+    ) -> Result<Self, TransportError> {
+        let p = addrs.len();
+        assert!(rank < p, "mesh rank out of range");
+        let deadline = Instant::now() + timeout;
+        let mut links: Vec<Option<Mutex<Link>>> = (0..p).map(|_| None).collect();
+
+        // Dial every lower rank, identifying ourselves with a hello.
+        for (j, addr) in addrs.iter().enumerate().take(rank) {
+            let mut stream = connect_retry(*addr, j, deadline)?;
+            let mut hello = Vec::with_capacity(FRAME_HEADER_LEN);
+            FrameHeader {
+                channel: CH_HELLO,
+                comm: 0,
+                a: rank as u64,
+                b: HELLO_MAGIC,
+                len: 0,
+            }
+            .write(&mut hello);
+            stream.write_all(&hello).map_err(|e| io_error(j, &e))?;
+            links[j] = Some(Mutex::new(Link::new(stream)));
+        }
+
+        // Accept from every higher rank, in arrival order.
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| TransportError::Io(format!("listener: {e}")))?;
+        let mut missing = p - 1 - rank;
+        while missing > 0 {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    let hello = read_hello_blocking(&stream, usize::MAX, deadline)?;
+                    let peer = hello.a as usize;
+                    if hello.b != HELLO_MAGIC || peer <= rank || peer >= p {
+                        return Err(TransportError::Protocol(format!(
+                            "mesh hello from unexpected rank {peer}"
+                        )));
+                    }
+                    if links[peer].is_some() {
+                        return Err(TransportError::Protocol(format!(
+                            "duplicate mesh connection from rank {peer}"
+                        )));
+                    }
+                    links[peer] = Some(Mutex::new(Link::new(stream)));
+                    missing -= 1;
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    if Instant::now() > deadline {
+                        return Err(TransportError::Timeout {
+                            peer: rank,
+                            waited: timeout,
+                        });
+                    }
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                Err(e) => return Err(TransportError::Io(format!("accept: {e}"))),
+            }
+        }
+
+        // Switch to the non-blocking regime of the data plane.
+        for (j, link) in links.iter().enumerate() {
+            if let Some(l) = link {
+                let l = l.lock();
+                l.stream.set_nodelay(true).ok();
+                l.stream
+                    .set_nonblocking(true)
+                    .map_err(|e| io_error(j, &e))?;
+            }
+        }
+        Ok(Self {
+            rank,
+            p,
+            timeout,
+            links: links.into_boxed_slice(),
+        })
+    }
+
+    pub(crate) fn size(&self) -> usize {
+        self.p
+    }
+
+    fn link(&self, peer: usize) -> &Mutex<Link> {
+        self.links[peer]
+            .as_ref()
+            .expect("no socket link to self or out-of-range peer")
+    }
+
+    /// Drain every link's readable bytes. Returns whether any byte moved
+    /// anywhere — the caller's cue to back off when idle.
+    fn pump_all(&self) -> Result<bool, TransportError> {
+        let mut progressed = false;
+        for (peer, link) in self.links.iter().enumerate() {
+            if let Some(l) = link {
+                progressed |= l.lock().pump(peer)?;
+            }
+        }
+        Ok(progressed)
+    }
+
+    /// Write one whole frame to `peer`, pumping receives while the send
+    /// buffer is full (see the module docs on the all-to-all deadlock).
+    fn send_frame(&self, peer: usize, frame: &[u8]) -> Result<(), TransportError> {
+        let deadline = Instant::now() + self.timeout;
+        let mut off = 0;
+        loop {
+            {
+                let mut link = self.link(peer).lock();
+                if link.closed {
+                    return Err(TransportError::PeerClosed {
+                        peer,
+                        mid_frame: false,
+                    });
+                }
+                loop {
+                    match link.stream.write(&frame[off..]) {
+                        Ok(0) => {
+                            return Err(TransportError::PeerClosed {
+                                peer,
+                                mid_frame: off > 0,
+                            })
+                        }
+                        Ok(n) => {
+                            off += n;
+                            if off == frame.len() {
+                                return Ok(());
+                            }
+                        }
+                        Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                        Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                        Err(e) => return Err(io_error(peer, &e)),
+                    }
+                }
+            }
+            if Instant::now() > deadline {
+                return Err(TransportError::Timeout {
+                    peer,
+                    waited: self.timeout,
+                });
+            }
+            if !self.pump_all()? {
+                std::thread::sleep(PUMP_IDLE);
+            }
+        }
+    }
+
+    /// Send a data-plane frame for round `seq` of communicator `comm`.
+    pub(crate) fn send_data(
+        &self,
+        peer: usize,
+        comm: u64,
+        seq: u64,
+        tag: u64,
+        payload: &[u8],
+    ) -> Result<(), TransportError> {
+        debug_assert!(payload.len() <= MAX_FRAME_PAYLOAD as usize);
+        let mut frame = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
+        FrameHeader {
+            channel: CH_DATA,
+            comm,
+            a: seq,
+            b: tag,
+            len: payload.len() as u32,
+        }
+        .write(&mut frame);
+        frame.extend_from_slice(payload);
+        self.send_frame(peer, &frame)
+    }
+
+    /// Send a barrier signal (`code` = `episode << 8 | round`) carrying
+    /// the clock maximum as bits.
+    pub(crate) fn send_barrier(
+        &self,
+        peer: usize,
+        comm: u64,
+        code: u64,
+        clock_bits: u64,
+    ) -> Result<(), TransportError> {
+        let mut frame = Vec::with_capacity(FRAME_HEADER_LEN);
+        FrameHeader {
+            channel: CH_BARRIER,
+            comm,
+            a: code,
+            b: clock_bits,
+            len: 0,
+        }
+        .write(&mut frame);
+        self.send_frame(peer, &frame)
+    }
+
+    /// Receive the round-`seq` data frame from `peer` on communicator
+    /// `comm`, discarding stale frames of earlier rounds (posted but
+    /// never consumed — the socket analogue of a stale byte-hub frame).
+    pub(crate) fn recv_data(
+        &self,
+        peer: usize,
+        comm: u64,
+        seq: u64,
+        tag: u64,
+        what: &str,
+    ) -> Result<Vec<u8>, TransportError> {
+        let deadline = Instant::now() + self.timeout;
+        loop {
+            {
+                let mut link = self.link(peer).lock();
+                link.pump(peer)?;
+                let pending = link.pending.entry(comm).or_default();
+                while let Some(front) = pending.data.front() {
+                    if front.seq < seq {
+                        pending.data.pop_front(); // stale, never consumed
+                        continue;
+                    }
+                    if front.seq == seq && front.tag == tag {
+                        let frame = pending.data.pop_front().expect("front just probed");
+                        return Ok(frame.bytes);
+                    }
+                    return Err(TransportError::Protocol(format!(
+                        "socket {what} of round {seq}: found frame of round {} from PE {peer} — \
+                         a PE skipped a send or collectives ran out of order",
+                        front.seq
+                    )));
+                }
+                if link.closed {
+                    return Err(TransportError::PeerClosed {
+                        peer,
+                        mid_frame: !link.rd.is_empty(),
+                    });
+                }
+            }
+            if Instant::now() > deadline {
+                return Err(TransportError::Timeout {
+                    peer,
+                    waited: self.timeout,
+                });
+            }
+            if !self.pump_all()? {
+                std::thread::sleep(PUMP_IDLE);
+            }
+        }
+    }
+
+    /// Receive the barrier signal with exactly `code` from `peer`.
+    ///
+    /// Per (pair, communicator, episode) there is exactly one barrier
+    /// frame in each direction — the dissemination offsets `2^k mod p`
+    /// are pairwise distinct over the rounds — and TCP's per-stream FIFO
+    /// plus the SPMD collective order make arrival order match episode
+    /// order, so the front of the queue must be the expected signal.
+    pub(crate) fn recv_barrier(
+        &self,
+        peer: usize,
+        comm: u64,
+        code: u64,
+    ) -> Result<u64, TransportError> {
+        let deadline = Instant::now() + self.timeout;
+        loop {
+            {
+                let mut link = self.link(peer).lock();
+                link.pump(peer)?;
+                let pending = link.pending.entry(comm).or_default();
+                if let Some(&(got, bits)) = pending.barrier.front() {
+                    if got != code {
+                        return Err(TransportError::Protocol(format!(
+                            "barrier signal out of order from PE {peer}: \
+                             expected code {code:#x}, found {got:#x}"
+                        )));
+                    }
+                    pending.barrier.pop_front();
+                    return Ok(bits);
+                }
+                if link.closed {
+                    return Err(TransportError::PeerClosed {
+                        peer,
+                        mid_frame: !link.rd.is_empty(),
+                    });
+                }
+            }
+            if Instant::now() > deadline {
+                return Err(TransportError::Timeout {
+                    peer,
+                    waited: self.timeout,
+                });
+            }
+            if !self.pump_all()? {
+                std::thread::sleep(PUMP_IDLE);
+            }
+        }
+    }
+}
+
+/// Connect to `addr`, retrying refusals until `deadline` — the peer may
+/// simply not have bound its listener yet.
+fn connect_retry(
+    addr: SocketAddr,
+    peer: usize,
+    deadline: Instant,
+) -> Result<TcpStream, TransportError> {
+    loop {
+        let left = deadline.saturating_duration_since(Instant::now());
+        if left.is_zero() {
+            return Err(TransportError::Timeout {
+                peer,
+                waited: Duration::ZERO,
+            });
+        }
+        match TcpStream::connect_timeout(&addr, left) {
+            Ok(s) => return Ok(s),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    ErrorKind::ConnectionRefused
+                        | ErrorKind::ConnectionReset
+                        | ErrorKind::TimedOut
+                        | ErrorKind::AddrNotAvailable
+                ) =>
+            {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(e) => return Err(io_error(peer, &e)),
+        }
+    }
+}
+
+/// Blocking read of exactly one header-only hello frame, bounded by
+/// `deadline` via the stream's read timeout.
+fn read_hello_blocking(
+    stream: &TcpStream,
+    peer: usize,
+    deadline: Instant,
+) -> Result<FrameHeader, TransportError> {
+    set_deadline(stream, peer, deadline)?;
+    let mut buf = [0u8; FRAME_HEADER_LEN];
+    (&mut &*stream)
+        .read_exact(&mut buf)
+        .map_err(|e| match e.kind() {
+            ErrorKind::WouldBlock | ErrorKind::TimedOut => TransportError::Timeout {
+                peer,
+                waited: Duration::ZERO,
+            },
+            _ => io_error(peer, &e),
+        })?;
+    let h = FrameHeader::parse(&buf)
+        .map_err(|e| TransportError::Protocol(format!("hello frame: {e}")))?;
+    if h.channel != CH_HELLO {
+        return Err(TransportError::Protocol(format!(
+            "expected a hello frame, got channel {}",
+            h.channel
+        )));
+    }
+    Ok(h)
+}
+
+fn set_deadline(stream: &TcpStream, peer: usize, deadline: Instant) -> Result<(), TransportError> {
+    let left = deadline.saturating_duration_since(Instant::now());
+    if left.is_zero() {
+        return Err(TransportError::Timeout {
+            peer,
+            waited: Duration::ZERO,
+        });
+    }
+    stream
+        .set_nonblocking(false)
+        .and_then(|()| stream.set_read_timeout(Some(left)))
+        .map_err(|e| io_error(peer, &e))
+}
+
+// ---------------------------------------------------------------------
+// Launcher rendezvous
+// ---------------------------------------------------------------------
+
+/// Blocking read of one whole frame (header + payload) with the
+/// deadline applied — rendezvous streams are blocking and short-lived.
+fn read_frame_blocking(
+    stream: &TcpStream,
+    peer: usize,
+    deadline: Instant,
+) -> Result<(FrameHeader, Vec<u8>), TransportError> {
+    set_deadline(stream, peer, deadline)?;
+    let mut head = [0u8; FRAME_HEADER_LEN];
+    let mut s = stream;
+    s.read_exact(&mut head).map_err(|e| io_error(peer, &e))?;
+    let h = FrameHeader::parse(&head)
+        .map_err(|e| TransportError::Protocol(format!("rendezvous frame: {e}")))?;
+    if h.len > MAX_FRAME_PAYLOAD {
+        return Err(TransportError::Protocol(format!(
+            "oversized rendezvous frame: {} bytes",
+            h.len
+        )));
+    }
+    let mut payload = vec![0u8; h.len as usize];
+    s.read_exact(&mut payload).map_err(|e| io_error(peer, &e))?;
+    Ok((h, payload))
+}
+
+fn write_data_frame(
+    stream: &TcpStream,
+    peer: usize,
+    seq: u64,
+    value: &impl Wire,
+) -> Result<(), TransportError> {
+    let payload = wire::encode(value);
+    let mut frame = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
+    FrameHeader {
+        channel: CH_DATA,
+        comm: RENDEZVOUS_COMM,
+        a: seq,
+        b: 0,
+        len: payload.len() as u32,
+    }
+    .write(&mut frame);
+    frame.extend_from_slice(&payload);
+    (&mut &*stream)
+        .write_all(&frame)
+        .map_err(|e| io_error(peer, &e))
+}
+
+/// Serve the launcher side of the rank-assignment handshake: accept `p`
+/// workers on `listener`, assign each a rank (honouring claimed ranks,
+/// filling the rest in arrival order), and broadcast the address table.
+/// Returns the table, rank-indexed.
+///
+/// `abort` is polled while waiting; returning `Some(reason)` fails the
+/// rendezvous immediately (the launcher passes child-death detection
+/// through it, so one dead worker cannot stall the others to the full
+/// timeout).
+pub fn serve_rendezvous(
+    listener: &TcpListener,
+    p: usize,
+    timeout: Duration,
+    mut abort: impl FnMut() -> Option<String>,
+) -> Result<Vec<SocketAddr>, TransportError> {
+    assert!(p > 0);
+    let deadline = Instant::now() + timeout;
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| TransportError::Io(format!("rendezvous listener: {e}")))?;
+    // (stream, claimed rank or MAX, advertised address)
+    let mut arrivals: Vec<(TcpStream, u64, String)> = Vec::with_capacity(p);
+    while arrivals.len() < p {
+        if let Some(reason) = abort() {
+            return Err(TransportError::Protocol(format!(
+                "rendezvous aborted: {reason}"
+            )));
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let hello = read_hello_blocking(&stream, usize::MAX, deadline)?;
+                if hello.b != HELLO_MAGIC {
+                    return Err(TransportError::Protocol(
+                        "rendezvous hello with wrong magic".to_string(),
+                    ));
+                }
+                let (h, payload) = read_frame_blocking(&stream, usize::MAX, deadline)?;
+                if h.comm != RENDEZVOUS_COMM || h.a != 0 {
+                    return Err(TransportError::Protocol(
+                        "rendezvous address frame out of order".to_string(),
+                    ));
+                }
+                let addr: String = wire::decode(&payload)
+                    .map_err(|e| TransportError::Protocol(format!("rendezvous address: {e}")))?;
+                arrivals.push((stream, hello.a, addr));
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                if Instant::now() > deadline {
+                    return Err(TransportError::Timeout {
+                        peer: arrivals.len(),
+                        waited: timeout,
+                    });
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(e) => return Err(TransportError::Io(format!("rendezvous accept: {e}"))),
+        }
+    }
+
+    // Rank assignment: claimed ranks are honoured, the unclaimed fill
+    // the remaining slots in arrival order.
+    let mut ranks: Vec<Option<usize>> = vec![None; p];
+    let mut slots: Vec<Option<usize>> = vec![None; p]; // rank -> arrival
+    for (i, (_, claimed, _)) in arrivals.iter().enumerate() {
+        if *claimed == u64::MAX {
+            continue;
+        }
+        let r = *claimed as usize;
+        if r >= p {
+            return Err(TransportError::Protocol(format!(
+                "worker claimed rank {r} of a {p}-PE machine"
+            )));
+        }
+        if slots[r].is_some() {
+            return Err(TransportError::Protocol(format!(
+                "two workers claimed rank {r}"
+            )));
+        }
+        slots[r] = Some(i);
+        ranks[i] = Some(r);
+    }
+    let mut next_free = 0usize;
+    for (i, rank) in ranks.iter_mut().enumerate() {
+        if rank.is_none() {
+            while slots[next_free].is_some() {
+                next_free += 1;
+            }
+            slots[next_free] = Some(i);
+            *rank = Some(next_free);
+        }
+    }
+
+    let mut table: Vec<SocketAddr> = Vec::with_capacity(p);
+    for slot in &slots {
+        let i = slot.expect("every rank assigned");
+        let addr = arrivals[i].2.parse().map_err(|_| {
+            TransportError::Protocol(format!("worker advertised bad address {:?}", arrivals[i].2))
+        })?;
+        table.push(addr);
+    }
+
+    let strings: Vec<String> = table.iter().map(|a| a.to_string()).collect();
+    for (i, (stream, _, _)) in arrivals.iter().enumerate() {
+        let rank = ranks[i].expect("every arrival ranked") as u64;
+        write_data_frame(stream, usize::MAX, 1, &(rank, strings.clone()))?;
+    }
+    Ok(table)
+}
+
+/// Worker side of the rendezvous: bind an ephemeral listener, report it
+/// to the launcher at `rendezvous` (claiming `preferred` when given),
+/// and receive the assigned rank plus the full address table. The
+/// returned listener is the one peers will dial for the mesh.
+pub(crate) fn rendezvous_client(
+    rendezvous: &str,
+    preferred: Option<usize>,
+    timeout: Duration,
+) -> Result<(usize, TcpListener, Vec<SocketAddr>), TransportError> {
+    let deadline = Instant::now() + timeout;
+    let host: SocketAddr = rendezvous
+        .parse()
+        .map_err(|_| TransportError::Protocol(format!("bad rendezvous address {rendezvous:?}")))?;
+    // Bind on the same interface the launcher is reachable on.
+    let listener = TcpListener::bind((host.ip(), 0))
+        .map_err(|e| TransportError::Io(format!("worker listener: {e}")))?;
+    let my_addr = listener
+        .local_addr()
+        .map_err(|e| TransportError::Io(format!("worker listener: {e}")))?;
+
+    let mut stream = connect_retry(host, usize::MAX, deadline)?;
+    let mut hello = Vec::with_capacity(FRAME_HEADER_LEN);
+    FrameHeader {
+        channel: CH_HELLO,
+        comm: 0,
+        a: preferred.map_or(u64::MAX, |r| r as u64),
+        b: HELLO_MAGIC,
+        len: 0,
+    }
+    .write(&mut hello);
+    stream
+        .write_all(&hello)
+        .map_err(|e| io_error(usize::MAX, &e))?;
+    write_data_frame(&stream, usize::MAX, 0, &my_addr.to_string())?;
+
+    let (h, payload) = read_frame_blocking(&stream, usize::MAX, deadline)?;
+    if h.comm != RENDEZVOUS_COMM || h.a != 1 {
+        return Err(TransportError::Protocol(
+            "rendezvous reply out of order".to_string(),
+        ));
+    }
+    let (rank, strings): (u64, Vec<String>) = wire::decode(&payload)
+        .map_err(|e| TransportError::Protocol(format!("rendezvous reply: {e}")))?;
+    let mut table = Vec::with_capacity(strings.len());
+    for s in &strings {
+        table.push(s.parse().map_err(|_| {
+            TransportError::Protocol(format!("rendezvous table entry {s:?} unparsable"))
+        })?);
+    }
+    Ok((rank as usize, listener, table))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn loopback_pair(p: usize, timeout: Duration) -> Vec<SocketFabric> {
+        let listeners: Vec<TcpListener> = (0..p)
+            .map(|_| TcpListener::bind("127.0.0.1:0").unwrap())
+            .collect();
+        let addrs: Vec<SocketAddr> = listeners.iter().map(|l| l.local_addr().unwrap()).collect();
+        let addrs = Arc::new(addrs);
+        let mut handles = Vec::new();
+        for (rank, listener) in listeners.into_iter().enumerate() {
+            let addrs = Arc::clone(&addrs);
+            handles.push(std::thread::spawn(move || {
+                SocketFabric::connect_mesh(rank, listener, &addrs, timeout).unwrap()
+            }));
+        }
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    }
+
+    #[test]
+    fn data_frames_roundtrip_across_a_real_socket_pair() {
+        let fabs = loopback_pair(2, Duration::from_secs(5));
+        let payload = vec![1u8, 2, 3, 4];
+        fabs[0].send_data(1, 0, 1, 42, &payload).unwrap();
+        let got = fabs[1].recv_data(0, 0, 1, 42, "test").unwrap();
+        assert_eq!(got, payload);
+    }
+
+    #[test]
+    fn stale_frames_are_discarded_like_the_byte_hub() {
+        let fabs = loopback_pair(2, Duration::from_secs(5));
+        fabs[0].send_data(1, 0, 1, 7, b"old").unwrap();
+        fabs[0].send_data(1, 0, 3, 7, b"new").unwrap();
+        let got = fabs[1].recv_data(0, 0, 3, 7, "test").unwrap();
+        assert_eq!(got, b"new");
+    }
+
+    #[test]
+    fn future_frame_is_a_protocol_error() {
+        let fabs = loopback_pair(2, Duration::from_secs(5));
+        fabs[0].send_data(1, 0, 5, 7, b"x").unwrap();
+        let err = fabs[1].recv_data(0, 0, 2, 7, "test").unwrap_err();
+        assert!(
+            matches!(err, TransportError::Protocol(ref m) if m.contains("skipped a send")),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn tag_mismatch_is_a_protocol_error() {
+        let fabs = loopback_pair(2, Duration::from_secs(5));
+        fabs[0].send_data(1, 0, 1, 7, b"x").unwrap();
+        let err = fabs[1].recv_data(0, 0, 1, 8, "test").unwrap_err();
+        assert!(matches!(err, TransportError::Protocol(_)), "{err:?}");
+    }
+
+    #[test]
+    fn peer_drop_surfaces_as_peer_closed() {
+        let mut fabs = loopback_pair(2, Duration::from_secs(5));
+        drop(fabs.remove(0));
+        let err = fabs[0].recv_data(0, 0, 1, 7, "test").unwrap_err();
+        assert!(
+            matches!(err, TransportError::PeerClosed { peer: 0, .. }),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn missing_frame_times_out_with_bound() {
+        let timeout = Duration::from_millis(150);
+        let fabs = loopback_pair(2, timeout);
+        let t0 = Instant::now();
+        let err = fabs[1].recv_data(0, 0, 1, 7, "test").unwrap_err();
+        assert!(
+            matches!(err, TransportError::Timeout { peer: 0, .. }),
+            "{err:?}"
+        );
+        assert!(t0.elapsed() < timeout * 20, "timeout must be bounded");
+    }
+
+    #[test]
+    fn oversized_frame_header_is_rejected() {
+        let fabs = loopback_pair(2, Duration::from_secs(5));
+        // Hand-craft a header announcing an absurd payload.
+        let mut frame = Vec::new();
+        FrameHeader {
+            channel: CH_DATA,
+            comm: 0,
+            a: 1,
+            b: 7,
+            len: MAX_FRAME_PAYLOAD + 1,
+        }
+        .write(&mut frame);
+        {
+            let mut link = fabs[0].link(1).lock();
+            link.stream.write_all(&frame).unwrap();
+        }
+        let err = fabs[1].recv_data(0, 0, 1, 7, "test").unwrap_err();
+        assert!(
+            matches!(err, TransportError::Protocol(ref m) if m.contains("oversized")),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn truncated_frame_surfaces_as_mid_frame_close() {
+        let fabs = loopback_pair(2, Duration::from_secs(5));
+        // A valid header promising 100 bytes, then only 3, then EOF.
+        let mut frame = Vec::new();
+        FrameHeader {
+            channel: CH_DATA,
+            comm: 0,
+            a: 1,
+            b: 7,
+            len: 100,
+        }
+        .write(&mut frame);
+        frame.extend_from_slice(b"abc");
+        {
+            let link = fabs[0].link(1).lock();
+            (&mut &link.stream).write_all(&frame).unwrap();
+            let _ = link.stream.shutdown(std::net::Shutdown::Write);
+        }
+        let err = fabs[1].recv_data(0, 0, 1, 7, "test").unwrap_err();
+        assert!(
+            matches!(
+                err,
+                TransportError::PeerClosed {
+                    peer: 0,
+                    mid_frame: true
+                }
+            ),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn rendezvous_assigns_claimed_and_free_ranks() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let timeout = Duration::from_secs(5);
+        let mut joins = Vec::new();
+        for preferred in [Some(2usize), None, Some(0)] {
+            let addr = addr.clone();
+            joins.push(std::thread::spawn(move || {
+                rendezvous_client(&addr, preferred, timeout).unwrap()
+            }));
+        }
+        let table = serve_rendezvous(&listener, 3, timeout, || None).unwrap();
+        assert_eq!(table.len(), 3);
+        let mut got: Vec<(Option<usize>, usize)> = Vec::new();
+        for (pref, j) in [Some(2usize), None, Some(0)].into_iter().zip(joins) {
+            let (rank, _, t) = j.join().unwrap();
+            assert_eq!(t, table);
+            got.push((pref, rank));
+        }
+        for (pref, rank) in &got {
+            if let Some(p) = pref {
+                assert_eq!(rank, p, "claimed ranks are honoured");
+            }
+        }
+        let mut ranks: Vec<usize> = got.iter().map(|(_, r)| *r).collect();
+        ranks.sort_unstable();
+        assert_eq!(ranks, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn rendezvous_rejects_duplicate_claims() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let timeout = Duration::from_secs(5);
+        let joins: Vec<_> = (0..2)
+            .map(|_| {
+                let addr = addr.clone();
+                std::thread::spawn(move || rendezvous_client(&addr, Some(1), timeout))
+            })
+            .collect();
+        let err = serve_rendezvous(&listener, 2, timeout, || None).unwrap_err();
+        assert!(
+            matches!(err, TransportError::Protocol(ref m) if m.contains("claimed rank")),
+            "{err:?}"
+        );
+        for j in joins {
+            let _ = j.join(); // clients error out or time out; either is fine
+        }
+    }
+}

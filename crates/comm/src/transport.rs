@@ -1,14 +1,16 @@
-//! The transport boundary: one collective layer, two backends.
+//! The transport boundary: one collective layer, three backends.
 //!
 //! Every collective in this crate is written **once**, against the three
 //! primitives below; each primitive has a shared-cells implementation
 //! (the epoch-stamped zero-copy blackboard of [`crate::cells`]) and a
-//! byte-stream implementation (the [`Wire`]-encoded per-PE-pair queues
-//! of [`crate::bytestream`]):
+//! byte-lane implementation, where the lane is either the in-process
+//! per-PE-pair queues of [`crate::bytestream`] or the per-PE-pair TCP
+//! streams of [`crate::socket`] — both carry the same [`Wire`]-encoded
+//! frames, so the two lanes share one code path here:
 //!
 //! 1. **Blackboard round** ([`XRound`]) — post one typed value with a
 //!    recipient set ([`To`]), barrier, read/take peers' values. Cells:
-//!    publish in place, readers borrow ([`Rx::Borrowed`]). Bytes: encode
+//!    publish in place, readers borrow ([`Rx::Borrowed`]). Lane: encode
 //!    once, enqueue per recipient, receivers decode ([`Rx::Owned`]).
 //! 2. **Flat exchange** ([`crate::Comm::flat_round_with`]) — deliver
 //!    `bufs.bucket(j)` to PE `j`. Cells: publish the whole
@@ -33,15 +35,14 @@
 //! backends, which the determinism suites exploit as a cross-transport
 //! oracle.
 
-use crate::bytestream::ByteHub;
 use crate::cells::Round;
 use crate::comm::Comm;
 use crate::flat::{FlatBuckets, FlatBuilder};
 use crate::machine::MachineError;
 use crate::wire::{self, Wire, WireReader};
-use std::any::TypeId;
 use std::cell::RefCell;
 use std::ops::Deref;
+use std::time::Duration;
 
 /// Which transport a machine's collectives run over.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -51,23 +52,76 @@ pub enum TransportKind {
     Cells,
     /// Per-PE-pair byte queues carrying `Wire`-encoded frames.
     Bytes,
+    /// Per-PE-pair TCP streams carrying the same `Wire` frames across
+    /// threads or OS processes (see [`crate::socket`]).
+    Sockets,
 }
 
 impl TransportKind {
-    /// Resolve the transport from `KAMSTA_TRANSPORT` (`cells` | `bytes`;
-    /// unset means [`TransportKind::Cells`]). An unrecognised value is a
-    /// configuration error, surfaced through
-    /// [`crate::MachineConfig::validate`] rather than silently ignored.
+    /// Resolve the transport from `KAMSTA_TRANSPORT` (`cells` | `bytes` |
+    /// `sockets`; unset means [`TransportKind::Cells`]). An unrecognised
+    /// value is a configuration error, surfaced through
+    /// [`crate::MachineConfig::resolve`] rather than silently ignored.
     pub fn from_env() -> Result<Self, MachineError> {
         match std::env::var("KAMSTA_TRANSPORT") {
             Err(_) => Ok(TransportKind::Cells),
             Ok(v) => match v.as_str() {
                 "cells" => Ok(TransportKind::Cells),
                 "bytes" => Ok(TransportKind::Bytes),
+                "sockets" => Ok(TransportKind::Sockets),
                 other => Err(MachineError::UnknownTransport(other.to_string())),
             },
         }
     }
+}
+
+/// A runtime failure of the transport layer: a peer that died, a wait
+/// that hit its deadline, or a frame stream that violated the SPMD
+/// protocol. Surfaced from [`crate::Machine::try_run`] as
+/// [`MachineError::Transport`] — typed, never a hang, never a plain
+/// panic string.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TransportError {
+    /// The connection to `peer` is gone (clean close, reset, or process
+    /// death — indistinguishable by design). `mid_frame` is set when the
+    /// stream ended inside a frame, pointing at a crash rather than an
+    /// orderly shutdown.
+    PeerClosed { peer: usize, mid_frame: bool },
+    /// A send or receive involving `peer` exceeded the machine's io
+    /// timeout.
+    Timeout { peer: usize, waited: Duration },
+    /// The peer spoke, but wrongly: out-of-order round, type-tag
+    /// mismatch, malformed or oversized frame, failed decode.
+    Protocol(String),
+    /// An OS-level socket error not better classified above.
+    Io(String),
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportError::PeerClosed { peer, mid_frame } => {
+                let how = if *mid_frame { " mid-frame" } else { "" };
+                write!(f, "PE {peer} closed its connection{how}")
+            }
+            TransportError::Timeout { peer, waited } => {
+                write!(f, "timed out after {waited:?} waiting on PE {peer}")
+            }
+            TransportError::Protocol(m) => write!(f, "transport protocol violation: {m}"),
+            TransportError::Io(m) => write!(f, "transport io error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+/// Abort the calling PE with a typed transport error. The machine
+/// runner downcasts the payload and converts it to
+/// [`MachineError::Transport`] instead of resuming the unwind, so a
+/// transport failure deep inside a collective surfaces as an `Err` from
+/// `try_run`, not a crash.
+pub(crate) fn raise(e: TransportError) -> ! {
+    std::panic::panic_any(e)
 }
 
 /// Recipient set of a blackboard post. The cells backend ignores this
@@ -114,41 +168,40 @@ impl<T: Clone> Rx<'_, T> {
 /// One blackboard round over whichever backend the communicator uses.
 pub(crate) enum XRound<'c, T: Send + 'static> {
     Cells(Round<T>),
-    Bytes(BytesRound<'c, T>),
+    Lane(LaneRound<'c, T>),
 }
 
-/// Byte-backend state of one blackboard round: the pair queues plus a
-/// local slot standing in for "my own cell".
-pub(crate) struct BytesRound<'c, T> {
-    hub: &'c ByteHub,
+/// Byte-lane state of one blackboard round: frames through the
+/// communicator's lane (in-process queues or sockets) plus a local slot
+/// standing in for "my own cell" — self-delivery never touches the lane.
+pub(crate) struct LaneRound<'c, T> {
+    comm: &'c Comm,
     seq: u64,
-    rank: usize,
-    size: usize,
     local: RefCell<Option<T>>,
 }
 
-impl<'c, T: Wire + Send + 'static> BytesRound<'c, T> {
-    pub(crate) fn new(hub: &'c ByteHub, seq: u64, rank: usize, size: usize) -> Self {
+impl<'c, T: Wire + Send + 'static> LaneRound<'c, T> {
+    pub(crate) fn new(comm: &'c Comm, seq: u64) -> Self {
         Self {
-            hub,
+            comm,
             seq,
-            rank,
-            size,
             local: RefCell::new(None),
         }
     }
 
     fn post(&self, to: To, value: T) {
+        let me = self.comm.rank();
+        let tag = wire::type_tag::<T>();
         match to {
-            To::All => self.hub.post_value(
-                self.rank,
-                (0..self.size).filter(|&d| d != self.rank),
-                self.seq,
-                &value,
-            ),
-            To::One(dst) if dst != self.rank => {
-                self.hub
-                    .post_value(self.rank, std::iter::once(dst), self.seq, &value)
+            To::All => {
+                let bytes = wire::encode(&value);
+                for dst in (0..self.comm.size()).filter(|&d| d != me) {
+                    self.comm.lane_push(dst, self.seq, tag, bytes.clone());
+                }
+            }
+            To::One(dst) if dst != me => {
+                self.comm
+                    .lane_push(dst, self.seq, tag, wire::encode(&value));
             }
             To::One(_) => {}
         }
@@ -156,13 +209,20 @@ impl<'c, T: Wire + Send + 'static> BytesRound<'c, T> {
     }
 
     fn take(&self, src: usize) -> T {
-        if src == self.rank {
+        if src == self.comm.rank() {
             self.local
                 .borrow_mut()
                 .take()
-                .expect("byte-stream round: own value taken twice or never posted")
+                .expect("byte-lane round: own value taken twice or never posted")
         } else {
-            self.hub.take_value(src, self.rank, self.seq, "round")
+            let tag = wire::type_tag::<T>();
+            let bytes = self.comm.lane_pop(src, self.seq, tag, "round");
+            wire::decode(&bytes).unwrap_or_else(|e| {
+                raise(TransportError::Protocol(format!(
+                    "round {}: decode of PE {src}'s value failed: {e}",
+                    self.seq
+                )))
+            })
         }
     }
 }
@@ -172,7 +232,7 @@ impl<T: Wire + Send + 'static> XRound<'_, T> {
     pub(crate) fn post(&self, to: To, value: T) {
         match self {
             XRound::Cells(r) => r.publish(value),
-            XRound::Bytes(b) => b.post(to, value),
+            XRound::Lane(b) => b.post(to, value),
         }
     }
 
@@ -184,7 +244,7 @@ impl<T: Wire + Send + 'static> XRound<'_, T> {
     {
         match self {
             XRound::Cells(r) => Rx::Borrowed(r.read(src)),
-            XRound::Bytes(b) => Rx::Owned(b.take(src)),
+            XRound::Lane(b) => Rx::Owned(b.take(src)),
         }
     }
 
@@ -192,7 +252,7 @@ impl<T: Wire + Send + 'static> XRound<'_, T> {
     pub(crate) fn take(&self, src: usize) -> T {
         match self {
             XRound::Cells(r) => r.take(src),
-            XRound::Bytes(b) => b.take(src),
+            XRound::Lane(b) => b.take(src),
         }
     }
 }
@@ -209,14 +269,10 @@ pub(crate) struct GridMsg<T> {
 impl Comm {
     /// Start a blackboard round on the communicator's transport.
     pub(crate) fn xround<T: Wire + Send + 'static>(&self) -> XRound<'_, T> {
-        match self.hub() {
-            None => XRound::Cells(self.cells_round::<T>()),
-            Some(hub) => XRound::Bytes(BytesRound::new(
-                hub,
-                self.next_seq(),
-                self.rank(),
-                self.size(),
-            )),
+        if self.has_byte_lane() {
+            XRound::Lane(LaneRound::new(self, self.next_seq()))
+        } else {
+            XRound::Cells(self.cells_round::<T>())
         }
     }
 
@@ -239,8 +295,8 @@ impl Comm {
         let me = self.rank();
         debug_assert_eq!(bufs.buckets(), self.size(), "one bucket per destination PE");
         debug_assert!(recv_from.windows(2).all(|w| w[0] < w[1]));
-        match self.hub() {
-            None => {
+        match self.has_byte_lane() {
+            false => {
                 let round = self.cells_round::<FlatBuckets<T>>();
                 round.publish(bufs);
                 self.sync();
@@ -250,9 +306,9 @@ impl Comm {
                     .collect();
                 consume(&parts)
             }
-            Some(hub) => {
+            true => {
                 let seq = self.next_seq();
-                let ty = TypeId::of::<FlatBuckets<T>>();
+                let tag = wire::type_tag::<FlatBuckets<T>>();
                 // Self-delivery never touches the wire: the local bucket
                 // is handed to `consume` straight out of `bufs` (often the
                 // largest bucket of a home-sharded exchange).
@@ -262,19 +318,21 @@ impl Comm {
                     }
                     let mut out = Vec::new();
                     wire::write_slice(&mut out, bufs.bucket(dst));
-                    hub.push(me, dst, seq, ty, out);
+                    self.lane_push(dst, seq, tag, out);
                 }
                 self.sync();
                 let owned: Vec<(usize, Vec<T>)> = recv_from
                     .iter()
                     .filter(|&&src| src != me)
                     .map(|&src| {
-                        let bytes = hub.pop(src, me, seq, ty, "flat exchange");
+                        let bytes = self.lane_pop(src, seq, tag, "flat exchange");
                         let mut r = WireReader::new(&bytes);
                         let part = wire::read_vec::<T>(&mut r)
                             .and_then(|v| r.finish().map(|()| v))
                             .unwrap_or_else(|e| {
-                                panic!("flat exchange of round {seq}: decode failed: {e}")
+                                raise(TransportError::Protocol(format!(
+                                    "flat exchange of round {seq}: decode failed: {e}"
+                                )))
                             });
                         (src, part)
                     })
@@ -314,8 +372,8 @@ impl Comm {
         T: Wire + Clone + Send + Sync + 'static,
     {
         let me = self.rank();
-        match self.hub() {
-            None => {
+        match self.has_byte_lane() {
+            false => {
                 let round = self.cells_round::<GridMsg<T>>();
                 round.publish(GridMsg { data, sub });
                 self.sync();
@@ -328,9 +386,9 @@ impl Comm {
                     .collect();
                 consume(&parts)
             }
-            Some(hub) => {
+            true => {
                 let seq = self.next_seq();
-                let ty = TypeId::of::<GridMsg<T>>();
+                let tag = wire::type_tag::<GridMsg<T>>();
                 // Self-delivery stays off the wire, as in `flat_round_with`.
                 for &dst in send_to {
                     if dst == me {
@@ -339,14 +397,14 @@ impl Comm {
                     let mut out = Vec::new();
                     wire::write_slice(&mut out, sub.bucket(dst));
                     wire::write_slice(&mut out, data.bucket(dst));
-                    hub.push(me, dst, seq, ty, out);
+                    self.lane_push(dst, seq, tag, out);
                 }
                 self.sync();
                 let owned: Vec<(Vec<T>, Vec<u32>)> = recv_from
                     .iter()
                     .filter(|&&src| src != me)
                     .map(|&src| {
-                        let bytes = hub.pop(src, me, seq, ty, "paired flat exchange");
+                        let bytes = self.lane_pop(src, seq, tag, "paired flat exchange");
                         let mut r = WireReader::new(&bytes);
                         let decoded = wire::read_vec::<u32>(&mut r).and_then(|s| {
                             let d = wire::read_vec::<T>(&mut r)?;
@@ -354,7 +412,9 @@ impl Comm {
                             Ok((d, s))
                         });
                         decoded.unwrap_or_else(|e| {
-                            panic!("paired flat exchange of round {seq}: decode failed: {e}")
+                            raise(TransportError::Protocol(format!(
+                                "paired flat exchange of round {seq}: decode failed: {e}"
+                            )))
                         })
                     })
                     .collect();

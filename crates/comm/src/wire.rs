@@ -29,6 +29,107 @@
 
 use std::sync::Arc;
 
+// ---------------------------------------------------------------------
+// Socket frame header
+// ---------------------------------------------------------------------
+
+/// Data-plane frame of the socket transport: a collective round's
+/// payload, stamped with the sender's round sequence and type tag.
+pub const CH_DATA: u8 = 0;
+/// Barrier-plane frame: one dissemination-barrier signal carrying the
+/// sender's running clock maximum.
+pub const CH_BARRIER: u8 = 1;
+/// Handshake frame: rank identification during mesh construction and
+/// launcher rendezvous. Never seen after the mesh is up.
+pub const CH_HELLO: u8 = 2;
+
+/// Encoded size of a [`FrameHeader`]: channel byte plus four LE fields.
+pub const FRAME_HEADER_LEN: usize = 1 + 8 + 8 + 8 + 4;
+
+/// Maximum accepted payload length of one socket frame (256 MiB). A
+/// header announcing more is rejected as a protocol violation before
+/// anything is allocated — corrupt length fields must not become
+/// allocation bombs.
+pub const MAX_FRAME_PAYLOAD: u32 = 1 << 28;
+
+/// The fixed-width header in front of every socket-transport frame.
+///
+/// Layout (little-endian): `channel: u8`, `comm: u64`, `a: u64`,
+/// `b: u64`, `len: u32`, followed by `len` payload bytes. The meaning
+/// of `a`/`b` depends on the channel:
+///
+/// | channel | `a` | `b` |
+/// |---|---|---|
+/// | [`CH_DATA`] | round sequence | payload [`type_tag`] |
+/// | [`CH_BARRIER`] | `episode << 8 \| round` | clock maximum as `f64` bits |
+/// | [`CH_HELLO`] | sender's claimed rank | protocol magic |
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FrameHeader {
+    pub channel: u8,
+    /// Communicator id the frame belongs to — sub-communicators built by
+    /// `Comm::split` share the PE-pair streams and demultiplex on this.
+    pub comm: u64,
+    pub a: u64,
+    pub b: u64,
+    /// Payload length in bytes.
+    pub len: u32,
+}
+
+impl FrameHeader {
+    /// Append the encoded header to `out`.
+    pub fn write(&self, out: &mut Vec<u8>) {
+        out.push(self.channel);
+        out.extend_from_slice(&self.comm.to_le_bytes());
+        out.extend_from_slice(&self.a.to_le_bytes());
+        out.extend_from_slice(&self.b.to_le_bytes());
+        out.extend_from_slice(&self.len.to_le_bytes());
+    }
+
+    /// Decode a header from the first [`FRAME_HEADER_LEN`] bytes of `buf`.
+    pub fn parse(buf: &[u8]) -> Result<Self, WireError> {
+        if buf.len() < FRAME_HEADER_LEN {
+            return Err(WireError::Truncated);
+        }
+        let channel = buf[0];
+        if channel > CH_HELLO {
+            return Err(WireError::Malformed("frame channel"));
+        }
+        let word = |at: usize| u64::from_le_bytes(buf[at..at + 8].try_into().unwrap());
+        Ok(Self {
+            channel,
+            comm: word(1),
+            a: word(9),
+            b: word(17),
+            len: u32::from_le_bytes(buf[25..29].try_into().unwrap()),
+        })
+    }
+}
+
+/// A stable-within-one-binary numeric tag for type `T` — the socket
+/// transport's frame type stamp. Derived by hashing the `TypeId` with a
+/// fixed-key FNV-1a, so it is identical across the processes of one
+/// launcher invocation (they all exec the same binary) without relying
+/// on `TypeId`'s unstable internal representation crossing the wire
+/// directly.
+pub fn type_tag<T: 'static>() -> u64 {
+    struct Fnv(u64);
+    impl std::hash::Hasher for Fnv {
+        fn finish(&self) -> u64 {
+            self.0
+        }
+        fn write(&mut self, bytes: &[u8]) {
+            for &b in bytes {
+                self.0 ^= b as u64;
+                self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        }
+    }
+    use std::hash::{Hash, Hasher};
+    let mut h = Fnv(0xCBF2_9CE4_8422_2325);
+    std::any::TypeId::of::<T>().hash(&mut h);
+    h.finish()
+}
+
 /// Errors surfaced by checked wire decoding.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum WireError {
@@ -499,5 +600,42 @@ mod tests {
             decode::<Option<u8>>(&[9, 0]),
             Err(WireError::Malformed("Option tag"))
         );
+    }
+
+    #[test]
+    fn frame_header_roundtrips() {
+        let h = FrameHeader {
+            channel: CH_BARRIER,
+            comm: u64::MAX - 3,
+            a: 0x0102_0304,
+            b: 7.5f64.to_bits(),
+            len: 12345,
+        };
+        let mut buf = Vec::new();
+        h.write(&mut buf);
+        assert_eq!(buf.len(), FRAME_HEADER_LEN);
+        assert_eq!(FrameHeader::parse(&buf), Ok(h));
+    }
+
+    #[test]
+    fn frame_header_rejects_garbage() {
+        assert_eq!(
+            FrameHeader::parse(&[0u8; FRAME_HEADER_LEN - 1]),
+            Err(WireError::Truncated)
+        );
+        let mut buf = vec![9u8; FRAME_HEADER_LEN]; // invalid channel
+        assert_eq!(
+            FrameHeader::parse(&buf),
+            Err(WireError::Malformed("frame channel"))
+        );
+        buf[0] = CH_DATA;
+        assert!(FrameHeader::parse(&buf).is_ok());
+    }
+
+    #[test]
+    fn type_tags_distinguish_types_and_stay_stable() {
+        assert_eq!(type_tag::<Vec<u64>>(), type_tag::<Vec<u64>>());
+        assert_ne!(type_tag::<Vec<u64>>(), type_tag::<Vec<u32>>());
+        assert_ne!(type_tag::<u64>(), type_tag::<i64>());
     }
 }

@@ -6,7 +6,8 @@
 //! checks mutate process-global environment state — a single test per
 //! binary keeps that serial.
 
-use kamsta_comm::{Machine, MachineConfig, MachineError, TransportKind};
+use kamsta_comm::{Machine, MachineConfig, MachineError, SocketSetup, TransportKind};
+use std::time::Duration;
 
 #[test]
 fn invalid_configs_are_typed_errors() {
@@ -50,11 +51,91 @@ fn invalid_configs_are_typed_errors() {
         .validate()
         .is_ok());
 
+    // `sockets` is a first-class env value, resolving to a loopback mesh
+    // for the in-process runner.
+    std::env::set_var("KAMSTA_TRANSPORT", "sockets");
+    let resolved = MachineConfig::new(2).resolve().unwrap();
+    assert_eq!(resolved.transport, TransportKind::Sockets);
+    assert_eq!(resolved.sockets, Some(SocketSetup::Loopback));
+
+    // The io timeout resolves from KAMSTA_SOCKET_TIMEOUT_MS; zero or
+    // garbage values are typed errors.
+    std::env::set_var("KAMSTA_SOCKET_TIMEOUT_MS", "1500");
+    assert_eq!(
+        MachineConfig::new(2).resolve().unwrap().io_timeout,
+        Duration::from_millis(1500)
+    );
+    std::env::set_var("KAMSTA_SOCKET_TIMEOUT_MS", "0");
+    assert_eq!(
+        MachineConfig::new(2).resolve(),
+        Err(MachineError::InvalidTimeout("0".into()))
+    );
+    std::env::set_var("KAMSTA_SOCKET_TIMEOUT_MS", "soon");
+    assert!(matches!(
+        MachineConfig::new(2).resolve(),
+        Err(MachineError::InvalidTimeout(_))
+    ));
+    std::env::remove_var("KAMSTA_SOCKET_TIMEOUT_MS");
+    // An explicit builder timeout wins over the environment, and a zero
+    // one is rejected the same way.
+    assert_eq!(
+        MachineConfig::new(2)
+            .with_io_timeout(Duration::from_secs(2))
+            .resolve()
+            .unwrap()
+            .io_timeout,
+        Duration::from_secs(2)
+    );
+    assert!(matches!(
+        MachineConfig::new(2)
+            .with_io_timeout(Duration::ZERO)
+            .resolve(),
+        Err(MachineError::InvalidTimeout(_))
+    ));
+
     std::env::remove_var("KAMSTA_TRANSPORT");
     assert_eq!(
         MachineConfig::new(2).resolved_transport(),
         Ok(TransportKind::Cells)
     );
+
+    // Endpoint tables must cover exactly the PE count and parse.
+    assert!(matches!(
+        MachineConfig::new(3)
+            .with_endpoints(["127.0.0.1:7001", "127.0.0.1:7002"])
+            .resolve(),
+        Err(MachineError::SocketConfig(_))
+    ));
+    assert!(matches!(
+        MachineConfig::new(2)
+            .with_endpoints(["127.0.0.1:7001", "not-an-address"])
+            .resolve(),
+        Err(MachineError::SocketConfig(_))
+    ));
+    let resolved = MachineConfig::new(2)
+        .with_endpoints(["127.0.0.1:7001", "127.0.0.1:7002"])
+        .resolve()
+        .unwrap();
+    assert!(matches!(resolved.sockets, Some(SocketSetup::Endpoints(ref t)) if t.len() == 2));
+
+    // Socket discovery options on a non-socket transport are rejected —
+    // with_endpoints implies sockets, so only an explicit override hits it.
+    let mut cfg = MachineConfig::new(2).with_endpoints(["127.0.0.1:7001", "127.0.0.1:7002"]);
+    cfg.transport = Some(TransportKind::Cells);
+    assert!(matches!(cfg.resolve(), Err(MachineError::SocketConfig(_))));
+
+    // Rendezvous discovery cannot be driven by the in-process runner.
+    assert!(matches!(
+        Machine::try_run(
+            MachineConfig::new(2).with_rendezvous("127.0.0.1:7000"),
+            |_| ()
+        ),
+        Err(MachineError::SocketConfig(_))
+    ));
+    assert!(matches!(
+        MachineConfig::new(2).with_rendezvous("?").resolve(),
+        Err(MachineError::SocketConfig(_))
+    ));
 
     // Errors render a human-readable message for service logs.
     assert!(MachineError::NoPes.to_string().contains("at least one PE"));
@@ -67,4 +148,7 @@ fn invalid_configs_are_typed_errors() {
     })
     .to_string()
     .contains("fixed at 4"));
+    assert!(MachineError::UnknownTransport("x".into())
+        .to_string()
+        .contains("sockets"));
 }

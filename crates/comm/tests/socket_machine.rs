@@ -1,0 +1,142 @@
+//! Socket-transport failure modes through the machine surface: a PE
+//! that dies mid-collective must come back as a typed
+//! [`MachineError::Transport`] within the configured io timeout — never
+//! a hang, never a bare panic string.
+
+use kamsta_comm::{Machine, MachineConfig, MachineError, TransportError, TransportKind};
+use std::time::{Duration, Instant};
+
+fn sockets(p: usize, timeout: Duration) -> MachineConfig {
+    MachineConfig::new(p)
+        .with_transport(TransportKind::Sockets)
+        .with_io_timeout(timeout)
+}
+
+#[test]
+fn early_returning_pe_surfaces_as_typed_peer_closed() {
+    // Rank 1 returns before the collective; its fabric drops, the
+    // other ranks' receives see EOF.
+    let err = Machine::try_run(sockets(3, Duration::from_secs(10)), |comm| {
+        if comm.rank() == 1 {
+            return 0u64;
+        }
+        comm.allreduce_sum(comm.rank() as u64)
+    })
+    .unwrap_err();
+    match err {
+        MachineError::Transport { source, .. } => {
+            assert!(
+                matches!(
+                    source,
+                    TransportError::PeerClosed { .. } | TransportError::Timeout { .. }
+                ),
+                "{source:?}"
+            );
+        }
+        other => panic!("expected a transport error, got {other:?}"),
+    }
+}
+
+#[test]
+fn sleeping_pe_times_out_within_the_configured_bound() {
+    // Rank 0 never reaches the collective; peers must give up after the
+    // (short) io timeout instead of hanging. Rank 0 itself sits in a
+    // sleep shorter than the test harness timeout, so the whole machine
+    // returns promptly.
+    let timeout = Duration::from_millis(300);
+    let start = Instant::now();
+    let err = Machine::try_run(sockets(2, timeout), |comm| {
+        if comm.rank() == 0 {
+            std::thread::sleep(Duration::from_secs(2));
+            return 0u64;
+        }
+        comm.allreduce_sum(1)
+    })
+    .unwrap_err();
+    assert!(
+        matches!(
+            err,
+            MachineError::Transport {
+                source: TransportError::Timeout { .. },
+                ..
+            }
+        ),
+        "{err:?}"
+    );
+    // Bounded: the timeout plus the sleeping PE's nap plus slack, far
+    // below a hang.
+    assert!(
+        start.elapsed() < Duration::from_secs(10),
+        "took {:?}",
+        start.elapsed()
+    );
+}
+
+#[test]
+fn transport_error_keeps_genuine_panics_distinct() {
+    // A genuine program panic must still unwind out of `try_run`, not be
+    // laundered into a transport error.
+    let res = std::panic::catch_unwind(|| {
+        Machine::try_run(sockets(2, Duration::from_secs(5)), |comm| {
+            if comm.rank() == 0 {
+                panic!("program bug on rank 0");
+            }
+            comm.allreduce_sum(1)
+        })
+    });
+    assert!(res.is_err(), "program panic must propagate");
+}
+
+#[test]
+fn worker_entry_rejects_non_socket_configs() {
+    let err = Machine::try_run_worker(MachineConfig::new(2), None, |_| ()).unwrap_err();
+    assert!(matches!(err, MachineError::SocketConfig(_)), "{err:?}");
+
+    let err = Machine::try_run_worker(
+        MachineConfig::new(2).with_transport(TransportKind::Sockets),
+        Some(0),
+        |_| (),
+    )
+    .unwrap_err();
+    assert!(matches!(err, MachineError::SocketConfig(_)), "{err:?}");
+
+    // Static endpoints without a rank: the worker cannot guess its slot.
+    let err = Machine::try_run_worker(
+        MachineConfig::new(2).with_endpoints(["127.0.0.1:7101", "127.0.0.1:7102"]),
+        None,
+        |_| (),
+    )
+    .unwrap_err();
+    assert!(matches!(err, MachineError::SocketConfig(_)), "{err:?}");
+}
+
+#[test]
+fn workers_with_static_endpoints_form_a_machine_across_fabrics() {
+    // Two worker entries (as two threads standing in for two processes)
+    // against a static endpoint table: the same entry path the launcher
+    // exercises across real processes, minus the fork.
+    let l0 = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let l1 = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addrs = [
+        l0.local_addr().unwrap().to_string(),
+        l1.local_addr().unwrap().to_string(),
+    ];
+    drop((l0, l1)); // workers re-bind their slot
+    let cfg = MachineConfig::new(2)
+        .with_endpoints(addrs.clone())
+        .with_io_timeout(Duration::from_secs(10));
+    let handles: Vec<_> = (0..2)
+        .map(|rank| {
+            let cfg = cfg.clone();
+            std::thread::spawn(move || {
+                Machine::try_run_worker(cfg, Some(rank), |comm| comm.allgather(comm.rank() as u64))
+            })
+        })
+        .collect();
+    for (rank, h) in handles.into_iter().enumerate() {
+        let run = h.join().unwrap().unwrap();
+        assert_eq!(run.rank, rank);
+        assert_eq!(run.result, vec![0, 1]);
+        assert!(run.stats.messages > 0);
+    }
+}

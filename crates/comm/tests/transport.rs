@@ -161,25 +161,22 @@ fn run_workload(p: usize, kind: TransportKind) -> (Vec<Vec<u64>>, Vec<PeStats>, 
 fn cross_transport_oracle_results_and_charges_identical() {
     for p in [1usize, 2, 3, 4, 7, 8, 16] {
         let (res_c, stats_c, msgs_c, bytes_c) = run_workload(p, TransportKind::Cells);
-        let (res_b, stats_b, msgs_b, bytes_b) = run_workload(p, TransportKind::Bytes);
-        assert_eq!(res_c, res_b, "p={p}: results diverge across transports");
-        assert_eq!(
-            msgs_c, msgs_b,
-            "p={p}: total_messages diverge across transports"
-        );
-        assert_eq!(
-            bytes_c, bytes_b,
-            "p={p}: total_bytes diverge across transports"
-        );
-        // Bit-identical per-PE counters, including the modeled f64 clock:
-        // charges sit above the transport boundary at identical positions.
-        for (rank, (c, b)) in stats_c.iter().zip(&stats_b).enumerate() {
-            assert_eq!(c, b, "p={p} rank={rank}: PeStats diverge");
-            assert_eq!(
-                c.modeled_time.to_bits(),
-                b.modeled_time.to_bits(),
-                "p={p} rank={rank}: modeled clock not bit-identical"
-            );
+        for kind in [TransportKind::Bytes, TransportKind::Sockets] {
+            let (res_b, stats_b, msgs_b, bytes_b) = run_workload(p, kind);
+            assert_eq!(res_c, res_b, "p={p} {kind:?}: results diverge");
+            assert_eq!(msgs_c, msgs_b, "p={p} {kind:?}: total_messages diverge");
+            assert_eq!(bytes_c, bytes_b, "p={p} {kind:?}: total_bytes diverge");
+            // Bit-identical per-PE counters, including the modeled f64
+            // clock: charges sit above the transport boundary at
+            // identical positions.
+            for (rank, (c, b)) in stats_c.iter().zip(&stats_b).enumerate() {
+                assert_eq!(c, b, "p={p} rank={rank} {kind:?}: PeStats diverge");
+                assert_eq!(
+                    c.modeled_time.to_bits(),
+                    b.modeled_time.to_bits(),
+                    "p={p} rank={rank} {kind:?}: modeled clock not bit-identical"
+                );
+            }
         }
     }
 }
@@ -208,24 +205,21 @@ fn alltoall_kinds_agree_across_transports() {
             )
             .results
         };
-        assert_eq!(
-            run(TransportKind::Cells),
-            run(TransportKind::Bytes),
-            "{kind:?}"
-        );
+        let cells = run(TransportKind::Cells);
+        assert_eq!(cells, run(TransportKind::Bytes), "{kind:?}");
+        assert_eq!(cells, run(TransportKind::Sockets), "{kind:?}");
     }
 }
 
 #[test]
 fn transport_is_inherited_by_split_subcommunicators() {
-    let out = Machine::run(
-        MachineConfig::new(4).with_transport(TransportKind::Bytes),
-        |comm| {
-            assert_eq!(comm.transport(), TransportKind::Bytes);
+    for kind in [TransportKind::Bytes, TransportKind::Sockets] {
+        let out = Machine::run(MachineConfig::new(4).with_transport(kind), |comm| {
+            assert_eq!(comm.transport(), kind);
             let sub = comm.split(comm.rank() / 2, comm.rank());
-            assert_eq!(sub.transport(), TransportKind::Bytes);
+            assert_eq!(sub.transport(), kind);
             sub.allreduce_sum(comm.rank() as u64)
-        },
-    );
-    assert_eq!(out.results, vec![1, 1, 5, 5]);
+        });
+        assert_eq!(out.results, vec![1, 1, 5, 5], "{kind:?}");
+    }
 }

@@ -92,8 +92,8 @@ fn transports_agree_on_id_sets_and_modeled_cost_counters() {
     // The cross-transport oracle at the pipeline level: the whole MST
     // run — generation, preparation, Borůvka — must produce the same
     // MSF edge-id set *and* bit-identical modeled cost counters under
-    // the shared-cells and byte-stream backends, at every p. Charges
-    // sit above the transport boundary, so any divergence is a
+    // the shared-cells, byte-stream and socket backends, at every p.
+    // Charges sit above the transport boundary, so any divergence is a
     // transport bug, not a modeling choice.
     let run = |p: usize, config: GraphConfig, seed: u64, t: TransportKind| {
         let out = Machine::run(MachineConfig::new(p).with_transport(t), move |comm| {
@@ -109,12 +109,20 @@ fn transports_agree_on_id_sets_and_modeled_cost_counters() {
     for (config, seed) in instances().into_iter().take(4) {
         for p in [1usize, 2, 4, 16] {
             let (ids_c, stats_c, msgs_c, bytes_c) = run(p, config, seed, TransportKind::Cells);
-            let (ids_b, stats_b, msgs_b, bytes_b) = run(p, config, seed, TransportKind::Bytes);
-            assert_eq!(ids_c, ids_b, "{config:?} p={p}: MSF id sets diverge");
-            assert_eq!(msgs_c, msgs_b, "{config:?} p={p}: total_messages diverge");
-            assert_eq!(bytes_c, bytes_b, "{config:?} p={p}: total_bytes diverge");
-            for (rank, (c, b)) in stats_c.iter().zip(&stats_b).enumerate() {
-                assert_eq!(c, b, "{config:?} p={p} rank={rank}: PeStats diverge");
+            for t in [TransportKind::Bytes, TransportKind::Sockets] {
+                let (ids_b, stats_b, msgs_b, bytes_b) = run(p, config, seed, t);
+                assert_eq!(ids_c, ids_b, "{config:?} p={p} {t:?}: MSF id sets diverge");
+                assert_eq!(
+                    msgs_c, msgs_b,
+                    "{config:?} p={p} {t:?}: total_messages diverge"
+                );
+                assert_eq!(
+                    bytes_c, bytes_b,
+                    "{config:?} p={p} {t:?}: total_bytes diverge"
+                );
+                for (rank, (c, b)) in stats_c.iter().zip(&stats_b).enumerate() {
+                    assert_eq!(c, b, "{config:?} p={p} rank={rank} {t:?}: PeStats diverge");
+                }
             }
         }
     }

@@ -161,9 +161,9 @@ proptest! {
 fn dyn_pipeline_is_transport_invariant() {
     // The batch-dynamic pipeline as a cross-transport oracle: the same
     // update stream must yield identical forests (weight, edge set) and
-    // bit-identical modeled cost counters under both backends, at every
+    // bit-identical modeled cost counters under every backend, at every
     // acceptance p. (The full differential corpus additionally runs
-    // under `KAMSTA_TRANSPORT=bytes` in CI's matrix leg.)
+    // under `KAMSTA_TRANSPORT={bytes,sockets}` in CI's matrix legs.)
     let run = |p: usize, t: TransportKind| {
         let config = GraphConfig::Gnm { n: 64, m: 400 };
         let out = Machine::run(MachineConfig::new(p).with_transport(t), move |comm| {
@@ -183,12 +183,17 @@ fn dyn_pipeline_is_transport_invariant() {
     };
     for p in [1usize, 2, 4, 16] {
         let (res_c, stats_c) = run(p, TransportKind::Cells);
-        let (res_b, stats_b) = run(p, TransportKind::Bytes);
-        assert_eq!(res_c, res_b, "p={p}: dyn results diverge across transports");
-        assert_eq!(
-            stats_c, stats_b,
-            "p={p}: dyn cost counters diverge across transports"
-        );
+        for t in [TransportKind::Bytes, TransportKind::Sockets] {
+            let (res_b, stats_b) = run(p, t);
+            assert_eq!(
+                res_c, res_b,
+                "p={p} {t:?}: dyn results diverge across transports"
+            );
+            assert_eq!(
+                stats_c, stats_b,
+                "p={p} {t:?}: dyn cost counters diverge across transports"
+            );
+        }
     }
 }
 

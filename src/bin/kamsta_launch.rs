@@ -1,0 +1,190 @@
+//! `kamsta_launch` — run a rank program on `p` real OS processes over
+//! the socket transport.
+//!
+//! Launcher mode (no `KAMSTA_LAUNCH_RENDEZVOUS` in the environment):
+//! binds a loopback rendezvous listener, spawns `--pes` copies of this
+//! same binary as workers, serves the rank-assignment handshake, and
+//! waits for every worker. Exit status 0 iff every worker exited 0.
+//!
+//! Worker mode (`KAMSTA_LAUNCH_RENDEZVOUS` set, as the launcher does
+//! for its children): connect to the rendezvous, form the TCP mesh via
+//! [`Machine::try_run_worker`], run the program from
+//! [`kamsta::launchprog`]. Rank 0 prints the JSON digest on stdout; a
+//! typed transport failure prints `transport-error: ...` on stderr and
+//! exits 3.
+//!
+//! ```text
+//! kamsta_launch --pes 4 --program mst --seed 7 [--stagger-ms 50] [--timeout-ms 30000]
+//! ```
+//!
+//! `--stagger-ms k` makes worker `r` sleep `r*k` ms before contacting
+//! the rendezvous, forcing out-of-order connects through the handshake.
+
+use kamsta::comm::serve_rendezvous;
+use kamsta::{launchprog, Machine, MachineConfig, MachineError};
+use std::net::TcpListener;
+use std::process::{exit, Child, Command};
+use std::time::Duration;
+
+struct Opts {
+    pes: usize,
+    program: String,
+    seed: u64,
+    stagger_ms: u64,
+    timeout_ms: u64,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: kamsta_launch --pes N [--program sum|mst|dyn|die] [--seed S] \
+         [--stagger-ms MS] [--timeout-ms MS]"
+    );
+    exit(2)
+}
+
+fn parse_opts() -> Opts {
+    let mut opts = Opts {
+        pes: 0,
+        program: "sum".into(),
+        seed: 42,
+        stagger_ms: 0,
+        timeout_ms: 30_000,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let Some(value) = args.next() else { usage() };
+        match flag.as_str() {
+            "--pes" => opts.pes = value.parse().unwrap_or_else(|_| usage()),
+            "--program" => opts.program = value,
+            "--seed" => opts.seed = value.parse().unwrap_or_else(|_| usage()),
+            "--stagger-ms" => opts.stagger_ms = value.parse().unwrap_or_else(|_| usage()),
+            "--timeout-ms" => opts.timeout_ms = value.parse().unwrap_or_else(|_| usage()),
+            _ => usage(),
+        }
+    }
+    if opts.pes == 0 {
+        usage()
+    }
+    opts
+}
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    match std::env::var(name) {
+        Ok(v) => v.parse().unwrap_or_else(|_| {
+            eprintln!("launch-error: {name}={v:?} is not a number");
+            exit(2)
+        }),
+        Err(_) => default,
+    }
+}
+
+fn worker(rendezvous: String) -> ! {
+    let pes = env_u64("KAMSTA_LAUNCH_PES", 0) as usize;
+    let rank = std::env::var("KAMSTA_LAUNCH_RANK")
+        .ok()
+        .map(|v| v.parse::<usize>().unwrap_or_else(|_| usage()));
+    let program = std::env::var("KAMSTA_LAUNCH_PROGRAM").unwrap_or_else(|_| "sum".into());
+    let seed = env_u64("KAMSTA_LAUNCH_SEED", 42);
+    let stagger = env_u64("KAMSTA_LAUNCH_STAGGER_MS", 0);
+    let timeout = Duration::from_millis(env_u64("KAMSTA_LAUNCH_TIMEOUT_MS", 30_000));
+    if stagger > 0 {
+        std::thread::sleep(Duration::from_millis(rank.unwrap_or(0) as u64 * stagger));
+    }
+    let cfg = MachineConfig::new(pes)
+        .with_rendezvous(rendezvous)
+        .with_io_timeout(timeout);
+    match Machine::try_run_worker(cfg, rank, |comm| launchprog::run(&program, comm, seed)) {
+        Ok(run) => {
+            if let Some(digest) = run.result {
+                println!("{digest}");
+            }
+            exit(0)
+        }
+        Err(e @ MachineError::Transport { .. }) => {
+            eprintln!("transport-error: {e}");
+            exit(3)
+        }
+        Err(e) => {
+            eprintln!("launch-error: {e}");
+            exit(2)
+        }
+    }
+}
+
+fn launcher(opts: Opts) -> ! {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap_or_else(|e| {
+        eprintln!("launch-error: cannot bind rendezvous listener: {e}");
+        exit(2)
+    });
+    let addr = listener.local_addr().unwrap().to_string();
+    let exe = std::env::current_exe().unwrap_or_else(|e| {
+        eprintln!("launch-error: cannot locate own binary: {e}");
+        exit(2)
+    });
+    let mut children: Vec<Child> = (0..opts.pes)
+        .map(|rank| {
+            Command::new(&exe)
+                .env("KAMSTA_LAUNCH_RENDEZVOUS", &addr)
+                .env("KAMSTA_LAUNCH_PES", opts.pes.to_string())
+                .env("KAMSTA_LAUNCH_RANK", rank.to_string())
+                .env("KAMSTA_LAUNCH_PROGRAM", &opts.program)
+                .env("KAMSTA_LAUNCH_SEED", opts.seed.to_string())
+                .env("KAMSTA_LAUNCH_STAGGER_MS", opts.stagger_ms.to_string())
+                .env("KAMSTA_LAUNCH_TIMEOUT_MS", opts.timeout_ms.to_string())
+                .spawn()
+                .unwrap_or_else(|e| {
+                    eprintln!("launch-error: cannot spawn worker {rank}: {e}");
+                    exit(2)
+                })
+        })
+        .collect();
+
+    // Serve the handshake, aborting early if any worker dies before the
+    // mesh exists (it could never complete, only time out).
+    let served = serve_rendezvous(
+        &listener,
+        opts.pes,
+        Duration::from_millis(opts.timeout_ms),
+        || {
+            for (rank, child) in children.iter_mut().enumerate() {
+                if let Ok(Some(status)) = child.try_wait() {
+                    return Some(format!("worker {rank} exited during rendezvous: {status}"));
+                }
+            }
+            None
+        },
+    );
+    if let Err(e) = served {
+        eprintln!("launch-error: rendezvous failed: {e}");
+        for child in &mut children {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+        exit(1)
+    }
+
+    // Workers are now bounded by their own io timeout: a dead peer
+    // surfaces as a typed transport error, so plain waits terminate.
+    let mut ok = true;
+    for (rank, child) in children.iter_mut().enumerate() {
+        match child.wait() {
+            Ok(status) if status.success() => {}
+            Ok(status) => {
+                eprintln!("launch-error: worker {rank} failed: {status}");
+                ok = false;
+            }
+            Err(e) => {
+                eprintln!("launch-error: waiting on worker {rank}: {e}");
+                ok = false;
+            }
+        }
+    }
+    exit(if ok { 0 } else { 1 })
+}
+
+fn main() {
+    match std::env::var("KAMSTA_LAUNCH_RENDEZVOUS") {
+        Ok(addr) => worker(addr),
+        Err(_) => launcher(parse_opts()),
+    }
+}

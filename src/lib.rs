@@ -45,18 +45,19 @@ pub use kamsta_dyn as dynamic;
 pub use kamsta_graph as graph;
 pub use kamsta_sort as sort;
 
+pub mod launchprog;
 mod runner;
 mod service;
 
 pub use kamsta_comm::{
-    AlltoallKind, CostModel, Machine, MachineConfig, MachineError, TransportKind,
+    AlltoallKind, CostModel, Machine, MachineConfig, MachineError, TransportError, TransportKind,
 };
 pub use kamsta_core::dist::{DedupStrategy, MstConfig};
 pub use kamsta_core::{verify_msf, Phase, PhaseTimes};
 pub use kamsta_dyn::{DynConfig, DynMst, Update, UpdateStats};
 pub use kamsta_graph::{GraphConfig, InputGraph, WEdge};
 pub use runner::{Algorithm, RunSummary, Runner};
-pub use service::{MstService, Request, Response};
+pub use service::{MstService, MstServiceBuilder, Request, Response};
 
 /// Convenience: single-node minimum spanning forest of an edge list
 /// (undirected or symmetric directed), via the shared-memory parallel

@@ -12,7 +12,7 @@
 //! the service, so consecutive machine runs resume where the last one
 //! left off.
 
-use kamsta_comm::{Machine, MachineConfig, MachineError};
+use kamsta_comm::{Machine, MachineConfig, MachineError, TransportKind};
 use kamsta_dyn::{
     home_of_pair, BatchOutcome, DynConfig, DynMst, DynReplicated, DynShard, Update, UpdateStats,
 };
@@ -62,65 +62,143 @@ pub struct MstService {
     max_batch: usize,
 }
 
+/// The one construction path for [`MstService`]: a fluent builder whose
+/// fallible [`build`](MstServiceBuilder::build) performs all validation
+/// and environment resolution (through [`MachineConfig::resolve`]) in
+/// one place.
+///
+/// ```
+/// use kamsta::{DynConfig, MstService, TransportKind};
+///
+/// let svc = MstService::builder(4, DynConfig::new(64))
+///     .transport(TransportKind::Bytes)
+///     .max_batch(16)
+///     .build()
+///     .unwrap();
+/// assert_eq!(svc.pending(), 0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct MstServiceBuilder {
+    pes: usize,
+    cfg: DynConfig,
+    machine: Option<MachineConfig>,
+    transport: Option<TransportKind>,
+    max_batch: usize,
+}
+
+impl MstServiceBuilder {
+    /// Use a full machine configuration (all-to-all strategy, cost
+    /// model, transport). Its PE count must match the builder's.
+    pub fn machine(mut self, machine: MachineConfig) -> Self {
+        self.machine = Some(machine);
+        self
+    }
+
+    /// Pin the communication transport, overriding both the machine
+    /// config and `KAMSTA_TRANSPORT`.
+    pub fn transport(mut self, transport: TransportKind) -> Self {
+        self.transport = Some(transport);
+        self
+    }
+
+    /// Auto-flush threshold (default 64 queued updates; clamped to 1).
+    pub fn max_batch(mut self, max_batch: usize) -> Self {
+        self.max_batch = max_batch.max(1);
+        self
+    }
+
+    /// Validate and construct the service. A changed PE count, zero
+    /// PEs, an unknown `KAMSTA_TRANSPORT`, or a bad socket setup all
+    /// come back as typed [`MachineError`]s instead of poisoning a PE
+    /// thread on the first flush.
+    pub fn build(self) -> Result<MstService, MachineError> {
+        let mut machine = self.machine.unwrap_or_else(|| MachineConfig::new(self.pes));
+        if machine.pes != self.pes {
+            return Err(MachineError::PeCountMismatch {
+                expected: self.pes,
+                got: machine.pes,
+            });
+        }
+        if let Some(t) = self.transport {
+            machine = machine.with_transport(t);
+        }
+        // Pin the env-resolved transport so the validation is durable: a
+        // KAMSTA_TRANSPORT change after construction must not poison a
+        // later auto-flush.
+        machine.transport = Some(machine.resolve()?.transport);
+        Ok(MstService {
+            machine,
+            cfg: self.cfg,
+            shards: vec![DynShard::default(); self.pes],
+            rep: DynReplicated::default(),
+            queue: Vec::new(),
+            max_batch: self.max_batch,
+        })
+    }
+}
+
 impl MstService {
+    /// Start building a service over `[0, cfg.n)` on a `pes`-PE machine
+    /// — the single construction path; see [`MstServiceBuilder`].
+    pub fn builder(pes: usize, cfg: DynConfig) -> MstServiceBuilder {
+        MstServiceBuilder {
+            pes,
+            cfg,
+            machine: None,
+            transport: None,
+            max_batch: 64,
+        }
+    }
+
     /// An empty service over `[0, cfg.n)` on a `pes`-PE machine.
     ///
     /// # Panics
     ///
-    /// Panics on an invalid machine configuration (zero PEs, bad
-    /// `KAMSTA_TRANSPORT`); services that must stay up on client-supplied
-    /// configs use [`MstService::try_new`].
+    /// Panics on an invalid machine configuration.
+    #[deprecated(since = "0.1.0", note = "use MstService::builder(pes, cfg).build()")]
     pub fn new(pes: usize, cfg: DynConfig) -> Self {
-        Self::try_new(pes, cfg).unwrap_or_else(|e| panic!("invalid machine config: {e}"))
+        Self::builder(pes, cfg)
+            .build()
+            .unwrap_or_else(|e| panic!("invalid machine config: {e}"))
     }
 
-    /// [`MstService::new`] with the machine configuration validated up
-    /// front: a bad config comes back as [`MachineError`] instead of
-    /// poisoning a PE thread on the first flush.
+    /// Fallible [`MstService::new`].
+    #[deprecated(since = "0.1.0", note = "use MstService::builder(pes, cfg).build()")]
     pub fn try_new(pes: usize, cfg: DynConfig) -> Result<Self, MachineError> {
-        let mut machine = MachineConfig::new(pes);
-        machine.validate()?;
-        // Pin the env-resolved transport so the validation is durable: a
-        // KAMSTA_TRANSPORT change after construction must not poison a
-        // later auto-flush.
-        machine.transport = Some(machine.resolved_transport()?);
-        Ok(Self {
-            machine,
-            cfg,
-            shards: vec![DynShard::default(); pes],
-            rep: DynReplicated::default(),
-            queue: Vec::new(),
-            max_batch: 64,
-        })
+        Self::builder(pes, cfg).build()
     }
 
     /// Override the auto-flush threshold (default 64 queued updates).
+    #[deprecated(since = "0.1.0", note = "use MstService::builder(..).max_batch(n)")]
     pub fn with_max_batch(mut self, max_batch: usize) -> Self {
         self.max_batch = max_batch.max(1);
         self
     }
 
-    /// Override the machine configuration (all-to-all strategy, cost
-    /// model); the PE count must stay at the constructed value.
+    /// Override the machine configuration; the PE count must stay at
+    /// the constructed value.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid machine configuration.
+    #[deprecated(since = "0.1.0", note = "use MstService::builder(..).machine(m)")]
     pub fn with_machine(self, machine: MachineConfig) -> Self {
+        #[allow(deprecated)]
         self.try_with_machine(machine)
             .unwrap_or_else(|e| panic!("invalid machine config: {e}"))
     }
 
-    /// [`MstService::with_machine`] with validation: rejects a changed PE
-    /// count or an otherwise invalid config as [`MachineError`] instead
-    /// of panicking.
-    pub fn try_with_machine(mut self, mut machine: MachineConfig) -> Result<Self, MachineError> {
-        if machine.pes != self.shards.len() {
-            return Err(MachineError::PeCountMismatch {
-                expected: self.shards.len(),
-                got: machine.pes,
-            });
-        }
-        machine.validate()?;
-        machine.transport = Some(machine.resolved_transport()?);
-        self.machine = machine;
-        Ok(self)
+    /// Fallible [`MstService::with_machine`].
+    #[deprecated(since = "0.1.0", note = "use MstService::builder(..).machine(m)")]
+    pub fn try_with_machine(self, machine: MachineConfig) -> Result<Self, MachineError> {
+        let rebuilt = MstService::builder(self.shards.len(), self.cfg)
+            .machine(machine)
+            .max_batch(self.max_batch)
+            .build()?;
+        Ok(Self {
+            machine: rebuilt.machine,
+            ..self
+        })
     }
 
     /// Replace the edge set by a generated family and solve its MSF once
@@ -267,18 +345,24 @@ mod tests {
     use super::*;
     use kamsta_core::dist::MstConfig;
 
-    fn service(pes: usize, n: u64) -> MstService {
-        let cfg = DynConfig::new(n).with_mst(MstConfig {
+    fn dyn_cfg(n: u64) -> DynConfig {
+        DynConfig::new(n).with_mst(MstConfig {
             base_case_constant: 8,
             filter_min_edges_per_pe: 16,
             ..MstConfig::default()
-        });
-        MstService::new(pes, cfg)
+        })
+    }
+
+    fn service(pes: usize, n: u64, max_batch: usize) -> MstService {
+        MstService::builder(pes, dyn_cfg(n))
+            .max_batch(max_batch)
+            .build()
+            .unwrap()
     }
 
     #[test]
     fn queries_flush_the_queue_first() {
-        let mut s = service(3, 8).with_max_batch(100);
+        let mut s = service(3, 8, 100);
         s.submit(Update::Insert(WEdge::new(0, 1, 3)));
         s.submit(Update::Insert(WEdge::new(1, 2, 4)));
         assert_eq!(s.pending(), 2);
@@ -290,7 +374,7 @@ mod tests {
 
     #[test]
     fn auto_flush_at_the_batch_threshold() {
-        let mut s = service(2, 16).with_max_batch(4);
+        let mut s = service(2, 16, 4);
         for k in 0..3u64 {
             assert!(s.submit(Update::Insert(WEdge::new(k, k + 1, 1))).is_none());
         }
@@ -303,7 +387,7 @@ mod tests {
 
     #[test]
     fn request_loop_serves_a_script() {
-        let mut s = service(2, 6).with_max_batch(50);
+        let mut s = service(2, 6, 50);
         let responses = s.run_loop([
             Request::Update(Update::Insert(WEdge::new(0, 1, 2))),
             Request::Update(Update::Insert(WEdge::new(1, 2, 3))),
@@ -335,7 +419,7 @@ mod tests {
 
     #[test]
     fn out_of_range_updates_are_rejected_not_fatal() {
-        let mut s = service(2, 8).with_max_batch(2);
+        let mut s = service(2, 8, 2);
         assert_eq!(
             s.handle(Request::Update(Update::Insert(WEdge::new(0, 99, 1)))),
             Response::Rejected
@@ -349,14 +433,15 @@ mod tests {
     #[test]
     fn zero_pe_config_is_rejected_not_a_thread_poison() {
         let cfg = DynConfig::new(8);
-        let Err(err) = MstService::try_new(0, cfg) else {
+        let Err(err) = MstService::builder(0, cfg).build() else {
             panic!("zero PEs must be rejected");
         };
         assert_eq!(err, kamsta_comm::MachineError::NoPes);
         // And a PE-count change through the builder is typed too.
-        let svc = MstService::try_new(2, cfg).unwrap();
         assert!(matches!(
-            svc.try_with_machine(MachineConfig::new(3)),
+            MstService::builder(2, cfg)
+                .machine(MachineConfig::new(3))
+                .build(),
             Err(kamsta_comm::MachineError::PeCountMismatch {
                 expected: 2,
                 got: 3
@@ -365,8 +450,55 @@ mod tests {
     }
 
     #[test]
+    fn builder_pins_transport_and_machine_settings() {
+        // An explicit transport survives into the machine config...
+        let svc = MstService::builder(2, dyn_cfg(8))
+            .transport(TransportKind::Bytes)
+            .build()
+            .unwrap();
+        assert_eq!(svc.machine.transport, Some(TransportKind::Bytes));
+        // ...and wins over the one in a full machine config.
+        let svc = MstService::builder(2, dyn_cfg(8))
+            .machine(MachineConfig::new(2).with_transport(TransportKind::Cells))
+            .transport(TransportKind::Bytes)
+            .build()
+            .unwrap();
+        assert_eq!(svc.machine.transport, Some(TransportKind::Bytes));
+        // A service over the socket transport serves like any other.
+        let mut s = MstService::builder(2, dyn_cfg(8))
+            .transport(TransportKind::Sockets)
+            .max_batch(2)
+            .build()
+            .unwrap();
+        s.submit(Update::Insert(WEdge::new(0, 1, 3)));
+        s.submit(Update::Insert(WEdge::new(1, 2, 4)));
+        assert_eq!(s.msf_weight(), 7);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_constructor_shims_still_work() {
+        // The old five-constructor surface delegates to the builder.
+        let mut s = MstService::new(2, dyn_cfg(8)).with_max_batch(2);
+        s.submit(Update::Insert(WEdge::new(0, 1, 5)));
+        s.submit(Update::Insert(WEdge::new(1, 2, 2)));
+        assert_eq!(s.msf_weight(), 7);
+        let s = MstService::try_new(2, dyn_cfg(8)).unwrap();
+        let s = s
+            .try_with_machine(MachineConfig::new(2).with_transport(TransportKind::Bytes))
+            .unwrap();
+        assert_eq!(s.machine.transport, Some(TransportKind::Bytes));
+        let s = s.with_machine(MachineConfig::new(2));
+        assert!(s.machine.transport.is_some(), "resolved transport pinned");
+        assert!(matches!(
+            MstService::try_new(0, dyn_cfg(8)),
+            Err(kamsta_comm::MachineError::NoPes)
+        ));
+    }
+
+    #[test]
     fn generated_load_then_updates() {
-        let mut s = service(4, 64);
+        let mut s = service(4, 64, 64);
         s.load_generated(GraphConfig::Grid2D { rows: 8, cols: 8 }, 5);
         assert_eq!(s.msf_edge_count(), 63, "spanning tree of the grid");
         let before = s.msf_weight();

@@ -1,0 +1,94 @@
+//! Launcher integration: `kamsta_launch` spawning real OS processes
+//! over loopback TCP must reproduce, byte for byte, the digests of the
+//! same rank programs run in-process on the cells transport — results
+//! *and* modeled cost counters — and a dying worker must fail the whole
+//! launch with a typed transport error within the io timeout.
+
+use kamsta::{launchprog, Machine, MachineConfig, TransportKind};
+use std::process::Command;
+use std::time::{Duration, Instant};
+
+/// The in-process cells oracle for one (program, p, seed).
+fn cells_digest(program: &'static str, pes: usize, seed: u64) -> String {
+    let out = Machine::run(
+        MachineConfig::new(pes).with_transport(TransportKind::Cells),
+        move |comm| launchprog::run(program, comm, seed),
+    );
+    out.results[0].clone().expect("rank 0 digest")
+}
+
+fn launch(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_kamsta_launch"))
+        .args(args)
+        .env_remove("KAMSTA_LAUNCH_RENDEZVOUS")
+        .env_remove("KAMSTA_TRANSPORT")
+        .output()
+        .expect("spawn kamsta_launch")
+}
+
+fn digest_of(out: &std::process::Output) -> String {
+    assert!(
+        out.status.success(),
+        "launch failed: {}\n{}",
+        out.status,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8_lossy(&out.stdout).trim().to_string()
+}
+
+#[test]
+fn mst_across_processes_matches_in_process_cells_bit_for_bit() {
+    let out = launch(&["--pes", "4", "--program", "mst", "--seed", "7"]);
+    assert_eq!(digest_of(&out), cells_digest("mst", 4, 7));
+}
+
+#[test]
+fn dyn_differential_across_processes() {
+    let out = launch(&["--pes", "3", "--program", "dyn", "--seed", "19"]);
+    assert_eq!(digest_of(&out), cells_digest("dyn", 3, 19));
+}
+
+#[test]
+fn staggered_out_of_order_connects_still_form_the_mesh() {
+    // Worker r sleeps r*120ms before contacting the rendezvous: later
+    // ranks dial earlier ones that are already waiting, earlier ranks
+    // see accepts arrive out of order.
+    let out = launch(&[
+        "--pes",
+        "4",
+        "--program",
+        "sum",
+        "--seed",
+        "3",
+        "--stagger-ms",
+        "120",
+    ]);
+    assert_eq!(digest_of(&out), cells_digest("sum", 4, 3));
+}
+
+#[test]
+fn dying_worker_fails_the_launch_with_a_typed_error_not_a_hang() {
+    let start = Instant::now();
+    let out = launch(&[
+        "--pes",
+        "3",
+        "--program",
+        "die",
+        "--seed",
+        "1",
+        "--timeout-ms",
+        "5000",
+    ]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(!out.status.success(), "a dead PE must fail the launch");
+    assert!(
+        stderr.contains("transport-error"),
+        "survivors must report the typed transport error, got:\n{stderr}"
+    );
+    // Bounded by the io timeout (plus process overhead), never a hang.
+    assert!(
+        start.elapsed() < Duration::from_secs(60),
+        "took {:?}",
+        start.elapsed()
+    );
+}
