@@ -1,7 +1,9 @@
 //! **Perf check**: CI gate over a `perf_trajectory` JSON. Reads the file
-//! given as the first argument (default `BENCH_pr6.json`), inspects every
+//! given as the first argument (default `BENCH_pr7.json`), inspects every
 //! *static* entry (the `dyn-*` workload is excluded — its wall time is
-//! dominated by the update stream, not the substrate) and fails with exit
+//! dominated by the update stream, not the substrate; `chaos-*` entries
+//! are excluded too — they track the fault-injection machinery's own
+//! overhead, not the substrate's trajectory) and fails with exit
 //! code 1 if any entry's `wall_speedup_vs_baseline` falls below the
 //! threshold — i.e. if its wall time regressed by more than the allowed
 //! fraction against the baseline the trajectory run was given.
@@ -16,7 +18,7 @@ use kamsta_bench::{perf_entry_lines, perf_json_field as field};
 fn main() {
     let path = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_pr6.json".to_string());
+        .unwrap_or_else(|| "BENCH_pr7.json".to_string());
     let min: f64 = std::env::var("KAMSTA_PERF_MIN_SPEEDUP")
         .ok()
         .and_then(|v| v.parse().ok())
@@ -30,7 +32,7 @@ fn main() {
         let (Some(inst), Some(algo)) = (field(line, "instance"), field(line, "algo")) else {
             continue;
         };
-        if algo.starts_with("dyn-") {
+        if algo.starts_with("dyn-") || algo.starts_with("chaos-") {
             continue;
         }
         let Some(speedup) = field(line, "wall_speedup_vs_baseline").and_then(|s| s.parse().ok())

@@ -30,7 +30,7 @@
 //!   nested `"baseline"` section is ignored) are embedded under
 //!   `"baseline"` together with a `"baseline_source"` naming the file
 //!   they came from, and per-entry speedups are computed;
-//! * `KAMSTA_PERF_OUT` — output path (default `BENCH_pr6.json`);
+//! * `KAMSTA_PERF_OUT` — output path (default `BENCH_pr7.json`);
 //! * `KAMSTA_TRANSPORT` — transport backend (`cells` | `bytes` |
 //!   `sockets`) for the simulated machines, resolved by `MachineConfig`
 //!   itself.
@@ -40,8 +40,16 @@
 //! the TCP socket transport, so the real-wire overhead is tracked PR
 //! over PR (modeled counters are transport-invariant by construction —
 //! only the walls differ).
+//!
+//! Since PR 7 one `chaos-overhead` entry rides along: the GNM workload
+//! on sockets with fault-injection hooks **armed but empty**
+//! (`FaultPlan::seeded` with no fault classes enabled). Arming turns on
+//! per-frame checksum stamping and verification, so this wall tracks
+//! the price of the chaos machinery itself; its distance from the
+//! plain `boruvka-1-sockets` wall is the overhead a production run
+//! would pay for always-on corruption detection.
 
-use kamsta::{Algorithm, MstConfig, RunSummary, TransportKind};
+use kamsta::{Algorithm, FaultPlan, MstConfig, RunSummary, TransportKind};
 use kamsta_bench::{bench_mst_config, dyn_throughput_workload, env_usize, Variant, WeakScale};
 
 const SEED: u64 = 42;
@@ -49,6 +57,17 @@ const SEED: u64 = 42;
 /// paper's Fig. 3 geometric families (2D-RGG, RHG), absent from the
 /// BENCH files before PR 5.
 const FAMILIES: [&str; 5] = ["GNM", "RMAT", "ROAD", "2D-RGG", "RHG"];
+
+/// How one entry's machine is configured beyond the variant itself.
+#[derive(Clone, Copy)]
+enum Mode {
+    /// Whatever `KAMSTA_TRANSPORT` resolves to (the default cells).
+    EnvTransport,
+    /// Pinned to the TCP socket transport.
+    Sockets,
+    /// Sockets with fault-injection hooks armed on an empty plan.
+    ChaosArmed,
+}
 
 struct Entry {
     instance: &'static str,
@@ -68,14 +87,22 @@ fn run_entry(
     cfg: MstConfig,
     ws: &WeakScale,
     reps: usize,
-    transport: Option<TransportKind>,
+    mode: Mode,
 ) -> Option<Entry> {
     let config = ws.config(family, cores);
     let mut best: Option<RunSummary> = None;
     for _ in 0..reps.max(1) {
         let mut runner = v.runner(cores, cfg)?;
-        if let Some(t) = transport {
-            runner = runner.with_transport(t);
+        match mode {
+            Mode::EnvTransport => {}
+            Mode::Sockets => runner = runner.with_transport(TransportKind::Sockets),
+            Mode::ChaosArmed => {
+                // Hooks armed, no fault class enabled: measures the
+                // price of checksum stamping + verification alone.
+                runner = runner
+                    .with_transport(TransportKind::Sockets)
+                    .with_faults(FaultPlan::seeded(7));
+            }
         }
         let s = runner.run_generated(config, v.algo, SEED);
         let keep = match &best {
@@ -87,9 +114,10 @@ fn run_entry(
         }
     }
     let s = best?;
-    let algo = match transport {
-        Some(TransportKind::Sockets) => format!("{}-sockets", v.label()),
-        _ => v.label(),
+    let algo = match mode {
+        Mode::ChaosArmed => "chaos-overhead".to_string(),
+        Mode::Sockets => format!("{}-sockets", v.label()),
+        Mode::EnvTransport => v.label(),
     };
     Some(Entry {
         instance: family,
@@ -162,7 +190,7 @@ fn main() {
     let ws = WeakScale::from_env();
     let cfg = bench_mst_config();
     let out_path =
-        std::env::var("KAMSTA_PERF_OUT").unwrap_or_else(|_| "BENCH_pr6.json".to_string());
+        std::env::var("KAMSTA_PERF_OUT").unwrap_or_else(|_| "BENCH_pr7.json".to_string());
     let baseline_source = std::env::var("KAMSTA_BASELINE").ok();
     let baseline: Vec<(String, String, f64, f64)> = baseline_source
         .as_ref()
@@ -184,7 +212,7 @@ fn main() {
     let mut entries: Vec<Entry> = Vec::new();
     for family in FAMILIES {
         for v in variants {
-            if let Some(e) = run_entry(family, cores, v, cfg, &ws, reps, None) {
+            if let Some(e) = run_entry(family, cores, v, cfg, &ws, reps, Mode::EnvTransport) {
                 eprintln!(
                     "{family:>5} {:<16} wall {:.4}s modeled {:.4}s",
                     e.algo, e.wall_time, e.modeled_time
@@ -194,21 +222,23 @@ fn main() {
         }
         // The socket-transport wall for the same workload: real TCP
         // between the PE threads, modeled counters unchanged.
-        if let Some(e) = run_entry(
-            family,
-            cores,
-            variants[0],
-            cfg,
-            &ws,
-            reps,
-            Some(TransportKind::Sockets),
-        ) {
+        if let Some(e) = run_entry(family, cores, variants[0], cfg, &ws, reps, Mode::Sockets) {
             eprintln!(
                 "{family:>5} {:<16} wall {:.4}s modeled {:.4}s",
                 e.algo, e.wall_time, e.modeled_time
             );
             entries.push(e);
         }
+    }
+
+    // The chaos-machinery overhead probe: one socket-transport GNM run
+    // with fault hooks armed but no fault class enabled.
+    if let Some(e) = run_entry("GNM", cores, variants[0], cfg, &ws, reps, Mode::ChaosArmed) {
+        eprintln!(
+            "{:>5} {:<16} wall {:.4}s modeled {:.4}s",
+            e.instance, e.algo, e.wall_time, e.modeled_time
+        );
+        entries.push(e);
     }
 
     // The batch-dynamic workload: 8 batches of 64 random updates on the

@@ -185,7 +185,10 @@ impl ClockBarrier {
     pub fn wait(&self, rank: usize, clock: f64) -> f64 {
         debug_assert!(rank < self.n);
         if self.poisoned.load(Ordering::SeqCst) {
-            panic!("barrier poisoned: a peer PE panicked");
+            // Typed payload, same as the in-wait poison paths: the
+            // machine layer classifies `BarrierPoisoned` as secondary
+            // fallout and keeps the originating PE's error instead.
+            std::panic::panic_any(BarrierPoisoned);
         }
         if self.n == 1 {
             return clock;

@@ -20,20 +20,35 @@
 //!
 //! * discards frames with `seq < s` — posts from earlier rounds that no
 //!   protocol step ever consumed (the byte analogue of a stale cell lane
-//!   being overwritten two epochs later);
+//!   being overwritten two epochs later); injected *duplicate* frames
+//!   are absorbed by the same rule, since the original of round `s` is
+//!   consumed before its twin is ever inspected;
 //! * returns a typed [`TransportError::Protocol`] on `seq > s`, a type
 //!   mismatch, or a missing frame — a PE skipped a send or the
 //!   collectives ran out of order. The error propagates through
 //!   [`crate::Machine::try_run`] instead of tearing the process down
 //!   with a panic string, matching the socket path's failure surface.
 //!
+//! ## Fault injection
+//!
+//! When a [`FaultyTransport`](crate::fault::FaultyTransport) is armed,
+//! `push` consults it per frame: transient faults (delays, retransmit
+//! backoffs, duplicates) are absorbed by the round discipline above;
+//! lethal ones corrupt the stored bytes *after* the frame checksum is
+//! stamped, so `pop` detects them as a typed checksum mismatch — a
+//! corrupt frame is never decoded into a wrong answer. Without a plan
+//! the checksum is neither computed nor verified.
+//!
 //! Queues are `parking_lot`-mutexed `VecDeque`s; the round barrier — not
 //! the queue lock — is what orders sends before receives, so lock
 //! contention is a pop/push critical section, never a wait-for-data spin.
 
+use crate::fault::{frame_checksum, FaultyTransport, LethalKind};
 use crate::transport::TransportError;
+use crate::wire::CH_DATA;
 use parking_lot::Mutex;
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// One encoded message travelling a PE-pair queue.
 pub(crate) struct Frame {
@@ -42,6 +57,8 @@ pub(crate) struct Frame {
     /// Payload type tag ([`crate::wire::type_tag`]) — the same stamp the
     /// socket frames carry on the wire.
     tag: u64,
+    /// Frame checksum, stamped/verified only while faults are armed.
+    sum: u64,
     bytes: Vec<u8>,
 }
 
@@ -49,6 +66,7 @@ pub(crate) struct Frame {
 pub(crate) struct ByteHub {
     p: usize,
     queues: Box<[Mutex<VecDeque<Frame>>]>,
+    faults: Option<Arc<FaultyTransport>>,
 }
 
 impl std::fmt::Debug for ByteHub {
@@ -58,11 +76,17 @@ impl std::fmt::Debug for ByteHub {
 }
 
 impl ByteHub {
-    pub(crate) fn new(p: usize) -> Self {
+    pub(crate) fn new(p: usize, faults: Option<Arc<FaultyTransport>>) -> Self {
         Self {
             p,
             queues: (0..p * p).map(|_| Mutex::new(VecDeque::new())).collect(),
+            faults,
         }
+    }
+
+    /// The armed fault engine, if any — sub-communicator hubs inherit it.
+    pub(crate) fn faults(&self) -> Option<&Arc<FaultyTransport>> {
+        self.faults.as_ref()
     }
 
     #[inline]
@@ -71,15 +95,78 @@ impl ByteHub {
     }
 
     /// Push an already-encoded frame onto the `(src → dst)` queue.
-    pub(crate) fn push(&self, src: usize, dst: usize, seq: u64, tag: u64, bytes: Vec<u8>) {
-        self.queue(src, dst)
-            .lock()
-            .push_back(Frame { seq, tag, bytes });
+    ///
+    /// The reliable path never fails; with faults armed, a lethal
+    /// disconnect surfaces here as a typed io error on the faulty PE
+    /// (its analogue of tearing down every socket).
+    pub(crate) fn push(
+        &self,
+        src: usize,
+        dst: usize,
+        seq: u64,
+        tag: u64,
+        bytes: Vec<u8>,
+    ) -> Result<(), TransportError> {
+        let Some(fx) = self.faults.as_deref() else {
+            self.queue(src, dst).lock().push_back(Frame {
+                seq,
+                tag,
+                sum: 0,
+                bytes,
+            });
+            return Ok(());
+        };
+        // Stamp the checksum over the *intended* bytes first: lethal
+        // corruption below happens after, which is exactly what makes it
+        // detectable at pop time.
+        let sum = frame_checksum(CH_DATA, 0, seq, tag, &bytes);
+        let f = fx.send_faults(CH_DATA, src, dst, 0, seq);
+        if let Some(d) = f.delay {
+            std::thread::sleep(d);
+        }
+        // Retransmit-on-transient: each refused attempt backs off
+        // (capped exponential + jitter), then the frame goes out whole.
+        for attempt in 0..f.failed_attempts {
+            std::thread::sleep(fx.backoff(f.key, attempt));
+        }
+        let mut bytes = bytes;
+        match f.lethal {
+            Some(LethalKind::Disconnect) => {
+                return Err(TransportError::Io(
+                    "injected fault: mid-frame disconnect".into(),
+                ));
+            }
+            Some(LethalKind::Truncate) => {
+                bytes.truncate(bytes.len() / 2);
+            }
+            Some(LethalKind::BitFlip) if !bytes.is_empty() => {
+                let bit = fx.flip_bit(f.key, bytes.len() * 8);
+                bytes[bit / 8] ^= 1 << (bit % 8);
+            }
+            Some(LethalKind::BitFlip) | None => {}
+        }
+        let mut q = self.queue(src, dst).lock();
+        if f.duplicate && f.lethal.is_none() {
+            q.push_back(Frame {
+                seq,
+                tag,
+                sum,
+                bytes: bytes.clone(),
+            });
+        }
+        q.push_back(Frame {
+            seq,
+            tag,
+            sum,
+            bytes,
+        });
+        Ok(())
     }
 
     /// Pop the frame of round `seq` from the `(src → dst)` queue,
-    /// discarding stale (never-consumed) frames from earlier rounds.
-    /// Protocol violations are typed errors, mirroring the socket path.
+    /// discarding stale (never-consumed or duplicated) frames from
+    /// earlier rounds. Protocol violations are typed errors, mirroring
+    /// the socket path.
     pub(crate) fn pop(
         &self,
         src: usize,
@@ -106,6 +193,14 @@ impl ByteHub {
                     frame.seq
                 )));
             }
+            if self.faults.is_some()
+                && frame_checksum(CH_DATA, 0, frame.seq, frame.tag, &frame.bytes) != frame.sum
+            {
+                return Err(TransportError::Protocol(format!(
+                    "byte-stream {what} of round {seq}: frame from PE {src} \
+                     failed its checksum (corrupt frame)"
+                )));
+            }
             return Ok(frame.bytes);
         }
     }
@@ -114,30 +209,40 @@ impl ByteHub {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::{FaultPlan, LethalFault};
     use crate::wire::{self, type_tag};
+
+    fn hub(p: usize) -> ByteHub {
+        ByteHub::new(p, None)
+    }
+
+    fn faulty(p: usize, plan: FaultPlan) -> ByteHub {
+        ByteHub::new(p, Some(Arc::new(FaultyTransport::new(plan))))
+    }
 
     #[test]
     fn push_pop_roundtrip() {
-        let hub = ByteHub::new(2);
+        let hub = hub(2);
         let tag = type_tag::<Vec<u64>>();
-        hub.push(0, 1, 1, tag, wire::encode(&vec![1u64, 2, 3]));
+        hub.push(0, 1, 1, tag, wire::encode(&vec![1u64, 2, 3]))
+            .unwrap();
         let got: Vec<u64> = wire::decode(&hub.pop(0, 1, 1, tag, "test").unwrap()).unwrap();
         assert_eq!(got, vec![1, 2, 3]);
     }
 
     #[test]
     fn stale_frames_are_discarded() {
-        let hub = ByteHub::new(2);
+        let hub = hub(2);
         let tag = type_tag::<u32>();
-        hub.push(0, 1, 1, tag, wire::encode(&7u32)); // never consumed
-        hub.push(0, 1, 3, tag, wire::encode(&9u32));
+        hub.push(0, 1, 1, tag, wire::encode(&7u32)).unwrap(); // never consumed
+        hub.push(0, 1, 3, tag, wire::encode(&9u32)).unwrap();
         let got: u32 = wire::decode(&hub.pop(0, 1, 3, tag, "test").unwrap()).unwrap();
         assert_eq!(got, 9);
     }
 
     #[test]
     fn missing_frame_is_a_typed_error() {
-        let hub = ByteHub::new(2);
+        let hub = hub(2);
         let err = hub.pop(0, 1, 1, type_tag::<u32>(), "test").unwrap_err();
         assert!(
             matches!(err, TransportError::Protocol(ref m) if m.contains("skipped a send")),
@@ -147,9 +252,9 @@ mod tests {
 
     #[test]
     fn future_frame_is_a_typed_error() {
-        let hub = ByteHub::new(2);
+        let hub = hub(2);
         let tag = type_tag::<u8>();
-        hub.push(0, 1, 5, tag, wire::encode(&1u8));
+        hub.push(0, 1, 5, tag, wire::encode(&1u8)).unwrap();
         let err = hub.pop(0, 1, 2, tag, "test").unwrap_err();
         assert!(
             matches!(err, TransportError::Protocol(ref m) if m.contains("skipped a send")),
@@ -159,9 +264,105 @@ mod tests {
 
     #[test]
     fn tag_mismatch_is_a_typed_error() {
-        let hub = ByteHub::new(2);
-        hub.push(0, 1, 1, type_tag::<u8>(), wire::encode(&1u8));
+        let hub = hub(2);
+        hub.push(0, 1, 1, type_tag::<u8>(), wire::encode(&1u8))
+            .unwrap();
         let err = hub.pop(0, 1, 1, type_tag::<u16>(), "test").unwrap_err();
         assert!(matches!(err, TransportError::Protocol(_)), "{err:?}");
+    }
+
+    #[test]
+    fn injected_duplicates_are_absorbed() {
+        let hub = faulty(2, FaultPlan::seeded(5).with_duplicates(1.0));
+        let tag = type_tag::<u32>();
+        for round in 1..=8u64 {
+            hub.push(0, 1, round, tag, wire::encode(&(round as u32)))
+                .unwrap();
+        }
+        for round in 1..=8u64 {
+            let got: u32 = wire::decode(&hub.pop(0, 1, round, tag, "test").unwrap()).unwrap();
+            assert_eq!(got, round as u32, "duplicate absorbed by stale discard");
+        }
+    }
+
+    #[test]
+    fn injected_bit_flip_is_a_checksum_error_never_a_wrong_answer() {
+        let hub = faulty(
+            2,
+            FaultPlan::seeded(5).with_lethal(LethalFault {
+                rank: 0,
+                kind: LethalKind::BitFlip,
+                at_seq: 1,
+            }),
+        );
+        let tag = type_tag::<Vec<u64>>();
+        hub.push(0, 1, 1, tag, wire::encode(&vec![1u64, 2, 3]))
+            .unwrap();
+        let err = hub.pop(0, 1, 1, tag, "test").unwrap_err();
+        assert!(
+            matches!(err, TransportError::Protocol(ref m) if m.contains("checksum")),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn injected_truncation_is_a_checksum_error() {
+        let hub = faulty(
+            2,
+            FaultPlan::seeded(5).with_lethal(LethalFault {
+                rank: 0,
+                kind: LethalKind::Truncate,
+                at_seq: 0,
+            }),
+        );
+        let tag = type_tag::<Vec<u64>>();
+        hub.push(0, 1, 0, tag, wire::encode(&vec![9u64; 16]))
+            .unwrap();
+        let err = hub.pop(0, 1, 0, tag, "test").unwrap_err();
+        assert!(
+            matches!(err, TransportError::Protocol(ref m) if m.contains("checksum")),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn injected_disconnect_is_a_typed_io_error_on_the_faulty_pe() {
+        let hub = faulty(
+            2,
+            FaultPlan::seeded(5).with_lethal(LethalFault {
+                rank: 1,
+                kind: LethalKind::Disconnect,
+                at_seq: 2,
+            }),
+        );
+        let tag = type_tag::<u8>();
+        hub.push(1, 0, 1, tag, wire::encode(&1u8)).unwrap();
+        let err = hub.push(1, 0, 2, tag, wire::encode(&2u8)).unwrap_err();
+        assert!(
+            matches!(err, TransportError::Io(ref m) if m.contains("injected")),
+            "{err:?}"
+        );
+        // The other direction is unaffected.
+        hub.push(0, 1, 2, tag, wire::encode(&3u8)).unwrap();
+    }
+
+    #[test]
+    fn transient_faults_do_not_change_delivery() {
+        let hub = faulty(
+            2,
+            FaultPlan::seeded(11)
+                .with_delays(0.5, 50)
+                .with_retries(0.5)
+                .with_duplicates(0.3),
+        );
+        let tag = type_tag::<u64>();
+        for round in 0..32u64 {
+            hub.push(0, 1, round, tag, wire::encode(&(round * 3)))
+                .unwrap();
+        }
+        for round in 0..32u64 {
+            let got: u64 = wire::decode(&hub.pop(0, 1, round, tag, "test").unwrap()).unwrap();
+            assert_eq!(got, round * 3);
+        }
     }
 }

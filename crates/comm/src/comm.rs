@@ -19,6 +19,7 @@ use crate::barrier::ClockBarrier;
 use crate::bytestream::ByteHub;
 use crate::cells::{CellRegistry, CellSet, Round};
 use crate::cost::{Clock, CostModel, PeStats};
+use crate::fault::FaultyTransport;
 use crate::socket::SocketFabric;
 use crate::transport::{raise, To, TransportKind};
 use crate::wire::Wire;
@@ -44,7 +45,14 @@ pub(crate) struct CommShared {
 impl CommShared {
     /// `machine_pes` is the machine-wide PE thread count — sub-communicator
     /// barriers judge host oversubscription by it, not by their own size.
-    pub(crate) fn new(p: usize, machine_pes: usize, transport: TransportKind) -> Self {
+    /// `faults` arms fault injection on the byte-hub data plane (sockets
+    /// carry theirs on the fabric; cells sit above the boundary).
+    pub(crate) fn new(
+        p: usize,
+        machine_pes: usize,
+        transport: TransportKind,
+        faults: Option<Arc<FaultyTransport>>,
+    ) -> Self {
         Self {
             barrier: ClockBarrier::new(p, machine_pes),
             cells: CellRegistry::new(p),
@@ -52,7 +60,7 @@ impl CommShared {
                 // Sockets carry their frames on the fabric owned by the
                 // `Comm` itself, not on shared in-process state.
                 TransportKind::Cells | TransportKind::Sockets => None,
-                TransportKind::Bytes => Some(ByteHub::new(p)),
+                TransportKind::Bytes => Some(ByteHub::new(p, faults)),
             },
         }
     }
@@ -295,7 +303,8 @@ impl Comm {
             fab.send_data(self.world_of(dst), self.comm_id, seq, tag, &bytes)
                 .unwrap_or_else(|e| raise(e));
         } else if let Some(hub) = self.hub() {
-            hub.push(self.rank, dst, seq, tag, bytes);
+            hub.push(self.rank, dst, seq, tag, bytes)
+                .unwrap_or_else(|e| raise(e));
         } else {
             unreachable!("lane_push on the cells transport");
         }
@@ -721,7 +730,12 @@ impl Comm {
             let child_id = mix_comm_id(self.comm_id, split_no, color as u64);
             // The shared cells/barrier are unused under sockets; a
             // single-slot stand-in keeps the type uniform.
-            let standin = Arc::new(CommShared::new(1, self.machine_pes, TransportKind::Cells));
+            let standin = Arc::new(CommShared::new(
+                1,
+                self.machine_pes,
+                TransportKind::Cells,
+                None,
+            ));
             return Comm::new(
                 my_new_rank,
                 group_size,
@@ -741,8 +755,9 @@ impl Comm {
         // the child's group table out-of-band too, as above), not
         // data-plane traffic. The child inherits the parent's transport.
         let kind = self.transport();
+        let faults = self.hub().and_then(|h| h.faults().cloned());
         let group_shared = if self.size == 1 {
-            Arc::new(CommShared::new(1, self.machine_pes, kind))
+            Arc::new(CommShared::new(1, self.machine_pes, kind, faults))
         } else {
             let round = self.cells_round::<Arc<CommShared>>();
             if self.rank == leader_global {
@@ -750,6 +765,7 @@ impl Comm {
                     group_size,
                     self.machine_pes,
                     kind,
+                    faults,
                 )));
             }
             self.sync();

@@ -87,6 +87,7 @@ mod bytestream;
 mod cells;
 mod comm;
 mod cost;
+pub mod fault;
 mod flat;
 mod machine;
 mod socket;
@@ -96,6 +97,7 @@ pub mod wire;
 pub use alltoall::{route, AlltoallKind, GridTopology};
 pub use comm::Comm;
 pub use cost::{Clock, CostModel, PeStats};
+pub use fault::{FaultPlan, FaultyTransport, LethalFault, LethalKind};
 pub use flat::{FlatBuckets, FlatBuilder};
 pub use machine::{
     Machine, MachineConfig, MachineError, ResolvedConfig, RunOutput, SocketSetup, SocketSetupCfg,

@@ -12,6 +12,7 @@ use crate::alltoall::AlltoallKind;
 use crate::barrier::BarrierPoisoned;
 use crate::comm::{Comm, CommShared};
 use crate::cost::{Clock, CostModel, PeStats};
+use crate::fault::{FaultPlan, FaultyTransport};
 use crate::socket::{self, SocketFabric};
 use crate::transport::{TransportError, TransportKind};
 use parking_lot::Mutex;
@@ -33,9 +34,11 @@ pub enum MachineError {
     /// A front-end with state sharded over a fixed PE count was handed a
     /// config for a different count.
     PeCountMismatch { expected: usize, got: usize },
-    /// `KAMSTA_SOCKET_TIMEOUT_MS` (or `with_io_timeout`) was zero or
-    /// unparsable.
+    /// `KAMSTA_SOCKET_TIMEOUT_MS` / `KAMSTA_HANDSHAKE_TIMEOUT_MS` (or
+    /// the corresponding builder) was zero or unparsable.
     InvalidTimeout(String),
+    /// `KAMSTA_FAULTS` (or `with_faults`) did not parse as a fault plan.
+    InvalidFaultPlan(String),
     /// The socket setup does not fit the run mode: endpoints for the
     /// wrong PE count, unparsable addresses, socket options on a
     /// non-socket transport, or a rendezvous config handed to the
@@ -64,6 +67,9 @@ impl std::fmt::Display for MachineError {
                     f,
                     "invalid socket io timeout {v:?} (want positive milliseconds)"
                 )
+            }
+            MachineError::InvalidFaultPlan(m) => {
+                write!(f, "invalid KAMSTA_FAULTS fault plan: {m}")
             }
             MachineError::SocketConfig(m) => write!(f, "socket configuration error: {m}"),
             MachineError::Transport { rank, source } => {
@@ -113,6 +119,14 @@ pub struct MachineConfig {
     /// Socket connect/send/receive deadline; `None` resolves
     /// `KAMSTA_SOCKET_TIMEOUT_MS` at run time (default: 30 s).
     pub io_timeout: Option<Duration>,
+    /// Mesh/rendezvous formation deadline; `None` resolves
+    /// `KAMSTA_HANDSHAKE_TIMEOUT_MS` (default: the io timeout). Kept
+    /// separate so slow staggered start-up can be tolerated without
+    /// inflating the steady-state hang bound.
+    pub handshake_timeout: Option<Duration>,
+    /// Deterministic fault-injection plan; `None` resolves
+    /// `KAMSTA_FAULTS` at run time (default: no faults armed).
+    pub faults: Option<FaultPlan>,
     /// Peer discovery for the sockets transport; `None` means an
     /// in-process loopback mesh on ephemeral ports.
     pub socket_setup: Option<SocketSetupCfg>,
@@ -125,6 +139,11 @@ pub struct ResolvedConfig {
     pub transport: TransportKind,
     /// The socket io deadline in effect (meaningful under sockets).
     pub io_timeout: Duration,
+    /// The mesh-formation deadline in effect (meaningful under sockets).
+    pub handshake_timeout: Duration,
+    /// The fault plan armed on the run's transport (bytes and sockets;
+    /// the cells blackboard sits above the transport boundary).
+    pub faults: Option<FaultPlan>,
     /// Socket peer discovery — `Some` iff `transport` is sockets.
     pub sockets: Option<SocketSetup>,
 }
@@ -151,6 +170,8 @@ impl MachineConfig {
             stack_size: 4 << 20,
             transport: None,
             io_timeout: None,
+            handshake_timeout: None,
+            faults: None,
             socket_setup: None,
         }
     }
@@ -187,6 +208,20 @@ impl MachineConfig {
         self
     }
 
+    /// Bound mesh/rendezvous formation by `timeout`, overriding
+    /// `KAMSTA_HANDSHAKE_TIMEOUT_MS` (default: the io timeout).
+    pub fn with_handshake_timeout(mut self, timeout: Duration) -> Self {
+        self.handshake_timeout = Some(timeout);
+        self
+    }
+
+    /// Arm a deterministic fault-injection plan on the run's transport,
+    /// overriding `KAMSTA_FAULTS`. See [`FaultPlan`].
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
     /// **The** validation and environment-resolution pass: every entry
     /// point (`try_run`, `try_run_worker`, the service builder) funnels
     /// through here, and nothing else reads the `KAMSTA_TRANSPORT` /
@@ -199,15 +234,37 @@ impl MachineConfig {
             Some(k) => k,
             None => TransportKind::from_env()?,
         };
-        let io_timeout = match self.io_timeout {
-            Some(d) if !d.is_zero() => d,
-            Some(d) => return Err(MachineError::InvalidTimeout(format!("{d:?}"))),
-            None => match std::env::var("KAMSTA_SOCKET_TIMEOUT_MS") {
-                Err(_) => Duration::from_secs(30),
-                Ok(v) => match v.parse::<u64>() {
-                    Ok(ms) if ms > 0 => Duration::from_millis(ms),
-                    _ => return Err(MachineError::InvalidTimeout(v)),
+        let timeout_of = |field: Option<Duration>,
+                          var: &str,
+                          default: Duration|
+         -> Result<Duration, MachineError> {
+            match field {
+                Some(d) if !d.is_zero() => Ok(d),
+                Some(d) => Err(MachineError::InvalidTimeout(format!("{d:?}"))),
+                None => match std::env::var(var) {
+                    Err(_) => Ok(default),
+                    Ok(v) => match v.parse::<u64>() {
+                        Ok(ms) if ms > 0 => Ok(Duration::from_millis(ms)),
+                        _ => Err(MachineError::InvalidTimeout(v)),
+                    },
                 },
+            }
+        };
+        let io_timeout = timeout_of(
+            self.io_timeout,
+            "KAMSTA_SOCKET_TIMEOUT_MS",
+            Duration::from_secs(30),
+        )?;
+        let handshake_timeout = timeout_of(
+            self.handshake_timeout,
+            "KAMSTA_HANDSHAKE_TIMEOUT_MS",
+            io_timeout,
+        )?;
+        let faults = match &self.faults {
+            Some(plan) => Some(plan.clone()),
+            None => match std::env::var("KAMSTA_FAULTS") {
+                Err(_) => None,
+                Ok(v) => Some(FaultPlan::parse(&v).map_err(MachineError::InvalidFaultPlan)?),
             },
         };
         let sockets = match (transport, &self.socket_setup) {
@@ -244,6 +301,8 @@ impl MachineConfig {
         Ok(ResolvedConfig {
             transport,
             io_timeout,
+            handshake_timeout,
+            faults,
             sockets,
         })
     }
@@ -360,9 +419,13 @@ impl Machine {
     {
         let resolved = cfg.resolve()?;
         let p = cfg.pes;
+        let faults = resolved
+            .faults
+            .clone()
+            .map(|plan| Arc::new(FaultyTransport::new(plan)));
         match resolved.sockets {
             None => {
-                let shared = Arc::new(CommShared::new(p, p, resolved.transport));
+                let shared = Arc::new(CommShared::new(p, p, resolved.transport, faults));
                 let shared_ref = &shared;
                 run_pes(
                     &cfg,
@@ -409,7 +472,9 @@ impl Machine {
                 }
                 let addrs_ref = &addrs;
                 let listeners_ref = &listeners;
+                let handshake = resolved.handshake_timeout;
                 let timeout = resolved.io_timeout;
+                let faults_ref = &faults;
                 run_pes(
                     &cfg,
                     move |rank, clock| {
@@ -417,13 +482,19 @@ impl Machine {
                             .lock()
                             .take()
                             .expect("listener taken once per rank");
-                        let fabric =
-                            SocketFabric::connect_mesh(rank, listener, addrs_ref, timeout)?;
+                        let fabric = SocketFabric::connect_mesh(
+                            rank,
+                            listener,
+                            addrs_ref,
+                            handshake,
+                            timeout,
+                            faults_ref.clone(),
+                        )?;
                         Ok(Comm::new(
                             rank,
                             p,
                             p,
-                            Arc::new(CommShared::new(1, p, TransportKind::Cells)),
+                            Arc::new(CommShared::new(1, p, TransportKind::Cells, None)),
                             clock,
                             cfg.cost,
                             cfg.alltoall,
@@ -459,6 +530,11 @@ impl Machine {
         let resolved = cfg.resolve()?;
         let start = Instant::now();
         let timeout = resolved.io_timeout;
+        let handshake = resolved.handshake_timeout;
+        let faults = resolved
+            .faults
+            .clone()
+            .map(|plan| Arc::new(FaultyTransport::new(plan)));
         let (my_rank, listener, table) = match resolved.sockets {
             None | Some(SocketSetup::Loopback) => {
                 return Err(MachineError::SocketConfig(
@@ -485,7 +561,7 @@ impl Machine {
             }
             Some(SocketSetup::Rendezvous { addr }) => {
                 let (r, listener, table) =
-                    socket::rendezvous_client(&addr.to_string(), rank, timeout)
+                    socket::rendezvous_client(&addr.to_string(), rank, handshake)
                         .map_err(|source| MachineError::Transport { rank: 0, source })?;
                 if table.len() != cfg.pes {
                     return Err(MachineError::PeCountMismatch {
@@ -498,18 +574,17 @@ impl Machine {
         };
         let p = table.len();
         let fabric =
-            SocketFabric::connect_mesh(my_rank, listener, &table, timeout).map_err(|source| {
-                MachineError::Transport {
+            SocketFabric::connect_mesh(my_rank, listener, &table, handshake, timeout, faults)
+                .map_err(|source| MachineError::Transport {
                     rank: my_rank,
                     source,
-                }
-            })?;
+                })?;
         let clock = Arc::new(Clock::new());
         let comm = Comm::new(
             my_rank,
             p,
             p,
-            Arc::new(CommShared::new(1, p, TransportKind::Cells)),
+            Arc::new(CommShared::new(1, p, TransportKind::Cells, None)),
             Arc::clone(&clock),
             cfg.cost,
             cfg.alltoall,

@@ -19,8 +19,10 @@
 //! [`CH_HELLO`] frame naming itself) and **accepts** from every
 //! `j > i` on its own listener, in whatever order those peers dial in —
 //! the hello identifies them. Connect refusals are retried until the
-//! deadline (peers bind their listeners at different times), so
-//! arbitrarily staggered start-up is tolerated up to the timeout.
+//! **handshake** deadline (peers bind their listeners at different
+//! times), so arbitrarily staggered start-up is tolerated up to that
+//! timeout; a formation failure reports exactly which ranks joined and
+//! which never showed ([`TransportError::MeshIncomplete`]).
 //!
 //! ## The progress engine
 //!
@@ -35,7 +37,20 @@
 //! sub-communicator traffic and barrier signals interleave freely on
 //! the shared pair streams.
 //!
-//! ## Failure model
+//! ## Liveness probes
+//!
+//! A PE blocked in a receive sends a tiny [`CH_PING`] request to the
+//! peer it is waiting on every probe interval (a fraction of the io
+//! timeout); any live transport answers with a pong from its pump. The
+//! probe's value is the **write**: an idle receiver otherwise never
+//! writes, so a connection that died without delivering EOF/RST (peer
+//! host gone, cable pulled) would only surface at the full io deadline —
+//! the failing ping write surfaces it in O(probe interval) instead.
+//! A missing *pong* is deliberately not a death verdict: the transport
+//! is single-threaded by design, so a peer deep in computation pumps
+//! nothing and answers nothing while perfectly healthy.
+//!
+//! ## Failure model and fault injection
 //!
 //! Every wait is bounded by the machine's io timeout and every failure
 //! is a typed [`TransportError`], never a hang: EOF on a link is
@@ -46,20 +61,31 @@
 //! that errors (or finishes) closes its streams, which surfaces at its
 //! peers as `PeerClosed` on their next receive — graceful exit and
 //! process death look the same, which is the point.
+//!
+//! With a [`FaultyTransport`](crate::fault::FaultyTransport) armed, the
+//! send path injects the plan's faults per frame: transient ones
+//! (delays, short writes, duplicates, retransmit-with-backoff) are
+//! absorbed by stream reassembly and the stale-frame discard; lethal
+//! ones corrupt the frame *after* its checksum is stamped, so the
+//! receiver detects them as typed errors — a wrong answer is off the
+//! table. See `crate::fault` for the taxonomy.
 
+use crate::fault::{frame_checksum, FaultyTransport, LethalKind, SendFaults};
 use crate::transport::TransportError;
 use crate::wire::{
-    self, FrameHeader, Wire, CH_BARRIER, CH_DATA, CH_HELLO, FRAME_HEADER_LEN, MAX_FRAME_PAYLOAD,
+    self, FrameHeader, Wire, CH_BARRIER, CH_DATA, CH_HELLO, CH_PING, FRAME_HEADER_LEN,
+    MAX_FRAME_PAYLOAD,
 };
 use parking_lot::Mutex;
 use std::collections::{HashMap, VecDeque};
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Magic carried in the `b` field of hello frames, guarding against a
 /// non-kamsta peer (or a different protocol revision) joining the mesh.
-const HELLO_MAGIC: u64 = 0x6B61_6D73_7461_2D36; // "kamsta-6"
+const HELLO_MAGIC: u64 = 0x6B61_6D73_7461_2D37; // "kamsta-7"
 
 /// Pseudo communicator id of rendezvous traffic — outside the id space
 /// `Comm::split` derives (which starts from the world id 0).
@@ -69,6 +95,13 @@ const RENDEZVOUS_COMM: u64 = u64::MAX;
 /// the core on oversubscribed hosts, short enough to stay invisible
 /// next to loopback round trips.
 const PUMP_IDLE: Duration = Duration::from_micros(50);
+
+/// How often a blocked receive probes its peer with a [`CH_PING`]: a
+/// fraction of the io timeout, clamped so probes neither spam loopback
+/// runs with tight timeouts nor wait minutes under huge ones.
+fn ping_interval(io_timeout: Duration) -> Duration {
+    (io_timeout / 8).clamp(Duration::from_millis(10), Duration::from_millis(500))
+}
 
 fn io_error(peer: usize, e: &std::io::Error) -> TransportError {
     match e.kind() {
@@ -105,9 +138,23 @@ struct Link {
     /// Received, not yet frame-parsed bytes (at most one partial frame
     /// plus whatever arrived behind it in the last read burst).
     rd: Vec<u8>,
+    /// Control-plane bytes (pings/pongs) waiting for socket space. The
+    /// backlog is always flushed before data frames so control frames
+    /// never interleave into the middle of a data frame.
+    wr_backlog: Vec<u8>,
     /// The peer's end is gone (EOF or reset observed).
     closed: bool,
     pending: HashMap<u64, Pending>,
+    /// Ping requests received and not yet answered with a pong.
+    ping_reqs: VecDeque<u64>,
+    /// Nonce of the next ping this side sends.
+    pings_sent: u64,
+    /// Pongs received — liveness telemetry only, never a death verdict
+    /// (a computing peer legitimately answers nothing; see module docs).
+    #[allow(dead_code)]
+    pongs: u64,
+    /// Reads performed on this link (keys the short-read fault draw).
+    reads: u64,
 }
 
 impl Link {
@@ -115,22 +162,33 @@ impl Link {
         Self {
             stream,
             rd: Vec::new(),
+            wr_backlog: Vec::new(),
             closed: false,
             pending: HashMap::new(),
+            ping_reqs: VecDeque::new(),
+            pings_sent: 0,
+            pongs: 0,
+            reads: 0,
         }
     }
 
     /// Drain everything currently readable (non-blocking) and parse
-    /// complete frames into the pending queues. Returns whether any
-    /// bytes arrived.
-    fn pump(&mut self, peer: usize) -> Result<bool, TransportError> {
+    /// complete frames into the pending queues; answer any pings that
+    /// arrived. Returns whether any bytes arrived.
+    fn pump(&mut self, peer: usize, fx: Option<&FaultyTransport>) -> Result<bool, TransportError> {
         if self.closed {
             return Ok(false);
         }
         let mut progressed = false;
         let mut buf = [0u8; 64 * 1024];
         loop {
-            match self.stream.read(&mut buf) {
+            // A short-read fault shrinks one read's window, fragmenting
+            // frame arrival across syscalls — reassembly absorbs it.
+            let cap = fx
+                .and_then(|f| f.read_chunk(peer, self.reads))
+                .unwrap_or(buf.len());
+            self.reads = self.reads.wrapping_add(1);
+            match self.stream.read(&mut buf[..cap]) {
                 Ok(0) => {
                     self.closed = true;
                     break;
@@ -147,35 +205,54 @@ impl Link {
                 }
             }
         }
-        self.parse_frames(peer)?;
+        self.parse_frames(peer, fx)?;
+        self.answer_pings(peer, fx)?;
         Ok(progressed)
     }
 
-    fn parse_frames(&mut self, peer: usize) -> Result<(), TransportError> {
+    fn parse_frames(
+        &mut self,
+        peer: usize,
+        fx: Option<&FaultyTransport>,
+    ) -> Result<(), TransportError> {
         let mut off = 0;
-        while self.rd.len() - off >= FRAME_HEADER_LEN {
-            let h = FrameHeader::parse(&self.rd[off..off + FRAME_HEADER_LEN])
+        loop {
+            let split = wire::split_frame(&self.rd[off..])
                 .map_err(|e| TransportError::Protocol(format!("frame from PE {peer}: {e}")))?;
-            if h.len > MAX_FRAME_PAYLOAD {
+            let Some((h, total)) = split else {
+                break; // partial frame: wait for the rest
+            };
+            let payload = &self.rd[off + FRAME_HEADER_LEN..off + total];
+            // With faults armed every data-plane frame carries a
+            // checksum; verify before demultiplexing so corruption can
+            // never be served as an answer — not even to another
+            // communicator.
+            if fx.is_some() && frame_checksum(h.channel, h.comm, h.a, h.b, payload) != h.sum {
                 return Err(TransportError::Protocol(format!(
-                    "oversized frame from PE {peer}: {} bytes (cap {MAX_FRAME_PAYLOAD})",
-                    h.len
+                    "frame from PE {peer} failed its checksum (corrupt frame)"
                 )));
             }
-            let total = FRAME_HEADER_LEN + h.len as usize;
-            if self.rd.len() - off < total {
-                break; // partial frame: wait for the rest
-            }
-            let payload = self.rd[off + FRAME_HEADER_LEN..off + total].to_vec();
+            let payload = payload.to_vec();
             off += total;
-            let entry = self.pending.entry(h.comm).or_default();
             match h.channel {
-                CH_DATA => entry.data.push_back(DataFrame {
-                    seq: h.a,
-                    tag: h.b,
-                    bytes: payload,
-                }),
-                CH_BARRIER => entry.barrier.push_back((h.a, h.b)),
+                CH_DATA => self
+                    .pending
+                    .entry(h.comm)
+                    .or_default()
+                    .data
+                    .push_back(DataFrame {
+                        seq: h.a,
+                        tag: h.b,
+                        bytes: payload,
+                    }),
+                CH_BARRIER => self
+                    .pending
+                    .entry(h.comm)
+                    .or_default()
+                    .barrier
+                    .push_back((h.a, h.b)),
+                CH_PING if h.b == 0 => self.ping_reqs.push_back(h.a),
+                CH_PING => self.pongs += 1,
                 _ => {
                     return Err(TransportError::Protocol(format!(
                         "unexpected hello frame from PE {peer} after mesh construction"
@@ -186,6 +263,58 @@ impl Link {
         self.rd.drain(..off);
         Ok(())
     }
+
+    /// Turn queued ping requests into pong frames and flush as much of
+    /// the control backlog as the socket accepts right now.
+    fn answer_pings(
+        &mut self,
+        peer: usize,
+        fx: Option<&FaultyTransport>,
+    ) -> Result<(), TransportError> {
+        while let Some(nonce) = self.ping_reqs.pop_front() {
+            push_ping_frame(&mut self.wr_backlog, nonce, 1, fx);
+        }
+        self.flush_backlog(peer)
+    }
+
+    /// Flush pending control bytes. A connection-level failure here is
+    /// the liveness probe doing its job: mark the link closed so the
+    /// caller's receive path surfaces `PeerClosed` immediately.
+    fn flush_backlog(&mut self, peer: usize) -> Result<(), TransportError> {
+        while !self.wr_backlog.is_empty() && !self.closed {
+            match self.stream.write(&self.wr_backlog) {
+                Ok(0) => self.closed = true,
+                Ok(n) => {
+                    self.wr_backlog.drain(..n);
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) => match io_error(peer, &e) {
+                    TransportError::PeerClosed { .. } => self.closed = true,
+                    other => return Err(other),
+                },
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Append one encoded [`CH_PING`] frame (`dir` 0 = request, 1 = pong).
+fn push_ping_frame(out: &mut Vec<u8>, nonce: u64, dir: u64, fx: Option<&FaultyTransport>) {
+    let sum = if fx.is_some() {
+        frame_checksum(CH_PING, 0, nonce, dir, &[])
+    } else {
+        0
+    };
+    FrameHeader {
+        channel: CH_PING,
+        comm: 0,
+        a: nonce,
+        b: dir,
+        len: 0,
+        sum,
+    }
+    .write(out);
 }
 
 /// This PE's end of the full socket mesh: one [`Link`] per peer, shared
@@ -197,7 +326,10 @@ impl Link {
 pub(crate) struct SocketFabric {
     rank: usize,
     p: usize,
+    /// Steady-state deadline of every data-plane send and receive.
     timeout: Duration,
+    /// Armed fault-injection engine; `None` is the zero-cost fast path.
+    faults: Option<Arc<FaultyTransport>>,
     /// `links[peer]`; `None` exactly at `peer == rank`.
     links: Box<[Option<Mutex<Link>>]>,
 }
@@ -211,21 +343,45 @@ impl std::fmt::Debug for SocketFabric {
 impl SocketFabric {
     /// Build the mesh from a rank-indexed address table. `listener` must
     /// already be bound to `addrs[rank]` (peers are dialling it). Blocks
-    /// until all `p − 1` links are up or `timeout` expires.
+    /// until all `p − 1` links are up or the `handshake` deadline
+    /// expires — a partial mesh fails with
+    /// [`TransportError::MeshIncomplete`] naming who made it and who is
+    /// missing. `io_timeout` governs the data plane afterwards.
     pub(crate) fn connect_mesh(
         rank: usize,
         listener: TcpListener,
         addrs: &[SocketAddr],
-        timeout: Duration,
+        handshake: Duration,
+        io_timeout: Duration,
+        faults: Option<Arc<FaultyTransport>>,
     ) -> Result<Self, TransportError> {
         let p = addrs.len();
         assert!(rank < p, "mesh rank out of range");
-        let deadline = Instant::now() + timeout;
+        let deadline = Instant::now() + handshake;
         let mut links: Vec<Option<Mutex<Link>>> = (0..p).map(|_| None).collect();
+        let incomplete = |links: &[Option<Mutex<Link>>], waited| {
+            let joined: Vec<usize> = (0..p)
+                .filter(|&j| j == rank || links[j].is_some())
+                .collect();
+            let missing: Vec<usize> = (0..p)
+                .filter(|&j| j != rank && links[j].is_none())
+                .collect();
+            TransportError::MeshIncomplete {
+                joined,
+                missing,
+                waited,
+            }
+        };
 
         // Dial every lower rank, identifying ourselves with a hello.
         for (j, addr) in addrs.iter().enumerate().take(rank) {
-            let mut stream = connect_retry(*addr, j, deadline)?;
+            let mut stream = match connect_retry(*addr, j, deadline) {
+                Ok(s) => s,
+                Err(TransportError::Timeout { .. }) => {
+                    return Err(incomplete(&links, handshake));
+                }
+                Err(e) => return Err(e),
+            };
             let mut hello = Vec::with_capacity(FRAME_HEADER_LEN);
             FrameHeader {
                 channel: CH_HELLO,
@@ -233,6 +389,7 @@ impl SocketFabric {
                 a: rank as u64,
                 b: HELLO_MAGIC,
                 len: 0,
+                sum: 0,
             }
             .write(&mut hello);
             stream.write_all(&hello).map_err(|e| io_error(j, &e))?;
@@ -264,10 +421,7 @@ impl SocketFabric {
                 }
                 Err(e) if e.kind() == ErrorKind::WouldBlock => {
                     if Instant::now() > deadline {
-                        return Err(TransportError::Timeout {
-                            peer: rank,
-                            waited: timeout,
-                        });
+                        return Err(incomplete(&links, handshake));
                     }
                     std::thread::sleep(Duration::from_millis(1));
                 }
@@ -288,7 +442,8 @@ impl SocketFabric {
         Ok(Self {
             rank,
             p,
-            timeout,
+            timeout: io_timeout,
+            faults,
             links: links.into_boxed_slice(),
         })
     }
@@ -306,48 +461,96 @@ impl SocketFabric {
     /// Drain every link's readable bytes. Returns whether any byte moved
     /// anywhere — the caller's cue to back off when idle.
     fn pump_all(&self) -> Result<bool, TransportError> {
+        let fx = self.faults.as_deref();
         let mut progressed = false;
         for (peer, link) in self.links.iter().enumerate() {
             if let Some(l) = link {
-                progressed |= l.lock().pump(peer)?;
+                progressed |= l.lock().pump(peer, fx)?;
             }
         }
         Ok(progressed)
     }
 
+    /// Queue a [`CH_PING`] request to `peer` and push it out. A probe
+    /// whose write fails at the connection level marks the link closed —
+    /// that is the O(probe interval) death detection of a peer whose
+    /// disappearance never produced a readable EOF.
+    fn send_ping(&self, peer: usize) -> Result<(), TransportError> {
+        let fx = self.faults.as_deref();
+        let mut link = self.link(peer).lock();
+        if link.closed {
+            return Ok(()); // the receive path will surface PeerClosed
+        }
+        let nonce = link.pings_sent;
+        link.pings_sent += 1;
+        push_ping_frame(&mut link.wr_backlog, nonce, 0, fx);
+        link.flush_backlog(peer)
+    }
+
     /// Write one whole frame to `peer`, pumping receives while the send
     /// buffer is full (see the module docs on the all-to-all deadlock).
-    fn send_frame(&self, peer: usize, frame: &[u8]) -> Result<(), TransportError> {
+    ///
+    /// With faults armed, `sf` carries this frame's injected transient
+    /// schedule: a pre-send delay, `failed_attempts` transient refusals
+    /// each followed by a capped-exponential backoff and a retransmit
+    /// from byte 0, short (chunked) writes, and a duplicate send.
+    fn send_frame(
+        &self,
+        peer: usize,
+        frame: &[u8],
+        sf: Option<&SendFaults>,
+    ) -> Result<(), TransportError> {
+        if let (Some(sf), Some(fx)) = (sf, self.faults.as_deref()) {
+            if let Some(d) = sf.delay {
+                std::thread::sleep(d);
+            }
+            // Retransmit-on-transient: the refused attempts never put a
+            // byte on the wire, so the eventual transmission is whole
+            // and the receiver sees nothing unusual.
+            for attempt in 0..sf.failed_attempts {
+                std::thread::sleep(fx.backoff(sf.key, attempt));
+            }
+        }
+        let chunk = sf.and_then(|s| s.write_chunk).unwrap_or(usize::MAX);
         let deadline = Instant::now() + self.timeout;
-        let mut off = 0;
+        let mut off: usize = 0;
         loop {
             {
                 let mut link = self.link(peer).lock();
+                // Control frames queued by the pump must drain first so
+                // they never land inside this data frame.
+                link.flush_backlog(peer)?;
                 if link.closed {
                     return Err(TransportError::PeerClosed {
                         peer,
-                        mid_frame: false,
+                        mid_frame: off > 0,
                     });
                 }
-                loop {
-                    match link.stream.write(&frame[off..]) {
+                while link.wr_backlog.is_empty() && off < frame.len() {
+                    let end = frame.len().min(off.saturating_add(chunk));
+                    match link.stream.write(&frame[off..end]) {
                         Ok(0) => {
                             return Err(TransportError::PeerClosed {
                                 peer,
                                 mid_frame: off > 0,
                             })
                         }
-                        Ok(n) => {
-                            off += n;
-                            if off == frame.len() {
-                                return Ok(());
-                            }
-                        }
+                        Ok(n) => off += n,
                         Err(e) if e.kind() == ErrorKind::WouldBlock => break,
                         Err(e) if e.kind() == ErrorKind::Interrupted => continue,
                         Err(e) => return Err(io_error(peer, &e)),
                     }
                 }
+            }
+            // Lock released: the duplicate (and the receiver's pump
+            // running on another thread) can take it freely.
+            if off == frame.len() {
+                if sf.is_some_and(|s| s.duplicate) {
+                    // The duplicate rides the reliable path; the
+                    // receiver's stale-frame discard absorbs it.
+                    return self.send_frame(peer, frame, None);
+                }
+                return Ok(());
             }
             if Instant::now() > deadline {
                 return Err(TransportError::Timeout {
@@ -361,6 +564,89 @@ impl SocketFabric {
         }
     }
 
+    /// Perform an injected lethal fault instead of (or around) the
+    /// normal transmission of `frame`. See [`LethalKind`].
+    fn inject_lethal(
+        &self,
+        kind: LethalKind,
+        peer: usize,
+        mut frame: Vec<u8>,
+        sf: &SendFaults,
+    ) -> Result<(), TransportError> {
+        let fx = self.faults.as_deref().expect("lethal implies faults armed");
+        match kind {
+            LethalKind::BitFlip => {
+                // Flip one payload bit *after* the checksum was stamped:
+                // the frame still parses, but the receiver's verify
+                // fails with a typed protocol error. Sender-side this
+                // send "succeeds" — exactly how silent corruption looks.
+                let payload_bits = (frame.len() - FRAME_HEADER_LEN) * 8;
+                if payload_bits > 0 {
+                    let bit = fx.flip_bit(sf.key, payload_bits);
+                    frame[FRAME_HEADER_LEN + bit / 8] ^= 1 << (bit % 8);
+                } else {
+                    // Zero payload: corrupt the `b` header field.
+                    let bit = fx.flip_bit(sf.key, 64);
+                    frame[17 + bit / 8] ^= 1 << (bit % 8);
+                }
+                self.send_frame(peer, &frame, None)
+            }
+            LethalKind::Truncate => {
+                // Ship the header plus half the payload, then close the
+                // stream: the peer observes EOF inside a frame.
+                let cut = FRAME_HEADER_LEN + (frame.len() - FRAME_HEADER_LEN) / 2;
+                self.write_best_effort(peer, &frame[..cut]);
+                self.shutdown_all();
+                Err(TransportError::Io(format!(
+                    "injected fault: truncated frame to PE {peer}"
+                )))
+            }
+            LethalKind::Disconnect => {
+                // Pull the cable mid-frame: a few bytes of header, then
+                // every link goes down at once.
+                let cut = frame.len().min(FRAME_HEADER_LEN / 2);
+                self.write_best_effort(peer, &frame[..cut]);
+                self.shutdown_all();
+                Err(TransportError::Io(
+                    "injected fault: mid-frame disconnect".into(),
+                ))
+            }
+        }
+    }
+
+    /// Push `bytes` at `peer` without error handling — lethal faults
+    /// want the partial frame on the wire if possible, but the injection
+    /// must proceed (to the shutdown) even if the kernel refuses.
+    fn write_best_effort(&self, peer: usize, bytes: &[u8]) {
+        let link = self.link(peer).lock();
+        let mut off = 0;
+        for _ in 0..64 {
+            match (&link.stream).write(&bytes[off..]) {
+                Ok(0) => break,
+                Ok(n) => {
+                    off += n;
+                    if off == bytes.len() {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => break,
+            }
+        }
+    }
+
+    /// Tear down every link at once (lethal disconnect/truncate).
+    fn shutdown_all(&self) {
+        for link in self.links.iter().flatten() {
+            let mut l = link.lock();
+            let _ = l.stream.shutdown(std::net::Shutdown::Both);
+            l.closed = true;
+        }
+    }
+
     /// Send a data-plane frame for round `seq` of communicator `comm`.
     pub(crate) fn send_data(
         &self,
@@ -371,6 +657,13 @@ impl SocketFabric {
         payload: &[u8],
     ) -> Result<(), TransportError> {
         debug_assert!(payload.len() <= MAX_FRAME_PAYLOAD as usize);
+        let (sum, sf) = match self.faults.as_deref() {
+            None => (0, None),
+            Some(fx) => (
+                frame_checksum(CH_DATA, comm, seq, tag, payload),
+                Some(fx.send_faults(CH_DATA, self.rank, peer, comm, seq)),
+            ),
+        };
         let mut frame = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
         FrameHeader {
             channel: CH_DATA,
@@ -378,10 +671,16 @@ impl SocketFabric {
             a: seq,
             b: tag,
             len: payload.len() as u32,
+            sum,
         }
         .write(&mut frame);
         frame.extend_from_slice(payload);
-        self.send_frame(peer, &frame)
+        if let Some(sf) = &sf {
+            if let Some(kind) = sf.lethal {
+                return self.inject_lethal(kind, peer, frame, sf);
+            }
+        }
+        self.send_frame(peer, &frame, sf.as_ref())
     }
 
     /// Send a barrier signal (`code` = `episode << 8 | round`) carrying
@@ -393,6 +692,13 @@ impl SocketFabric {
         code: u64,
         clock_bits: u64,
     ) -> Result<(), TransportError> {
+        let (sum, sf) = match self.faults.as_deref() {
+            None => (0, None),
+            Some(fx) => (
+                frame_checksum(CH_BARRIER, comm, code, clock_bits, &[]),
+                Some(fx.send_faults(CH_BARRIER, self.rank, peer, comm, code)),
+            ),
+        };
         let mut frame = Vec::with_capacity(FRAME_HEADER_LEN);
         FrameHeader {
             channel: CH_BARRIER,
@@ -400,14 +706,16 @@ impl SocketFabric {
             a: code,
             b: clock_bits,
             len: 0,
+            sum,
         }
         .write(&mut frame);
-        self.send_frame(peer, &frame)
+        self.send_frame(peer, &frame, sf.as_ref())
     }
 
     /// Receive the round-`seq` data frame from `peer` on communicator
     /// `comm`, discarding stale frames of earlier rounds (posted but
-    /// never consumed — the socket analogue of a stale byte-hub frame).
+    /// never consumed, or injected duplicates of already-consumed
+    /// rounds — the socket analogue of a stale byte-hub frame).
     pub(crate) fn recv_data(
         &self,
         peer: usize,
@@ -416,15 +724,18 @@ impl SocketFabric {
         tag: u64,
         what: &str,
     ) -> Result<Vec<u8>, TransportError> {
+        let fx = self.faults.as_deref();
         let deadline = Instant::now() + self.timeout;
+        let probe_every = ping_interval(self.timeout);
+        let mut next_probe = Instant::now() + probe_every;
         loop {
             {
                 let mut link = self.link(peer).lock();
-                link.pump(peer)?;
+                link.pump(peer, fx)?;
                 let pending = link.pending.entry(comm).or_default();
                 while let Some(front) = pending.data.front() {
                     if front.seq < seq {
-                        pending.data.pop_front(); // stale, never consumed
+                        pending.data.pop_front(); // stale or duplicate, never consumed
                         continue;
                     }
                     if front.seq == seq && front.tag == tag {
@@ -450,6 +761,10 @@ impl SocketFabric {
                     waited: self.timeout,
                 });
             }
+            if Instant::now() >= next_probe {
+                self.send_ping(peer)?;
+                next_probe = Instant::now() + probe_every;
+            }
             if !self.pump_all()? {
                 std::thread::sleep(PUMP_IDLE);
             }
@@ -458,25 +773,36 @@ impl SocketFabric {
 
     /// Receive the barrier signal with exactly `code` from `peer`.
     ///
-    /// Per (pair, communicator, episode) there is exactly one barrier
-    /// frame in each direction — the dissemination offsets `2^k mod p`
-    /// are pairwise distinct over the rounds — and TCP's per-stream FIFO
-    /// plus the SPMD collective order make arrival order match episode
-    /// order, so the front of the queue must be the expected signal.
+    /// Per (pair, communicator, episode) the protocol emits exactly one
+    /// barrier frame in each direction — the dissemination offsets
+    /// `2^k mod p` are pairwise distinct over the rounds — and TCP's
+    /// per-stream FIFO plus the SPMD collective order make arrival
+    /// order match episode order. Codes are strictly increasing per
+    /// (link, communicator), so a frame with a *smaller* code than
+    /// expected can only be an injected duplicate of an already-consumed
+    /// signal: it is discarded as stale. A *larger* code means this PE
+    /// missed a signal for good — a protocol error.
     pub(crate) fn recv_barrier(
         &self,
         peer: usize,
         comm: u64,
         code: u64,
     ) -> Result<u64, TransportError> {
+        let fx = self.faults.as_deref();
         let deadline = Instant::now() + self.timeout;
+        let probe_every = ping_interval(self.timeout);
+        let mut next_probe = Instant::now() + probe_every;
         loop {
             {
                 let mut link = self.link(peer).lock();
-                link.pump(peer)?;
+                link.pump(peer, fx)?;
                 let pending = link.pending.entry(comm).or_default();
-                if let Some(&(got, bits)) = pending.barrier.front() {
-                    if got != code {
+                while let Some(&(got, bits)) = pending.barrier.front() {
+                    if got < code {
+                        pending.barrier.pop_front(); // duplicate of a consumed signal
+                        continue;
+                    }
+                    if got > code {
                         return Err(TransportError::Protocol(format!(
                             "barrier signal out of order from PE {peer}: \
                              expected code {code:#x}, found {got:#x}"
@@ -497,6 +823,10 @@ impl SocketFabric {
                     peer,
                     waited: self.timeout,
                 });
+            }
+            if Instant::now() >= next_probe {
+                self.send_ping(peer)?;
+                next_probe = Instant::now() + probe_every;
             }
             if !self.pump_all()? {
                 std::thread::sleep(PUMP_IDLE);
@@ -623,6 +953,7 @@ fn write_data_frame(
         a: seq,
         b: 0,
         len: payload.len() as u32,
+        sum: 0,
     }
     .write(&mut frame);
     frame.extend_from_slice(&payload);
@@ -639,7 +970,10 @@ fn write_data_frame(
 /// `abort` is polled while waiting; returning `Some(reason)` fails the
 /// rendezvous immediately (the launcher passes child-death detection
 /// through it, so one dead worker cannot stall the others to the full
-/// timeout).
+/// timeout). A rendezvous that times out half-assembled reports the
+/// claimed ranks that did arrive and the ranks still missing
+/// ([`TransportError::MeshIncomplete`]) — the operator's cue which
+/// worker to go look at.
 pub fn serve_rendezvous(
     listener: &TcpListener,
     p: usize,
@@ -679,8 +1013,16 @@ pub fn serve_rendezvous(
             }
             Err(e) if e.kind() == ErrorKind::WouldBlock => {
                 if Instant::now() > deadline {
-                    return Err(TransportError::Timeout {
-                        peer: arrivals.len(),
+                    let mut joined: Vec<usize> = arrivals
+                        .iter()
+                        .filter(|(_, claimed, _)| *claimed != u64::MAX)
+                        .map(|(_, claimed, _)| *claimed as usize)
+                        .collect();
+                    joined.sort_unstable();
+                    let missing: Vec<usize> = (0..p).filter(|r| !joined.contains(r)).collect();
+                    return Err(TransportError::MeshIncomplete {
+                        joined,
+                        missing,
                         waited: timeout,
                     });
                 }
@@ -768,6 +1110,7 @@ pub(crate) fn rendezvous_client(
         a: preferred.map_or(u64::MAX, |r| r as u64),
         b: HELLO_MAGIC,
         len: 0,
+        sum: 0,
     }
     .write(&mut hello);
     stream
@@ -795,22 +1138,29 @@ pub(crate) fn rendezvous_client(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::Arc;
+    use crate::fault::{FaultPlan, LethalFault};
 
-    fn loopback_pair(p: usize, timeout: Duration) -> Vec<SocketFabric> {
+    fn mesh(p: usize, timeout: Duration, plan: Option<FaultPlan>) -> Vec<SocketFabric> {
         let listeners: Vec<TcpListener> = (0..p)
             .map(|_| TcpListener::bind("127.0.0.1:0").unwrap())
             .collect();
         let addrs: Vec<SocketAddr> = listeners.iter().map(|l| l.local_addr().unwrap()).collect();
         let addrs = Arc::new(addrs);
+        let faults = plan.map(|pl| Arc::new(FaultyTransport::new(pl)));
         let mut handles = Vec::new();
         for (rank, listener) in listeners.into_iter().enumerate() {
             let addrs = Arc::clone(&addrs);
+            let faults = faults.clone();
             handles.push(std::thread::spawn(move || {
-                SocketFabric::connect_mesh(rank, listener, &addrs, timeout).unwrap()
+                SocketFabric::connect_mesh(rank, listener, &addrs, timeout, timeout, faults)
+                    .unwrap()
             }));
         }
         handles.into_iter().map(|h| h.join().unwrap()).collect()
+    }
+
+    fn loopback_pair(p: usize, timeout: Duration) -> Vec<SocketFabric> {
+        mesh(p, timeout, None)
     }
 
     #[test]
@@ -885,6 +1235,7 @@ mod tests {
             a: 1,
             b: 7,
             len: MAX_FRAME_PAYLOAD + 1,
+            sum: 0,
         }
         .write(&mut frame);
         {
@@ -909,6 +1260,7 @@ mod tests {
             a: 1,
             b: 7,
             len: 100,
+            sum: 0,
         }
         .write(&mut frame);
         frame.extend_from_slice(b"abc");
@@ -928,6 +1280,136 @@ mod tests {
             ),
             "{err:?}"
         );
+    }
+
+    #[test]
+    fn pings_are_answered_by_the_peer_pump() {
+        let fabs = loopback_pair(2, Duration::from_secs(5));
+        fabs[0].send_ping(1).unwrap();
+        // Give the bytes a moment, then let PE 1's pump answer and PE
+        // 0's pump collect the pong.
+        let t0 = Instant::now();
+        loop {
+            fabs[1].pump_all().unwrap();
+            fabs[0].pump_all().unwrap();
+            if fabs[0].link(1).lock().pongs > 0 {
+                break;
+            }
+            assert!(t0.elapsed() < Duration::from_secs(5), "pong never arrived");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        // The probe traffic is invisible to the data plane.
+        fabs[0].send_data(1, 0, 1, 42, b"after-ping").unwrap();
+        let got = fabs[1].recv_data(0, 0, 1, 42, "test").unwrap();
+        assert_eq!(got, b"after-ping");
+    }
+
+    #[test]
+    fn transient_faults_are_absorbed_bit_identically() {
+        let plan = FaultPlan::seeded(23)
+            .with_delays(0.3, 60)
+            .with_short_writes(0.5)
+            .with_short_reads(0.5)
+            .with_duplicates(0.4)
+            .with_retries(0.4);
+        let fabs = mesh(2, Duration::from_secs(10), Some(plan));
+        let payload: Vec<u8> = (0..997u32).flat_map(|x| x.to_le_bytes()).collect();
+        for round in 0..24u64 {
+            fabs[0].send_data(1, 0, round, 7, &payload).unwrap();
+            fabs[1].send_data(0, 0, round, 7, &payload).unwrap();
+            assert_eq!(fabs[1].recv_data(0, 0, round, 7, "test").unwrap(), payload);
+            assert_eq!(fabs[0].recv_data(1, 0, round, 7, "test").unwrap(), payload);
+        }
+    }
+
+    #[test]
+    fn duplicate_barrier_signals_are_discarded_as_stale() {
+        let fabs = loopback_pair(2, Duration::from_secs(5));
+        let code1 = 1u64 << 8; // round 1, phase 0
+        let code2 = 2u64 << 8; // round 2, phase 0
+        fabs[0].send_barrier(1, 0, code1, 10).unwrap();
+        fabs[0].send_barrier(1, 0, code1, 10).unwrap(); // injected twin
+        fabs[0].send_barrier(1, 0, code2, 20).unwrap();
+        assert_eq!(fabs[1].recv_barrier(0, 0, code1).unwrap(), 10);
+        assert_eq!(
+            fabs[1].recv_barrier(0, 0, code2).unwrap(),
+            20,
+            "twin absorbed"
+        );
+    }
+
+    #[test]
+    fn injected_bitflip_surfaces_as_checksum_error() {
+        let plan = FaultPlan::seeded(5).with_lethal(LethalFault {
+            rank: 0,
+            kind: LethalKind::BitFlip,
+            at_seq: 0,
+        });
+        let fabs = mesh(2, Duration::from_secs(5), Some(plan));
+        fabs[0]
+            .send_data(1, 0, 0, 7, b"payload-to-corrupt")
+            .unwrap();
+        let err = fabs[1].recv_data(0, 0, 0, 7, "test").unwrap_err();
+        assert!(
+            matches!(err, TransportError::Protocol(ref m) if m.contains("checksum")),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn injected_truncate_surfaces_as_mid_frame_close() {
+        let plan = FaultPlan::seeded(5).with_lethal(LethalFault {
+            rank: 0,
+            kind: LethalKind::Truncate,
+            at_seq: 0,
+        });
+        let fabs = mesh(2, Duration::from_secs(5), Some(plan));
+        let err = fabs[0].send_data(1, 0, 0, 7, &[9u8; 64]).unwrap_err();
+        assert!(
+            matches!(err, TransportError::Io(ref m) if m.contains("injected")),
+            "{err:?}"
+        );
+        let err = fabs[1].recv_data(0, 0, 0, 7, "test").unwrap_err();
+        assert!(
+            matches!(
+                err,
+                TransportError::PeerClosed {
+                    peer: 0,
+                    mid_frame: true
+                }
+            ),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn mesh_timeout_reports_joined_and_missing_ranks() {
+        // Three slots in the table, but rank 2 never shows up.
+        let listeners: Vec<TcpListener> = (0..3)
+            .map(|_| TcpListener::bind("127.0.0.1:0").unwrap())
+            .collect();
+        let addrs: Vec<SocketAddr> = listeners.iter().map(|l| l.local_addr().unwrap()).collect();
+        let addrs = Arc::new(addrs);
+        let timeout = Duration::from_millis(400);
+        let mut handles = Vec::new();
+        for (rank, listener) in listeners.into_iter().enumerate().take(2) {
+            let addrs = Arc::clone(&addrs);
+            handles.push(std::thread::spawn(move || {
+                SocketFabric::connect_mesh(rank, listener, &addrs, timeout, timeout, None)
+            }));
+        }
+        for h in handles {
+            let err = h.join().unwrap().unwrap_err();
+            match err {
+                TransportError::MeshIncomplete {
+                    joined, missing, ..
+                } => {
+                    assert_eq!(joined, vec![0, 1]);
+                    assert_eq!(missing, vec![2]);
+                }
+                other => panic!("expected MeshIncomplete, got {other:?}"),
+            }
+        }
     }
 
     #[test]
@@ -979,5 +1461,29 @@ mod tests {
         for j in joins {
             let _ = j.join(); // clients error out or time out; either is fine
         }
+    }
+
+    #[test]
+    fn rendezvous_timeout_names_the_missing_ranks() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let timeout = Duration::from_millis(300);
+        // One worker of a claimed pair shows up; the other never does.
+        let join = {
+            let addr = addr.clone();
+            std::thread::spawn(move || rendezvous_client(&addr, Some(0), Duration::from_secs(2)))
+        };
+        let err = serve_rendezvous(&listener, 2, timeout, || None).unwrap_err();
+        match err {
+            TransportError::MeshIncomplete {
+                joined, missing, ..
+            } => {
+                assert_eq!(joined, vec![0]);
+                assert_eq!(missing, vec![1]);
+            }
+            other => panic!("expected MeshIncomplete, got {other:?}"),
+        }
+        drop(listener);
+        let _ = join.join();
     }
 }

@@ -90,6 +90,15 @@ pub enum TransportError {
     /// A send or receive involving `peer` exceeded the machine's io
     /// timeout.
     Timeout { peer: usize, waited: Duration },
+    /// Mesh construction or launcher rendezvous timed out with only part
+    /// of the machine present: `joined` is who made it, `missing` who
+    /// never showed — the actionable half of a formation failure (which
+    /// host to go look at).
+    MeshIncomplete {
+        joined: Vec<usize>,
+        missing: Vec<usize>,
+        waited: Duration,
+    },
     /// The peer spoke, but wrongly: out-of-order round, type-tag
     /// mismatch, malformed or oversized frame, failed decode.
     Protocol(String),
@@ -106,6 +115,17 @@ impl std::fmt::Display for TransportError {
             }
             TransportError::Timeout { peer, waited } => {
                 write!(f, "timed out after {waited:?} waiting on PE {peer}")
+            }
+            TransportError::MeshIncomplete {
+                joined,
+                missing,
+                waited,
+            } => {
+                write!(
+                    f,
+                    "machine formation timed out after {waited:?}: \
+                     ranks {joined:?} joined, ranks {missing:?} missing"
+                )
             }
             TransportError::Protocol(m) => write!(f, "transport protocol violation: {m}"),
             TransportError::Io(m) => write!(f, "transport io error: {m}"),

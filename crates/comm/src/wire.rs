@@ -42,9 +42,15 @@ pub const CH_BARRIER: u8 = 1;
 /// Handshake frame: rank identification during mesh construction and
 /// launcher rendezvous. Never seen after the mesh is up.
 pub const CH_HELLO: u8 = 2;
+/// Liveness probe: a blocked PE pings the peer it is waiting on (`b` =
+/// 0) and any live transport answers with a pong (`b` = 1) from its
+/// receive pump — so a broken connection is discovered by the ping
+/// *write* failing in O(probe interval) instead of a full io-timeout
+/// expiry. Zero payload, absorbed below the collective layer.
+pub const CH_PING: u8 = 3;
 
-/// Encoded size of a [`FrameHeader`]: channel byte plus four LE fields.
-pub const FRAME_HEADER_LEN: usize = 1 + 8 + 8 + 8 + 4;
+/// Encoded size of a [`FrameHeader`]: channel byte plus five LE fields.
+pub const FRAME_HEADER_LEN: usize = 1 + 8 + 8 + 8 + 4 + 8;
 
 /// Maximum accepted payload length of one socket frame (256 MiB). A
 /// header announcing more is rejected as a protocol violation before
@@ -55,14 +61,20 @@ pub const MAX_FRAME_PAYLOAD: u32 = 1 << 28;
 /// The fixed-width header in front of every socket-transport frame.
 ///
 /// Layout (little-endian): `channel: u8`, `comm: u64`, `a: u64`,
-/// `b: u64`, `len: u32`, followed by `len` payload bytes. The meaning
-/// of `a`/`b` depends on the channel:
+/// `b: u64`, `len: u32`, `sum: u64`, followed by `len` payload bytes.
+/// The meaning of `a`/`b` depends on the channel:
 ///
 /// | channel | `a` | `b` |
 /// |---|---|---|
 /// | [`CH_DATA`] | round sequence | payload [`type_tag`] |
 /// | [`CH_BARRIER`] | `episode << 8 \| round` | clock maximum as `f64` bits |
 /// | [`CH_HELLO`] | sender's claimed rank | protocol magic |
+/// | [`CH_PING`] | probe nonce | 0 = ping, 1 = pong |
+///
+/// `sum` is the frame checksum, stamped and verified only while fault
+/// injection is armed (see `crate::fault`); it is written as 0 and
+/// ignored otherwise, so the reliable-fabric fast path pays nothing but
+/// the field's bytes.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct FrameHeader {
     pub channel: u8,
@@ -73,6 +85,8 @@ pub struct FrameHeader {
     pub b: u64,
     /// Payload length in bytes.
     pub len: u32,
+    /// Fault-mode frame checksum (0 when fault hooks are not armed).
+    pub sum: u64,
 }
 
 impl FrameHeader {
@@ -83,6 +97,7 @@ impl FrameHeader {
         out.extend_from_slice(&self.a.to_le_bytes());
         out.extend_from_slice(&self.b.to_le_bytes());
         out.extend_from_slice(&self.len.to_le_bytes());
+        out.extend_from_slice(&self.sum.to_le_bytes());
     }
 
     /// Decode a header from the first [`FRAME_HEADER_LEN`] bytes of `buf`.
@@ -91,7 +106,7 @@ impl FrameHeader {
             return Err(WireError::Truncated);
         }
         let channel = buf[0];
-        if channel > CH_HELLO {
+        if channel > CH_PING {
             return Err(WireError::Malformed("frame channel"));
         }
         let word = |at: usize| u64::from_le_bytes(buf[at..at + 8].try_into().unwrap());
@@ -101,8 +116,33 @@ impl FrameHeader {
             a: word(9),
             b: word(17),
             len: u32::from_le_bytes(buf[25..29].try_into().unwrap()),
+            sum: word(29),
         })
     }
+}
+
+/// Split the leading frame off a receive buffer: `Ok(None)` when `buf`
+/// holds only part of a frame (read more), otherwise the parsed header
+/// plus the total encoded size (header + payload) to consume. Length
+/// lies are rejected *before* any allocation: a header announcing more
+/// than [`MAX_FRAME_PAYLOAD`] is `Malformed`, and a plausible length is
+/// only trusted once that many bytes have actually arrived. This is the
+/// exact splitter the socket pump runs on raw network input, exported
+/// so the fuzz suite can hammer it with truncated/bit-flipped/lying
+/// frames directly.
+pub fn split_frame(buf: &[u8]) -> Result<Option<(FrameHeader, usize)>, WireError> {
+    if buf.len() < FRAME_HEADER_LEN {
+        return Ok(None);
+    }
+    let h = FrameHeader::parse(buf)?;
+    if h.len > MAX_FRAME_PAYLOAD {
+        return Err(WireError::Malformed("oversized frame"));
+    }
+    let total = FRAME_HEADER_LEN + h.len as usize;
+    if buf.len() < total {
+        return Ok(None);
+    }
+    Ok(Some((h, total)))
 }
 
 /// A stable-within-one-binary numeric tag for type `T` — the socket
@@ -610,6 +650,7 @@ mod tests {
             a: 0x0102_0304,
             b: 7.5f64.to_bits(),
             len: 12345,
+            sum: 0xDEAD_BEEF_F00D_CAFE,
         };
         let mut buf = Vec::new();
         h.write(&mut buf);
@@ -630,6 +671,38 @@ mod tests {
         );
         buf[0] = CH_DATA;
         assert!(FrameHeader::parse(&buf).is_ok());
+        buf[0] = CH_PING;
+        assert!(FrameHeader::parse(&buf).is_ok());
+    }
+
+    #[test]
+    fn split_frame_rejects_length_lies_before_allocating() {
+        let mut buf = Vec::new();
+        FrameHeader {
+            channel: CH_DATA,
+            comm: 0,
+            a: 1,
+            b: 2,
+            len: 3,
+            sum: 0,
+        }
+        .write(&mut buf);
+        buf.extend_from_slice(&[7, 8, 9]);
+        // Complete frame splits; a strict prefix asks for more input.
+        let (h, total) = split_frame(&buf).unwrap().expect("complete frame");
+        assert_eq!((h.a, h.b, total), (1, 2, buf.len()));
+        for cut in 0..buf.len() {
+            assert_eq!(split_frame(&buf[..cut]).unwrap(), None, "cut={cut}");
+        }
+        // A header lying about its length: oversized is rejected before
+        // any allocation, plausible-but-unfulfilled waits for bytes.
+        buf[25..29].copy_from_slice(&(MAX_FRAME_PAYLOAD + 1).to_le_bytes());
+        assert_eq!(
+            split_frame(&buf),
+            Err(WireError::Malformed("oversized frame"))
+        );
+        buf[25..29].copy_from_slice(&1000u32.to_le_bytes());
+        assert_eq!(split_frame(&buf), Ok(None));
     }
 
     #[test]

@@ -1,8 +1,29 @@
-//! Property tests for the collective operations: arbitrary payloads and
-//! PE counts must round-trip exactly.
+//! Property tests for the collective operations and the wire decoders:
+//! arbitrary payloads and PE counts must round-trip exactly, and
+//! arbitrary hostile bytes must come back as typed errors — never a
+//! panic, never an out-of-bounds read, never an unbounded allocation.
 
-use kamsta_comm::{AlltoallKind, FlatBuckets, Machine, MachineConfig};
+use kamsta_comm::wire::{
+    self, split_frame, FrameHeader, CH_DATA, FRAME_HEADER_LEN, MAX_FRAME_PAYLOAD,
+};
+use kamsta_comm::{AlltoallKind, FlatBuckets, Machine, MachineConfig, WireError};
 use proptest::prelude::*;
+
+/// Encode one well-formed data frame (header + payload).
+fn good_frame(comm: u64, seq: u64, tag: u64, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
+    FrameHeader {
+        channel: CH_DATA,
+        comm,
+        a: seq,
+        b: tag,
+        len: payload.len() as u32,
+        sum: 0,
+    }
+    .write(&mut out);
+    out.extend_from_slice(payload);
+    out
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
@@ -113,6 +134,89 @@ proptest! {
             |_| 0,
         );
         prop_assert_eq!(by_fn.count(0), pairs.len());
+    }
+
+    #[test]
+    fn split_frame_never_panics_on_arbitrary_bytes(
+        bytes in prop::collection::vec(any::<u8>(), 0..256),
+    ) {
+        // Whatever the network delivers, the splitter answers with
+        // Ok(Some), Ok(None), or a typed WireError — by returning here
+        // at all the property holds (a panic fails the test).
+        let _ = split_frame(&bytes);
+    }
+
+    #[test]
+    fn split_frame_survives_truncation_and_bit_flips(
+        seq in any::<u64>(),
+        tag in any::<u64>(),
+        payload in prop::collection::vec(any::<u8>(), 0..96),
+        cut_pick in any::<usize>(),
+        flip_pick in any::<usize>(),
+    ) {
+        let frame = good_frame(7, seq, tag, &payload);
+        // The pristine frame parses back exactly.
+        let (h, total) = split_frame(&frame).unwrap().expect("complete frame");
+        prop_assert_eq!(total, frame.len());
+        prop_assert_eq!((h.a, h.b, h.len as usize), (seq, tag, payload.len()));
+
+        // Every truncation is "keep reading", not an error and not a panic:
+        // the splitter must never trust a length before the bytes arrive.
+        let cut = cut_pick % frame.len();
+        prop_assert_eq!(split_frame(&frame[..cut]).unwrap(), None);
+
+        // A single flipped bit anywhere: still a total function. Flips in
+        // the length field may announce an oversized frame — that must be
+        // the typed Malformed rejection, before any allocation.
+        let mut evil = frame.clone();
+        let bit = flip_pick % (evil.len() * 8);
+        evil[bit / 8] ^= 1 << (bit % 8);
+        match split_frame(&evil) {
+            Ok(_) => {}
+            Err(WireError::Malformed(_)) | Err(WireError::Truncated) => {}
+            Err(e) => return Err(TestCaseError::fail(format!("unexpected error class: {e:?}"))),
+        }
+    }
+
+    #[test]
+    fn split_frame_rejects_length_lies_before_allocating(
+        lie in MAX_FRAME_PAYLOAD + 1..u32::MAX,
+    ) {
+        // A header announcing an absurd payload length, with no payload
+        // behind it: rejected from the header alone.
+        let mut out = Vec::new();
+        FrameHeader { channel: CH_DATA, comm: 0, a: 0, b: 0, len: lie, sum: 0 }.write(&mut out);
+        prop_assert!(matches!(
+            split_frame(&out),
+            Err(WireError::Malformed("oversized frame"))
+        ));
+    }
+
+    #[test]
+    fn wire_decoders_are_total_on_hostile_payloads(
+        vals in prop::collection::vec(any::<u64>(), 0..24),
+        text_bytes in prop::collection::vec(any::<u8>(), 0..24),
+        cut_pick in any::<usize>(),
+        flip_pick in any::<usize>(),
+    ) {
+        // Round-trip sanity, then the same bytes truncated and bit-flipped:
+        // decode must return Ok or a typed WireError, never panic and
+        // never read out of bounds.
+        let value = (vals, String::from_utf8_lossy(&text_bytes).into_owned());
+        let bytes = wire::encode(&value);
+        prop_assert_eq!(wire::decode::<(Vec<u64>, String)>(&bytes).unwrap(), value);
+
+        let cut = cut_pick % bytes.len().max(1);
+        let _ = wire::decode::<(Vec<u64>, String)>(&bytes[..cut.min(bytes.len())]);
+
+        if !bytes.is_empty() {
+            let mut evil = bytes.clone();
+            let bit = flip_pick % (evil.len() * 8);
+            evil[bit / 8] ^= 1 << (bit % 8);
+            let _ = wire::decode::<(Vec<u64>, String)>(&evil);
+            let _ = wire::decode::<Vec<(u32, u32)>>(&evil);
+            let _ = wire::decode::<String>(&evil);
+        }
     }
 
     #[test]

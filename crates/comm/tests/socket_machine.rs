@@ -111,6 +111,49 @@ fn worker_entry_rejects_non_socket_configs() {
 }
 
 #[test]
+fn lone_worker_mesh_timeout_names_joined_and_missing_ranks() {
+    // A worker of a 2-endpoint machine whose peer never starts: the
+    // formation failure must say exactly who made it into the mesh and
+    // who is missing — not a bare timeout the operator has to bisect.
+    let l0 = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let l1 = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addrs = [
+        l0.local_addr().unwrap().to_string(),
+        l1.local_addr().unwrap().to_string(),
+    ];
+    drop((l0, l1));
+    let cfg = MachineConfig::new(2)
+        .with_endpoints(addrs)
+        .with_handshake_timeout(Duration::from_millis(300))
+        .with_io_timeout(Duration::from_secs(5));
+    let start = Instant::now();
+    let err = Machine::try_run_worker(cfg, Some(0), |_| ()).unwrap_err();
+    match err {
+        MachineError::Transport {
+            rank: 0,
+            source:
+                TransportError::MeshIncomplete {
+                    ref joined,
+                    ref missing,
+                    ..
+                },
+        } => {
+            assert_eq!(joined, &vec![0], "only this worker joined");
+            assert_eq!(missing, &vec![1], "the absent peer is named");
+        }
+        other => panic!("expected MeshIncomplete, got {other:?}"),
+    }
+    // And the human-readable rendering carries the rank lists.
+    let msg = err.to_string();
+    assert!(msg.contains("joined") && msg.contains("missing"), "{msg}");
+    assert!(
+        start.elapsed() < Duration::from_secs(2),
+        "bounded by the handshake timeout, took {:?}",
+        start.elapsed()
+    );
+}
+
+#[test]
 fn workers_with_static_endpoints_form_a_machine_across_fabrics() {
     // Two worker entries (as two threads standing in for two processes)
     // against a static endpoint table: the same entry path the launcher

@@ -50,14 +50,15 @@ mod runner;
 mod service;
 
 pub use kamsta_comm::{
-    AlltoallKind, CostModel, Machine, MachineConfig, MachineError, TransportError, TransportKind,
+    AlltoallKind, CostModel, FaultPlan, LethalFault, LethalKind, Machine, MachineConfig,
+    MachineError, TransportError, TransportKind,
 };
 pub use kamsta_core::dist::{DedupStrategy, MstConfig};
 pub use kamsta_core::{verify_msf, Phase, PhaseTimes};
 pub use kamsta_dyn::{DynConfig, DynMst, Update, UpdateStats};
 pub use kamsta_graph::{GraphConfig, InputGraph, WEdge};
 pub use runner::{Algorithm, RunSummary, Runner};
-pub use service::{MstService, MstServiceBuilder, Request, Response};
+pub use service::{MstService, MstServiceBuilder, Request, Response, ServiceError};
 
 /// Convenience: single-node minimum spanning forest of an edge list
 /// (undirected or symmetric directed), via the shared-memory parallel

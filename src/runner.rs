@@ -3,7 +3,7 @@
 //! benchmark harness reports.
 
 use kamsta_baselines::{mnd_mst, sparse_matrix, MndConfig};
-use kamsta_comm::{AlltoallKind, CostModel, Machine, MachineConfig, TransportKind};
+use kamsta_comm::{AlltoallKind, CostModel, FaultPlan, Machine, MachineConfig, TransportKind};
 use kamsta_core::dist::{boruvka_mst, filter_mst, FilterStats, MstConfig};
 use kamsta_core::PhaseTimes;
 use kamsta_graph::{GraphConfig, InputGraph, WEdge};
@@ -104,6 +104,14 @@ impl Runner {
     /// Override the machine cost model.
     pub fn with_cost(mut self, cost: CostModel) -> Self {
         self.machine = self.machine.with_cost(cost);
+        self
+    }
+
+    /// Arm deterministic transport fault injection for every run
+    /// (overrides `KAMSTA_FAULTS`). Transient plans must not change any
+    /// result or modeled counter; see `kamsta_comm::FaultPlan`.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.machine = self.machine.with_faults(plan);
         self
     }
 
@@ -295,6 +303,27 @@ mod tests {
         let b = Runner::new(4, 8).run_generated(config, Algorithm::Boruvka, 3);
         assert_eq!(a.msf_weight, b.msf_weight);
         assert_eq!(a.msf_edges, b.msf_edges);
+    }
+
+    #[test]
+    fn armed_transient_faults_dont_change_the_summary() {
+        let config = GraphConfig::Grid2D { rows: 10, cols: 10 };
+        let plain = Runner::new(4, 1).run_generated(config, Algorithm::Boruvka, 7);
+        let noisy = Runner::new(4, 1)
+            .with_transport(TransportKind::Bytes)
+            .with_faults(
+                FaultPlan::seeded(3)
+                    .with_short_writes(0.4)
+                    .with_short_reads(0.4)
+                    .with_duplicates(0.3)
+                    .with_retries(0.3),
+            )
+            .run_generated(config, Algorithm::Boruvka, 7);
+        assert_eq!(plain.msf_weight, noisy.msf_weight);
+        assert_eq!(plain.msf_edges, noisy.msf_edges);
+        assert_eq!(plain.messages, noisy.messages);
+        assert_eq!(plain.bytes, noisy.bytes);
+        assert_eq!(plain.modeled_time, noisy.modeled_time);
     }
 
     #[test]

@@ -49,6 +49,42 @@ pub enum Response {
     Count(u64),
     /// Forest membership.
     Membership(bool),
+    /// The service is poisoned by an unrecoverable machine failure and
+    /// refuses the request; see [`MstService::poisoned`] for the cause.
+    Degraded,
+}
+
+/// A failed service operation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServiceError {
+    /// This call's machine run failed with a typed error. The service
+    /// is now **poisoned**: the batch that failed is dropped, the
+    /// cached forest state stays at the last successful flush, and
+    /// every subsequent fallible call returns
+    /// [`ServiceError::Degraded`] — typed, immediate, never a hang.
+    Machine(MachineError),
+    /// The service was already poisoned by an earlier failure (carried
+    /// inside); the request was refused without spinning up a machine.
+    Degraded(MachineError),
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::Machine(e) => write!(f, "machine run failed: {e}"),
+            ServiceError::Degraded(e) => {
+                write!(f, "service degraded by an earlier failure: {e}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServiceError::Machine(e) | ServiceError::Degraded(e) => Some(e),
+        }
+    }
 }
 
 /// An MSF service over a simulated machine: owns the sharded dynamic
@@ -60,6 +96,9 @@ pub struct MstService {
     rep: DynReplicated,
     queue: Vec<Update>,
     max_batch: usize,
+    /// `Some` once a machine run failed unrecoverably: the service is
+    /// degraded and refuses further machine work (see [`ServiceError`]).
+    poisoned: Option<MachineError>,
 }
 
 /// The one construction path for [`MstService`]: a fluent builder whose
@@ -133,6 +172,7 @@ impl MstServiceBuilder {
             rep: DynReplicated::default(),
             queue: Vec::new(),
             max_batch: self.max_batch,
+            poisoned: None,
         })
     }
 }
@@ -201,16 +241,60 @@ impl MstService {
         })
     }
 
+    /// The failure that poisoned this service, when one occurred. A
+    /// poisoned service still answers [`MstService::stats`] and
+    /// [`MstService::pending`], but refuses everything that would spin
+    /// up the machine or read possibly-stale forest state.
+    pub fn poisoned(&self) -> Option<&MachineError> {
+        self.poisoned.as_ref()
+    }
+
+    /// Gate for every fallible operation: a poisoned service answers
+    /// with a typed degradation error immediately.
+    fn check_poisoned(&self) -> Result<(), ServiceError> {
+        match &self.poisoned {
+            Some(e) => Err(ServiceError::Degraded(e.clone())),
+            None => Ok(()),
+        }
+    }
+
+    /// Record an unrecoverable machine failure: the service degrades
+    /// (state frozen at the last successful flush) and the error is
+    /// surfaced typed, now and on every later call.
+    fn poison(&mut self, e: MachineError) -> ServiceError {
+        self.poisoned = Some(e.clone());
+        ServiceError::Machine(e)
+    }
+
     /// Replace the edge set by a generated family and solve its MSF once
     /// through the static pipeline (dropping any queued updates).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a machine failure; see
+    /// [`MstService::try_load_generated`] for the typed variant.
     pub fn load_generated(&mut self, config: GraphConfig, seed: u64) {
+        self.try_load_generated(config, seed)
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Fallible [`MstService::load_generated`]: an unrecoverable
+    /// transport failure degrades the service instead of panicking.
+    pub fn try_load_generated(
+        &mut self,
+        config: GraphConfig,
+        seed: u64,
+    ) -> Result<(), ServiceError> {
+        self.check_poisoned()?;
         let cfg = self.cfg;
-        let out = Machine::run(self.machine.clone(), move |comm| {
+        let out = Machine::try_run(self.machine.clone(), move |comm| {
             let input = InputGraph::generate(comm, config, seed);
             DynMst::bootstrap(comm, cfg, &input).into_parts()
-        });
+        })
+        .map_err(|e| self.poison(e))?;
         self.queue.clear();
         self.install(out.results);
+        Ok(())
     }
 
     /// True if every endpoint of the update lies in the configured
@@ -228,78 +312,142 @@ impl MstService {
     /// are dropped (see [`Self::handle`] for the reporting variant) —
     /// the maintainer would otherwise panic the whole machine
     /// mid-flush on a malformed client request.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a machine failure; see [`MstService::try_submit`].
     pub fn submit(&mut self, up: Update) -> Option<BatchOutcome> {
+        self.try_submit(up).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`MstService::submit`]: a degraded service refuses the
+    /// update, and an auto-flush failure degrades the service.
+    pub fn try_submit(&mut self, up: Update) -> Result<Option<BatchOutcome>, ServiceError> {
+        self.check_poisoned()?;
         if !self.in_range(&up) {
-            return None;
+            return Ok(None);
         }
         self.queue.push(up);
         if self.queue.len() >= self.max_batch {
-            self.flush()
+            self.try_flush()
         } else {
-            None
+            Ok(None)
         }
     }
 
     /// Apply every queued update as one batch. `None` when the queue was
     /// empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a machine failure; see [`MstService::try_flush`].
     pub fn flush(&mut self) -> Option<BatchOutcome> {
+        self.try_flush().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`MstService::flush`]: an unrecoverable transport
+    /// failure poisons the service — the failing batch is dropped, the
+    /// cached forest stays at the last successful flush, and every
+    /// later fallible call answers [`ServiceError::Degraded`]
+    /// immediately instead of panicking or blocking on a dead machine.
+    pub fn try_flush(&mut self) -> Result<Option<BatchOutcome>, ServiceError> {
+        self.check_poisoned()?;
         if self.queue.is_empty() {
-            return None;
+            return Ok(None);
         }
         let batch = std::mem::take(&mut self.queue);
         let (cfg, rep) = (self.cfg, self.rep);
         let shards = &self.shards;
-        let out = Machine::run(self.machine.clone(), move |comm| {
+        let machine = self.machine.clone();
+        let out = Machine::try_run(machine, move |comm| {
             let shard = shards[comm.rank()].clone();
             let mut dynmst = DynMst::from_parts(comm, cfg, shard, rep);
             let slice: &[Update] = if comm.rank() == 0 { &batch } else { &[] };
             let outcome = dynmst.apply_batch(comm, slice);
             let (shard, rep) = dynmst.into_parts();
             (shard, rep, outcome)
-        });
+        })
+        .map_err(|e| self.poison(e))?;
         let outcome = out.results[0].2;
         self.install(out.results.into_iter().map(|(s, r, _)| (s, r)).collect());
-        Some(outcome)
+        Ok(Some(outcome))
     }
 
     /// Forest weight (flushes pending updates first).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a machine failure; see [`MstService::try_msf_weight`].
     pub fn msf_weight(&mut self) -> u64 {
-        self.flush();
-        self.rep.weight
+        self.try_msf_weight().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`MstService::msf_weight`].
+    pub fn try_msf_weight(&mut self) -> Result<u64, ServiceError> {
+        self.try_flush()?;
+        Ok(self.rep.weight)
     }
 
     /// Forest size (flushes pending updates first).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a machine failure; see
+    /// [`MstService::try_msf_edge_count`].
     pub fn msf_edge_count(&mut self) -> u64 {
-        self.flush();
-        self.rep.msf_edges
+        self.try_msf_edge_count().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`MstService::msf_edge_count`].
+    pub fn try_msf_edge_count(&mut self) -> Result<u64, ServiceError> {
+        self.try_flush()?;
+        Ok(self.rep.msf_edges)
     }
 
     /// Forest membership of `{u, v}`, answered by a binary search on the
     /// pair's home shard — no machine run (flushes pending updates
     /// first).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a machine failure; see [`MstService::try_in_msf`].
     pub fn in_msf(&mut self, u: VertexId, v: VertexId) -> bool {
-        self.flush();
+        self.try_in_msf(u, v).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`MstService::in_msf`].
+    pub fn try_in_msf(&mut self, u: VertexId, v: VertexId) -> Result<bool, ServiceError> {
+        self.try_flush()?;
         if u == v || u >= self.cfg.n || v >= self.cfg.n {
-            return false;
+            return Ok(false);
         }
         let (a, b) = (u.min(v), u.max(v));
         let shard = &self.shards[home_of_pair(self.cfg.n, self.shards.len(), a, b)];
-        shard
+        Ok(shard
             .msf
             .binary_search_by(|e| (e.u, e.v).cmp(&(a, b)))
-            .is_ok()
+            .is_ok())
     }
 
     /// The full forest as a canonical sorted edge list (flushes first).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a machine failure; see [`MstService::try_msf_edges`].
     pub fn msf_edges(&mut self) -> Vec<WEdge> {
-        self.flush();
+        self.try_msf_edges().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`MstService::msf_edges`].
+    pub fn try_msf_edges(&mut self) -> Result<Vec<WEdge>, ServiceError> {
+        self.try_flush()?;
         let mut out: Vec<WEdge> = self
             .shards
             .iter()
             .flat_map(|s| s.msf.iter().map(|e| e.wedge()))
             .collect();
         out.sort_unstable();
-        out
+        Ok(out)
     }
 
     /// Lifetime update statistics (does not flush).
@@ -312,21 +460,23 @@ impl MstService {
         self.queue.len()
     }
 
-    /// Serve one request.
+    /// Serve one request. A machine failure (or an already-degraded
+    /// service) answers [`Response::Degraded`] — the loop keeps serving,
+    /// every request gets a typed answer, nothing panics or blocks.
     pub fn handle(&mut self, req: Request) -> Response {
-        match req {
+        let served = match req {
             Request::Update(up) => {
                 if !self.in_range(&up) {
                     return Response::Rejected;
                 }
-                self.submit(up);
-                Response::Queued
+                self.try_submit(up).map(|_| Response::Queued)
             }
-            Request::Flush => Response::Flushed(self.flush()),
-            Request::MsfWeight => Response::Weight(self.msf_weight()),
-            Request::MsfEdgeCount => Response::Count(self.msf_edge_count()),
-            Request::InMsf(u, v) => Response::Membership(self.in_msf(u, v)),
-        }
+            Request::Flush => self.try_flush().map(Response::Flushed),
+            Request::MsfWeight => self.try_msf_weight().map(Response::Weight),
+            Request::MsfEdgeCount => self.try_msf_edge_count().map(Response::Count),
+            Request::InMsf(u, v) => self.try_in_msf(u, v).map(Response::Membership),
+        };
+        served.unwrap_or(Response::Degraded)
     }
 
     /// The request loop: serve a whole script of requests in order.
