@@ -1,31 +1,54 @@
 //! **Perf check**: CI gate over a `perf_trajectory` JSON. Reads the file
-//! given as the first argument (default `BENCH_pr7.json`), inspects every
+//! given as the first argument (default `BENCH_pr8.json`), inspects every
 //! *static* entry (the `dyn-*` workload is excluded — its wall time is
 //! dominated by the update stream, not the substrate; `chaos-*` entries
 //! are excluded too — they track the fault-injection machinery's own
-//! overhead, not the substrate's trajectory) and fails with exit
-//! code 1 if any entry's `wall_speedup_vs_baseline` falls below the
-//! threshold — i.e. if its wall time regressed by more than the allowed
-//! fraction against the baseline the trajectory run was given.
+//! overhead, not the substrate's trajectory) and fails with exit code 1
+//! if any of them regressed:
+//!
+//! * `wall_speedup_vs_baseline` below the threshold — the entry's wall
+//!   time regressed by more than the allowed fraction against the
+//!   baseline the trajectory run was given;
+//! * `divergence_vs_baseline` above the growth bound — the entry's
+//!   wall-seconds-per-modeled-second ratio blew up relative to the
+//!   baseline. The modeled α-β-γ clock only covers the solve, so a
+//!   generator or preparation wall cliff (the PR 8 RHG sweep bug's
+//!   shape) moves *only* this ratio; gating it is what keeps such
+//!   cliffs from landing silently;
+//! * a static entry missing `wall_speedup_vs_baseline` entirely — every
+//!   gated family must be measured against a baseline row; a silent gap
+//!   is how the geometric families escaped the gate before PR 8.
 //!
 //! Environment:
 //!
 //! * `KAMSTA_PERF_MIN_SPEEDUP` — minimum acceptable speedup (default
-//!   `0.9`: fail on a >10% wall-time regression).
+//!   `0.9`: fail on a >10% wall-time regression);
+//! * `KAMSTA_PERF_MAX_DIVERGENCE_GROWTH` — maximum acceptable
+//!   `divergence_vs_baseline` (default `10.0`);
+//! * `KAMSTA_PERF_ALLOW_MISSING` — set to `1` to demote missing
+//!   speedup fields back to a warning (for trajectory runs taken
+//!   without a baseline file).
 
 use kamsta_bench::{perf_entry_lines, perf_json_field as field};
+
+fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
 
 fn main() {
     let path = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_pr7.json".to_string());
-    let min: f64 = std::env::var("KAMSTA_PERF_MIN_SPEEDUP")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(0.9);
+        .unwrap_or_else(|| "BENCH_pr8.json".to_string());
+    let min = env_f64("KAMSTA_PERF_MIN_SPEEDUP", 0.9);
+    let max_div = env_f64("KAMSTA_PERF_MAX_DIVERGENCE_GROWTH", 10.0);
+    let allow_missing = std::env::var("KAMSTA_PERF_ALLOW_MISSING").is_ok_and(|v| v == "1");
     let text = std::fs::read_to_string(&path)
         .unwrap_or_else(|e| panic!("perf_check: cannot read {path}: {e}"));
 
+    let mut seen = 0usize;
     let mut checked = 0usize;
     let mut failures = Vec::new();
     for line in perf_entry_lines(&text) {
@@ -35,35 +58,64 @@ fn main() {
         if algo.starts_with("dyn-") || algo.starts_with("chaos-") {
             continue;
         }
-        let Some(speedup) = field(line, "wall_speedup_vs_baseline").and_then(|s| s.parse().ok())
-        else {
-            eprintln!("perf_check: {inst}/{algo} has no wall_speedup_vs_baseline — skipped");
+        seen += 1;
+        let speedup: Option<f64> =
+            field(line, "wall_speedup_vs_baseline").and_then(|s| s.parse().ok());
+        let Some(speedup) = speedup else {
+            if allow_missing {
+                eprintln!("perf_check: {inst}/{algo} has no wall_speedup_vs_baseline — allowed");
+            } else {
+                eprintln!("perf_check: {inst:>5}/{algo:<16} missing speedup [FAIL]");
+                failures.push(format!(
+                    "{inst}/{algo}: no wall_speedup_vs_baseline (set \
+                     KAMSTA_PERF_ALLOW_MISSING=1 for baseline-less runs)"
+                ));
+            }
             continue;
         };
         checked += 1;
-        let speedup: f64 = speedup;
-        let status = if speedup < min { "FAIL" } else { "ok" };
-        eprintln!("perf_check: {inst:>5}/{algo:<16} wall speedup {speedup:.3} [{status}]");
-        if speedup < min {
-            failures.push(format!("{inst}/{algo}: {speedup:.3} < {min:.3}"));
+        let div: Option<f64> = field(line, "divergence_vs_baseline").and_then(|s| s.parse().ok());
+        let speed_ok = speedup >= min;
+        let div_ok = div.is_none_or(|d| d <= max_div);
+        let status = if speed_ok && div_ok { "ok" } else { "FAIL" };
+        let div_str = div.map_or(String::new(), |d| format!(" divergence x{d:.2}"));
+        eprintln!("perf_check: {inst:>5}/{algo:<16} wall speedup {speedup:.3}{div_str} [{status}]");
+        if !speed_ok {
+            failures.push(format!("{inst}/{algo}: speedup {speedup:.3} < {min:.3}"));
+        }
+        if !div_ok {
+            failures.push(format!(
+                "{inst}/{algo}: wall/modeled divergence grew x{:.2} > x{max_div:.2} \
+                 vs baseline (wall cliff outside the modeled scopes)",
+                div.unwrap()
+            ));
         }
     }
 
-    if checked == 0 {
+    // An empty/corrupt file must fail even with the opt-out; a
+    // baseline-less run under KAMSTA_PERF_ALLOW_MISSING=1 has static
+    // entries but nothing gateable, which is the point of the opt-out.
+    if seen == 0 {
+        eprintln!("perf_check: no static entries found in {path}");
+        std::process::exit(1);
+    }
+    if checked == 0 && failures.is_empty() && !allow_missing {
         eprintln!("perf_check: no static entries with speedups found in {path}");
         std::process::exit(1);
     }
     if !failures.is_empty() {
         eprintln!(
-            "perf_check: wall-time regression beyond {:.0}% on {} entr{}:",
-            (1.0 - min) * 100.0,
+            "perf_check: {} failure{}:",
             failures.len(),
-            if failures.len() == 1 { "y" } else { "ies" }
+            if failures.len() == 1 { "" } else { "s" }
         );
         for f in &failures {
             eprintln!("  {f}");
         }
         std::process::exit(1);
     }
-    eprintln!("perf_check: all {checked} static entries within budget (min speedup {min:.3})");
+    eprintln!(
+        "perf_check: all {checked} static entries within budget \
+         (min speedup {min:.3}, max divergence growth x{max_div:.2})"
+    );
 }

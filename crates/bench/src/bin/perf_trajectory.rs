@@ -18,6 +18,16 @@
 //! excluded, matching the paper's methodology); `wall_time` still spans
 //! the whole simulation.
 //!
+//! Since PR 8 every static entry also carries the wall-side phase
+//! breakdown (`wall_generate` / `wall_prepare` / `wall_solve` /
+//! `wall_redistribute`, the bottleneck-reduced [`kamsta::WallStats`]
+//! scopes) plus `wall_modeled_divergence` = `wall_time / modeled_time`.
+//! The divergence is the one number the modeled α-β-γ clock cannot see:
+//! a generator or preparation wall cliff leaves `modeled_time` untouched
+//! and blows this ratio up instead. With a baseline, each matched entry
+//! additionally gets `divergence_vs_baseline` — its divergence relative
+//! to the baseline's — which `perf_check` gates.
+//!
 //! Environment:
 //!
 //! * `KAMSTA_MAX_CORES` — simulated core count (default 16);
@@ -30,7 +40,7 @@
 //!   nested `"baseline"` section is ignored) are embedded under
 //!   `"baseline"` together with a `"baseline_source"` naming the file
 //!   they came from, and per-entry speedups are computed;
-//! * `KAMSTA_PERF_OUT` — output path (default `BENCH_pr7.json`);
+//! * `KAMSTA_PERF_OUT` — output path (default `BENCH_pr8.json`);
 //! * `KAMSTA_TRANSPORT` — transport backend (`cells` | `bytes` |
 //!   `sockets`) for the simulated machines, resolved by `MachineConfig`
 //!   itself.
@@ -49,7 +59,7 @@
 //! plain `boruvka-1-sockets` wall is the overhead a production run
 //! would pay for always-on corruption detection.
 
-use kamsta::{Algorithm, FaultPlan, MstConfig, RunSummary, TransportKind};
+use kamsta::{Algorithm, FaultPlan, MstConfig, RunSummary, TransportKind, WallStats};
 use kamsta_bench::{bench_mst_config, dyn_throughput_workload, env_usize, Variant, WeakScale};
 
 const SEED: u64 = 42;
@@ -78,6 +88,17 @@ struct Entry {
     edges_per_second: f64,
     msf_weight: u64,
     input_edges: u64,
+    /// Wall-side phase breakdown; `None` for the dynamic workload (its
+    /// wall is the whole update stream, not one generate→solve pass).
+    wall: Option<WallStats>,
+}
+
+impl Entry {
+    /// Wall seconds per modeled second — the ratio the modeled clock is
+    /// blind to (see module docs).
+    fn divergence(&self) -> f64 {
+        self.wall_time / self.modeled_time.max(f64::MIN_POSITIVE)
+    }
 }
 
 fn run_entry(
@@ -128,10 +149,13 @@ fn run_entry(
         edges_per_second: s.edges_per_second,
         msf_weight: s.msf_weight,
         input_edges: s.input_edges,
+        wall: Some(s.wall_stats),
     })
 }
 
-fn json_entry(e: &Entry, speedup: Option<(f64, f64)>) -> String {
+/// One entry line. `baseline` is the matched `(wall, modeled)` row of
+/// the previous run, if any.
+fn json_entry(e: &Entry, baseline: Option<(f64, f64)>) -> String {
     let mut s = format!(
         "    {{\"instance\": \"{}\", \"cores\": {}, \"algo\": \"{}\", \
          \"wall_time\": {:.6}, \"modeled_time\": {:.6}, \
@@ -145,10 +169,26 @@ fn json_entry(e: &Entry, speedup: Option<(f64, f64)>) -> String {
         e.msf_weight,
         e.input_edges
     );
-    if let Some((wall, modeled)) = speedup {
+    if let Some(w) = &e.wall {
         s.push_str(&format!(
-            ", \"wall_speedup_vs_baseline\": {wall:.3}, \
-             \"modeled_speedup_vs_baseline\": {modeled:.3}"
+            ", \"wall_generate\": {:.6}, \"wall_prepare\": {:.6}, \
+             \"wall_solve\": {:.6}, \"wall_redistribute\": {:.6}",
+            w.generate, w.prepare, w.solve, w.redistribute
+        ));
+    }
+    s.push_str(&format!(
+        ", \"wall_modeled_divergence\": {:.3}",
+        e.divergence()
+    ));
+    if let Some((bw, bm)) = baseline {
+        let base_div = bw / bm.max(f64::MIN_POSITIVE);
+        s.push_str(&format!(
+            ", \"wall_speedup_vs_baseline\": {:.3}, \
+             \"modeled_speedup_vs_baseline\": {:.3}, \
+             \"divergence_vs_baseline\": {:.3}",
+            bw / e.wall_time,
+            bm / e.modeled_time,
+            e.divergence() / base_div.max(f64::MIN_POSITIVE)
         ));
     }
     s.push('}');
@@ -190,7 +230,7 @@ fn main() {
     let ws = WeakScale::from_env();
     let cfg = bench_mst_config();
     let out_path =
-        std::env::var("KAMSTA_PERF_OUT").unwrap_or_else(|_| "BENCH_pr7.json".to_string());
+        std::env::var("KAMSTA_PERF_OUT").unwrap_or_else(|_| "BENCH_pr8.json".to_string());
     let baseline_source = std::env::var("KAMSTA_BASELINE").ok();
     let baseline: Vec<(String, String, f64, f64)> = baseline_source
         .as_ref()
@@ -279,6 +319,7 @@ fn main() {
             edges_per_second: touched as f64 / t.dyn_modeled.max(f64::MIN_POSITIVE),
             msf_weight: t.final_weight,
             input_edges: t.ops,
+            wall: None,
         });
     }
 
@@ -291,9 +332,18 @@ fn main() {
 
     let mut body: Vec<String> = Vec::new();
     for e in &entries {
-        let speedup =
-            lookup(e.instance, &e.algo).map(|(bw, bm)| (bw / e.wall_time, bm / e.modeled_time));
-        body.push(json_entry(e, speedup));
+        let base = lookup(e.instance, &e.algo);
+        if base.is_none() && !baseline.is_empty() {
+            // A baseline was supplied but has no row for this entry —
+            // perf_check will refuse the gap on static entries, so make
+            // it visible at measurement time.
+            eprintln!(
+                "perf_trajectory: warning: baseline has no ({}, {}) row — \
+                 entry gets no *_vs_baseline fields",
+                e.instance, e.algo
+            );
+        }
+        body.push(json_entry(e, base));
     }
     let mut json = String::from("{\n");
     json.push_str(&format!(

@@ -444,6 +444,40 @@ mod tests {
     }
 
     #[test]
+    fn perf_json_field_extracts_values() {
+        let line = r#"    {"instance": "RHG", "cores": 16, "algo": "boruvka-1", "wall_time": 2.166799, "divergence_vs_baseline": 1.013}"#;
+        assert_eq!(perf_json_field(line, "instance").as_deref(), Some("RHG"));
+        assert_eq!(perf_json_field(line, "cores").as_deref(), Some("16"));
+        // Last field: value terminated by '}' instead of ','.
+        assert_eq!(
+            perf_json_field(line, "divergence_vs_baseline").as_deref(),
+            Some("1.013")
+        );
+        assert_eq!(perf_json_field(line, "msf_weight"), None);
+    }
+
+    #[test]
+    fn perf_entry_lines_stop_at_baseline_not_baseline_source() {
+        // "baseline_source" precedes the "baseline" array in the files
+        // perf_trajectory writes; it must NOT terminate the entry scan,
+        // while the baseline rows themselves must be excluded.
+        let text = "\
+{
+  \"entries\": [
+    {\"instance\": \"GNM\", \"algo\": \"boruvka-1\", \"wall_time\": 0.1},
+    {\"instance\": \"RHG\", \"algo\": \"boruvka-1\", \"wall_time\": 0.2}
+  ],
+  \"baseline_source\": \"BENCH_pr7.json\",
+  \"baseline\": [
+    {\"instance\": \"GNM\", \"algo\": \"boruvka-1\", \"wall_time\": 0.3}
+  ]
+}";
+        let entries: Vec<&str> = perf_entry_lines(text).collect();
+        assert_eq!(entries.len(), 2, "baseline rows leaked into entries");
+        assert!(entries[1].contains("RHG"));
+    }
+
+    #[test]
     fn weak_scale_config_resolves_families() {
         let ws = WeakScale {
             v_per_core: 8,

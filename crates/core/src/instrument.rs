@@ -73,6 +73,13 @@ impl PhaseTimes {
         out
     }
 
+    /// Wall seconds spent in the redistribution phases (`redistribute`
+    /// plus `basecase+redistributeMST`) — the wall-side seam the
+    /// run-level [`WallStats`] breakdown splits the solve scope at.
+    pub fn redistribution_wall(&self) -> f64 {
+        self.wall[Phase::Redistribute.index()] + self.wall[Phase::BaseCaseRedistributeMst.index()]
+    }
+
     /// Merge per-PE times into the bottleneck profile (element-wise max):
     /// the modeled BSP clock advances with the slowest PE per phase.
     pub fn reduce_max(comm: &Comm, mine: &PhaseTimes) -> PhaseTimes {
@@ -85,6 +92,54 @@ impl PhaseTimes {
         PhaseTimes {
             modeled: merged_m.try_into().unwrap(),
             wall: merged_w.try_into().unwrap(),
+        }
+    }
+}
+
+/// Wall-clock breakdown of one full run by pipeline scope.
+///
+/// The modeled `PeStats` counters are **algorithm-scoped** by design —
+/// the paper times its algorithms on prepared KaGen inputs, so input
+/// generation and preparation are excluded from the α-β-γ clock. That
+/// scoping makes the modeled counters structurally blind to wall-time
+/// regressions outside the solve window (a generator cliff never moves
+/// a modeled number). `WallStats` is the wall-side mirror: it covers
+/// the whole simulation, cut at the same seams the modeled scopes use —
+/// generate (graph generation or input distribution), prepare
+/// (`InputGraph` construction: id assignment, compression, pair-id
+/// canonicalisation), solve (the algorithm minus its redistribution
+/// rounds) and redistribute (the `redistribute` +
+/// `basecase+redistributeMST` phase walls).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct WallStats {
+    /// Graph generation / input distribution wall seconds.
+    pub generate: f64,
+    /// Input preparation wall seconds.
+    pub prepare: f64,
+    /// Algorithm wall seconds excluding the redistribution rounds.
+    pub solve: f64,
+    /// Redistribution wall seconds (within the algorithm).
+    pub redistribute: f64,
+}
+
+impl WallStats {
+    /// Total measured wall seconds across the four scopes.
+    pub fn total(&self) -> f64 {
+        self.generate + self.prepare + self.solve + self.redistribute
+    }
+
+    /// Merge per-PE breakdowns into the bottleneck profile (element-wise
+    /// max), mirroring [`PhaseTimes::reduce_max`]. Collective.
+    pub fn reduce_max(comm: &Comm, mine: &WallStats) -> WallStats {
+        let merged = comm.allreduce(
+            vec![mine.generate, mine.prepare, mine.solve, mine.redistribute],
+            |a, b| a.iter().zip(b).map(|(x, y)| x.max(*y)).collect(),
+        );
+        WallStats {
+            generate: merged[0],
+            prepare: merged[1],
+            solve: merged[2],
+            redistribute: merged[3],
         }
     }
 }

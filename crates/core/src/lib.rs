@@ -23,5 +23,5 @@ pub mod seq;
 pub mod shared;
 mod verify;
 
-pub use instrument::{Phase, PhaseTimes, Phased};
+pub use instrument::{Phase, PhaseTimes, Phased, WallStats};
 pub use verify::verify_msf;

@@ -11,7 +11,7 @@
 
 use super::{sort_local, weight_of};
 use crate::edge::WEdge;
-use crate::hash::{hash3, unit_f64};
+use crate::hash::{hash3, unit_f64, FxHashMap};
 use kamsta_comm::Comm;
 
 /// Geometry of a regularised RGG: `g^DIM` cells, `k` points per cell.
@@ -137,21 +137,38 @@ fn rgg<const DIM: usize>(comm: &Comm, n: u64, m: u64, seed: u64) -> Vec<WEdge> {
     let cells = grid.cells();
     let range = super::block_range(cells, comm.size(), comm.rank());
     let r2 = grid.radius * grid.radius;
+    // Same shape fix as the RHG sweep: each touched cell (own slice +
+    // halo) is hashed into existence exactly once per run instead of
+    // once per neighbour visit, and undirected pairs with both cells
+    // locally owned are tested once — from the lower cell / lower id —
+    // emitting both directions. The edge set is identical to the naive
+    // neighbourhood scan.
+    let mut cache: FxHashMap<u64, Vec<([f64; DIM], u64)>> = FxHashMap::default();
     let mut edges = Vec::new();
     let mut work = 0u64;
-    for cidx in range {
-        let mine = grid.points(cidx);
+    for cidx in range.clone() {
+        let mine = cache
+            .entry(cidx)
+            .or_insert_with(|| grid.points(cidx))
+            .clone();
         for ncell in grid.neighbours(cidx) {
-            let theirs = if ncell == cidx {
-                mine.clone()
-            } else {
-                grid.points(ncell)
-            };
-            work += (mine.len() * theirs.len()) as u64;
+            let owned = range.contains(&ncell);
+            if owned && ncell < cidx {
+                // The sweep of ncell tests this cell pair.
+                continue;
+            }
+            let theirs = cache.entry(ncell).or_insert_with(|| grid.points(ncell));
             for (apos, aid) in &mine {
-                for (bpos, bid) in &theirs {
-                    if aid != bid && dist2(apos, bpos) <= r2 {
+                for (bpos, bid) in theirs.iter() {
+                    if ncell == cidx && bid <= aid {
+                        continue;
+                    }
+                    work += 1;
+                    if dist2(apos, bpos) <= r2 {
                         edges.push(WEdge::new(*aid, *bid, weight_of(*aid, *bid, seed)));
+                        if owned {
+                            edges.push(WEdge::new(*bid, *aid, weight_of(*bid, *aid, seed)));
+                        }
                     }
                 }
             }
@@ -235,6 +252,40 @@ mod tests {
         for e in &a {
             assert!(set.contains(&e.reversed()));
         }
+    }
+
+    /// The cell-cached, symmetric-pair neighbourhood sweep must emit
+    /// exactly the edge set of the naive all-pairs distance check (cell
+    /// side ≥ radius, so the 3^DIM neighbourhood covers every candidate;
+    /// the pair orientation rules may only skip duplicate work).
+    #[test]
+    fn sweep_matches_bruteforce_all_pairs() {
+        fn check<const DIM: usize>(n: u64, m: u64, seed: u64) {
+            let grid = CellGrid::<DIM>::new(n, m, seed);
+            let points: Vec<([f64; DIM], u64)> =
+                (0..grid.cells()).flat_map(|c| grid.points(c)).collect();
+            let r2 = grid.radius * grid.radius;
+            let mut expected: Vec<WEdge> = Vec::new();
+            for (apos, aid) in &points {
+                for (bpos, bid) in &points {
+                    if aid != bid && dist2(apos, bpos) <= r2 {
+                        expected.push(WEdge::new(*aid, *bid, weight_of(*aid, *bid, seed)));
+                    }
+                }
+            }
+            expected.sort_unstable();
+            for p in [1usize, 3] {
+                let mut got = generate_all::<DIM>(p, n, m, seed);
+                got.sort_unstable();
+                assert_eq!(
+                    got, expected,
+                    "DIM={DIM} n={n} m={m} seed={seed} p={p}: sweep and brute force disagree"
+                );
+            }
+        }
+        check::<2>(400, 3000, 13);
+        check::<2>(250, 1500, 6);
+        check::<3>(300, 2200, 21);
     }
 
     #[test]

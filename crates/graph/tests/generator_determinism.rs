@@ -1,0 +1,76 @@
+//! Generator determinism across PE counts **and** transport backends.
+//!
+//! The geometric generators are communication-free (pure hashing on
+//! `(seed, cell)`), so the distributed edge list must be bit-identical
+//! no matter how many PEs generate it or which transport the machine
+//! runs on — the transports may only move bytes, never perturb
+//! float evaluation order. Compared via an order-sensitive digest of
+//! the globally sorted list, which catches any drift in edge content,
+//! weights, or ordering.
+
+use kamsta_comm::{Machine, MachineConfig, TransportKind};
+use kamsta_graph::{GraphConfig, WEdge};
+
+/// FNV-style order-sensitive digest of a sorted edge list.
+fn digest(edges: &[WEdge]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for e in edges {
+        let mut x = e.u ^ e.v.rotate_left(21) ^ (e.w as u64).rotate_left(42);
+        x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        h ^= x ^ (x >> 31);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h ^ edges.len() as u64
+}
+
+fn generate(p: usize, transport: TransportKind, config: GraphConfig, seed: u64) -> Vec<WEdge> {
+    let mut all: Vec<WEdge> = Machine::run(
+        MachineConfig::new(p).with_transport(transport),
+        move |comm| config.generate(comm, seed),
+    )
+    .results
+    .into_iter()
+    .flatten()
+    .collect();
+    all.sort_unstable();
+    all
+}
+
+#[test]
+fn geometric_generators_deterministic_across_pes_and_transports() {
+    let cases: [(GraphConfig, u64); 3] = [
+        (
+            GraphConfig::Rhg {
+                n: 400,
+                m: 3000,
+                gamma: 3.0,
+            },
+            5,
+        ),
+        (GraphConfig::Rgg2D { n: 400, m: 3000 }, 7),
+        (GraphConfig::Rgg3D { n: 300, m: 2200 }, 9),
+    ];
+    for (config, seed) in cases {
+        let reference = generate(1, TransportKind::Cells, config, seed);
+        assert!(!reference.is_empty(), "{config:?} generated nothing");
+        let want = digest(&reference);
+        for transport in [TransportKind::Cells, TransportKind::Bytes] {
+            for p in [1usize, 2, 4, 16] {
+                let got = generate(p, transport, config, seed);
+                assert_eq!(
+                    digest(&got),
+                    want,
+                    "{config:?} seed={seed}: edge-set digest differs at \
+                     p={p} transport={transport:?}"
+                );
+                assert_eq!(
+                    got, reference,
+                    "{config:?} seed={seed}: edge list differs at \
+                     p={p} transport={transport:?}"
+                );
+            }
+        }
+    }
+}

@@ -104,8 +104,59 @@ fn all_families_symmetric_and_loop_free() {
     }
 }
 
+/// The RHG sweep visits each cell pair from several angular spans (and,
+/// since PR 8, from both orientations of the symmetric-pair rule); a
+/// bookkeeping slip there shows up as the same directed {u,v} emitted
+/// twice. Duplicates are a hard invariant violation — `InputGraph`
+/// assumes a duplicate-free sorted list — so pin it across PE counts
+/// and seeds.
+#[test]
+fn rhg_emits_no_duplicate_pairs() {
+    for seed in [1u64, 7, 13, 42] {
+        for p in [1usize, 4, 16] {
+            let all = generate(
+                p,
+                GraphConfig::Rhg {
+                    n: 400,
+                    m: 3000,
+                    gamma: 3.0,
+                },
+                seed,
+            );
+            let mut pairs: HashSet<(u64, u64)> = HashSet::with_capacity(all.len());
+            for e in &all {
+                assert!(
+                    pairs.insert((e.u, e.v)),
+                    "p={p} seed={seed}: duplicate directed edge ({}, {})",
+                    e.u,
+                    e.v
+                );
+            }
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn rhg_no_duplicate_pairs_random_seeds(seed in 0u64..10_000) {
+        for p in [1usize, 4, 16] {
+            let all = generate(
+                p,
+                GraphConfig::Rhg { n: 220, m: 1700, gamma: 3.0 },
+                seed,
+            );
+            let pairs: HashSet<(u64, u64)> = all.iter().map(|e| (e.u, e.v)).collect();
+            prop_assert_eq!(
+                pairs.len(),
+                all.len(),
+                "p={} seed={}: RHG emitted duplicate directed edges",
+                p,
+                seed
+            );
+        }
+    }
 
     #[test]
     fn partition_invariance_for_every_family(

@@ -54,7 +54,7 @@ pub use kamsta_comm::{
     MachineError, TransportError, TransportKind,
 };
 pub use kamsta_core::dist::{DedupStrategy, MstConfig};
-pub use kamsta_core::{verify_msf, Phase, PhaseTimes};
+pub use kamsta_core::{verify_msf, Phase, PhaseTimes, WallStats};
 pub use kamsta_dyn::{DynConfig, DynMst, Update, UpdateStats};
 pub use kamsta_graph::{GraphConfig, InputGraph, WEdge};
 pub use runner::{Algorithm, RunSummary, Runner};

@@ -5,8 +5,9 @@
 use kamsta_baselines::{mnd_mst, sparse_matrix, MndConfig};
 use kamsta_comm::{AlltoallKind, CostModel, FaultPlan, Machine, MachineConfig, TransportKind};
 use kamsta_core::dist::{boruvka_mst, filter_mst, FilterStats, MstConfig};
-use kamsta_core::PhaseTimes;
+use kamsta_core::{PhaseTimes, WallStats};
 use kamsta_graph::{GraphConfig, InputGraph, WEdge};
+use std::time::Instant;
 
 /// The algorithms of the paper's evaluation (Fig. 3/5 series).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -70,6 +71,21 @@ pub struct RunSummary {
     pub phases: Option<PhaseTimes>,
     /// Filter-Borůvka statistics (Theorem 1 experiment), when available.
     pub filter_stats: Option<FilterStats>,
+    /// Bottleneck wall-clock breakdown of the whole simulation by scope
+    /// (generate / prepare / solve / redistribute) — the wall-side
+    /// mirror of the algorithm-scoped modeled counters, so wall-time
+    /// cliffs outside the modeled window are visible per run.
+    pub wall_stats: WallStats,
+}
+
+impl RunSummary {
+    /// Wall/modeled divergence ratio: how many wall seconds the whole
+    /// simulation burns per modeled second of the algorithm. Large
+    /// jumps mean the wall time went somewhere the cost model does not
+    /// charge — a generator cliff, load imbalance, host contention.
+    pub fn wall_modeled_divergence(&self) -> f64 {
+        self.wall_time / self.modeled_time.max(f64::MIN_POSITIVE)
+    }
 }
 
 /// A configured simulated machine plus algorithm parameters.
@@ -124,18 +140,15 @@ impl Runner {
     /// Generate one of the paper's graph families on the machine and run
     /// `algo` on it.
     pub fn run_generated(&self, config: GraphConfig, algo: Algorithm, seed: u64) -> RunSummary {
-        self.run_with(algo, move |comm| InputGraph::generate(comm, config, seed))
+        self.run_with(algo, move |comm| config.generate(comm, seed))
     }
 
     /// Run `algo` on an explicit edge list (held replicated by the
-    /// caller; it is distributed internally).
+    /// caller; it is distributed internally — the distribution wall is
+    /// reported under the `generate` scope).
     pub fn run_edges(&self, edges: Vec<WEdge>, algo: Algorithm) -> RunSummary {
         self.run_with(algo, move |comm| {
-            let slice = kamsta_graph::io::distribute_from_root(
-                comm,
-                (comm.rank() == 0).then(|| edges.clone()),
-            );
-            InputGraph::from_sorted_edges(comm, slice)
+            kamsta_graph::io::distribute_from_root(comm, (comm.rank() == 0).then(|| edges.clone()))
         })
     }
 
@@ -144,12 +157,13 @@ impl Runner {
     pub fn msf_edges(&self, edges: Vec<WEdge>, algo: Algorithm) -> (Vec<WEdge>, RunSummary) {
         let mst_cfg = self.effective_cfg(algo);
         let out = Machine::run(self.machine.clone(), move |comm| {
+            let t = Instant::now();
             let slice = kamsta_graph::io::distribute_from_root(
                 comm,
                 (comm.rank() == 0).then(|| edges.clone()),
             );
-            let input = InputGraph::from_sorted_edges(comm, slice);
-            run_algorithm(comm, &input, algo, &mst_cfg)
+            let generate = t.elapsed().as_secs_f64();
+            prepared_run(comm, slice, generate, algo, &mst_cfg)
         });
         let mut msf = Vec::new();
         for pe in &out.results {
@@ -166,17 +180,52 @@ impl Runner {
         }
     }
 
-    fn run_with<F>(&self, algo: Algorithm, make_input: F) -> RunSummary
+    fn run_with<F>(&self, algo: Algorithm, make_edges: F) -> RunSummary
     where
-        F: Fn(&kamsta_comm::Comm) -> InputGraph + Send + Sync,
+        F: Fn(&kamsta_comm::Comm) -> Vec<WEdge> + Send + Sync,
     {
         let mst_cfg = self.effective_cfg(algo);
         let out = Machine::run(self.machine.clone(), move |comm| {
-            let input = make_input(comm);
-            run_algorithm(comm, &input, algo, &mst_cfg)
+            let t = Instant::now();
+            let edges = make_edges(comm);
+            let generate = t.elapsed().as_secs_f64();
+            prepared_run(comm, edges, generate, algo, &mst_cfg)
         });
         summarize(&out)
     }
+}
+
+/// Prepare this PE's edge slice and solve, measuring the wall-side
+/// scope breakdown (generate / prepare / solve / redistribute)
+/// alongside the algorithm-scoped modeled counters, bottleneck-reduced
+/// across PEs. The redistribution wall comes from the algorithm's
+/// bottleneck phase profile, so `solve` is clamped at ≥ 0. Collective.
+fn prepared_run(
+    comm: &kamsta_comm::Comm,
+    edges: Vec<WEdge>,
+    generate: f64,
+    algo: Algorithm,
+    cfg: &MstConfig,
+) -> PeRun {
+    let t = Instant::now();
+    let input = InputGraph::from_sorted_edges(comm, edges);
+    let prepare = t.elapsed().as_secs_f64();
+    let t = Instant::now();
+    let mut run = run_algorithm(comm, &input, algo, cfg);
+    let algo_wall = t.elapsed().as_secs_f64();
+    let redistribute = run
+        .phases
+        .as_ref()
+        .map_or(0.0, PhaseTimes::redistribution_wall)
+        .min(algo_wall);
+    let mine = WallStats {
+        generate,
+        prepare,
+        solve: (algo_wall - redistribute).max(0.0),
+        redistribute,
+    };
+    run.wall_stats = WallStats::reduce_max(comm, &mine);
+    run
 }
 
 /// Per-PE result of one algorithm run.
@@ -188,6 +237,8 @@ pub(crate) struct PeRun {
     algo_stats: kamsta_comm::PeStats,
     phases: Option<PhaseTimes>,
     filter_stats: Option<FilterStats>,
+    /// Filled by [`prepared_run`] after the solve completes.
+    wall_stats: WallStats,
 }
 
 fn run_algorithm(
@@ -230,6 +281,7 @@ fn run_algorithm(
         algo_stats: comm.stats().since(&before),
         phases,
         filter_stats,
+        wall_stats: WallStats::default(),
     }
 }
 
@@ -262,6 +314,9 @@ fn summarize(out: &kamsta_comm::RunOutput<PeRun>) -> RunSummary {
         bytes: out.results.iter().map(|r| r.algo_stats.bytes).sum(),
         phases: out.results[0].phases.clone(),
         filter_stats: out.results[0].filter_stats,
+        // Already bottleneck-reduced across PEs, so any rank's copy is
+        // the machine-wide profile.
+        wall_stats: out.results[0].wall_stats,
     }
 }
 
