@@ -1,5 +1,5 @@
 //! **Perf check**: CI gate over a `perf_trajectory` JSON. Reads the file
-//! given as the first argument (default `BENCH_pr8.json`), inspects every
+//! given as the first argument (default `BENCH_pr9.json`), inspects every
 //! *static* entry (the `dyn-*` workload is excluded — its wall time is
 //! dominated by the update stream, not the substrate; `chaos-*` entries
 //! are excluded too — they track the fault-injection machinery's own
@@ -41,7 +41,7 @@ fn env_f64(name: &str, default: f64) -> f64 {
 fn main() {
     let path = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_pr8.json".to_string());
+        .unwrap_or_else(|| "BENCH_pr9.json".to_string());
     let min = env_f64("KAMSTA_PERF_MIN_SPEEDUP", 0.9);
     let max_div = env_f64("KAMSTA_PERF_MAX_DIVERGENCE_GROWTH", 10.0);
     let allow_missing = std::env::var("KAMSTA_PERF_ALLOW_MISSING").is_ok_and(|v| v == "1");

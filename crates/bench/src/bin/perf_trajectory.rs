@@ -28,6 +28,15 @@
 //! additionally gets `divergence_vs_baseline` — its divergence relative
 //! to the baseline's — which `perf_check` gates.
 //!
+//! Since PR 9 the hybrid `boruvka-8` / `filterBoruvka-8` variants ride
+//! along: the **same p** as their `-1` siblings, each PE driving an
+//! 8-wide pool (DESIGN.md S11). Holding p fixed makes the `-8` vs `-1`
+//! delta exactly the pool's wall cost/benefit at identical distribution
+//! — the paper's core-budget split (p = cores/t, [`Variant::runner`])
+//! stays with the figure binaries, where cross-p comparison is the
+//! point. Hybrid baseline rows fall back to the `-1` sibling when the
+//! previous PR's file predates the hybrid entries.
+//!
 //! Environment:
 //!
 //! * `KAMSTA_MAX_CORES` — simulated core count (default 16);
@@ -40,7 +49,7 @@
 //!   nested `"baseline"` section is ignored) are embedded under
 //!   `"baseline"` together with a `"baseline_source"` naming the file
 //!   they came from, and per-entry speedups are computed;
-//! * `KAMSTA_PERF_OUT` — output path (default `BENCH_pr8.json`);
+//! * `KAMSTA_PERF_OUT` — output path (default `BENCH_pr9.json`);
 //! * `KAMSTA_TRANSPORT` — transport backend (`cells` | `bytes` |
 //!   `sockets`) for the simulated machines, resolved by `MachineConfig`
 //!   itself.
@@ -59,7 +68,7 @@
 //! plain `boruvka-1-sockets` wall is the overhead a production run
 //! would pay for always-on corruption detection.
 
-use kamsta::{Algorithm, FaultPlan, MstConfig, RunSummary, TransportKind, WallStats};
+use kamsta::{Algorithm, FaultPlan, MstConfig, RunSummary, Runner, TransportKind, WallStats};
 use kamsta_bench::{bench_mst_config, dyn_throughput_workload, env_usize, Variant, WeakScale};
 
 const SEED: u64 = 42;
@@ -113,7 +122,11 @@ fn run_entry(
     let config = ws.config(family, cores);
     let mut best: Option<RunSummary> = None;
     for _ in 0..reps.max(1) {
-        let mut runner = v.runner(cores, cfg)?;
+        // Same p for every variant (unlike the figure binaries' core
+        // budget p = cores/t): the hybrid entries must differ from
+        // their `-1` siblings only in pool width, or the gate would
+        // compare different distributions.
+        let mut runner = Runner::new(cores, v.threads).with_mst_config(cfg);
         match mode {
             Mode::EnvTransport => {}
             Mode::Sockets => runner = runner.with_transport(TransportKind::Sockets),
@@ -230,7 +243,7 @@ fn main() {
     let ws = WeakScale::from_env();
     let cfg = bench_mst_config();
     let out_path =
-        std::env::var("KAMSTA_PERF_OUT").unwrap_or_else(|_| "BENCH_pr8.json".to_string());
+        std::env::var("KAMSTA_PERF_OUT").unwrap_or_else(|_| "BENCH_pr9.json".to_string());
     let baseline_source = std::env::var("KAMSTA_BASELINE").ok();
     let baseline: Vec<(String, String, f64, f64)> = baseline_source
         .as_ref()
@@ -238,6 +251,10 @@ fn main() {
         .map(|t| parse_baseline(&t))
         .unwrap_or_default();
 
+    // Since PR 9 the hybrid `-8` variants ride along: the same p as
+    // the `-1` rows, each PE driving an 8-wide pool, exercising the
+    // real intra-PE thread pool end to end (see module docs for why p
+    // is held fixed here).
     let variants = [
         Variant {
             algo: Algorithm::Boruvka,
@@ -246,6 +263,14 @@ fn main() {
         Variant {
             algo: Algorithm::FilterBoruvka,
             threads: 1,
+        },
+        Variant {
+            algo: Algorithm::Boruvka,
+            threads: 8,
+        },
+        Variant {
+            algo: Algorithm::FilterBoruvka,
+            threads: 8,
         },
     ];
 
@@ -324,9 +349,23 @@ fn main() {
     }
 
     let lookup = |inst: &str, algo: &str| -> Option<(f64, f64)> {
-        baseline
+        if let Some(row) = baseline
             .iter()
             .find(|(i, a, _, _)| i == inst && a == algo)
+            .map(|(_, _, w, m)| (*w, *m))
+        {
+            return Some(row);
+        }
+        // Hybrid `-8` entries measure the same workload as their `-1`
+        // siblings under a different p × t split; baseline files from
+        // before PR 9 have no hybrid rows, so fall back to the sibling —
+        // the speedup then reads "this PR's hybrid split vs the previous
+        // PR's single-thread split", which is exactly the trajectory the
+        // gate should watch.
+        let sibling = format!("{}-1", algo.strip_suffix("-8")?);
+        baseline
+            .iter()
+            .find(|(i, a, _, _)| i == inst && *a == sibling)
             .map(|(_, _, w, m)| (*w, *m))
     };
 

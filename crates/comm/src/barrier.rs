@@ -127,10 +127,14 @@ const YIELD_ROUNDS: u32 = 64;
 const PARK: Duration = Duration::from_millis(1);
 
 impl ClockBarrier {
-    /// `n` participants. `machine_threads` is the *machine-wide* PE
-    /// thread count: a sub-communicator's barrier must judge host
-    /// oversubscription by every thread competing for the cores, not by
-    /// its own (possibly tiny) membership.
+    /// `n` participants. `machine_threads` is the *machine-wide* OS
+    /// thread count — `p × threads_per_pe`, not just `p`: a
+    /// sub-communicator's barrier must judge host oversubscription by
+    /// every thread competing for the cores (the hybrid variants'
+    /// intra-PE pool threads included), not by its own (possibly tiny)
+    /// membership. A `p=4, t=8` machine on an 8-core host therefore
+    /// parks instead of spinning, even though its 4 PE threads alone
+    /// would fit.
     pub fn new(n: usize, machine_threads: usize) -> Self {
         assert!(n > 0, "barrier needs at least one participant");
         let rounds = crate::ceil_log2(n) as usize;

@@ -43,18 +43,20 @@ pub(crate) struct CommShared {
 }
 
 impl CommShared {
-    /// `machine_pes` is the machine-wide PE thread count — sub-communicator
-    /// barriers judge host oversubscription by it, not by their own size.
+    /// `machine_threads` is the machine-wide OS thread count,
+    /// `p × threads_per_pe` — sub-communicator barriers judge host
+    /// oversubscription by it, not by their own size, and hybrid
+    /// machines count their intra-PE threads too.
     /// `faults` arms fault injection on the byte-hub data plane (sockets
     /// carry theirs on the fabric; cells sit above the boundary).
     pub(crate) fn new(
         p: usize,
-        machine_pes: usize,
+        machine_threads: usize,
         transport: TransportKind,
         faults: Option<Arc<FaultyTransport>>,
     ) -> Self {
         Self {
-            barrier: ClockBarrier::new(p, machine_pes),
+            barrier: ClockBarrier::new(p, machine_threads),
             cells: CellRegistry::new(p),
             bytes: match transport {
                 // Sockets carry their frames on the fabric owned by the
@@ -82,8 +84,9 @@ struct CellCacheEntry {
 pub struct Comm {
     rank: usize,
     size: usize,
-    /// PE threads of the whole machine (constant across `split`).
-    machine_pes: usize,
+    /// OS threads of the whole machine, `pes × threads_per_pe`
+    /// (constant across `split`).
+    machine_threads: usize,
     shared: Arc<CommShared>,
     clock: Arc<Clock>,
     cost: CostModel,
@@ -129,7 +132,7 @@ impl Comm {
     pub(crate) fn new(
         rank: usize,
         size: usize,
-        machine_pes: usize,
+        machine_threads: usize,
         shared: Arc<CommShared>,
         clock: Arc<Clock>,
         cost: CostModel,
@@ -139,7 +142,7 @@ impl Comm {
         Self {
             rank,
             size,
-            machine_pes,
+            machine_threads,
             shared,
             clock,
             cost,
@@ -206,6 +209,22 @@ impl Comm {
     #[inline]
     pub fn threads_per_pe(&self) -> usize {
         self.cost.threads_per_pe
+    }
+
+    /// The intra-PE thread pool handle: a [`rayon::ThreadPool`] whose
+    /// `install` grants this PE's `threads_per_pe` as the ambient
+    /// parallel width. The machine harness already installs every PE's
+    /// rank closure at this width, so kernels that simply call
+    /// `par_iter`/`join` inherit it; this handle is for callers that
+    /// need to *re-establish* the width on another thread or widen a
+    /// specific section explicitly. Cheap to construct — all widths
+    /// share one global worker pool sized to the host's cores, which is
+    /// what keeps `p × t` from oversubscribing the machine.
+    pub fn pool(&self) -> rayon::ThreadPool {
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(self.cost.threads_per_pe)
+            .build()
+            .expect("width handles cannot fail to build")
     }
 
     /// The PE's modeled clock.
@@ -732,14 +751,14 @@ impl Comm {
             // single-slot stand-in keeps the type uniform.
             let standin = Arc::new(CommShared::new(
                 1,
-                self.machine_pes,
+                self.machine_threads,
                 TransportKind::Cells,
                 None,
             ));
             return Comm::new(
                 my_new_rank,
                 group_size,
-                self.machine_pes,
+                self.machine_threads,
                 standin,
                 Arc::clone(&self.clock),
                 self.cost,
@@ -757,13 +776,13 @@ impl Comm {
         let kind = self.transport();
         let faults = self.hub().and_then(|h| h.faults().cloned());
         let group_shared = if self.size == 1 {
-            Arc::new(CommShared::new(1, self.machine_pes, kind, faults))
+            Arc::new(CommShared::new(1, self.machine_threads, kind, faults))
         } else {
             let round = self.cells_round::<Arc<CommShared>>();
             if self.rank == leader_global {
                 round.publish(Arc::new(CommShared::new(
                     group_size,
-                    self.machine_pes,
+                    self.machine_threads,
                     kind,
                     faults,
                 )));
@@ -775,7 +794,7 @@ impl Comm {
         Comm::new(
             my_new_rank,
             group_size,
-            self.machine_pes,
+            self.machine_threads,
             group_shared,
             Arc::clone(&self.clock),
             self.cost,

@@ -13,6 +13,19 @@
 //! free. Payloads already grouped by destination skip the scatter
 //! entirely via [`FlatBuckets::from_counts`].
 
+/// Payload size (elements) below which [`FlatBuckets::from_dests`]
+/// always runs sequentially — per element the build is one histogram
+/// bump and one scatter copy, so the parallel plan's extra pass and
+/// offset bookkeeping only pay off on large exchanges even with real
+/// cores behind the pool.
+const PAR_BUILD_CUTOFF: usize = 64 * 1024;
+
+/// Raw mutable pointer that may cross threads: the parallel scatter
+/// writes disjoint index ranges, so sharing the base pointer is sound.
+struct SendMutPtr<T>(*mut T);
+unsafe impl<T: Send> Send for SendMutPtr<T> {}
+unsafe impl<T: Send> Sync for SendMutPtr<T> {}
+
 /// A bucketed sequence stored contiguously: bucket `j` is
 /// `data[displs[j]..displs[j + 1]]`.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -54,11 +67,24 @@ impl<T> FlatBuckets<T> {
     /// input order, which the exchange determinism tests rely on). The
     /// only allocations are the `O(p)` offset arrays, one `u32` index
     /// buffer and the output payload — no per-bucket vectors.
+    ///
+    /// When the ambient rayon width exceeds one and the payload is
+    /// large, the count and scatter passes run in parallel over fixed
+    /// contiguous input chunks. Each chunk counts its own histogram,
+    /// a sequential combine derives per-`(chunk, bucket)` start offsets,
+    /// and the chunks then scatter into disjoint index ranges. Because
+    /// chunks are contiguous input ranges processed in input order, the
+    /// result is bit-identical to the sequential pass for every chunk
+    /// count — stability and determinism are preserved by construction.
     pub fn from_dests(buckets: usize, items: Vec<T>, dests: &[u32]) -> Self
     where
-        T: Clone,
+        T: Clone + Send + Sync,
     {
         assert_eq!(items.len(), dests.len());
+        let n = items.len();
+        if rayon::current_num_threads() > 1 && n >= PAR_BUILD_CUTOFF {
+            return Self::from_dests_par(buckets, items, dests);
+        }
         let mut displs = vec![0usize; buckets + 1];
         for &d in dests {
             displs[d as usize + 1] += 1;
@@ -76,10 +102,75 @@ impl<T> FlatBuckets<T> {
         Self { data, displs }
     }
 
+    /// Parallel count → offsets → scatter. Chunk `c` owns the input
+    /// range `[c·CHUNK, (c+1)·CHUNK)`; within a bucket, chunk order ==
+    /// input order, so the scatter is stable for any chunk count.
+    fn from_dests_par(buckets: usize, items: Vec<T>, dests: &[u32]) -> Self
+    where
+        T: Clone + Send + Sync,
+    {
+        use rayon::prelude::*;
+        const CHUNK: usize = 8192;
+        let n = items.len();
+        let chunks = n.div_ceil(CHUNK);
+        // Pass 1: per-chunk histograms, computed independently.
+        let hists: Vec<Vec<usize>> = (0..chunks)
+            .into_par_iter()
+            .map(|c| {
+                let lo = c * CHUNK;
+                let hi = n.min(lo + CHUNK);
+                let mut h = vec![0usize; buckets];
+                for &d in &dests[lo..hi] {
+                    h[d as usize] += 1;
+                }
+                h
+            })
+            .collect();
+        // Combine: global displacements plus the deterministic start
+        // offset of every (chunk, bucket) cell — bucket base, then the
+        // counts of all earlier chunks for the same bucket.
+        let mut displs = vec![0usize; buckets + 1];
+        for h in &hists {
+            for (j, &c) in h.iter().enumerate() {
+                displs[j + 1] += c;
+            }
+        }
+        for j in 0..buckets {
+            displs[j + 1] += displs[j];
+        }
+        let mut starts = vec![0usize; chunks * buckets];
+        let mut run = displs[..buckets].to_vec();
+        for (c, h) in hists.iter().enumerate() {
+            for j in 0..buckets {
+                starts[c * buckets + j] = run[j];
+                run[j] += h[j];
+            }
+        }
+        // Pass 2: scatter. Chunks write disjoint positions (each input
+        // index belongs to exactly one chunk and each (chunk, bucket)
+        // cell is a private range), so raw writes race-free.
+        let mut idx = vec![0u32; n];
+        let idx_ptr = SendMutPtr(idx.as_mut_ptr());
+        (0..chunks).into_par_iter().for_each(|c| {
+            let _ = &idx_ptr;
+            let lo = c * CHUNK;
+            let hi = n.min(lo + CHUNK);
+            let mut pos = starts[c * buckets..(c + 1) * buckets].to_vec();
+            for (k, &d) in dests[lo..hi].iter().enumerate() {
+                let j = d as usize;
+                unsafe { idx_ptr.0.add(pos[j]).write((lo + k) as u32) };
+                pos[j] += 1;
+            }
+        });
+        // Pass 3: ordered parallel gather.
+        let data: Vec<T> = idx.par_iter().map(|&k| items[k as usize].clone()).collect();
+        Self { data, displs }
+    }
+
     /// Count-then-scatter with a destination function.
     pub fn from_dest_fn(buckets: usize, items: Vec<T>, dest: impl Fn(&T) -> usize) -> Self
     where
-        T: Clone,
+        T: Clone + Send + Sync,
     {
         let dests: Vec<u32> = items.iter().map(|x| dest(x) as u32).collect();
         Self::from_dests(buckets, items, &dests)
@@ -88,7 +179,7 @@ impl<T> FlatBuckets<T> {
     /// Count-then-scatter from `(destination, item)` pairs.
     pub fn from_pairs(buckets: usize, pairs: Vec<(usize, T)>) -> Self
     where
-        T: Clone,
+        T: Clone + Send + Sync,
     {
         let dests: Vec<u32> = pairs.iter().map(|(d, _)| *d as u32).collect();
         let items: Vec<T> = pairs.into_iter().map(|(_, x)| x).collect();
@@ -284,6 +375,27 @@ mod tests {
         assert_eq!(fb.bucket(2), &[21, 23, 20]);
         assert_eq!(fb.total_len(), 6);
         assert_eq!(fb.payload(), &[10, 12, 14, 21, 23, 20]);
+    }
+
+    #[test]
+    fn parallel_build_matches_sequential_bit_for_bit() {
+        let buckets = 7usize;
+        let n = 100_000u64; // above PAR_BUILD_CUTOFF
+        let items: Vec<u64> = (0..n)
+            .map(|k| k.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .collect();
+        let dests: Vec<u32> = items.iter().map(|&x| (x % buckets as u64) as u32).collect();
+        let width = |t: usize| {
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(t)
+                .build()
+                .unwrap()
+        };
+        let seq = width(1).install(|| FlatBuckets::from_dests(buckets, items.clone(), &dests));
+        for t in [2usize, 8] {
+            let par = width(t).install(|| FlatBuckets::from_dests(buckets, items.clone(), &dests));
+            assert_eq!(par, seq, "width {t} must scatter identically");
+        }
     }
 
     #[test]

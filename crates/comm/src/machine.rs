@@ -161,10 +161,22 @@ pub enum SocketSetup {
 
 impl MachineConfig {
     /// A machine with `pes` PEs and default cost parameters.
+    ///
+    /// Hybrid threads per PE default to `KAMSTA_THREADS` when set (the
+    /// CI hybrid leg forces every machine in the suite through the
+    /// intra-PE pool this way); [`MachineConfig::with_threads`]
+    /// overrides it per machine.
     pub fn new(pes: usize) -> Self {
+        let mut cost = CostModel::default();
+        if let Some(t) = std::env::var("KAMSTA_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+        {
+            cost.threads_per_pe = t.max(1);
+        }
         Self {
             pes,
-            cost: CostModel::default(),
+            cost,
             alltoall: AlltoallKind::Auto,
             grid_threshold_bytes: 500,
             stack_size: 4 << 20,
@@ -423,9 +435,19 @@ impl Machine {
             .faults
             .clone()
             .map(|plan| Arc::new(FaultyTransport::new(plan)));
+        // Machine-wide OS thread count: PE threads × hybrid threads.
+        // The barrier's spin-vs-park choice keys on this, so a 4×8
+        // hybrid machine on an 8-core host parks instead of busy-
+        // spinning 32 threads against each other.
+        let machine_threads = p * cfg.cost.threads_per_pe;
         match resolved.sockets {
             None => {
-                let shared = Arc::new(CommShared::new(p, p, resolved.transport, faults));
+                let shared = Arc::new(CommShared::new(
+                    p,
+                    machine_threads,
+                    resolved.transport,
+                    faults,
+                ));
                 let shared_ref = &shared;
                 run_pes(
                     &cfg,
@@ -433,7 +455,7 @@ impl Machine {
                         Ok(Comm::new(
                             rank,
                             p,
-                            p,
+                            machine_threads,
                             Arc::clone(shared_ref),
                             clock,
                             cfg.cost,
@@ -493,8 +515,13 @@ impl Machine {
                         Ok(Comm::new(
                             rank,
                             p,
-                            p,
-                            Arc::new(CommShared::new(1, p, TransportKind::Cells, None)),
+                            machine_threads,
+                            Arc::new(CommShared::new(
+                                1,
+                                machine_threads,
+                                TransportKind::Cells,
+                                None,
+                            )),
                             clock,
                             cfg.cost,
                             cfg.alltoall,
@@ -573,6 +600,10 @@ impl Machine {
             }
         };
         let p = table.len();
+        // This process is one PE of a machine whose every rank runs
+        // `threads_per_pe` hybrid threads — the barrier heuristic and
+        // the intra-PE pool width both follow the machine-wide count.
+        let machine_threads = p * cfg.cost.threads_per_pe;
         let fabric =
             SocketFabric::connect_mesh(my_rank, listener, &table, handshake, timeout, faults)
                 .map_err(|source| MachineError::Transport {
@@ -583,15 +614,22 @@ impl Machine {
         let comm = Comm::new(
             my_rank,
             p,
-            p,
-            Arc::new(CommShared::new(1, p, TransportKind::Cells, None)),
+            machine_threads,
+            Arc::new(CommShared::new(
+                1,
+                machine_threads,
+                TransportKind::Cells,
+                None,
+            )),
             Arc::clone(&clock),
             cfg.cost,
             cfg.alltoall,
             cfg.grid_threshold_bytes,
         )
         .into_socket(Arc::new(fabric), None, 0);
-        let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| rank_fn(&comm)));
+        let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            comm.pool().install(|| rank_fn(&comm))
+        }));
         drop(comm);
         match out {
             Ok(result) => Ok(WorkerRun {
@@ -661,8 +699,13 @@ where
                                 return;
                             }
                         };
+                        // Every PE runs its rank closure at the
+                        // configured hybrid width: local kernels that
+                        // call `par_iter`/`join`/`par_sort` fan out
+                        // into the process-wide worker pool, width 1
+                        // staying strictly sequential.
                         let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                            rank_fn(&comm)
+                            comm.pool().install(|| rank_fn(&comm))
                         }));
                         // Drop the comm before classifying: under sockets
                         // this closes the fabric, turning this PE's exit
@@ -770,7 +813,10 @@ mod tests {
 
     #[test]
     fn modeled_time_is_max_over_pes() {
-        let out = Machine::run(MachineConfig::new(3), |comm| {
+        // Pin t=1: the expected figure is the unscaled local charge, and
+        // the CI hybrid leg sets KAMSTA_THREADS which would otherwise
+        // divide it by the hybrid speedup.
+        let out = Machine::run(MachineConfig::new(3).with_threads(1), |comm| {
             comm.charge_local(1_000_000 * (comm.rank() as u64 + 1));
         });
         let g = CostModel::default().gamma;

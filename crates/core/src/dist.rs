@@ -602,9 +602,10 @@ fn kruskal_ids(all: &[CEdge]) -> Vec<u64> {
 /// Sort edges by the unique-weight total order `(w, id)` — the
 /// pair-canonical ids make this the paper's `(w, min, max)` order on
 /// *original* endpoints, invariant under contraction. One radix sort on
-/// the packed 96-bit key.
+/// the packed 96-bit key, width-parallel on hybrid PEs (bit-identical
+/// to the sequential sorter at every width).
 fn sort_by_unique_weight(edges: &mut [CEdge]) {
-    kamsta_sort::radix_sort_by_key(edges, |e: &CEdge| ((e.w as u128) << 64) | e.id as u128);
+    kamsta_sort::par_radix_sort_by_key(edges, |e: &CEdge| ((e.w as u128) << 64) | e.id as u128);
 }
 
 /// As [`kruskal_ids`], additionally returning the component label (the
@@ -649,15 +650,59 @@ fn kruskal_ids_and_labels(all: &[CEdge]) -> (Vec<u64>, FxHashMap<VertexId, Verte
 /// exactly the survivors the old hash-table prefilter kept — already
 /// sorted. Both directions survive, keeping the edge list symmetric.
 fn prefilter_pairs(comm: &Comm, edges: &[CEdge]) -> Vec<CEdge> {
+    use rayon::prelude::*;
     comm.charge_local(edges.len() as u64);
-    let mut out: Vec<CEdge> = edges
-        .iter()
-        .filter(|e| !e.is_self_loop())
-        .copied()
-        .collect();
+    let mut out: Vec<CEdge> = if par_scan_engages(edges.len()) {
+        edges
+            .par_iter()
+            .filter(|e| !e.is_self_loop())
+            .map(|e| *e)
+            .collect()
+    } else {
+        edges
+            .iter()
+            .filter(|e| !e.is_self_loop())
+            .copied()
+            .collect()
+    };
     kamsta_sort::local_radix_sort(comm, &mut out, CEdge::lex_key);
-    out.dedup_by(|next, first| next.u == first.u && next.v == first.v);
-    out
+    par_dedup_pairs(out)
+}
+
+/// Scan size above which the parallel filter/dedup scans beat their
+/// sequential loops. The per-element work here is a couple of field
+/// compares — far too little to amortize chunk-queue jobs below tens
+/// of thousands of elements even with real cores behind the pool, and
+/// the prefilters run once per Borůvka round, so the overhead
+/// compounds on duplicate-heavy families (RMAT). The parallel and
+/// sequential scans are bit-identical, so this is a pure profitability
+/// gate.
+const PAR_SCAN_CUTOFF: usize = 65_536;
+
+fn par_scan_engages(n: usize) -> bool {
+    n >= PAR_SCAN_CUTOFF && rayon::current_num_threads() > 1
+}
+
+/// Drop all but the first element of every `(u, v)` run in a sorted
+/// edge list. A parallel keep-flag scan: element `i` survives iff its
+/// pair differs from element `i - 1`'s, a predecessor comparison each
+/// chunk can make against the immutable sorted slice — so the ordered
+/// collect is bit-identical to the sequential `dedup_by` at every
+/// width. After the lexicographic sort, run heads carry the minimal
+/// `(w, id)`, i.e. exactly the survivors the sequential dedup keeps.
+fn par_dedup_pairs(sorted: Vec<CEdge>) -> Vec<CEdge> {
+    use rayon::prelude::*;
+    if !par_scan_engages(sorted.len()) {
+        let mut out = sorted;
+        out.dedup_by(|a, b| a.u == b.u && a.v == b.v);
+        return out;
+    }
+    sorted
+        .par_iter()
+        .enumerate()
+        .filter(|&(i, e)| i == 0 || !(sorted[i - 1].u == e.u && sorted[i - 1].v == e.v))
+        .map(|(_, e)| *e)
+        .collect()
 }
 
 /// Keep-lightest-per-*unordered*-pair prefilter for the replicated base
@@ -673,11 +718,15 @@ fn prefilter_pairs(comm: &Comm, edges: &[CEdge]) -> Vec<CEdge> {
 /// MSF is unique under the unique-weight total order, so the forest is
 /// unchanged.
 fn prefilter_unordered(comm: &Comm, edges: &[CEdge]) -> Vec<CEdge> {
+    use rayon::prelude::*;
     comm.charge_local(edges.len() as u64);
-    let mut out: Vec<CEdge> = edges.iter().filter(|e| e.u < e.v).copied().collect();
+    let mut out: Vec<CEdge> = if par_scan_engages(edges.len()) {
+        edges.par_iter().filter(|e| e.u < e.v).map(|e| *e).collect()
+    } else {
+        edges.iter().filter(|e| e.u < e.v).copied().collect()
+    };
     kamsta_sort::local_radix_sort(comm, &mut out, CEdge::lex_key);
-    out.dedup_by(|next, first| next.u == first.u && next.v == first.v);
-    out
+    par_dedup_pairs(out)
 }
 
 /// The base case (Sec. IV-D stand-in): gather the prefiltered remaining

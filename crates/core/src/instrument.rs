@@ -209,7 +209,10 @@ mod tests {
 
     #[test]
     fn reduce_max_takes_bottleneck() {
-        let out = Machine::run(MachineConfig::new(3), |comm| {
+        // Pinned to t = 1: the expected charge below is the raw γ
+        // cost, and threads_per_pe scales modeled local time (the CI
+        // hybrid leg runs this suite under KAMSTA_THREADS=2).
+        let out = Machine::run(MachineConfig::new(3).with_threads(1), |comm| {
             let mut ph = Phased::new(comm);
             ph.measure(Phase::Misc, |c| {
                 c.charge_local(1_000_000 * (c.rank() as u64 + 1))

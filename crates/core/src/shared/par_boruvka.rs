@@ -33,7 +33,12 @@ pub fn par_boruvka(edges: &[WEdge]) -> Vec<WEdge> {
             e.weight_key()
         };
         work.par_iter().enumerate().for_each(|(k, (u, v, _))| {
-            let less = |a: u64, b: u64| key(a) < key(b);
+            // Strict total order: weight_key() ties (parallel edges with
+            // equal (w, u, v)) break on the work index, so concurrent
+            // CAS races always converge to one winner regardless of
+            // interleaving — the selection is deterministic across
+            // thread counts.
+            let less = |a: u64, b: u64| (key(a), a) < (key(b), b);
             best[*u as usize].write_min(k as u64, less);
             best[*v as usize].write_min(k as u64, less);
         });

@@ -129,6 +129,70 @@ fn transports_agree_on_id_sets_and_modeled_cost_counters() {
 }
 
 #[test]
+fn hybrid_threads_leave_ids_and_charge_counters_bit_identical() {
+    // The t-axis oracle for the intra-PE thread pool: threads_per_pe
+    // changes which OS threads execute the local kernels and how
+    // modeled_time is scaled, but the MSF id set and the *counter*
+    // charges (local_ops, messages, bytes) are logical quantities that
+    // must be bit-identical across t — per rank, not just in aggregate.
+    // The GNM instance is big enough (m = 40k) that per-PE slices clear
+    // the parallel kernels' sequential cutoffs at p ∈ {1, 4}.
+    let run = |p: usize, t: usize, config: GraphConfig, seed: u64, tr: TransportKind| {
+        let out = Machine::run(
+            MachineConfig::new(p).with_threads(t).with_transport(tr),
+            move |comm| {
+                let input = InputGraph::generate(comm, config, seed);
+                let r = boruvka_mst(comm, &input, &cfg());
+                r.edges.iter().map(|e| e.id).collect::<Vec<u64>>()
+            },
+        );
+        let mut ids: Vec<u64> = out.results.iter().flatten().copied().collect();
+        ids.sort_unstable();
+        let counters: Vec<(u64, u64, u64)> = out
+            .stats
+            .iter()
+            .map(|s| (s.local_ops, s.messages, s.bytes))
+            .collect();
+        (ids, counters)
+    };
+    let big = (
+        GraphConfig::Gnm {
+            n: 5_000,
+            m: 40_000,
+        },
+        41,
+    );
+    for (config, seed) in instances().into_iter().take(2).chain([big]) {
+        let large = matches!(config, GraphConfig::Gnm { m, .. } if m > 1_000);
+        let ps: &[usize] = if large { &[1, 4] } else { &[1, 4, 16] };
+        for &p in ps {
+            let (ids_1, counters_1) = run(p, 1, config, seed, TransportKind::Cells);
+            assert!(!ids_1.is_empty());
+            for t in [2usize, 8] {
+                let (ids_t, counters_t) = run(p, t, config, seed, TransportKind::Cells);
+                assert_eq!(ids_t, ids_1, "{config:?} p={p} t={t}: id set diverges");
+                assert_eq!(
+                    counters_t, counters_1,
+                    "{config:?} p={p} t={t}: per-rank charge counters diverge"
+                );
+            }
+        }
+        if large {
+            // Same oracle across the wire transports at p=4, t=8.
+            let (ids_1, counters_1) = run(4, 1, config, seed, TransportKind::Cells);
+            for tr in [TransportKind::Bytes, TransportKind::Sockets] {
+                let (ids_t, counters_t) = run(4, 8, config, seed, tr);
+                assert_eq!(ids_t, ids_1, "{config:?} {tr:?} p=4 t=8: id set diverges");
+                assert_eq!(
+                    counters_t, counters_1,
+                    "{config:?} {tr:?}: counters diverge"
+                );
+            }
+        }
+    }
+}
+
+#[test]
 fn preprocessing_does_not_change_the_id_set() {
     // The Fig. 4 ablation flips which stage claims each edge; the
     // canonical reporting must hide that.

@@ -25,9 +25,17 @@ fn digest(edges: &[WEdge]) -> u64 {
     h ^ edges.len() as u64
 }
 
-fn generate(p: usize, transport: TransportKind, config: GraphConfig, seed: u64) -> Vec<WEdge> {
+fn generate_t(
+    p: usize,
+    threads: usize,
+    transport: TransportKind,
+    config: GraphConfig,
+    seed: u64,
+) -> Vec<WEdge> {
     let mut all: Vec<WEdge> = Machine::run(
-        MachineConfig::new(p).with_transport(transport),
+        MachineConfig::new(p)
+            .with_threads(threads)
+            .with_transport(transport),
         move |comm| config.generate(comm, seed),
     )
     .results
@@ -36,6 +44,10 @@ fn generate(p: usize, transport: TransportKind, config: GraphConfig, seed: u64) 
     .collect();
     all.sort_unstable();
     all
+}
+
+fn generate(p: usize, transport: TransportKind, config: GraphConfig, seed: u64) -> Vec<WEdge> {
+    generate_t(p, 1, transport, config, seed)
 }
 
 #[test]
@@ -69,6 +81,18 @@ fn geometric_generators_deterministic_across_pes_and_transports() {
                     got, reference,
                     "{config:?} seed={seed}: edge list differs at \
                      p={p} transport={transport:?}"
+                );
+            }
+        }
+        // The hybrid thread axis: intra-PE width must never perturb the
+        // generated edge list either — same digest at t ∈ {2, 8}.
+        for t in [2usize, 8] {
+            for p in [1usize, 4] {
+                let got = generate_t(p, t, TransportKind::Cells, config, seed);
+                assert_eq!(
+                    digest(&got),
+                    want,
+                    "{config:?} seed={seed}: edge-set digest differs at p={p} t={t}"
                 );
             }
         }

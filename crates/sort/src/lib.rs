@@ -29,7 +29,7 @@ pub use balance::{is_globally_sorted, rebalance};
 pub use hypercube::hypercube_quicksort;
 pub use local::{local_radix_sort, local_sort};
 pub use merge::{multiway_merge, multiway_merge_flat};
-pub use radix::{radix_sort_by_key, radix_sort_keys, RadixKey, SortOutcome};
+pub use radix::{par_radix_sort_by_key, radix_sort_by_key, radix_sort_keys, RadixKey, SortOutcome};
 pub use sample::{sample_sort, sample_sort_by_key};
 
 use kamsta_comm::{Comm, Wire};
@@ -62,11 +62,11 @@ pub fn sort_auto_by_key<T, K>(
     comm: &Comm,
     data: Vec<T>,
     seed: u64,
-    key_of: impl Fn(&T) -> K + Copy,
+    key_of: impl Fn(&T) -> K + Copy + Sync,
 ) -> Vec<T>
 where
     T: Wire + Ord + Copy + Send + Sync + 'static,
-    K: RadixKey,
+    K: RadixKey + Send,
 {
     let total = comm.allreduce_sum(data.len() as u64);
     let avg_per_pe = total / comm.size() as u64;

@@ -1,6 +1,6 @@
 //! Local sorting kernels with hybrid (rayon) parallelism.
 
-use crate::radix::{radix_sort_by_key, RadixKey, SortOutcome};
+use crate::radix::{par_radix_sort_by_key, RadixKey, SortOutcome};
 use kamsta_comm::Comm;
 use rayon::prelude::*;
 
@@ -13,7 +13,10 @@ pub fn local_sort<T: Ord + Send>(comm: &Comm, data: &mut [T]) {
         let logn = kamsta_comm::ceil_log2(n) as u64;
         comm.charge_local(n as u64 * logn.max(1));
     }
-    if comm.threads_per_pe() > 1 && n > 4096 {
+    // The pool's parallel merge sort pays an extra merge copy per
+    // level; below ~2^15 elements the plain pdqsort wins even with
+    // real cores behind the pool.
+    if comm.threads_per_pe() > 1 && n > 32_768 {
         data.par_sort_unstable();
     } else {
         data.sort_unstable();
@@ -23,26 +26,25 @@ pub fn local_sort<T: Ord + Send>(comm: &Comm, data: &mut [T]) {
 /// Sort a local slice by a packed radix key, charging γ by what
 /// actually ran: `n` for an already-sorted scan, `n·passes` for the
 /// counting-sort passes, `n·log n` for the comparison fallback (as
-/// [`local_sort`] charges). Hybrid PEs with large slices use the rayon
-/// parallel comparison sort, exactly as [`local_sort`] does — the
-/// radix passes are sequential and must not cost the `-8` variants
-/// their thread speedup.
-pub fn local_radix_sort<T: Copy + Ord + Send, K: RadixKey>(
+/// [`local_sort`] charges). Hybrid PEs run the width-parallel radix
+/// sorter ([`par_radix_sort_by_key`]), which takes the *same* path
+/// decisions and produces the *same* permutation as the sequential
+/// sorter — so both the output and the modeled charge are independent
+/// of `threads_per_pe`. (An earlier revision abandoned radix entirely
+/// at t > 1 and flat-charged `n·log n`, which made the `-8` variants'
+/// charges — and, for key orders differing from `T: Ord`, their
+/// output — diverge from t = 1.)
+pub fn local_radix_sort<T: Copy + Ord + Send + Sync, K: RadixKey + Send>(
     comm: &Comm,
     data: &mut [T],
-    key_of: impl Fn(&T) -> K,
+    key_of: impl Fn(&T) -> K + Sync,
 ) {
     let n = data.len();
     if n < 2 {
         return;
     }
     let logn = kamsta_comm::ceil_log2(n).max(1) as u64;
-    if comm.threads_per_pe() > 1 && n > 4096 {
-        comm.charge_local(n as u64 * logn);
-        data.par_sort_unstable();
-        return;
-    }
-    let units = match radix_sort_by_key(data, key_of) {
+    let units = match par_radix_sort_by_key(data, key_of) {
         SortOutcome::AlreadySorted => n as u64,
         SortOutcome::Radix(passes) => n as u64 * (passes as u64).clamp(1, logn),
         SortOutcome::Comparison => n as u64 * logn,
@@ -69,9 +71,31 @@ mod tests {
     }
 
     #[test]
+    fn radix_charges_and_output_are_thread_invariant() {
+        // The modeled charge keys on the SortOutcome, which must not
+        // depend on threads_per_pe — t=1 and t=4 must agree bit for bit
+        // on both the permutation and local_ops.
+        let run = |threads: usize| {
+            Machine::run(MachineConfig::new(1).with_threads(threads), |comm| {
+                let mut v: Vec<(u32, u32)> = (0..100_000u64)
+                    .map(|i| (((i * 2_654_435_761) % 512) as u32, i as u32))
+                    .collect();
+                local_radix_sort(comm, &mut v, |&(k, _)| k);
+                (v, comm.stats().local_ops)
+            })
+        };
+        let (seq, seq_ops) = run(1).results.remove(0);
+        for t in [2usize, 4] {
+            let (par, par_ops) = run(t).results.remove(0);
+            assert_eq!(par, seq, "t={t} permutation");
+            assert_eq!(par_ops, seq_ops, "t={t} charge");
+        }
+    }
+
+    #[test]
     fn parallel_path_sorts_large_input() {
         let out = Machine::run(MachineConfig::new(1).with_threads(4), |comm| {
-            let mut v: Vec<u64> = (0..10_000).map(|i| (i * 2_654_435_761) % 65_536).collect();
+            let mut v: Vec<u64> = (0..50_000).map(|i| (i * 2_654_435_761) % 65_536).collect();
             local_sort(comm, &mut v);
             v.windows(2).all(|w| w[0] <= w[1])
         });

@@ -280,6 +280,222 @@ pub fn radix_sort_keys<K: RadixKey>(data: &mut [K]) -> SortOutcome {
     radix_sort_by_key(data, |&k| k)
 }
 
+/// Input size below which the parallel radix machinery is pure
+/// overhead and [`par_radix_sort_by_key`] delegates to the sequential
+/// sorter. The parallel body pays per-chunk 256-bucket histogram
+/// passes plus an extra gather; below ~2^16 records the sequential LSD
+/// loop wins even with real cores behind the pool (published parallel
+/// radix sorters put the crossover near 10^5 elements), and on an
+/// oversubscribed host the gap is the whole overhead — the BENCH
+/// hybrid rows gate it.
+const PAR_RADIX_CUTOFF: usize = 65_536;
+
+/// Chunk length for the parallel fold / count / scatter passes.
+const PAR_RADIX_CHUNK: usize = 8192;
+
+/// Raw mutable pointer shared across scatter chunks; sound because
+/// every `(chunk, digit)` cell is a private output range.
+struct SendMutPtr<T>(*mut T);
+unsafe impl<T: Send> Send for SendMutPtr<T> {}
+unsafe impl<T: Send> Sync for SendMutPtr<T> {}
+
+/// Width-parallel [`radix_sort_by_key`]: same decisions, same
+/// [`SortOutcome`] (hence identical γ charges), bit-identical output —
+/// for every rayon width, including 1.
+///
+/// How each stage stays exact:
+/// - The engage-or-fall-back pass becomes per-chunk folds combined in
+///   chunk order. OR/AND are associative and sortedness decomposes into
+///   chunk-local sortedness plus boundary comparisons, so the decision
+///   quantities are *equal* to the sequential scan's, not approximations.
+/// - The radix body partitions the keyed records by the most
+///   significant active digit using the same deterministic
+///   count → per-(chunk, digit) offsets → scatter plan as the
+///   distributed exchanges: chunks are contiguous input ranges scattered
+///   in chunk order, so the partition is stable for any chunk count.
+///   Each of the 256 partitions is then LSD-sorted over the remaining
+///   digits independently (in parallel across partitions). A stable
+///   MSD split followed by stable LSD passes on each part is the same
+///   permutation as the sequential all-digits LSD sort, so the output
+///   is identical and the pass count (`1 + (active - 1) = active`)
+///   charges identically.
+/// - The comparison fallback runs `par_sort_unstable_by_key`; as with
+///   the sequential fallback, cross-width determinism there relies on
+///   the workspace's total-order keys.
+pub fn par_radix_sort_by_key<T: Copy + Send + Sync, K: RadixKey + Send>(
+    data: &mut [T],
+    key_of: impl Fn(&T) -> K + Sync,
+) -> SortOutcome {
+    use rayon::prelude::*;
+    let n = data.len();
+    if rayon::current_num_threads() <= 1 || n < PAR_RADIX_CUTOFF {
+        return radix_sort_by_key(data, key_of);
+    }
+    // Parallel engage-or-fall-back pass: chunk folds + boundary checks.
+    let chunks = n.div_ceil(PAR_RADIX_CHUNK);
+    let folds: Vec<(K, K, bool)> = (0..chunks)
+        .into_par_iter()
+        .map(|c| {
+            let lo = c * PAR_RADIX_CHUNK;
+            let hi = n.min(lo + PAR_RADIX_CHUNK);
+            let first = key_of(&data[lo]);
+            let (mut ors, mut ands, mut prev) = (first, first, first);
+            let mut sorted = lo == 0 || key_of(&data[lo - 1]) <= first;
+            for x in &data[lo + 1..hi] {
+                let k = key_of(x);
+                sorted &= prev <= k;
+                prev = k;
+                ors = K::bit_or(ors, k);
+                ands = K::bit_and(ands, k);
+            }
+            (ors, ands, sorted)
+        })
+        .collect();
+    let mut ors = folds[0].0;
+    let mut ands = folds[0].1;
+    let mut sorted = true;
+    for &(o, a, s) in &folds {
+        ors = K::bit_or(ors, o);
+        ands = K::bit_and(ands, a);
+        sorted &= s;
+    }
+    if sorted {
+        return SortOutcome::AlreadySorted;
+    }
+    let active: Vec<usize> = (0..K::BYTES)
+        .filter(|&b| ors.radix_byte(b) != ands.radix_byte(b))
+        .collect();
+    if !radix_profitable(n, active.len()) || active.len() > <u128 as CompactKey>::BYTES {
+        data.par_sort_unstable_by_key(&key_of);
+        return SortOutcome::Comparison;
+    }
+    let (order, passes): (Vec<u32>, usize) = if active.len() <= <u64 as CompactKey>::BYTES {
+        par_sort_compact::<T, K, u64>(data, &key_of, &active)
+    } else {
+        par_sort_compact::<T, K, u128>(data, &key_of, &active)
+    };
+    let gathered: Vec<T> = order.par_iter().map(|&i| data[i as usize]).collect();
+    data.copy_from_slice(&gathered);
+    SortOutcome::Radix(passes)
+}
+
+/// Parallel body of [`par_radix_sort_by_key`]: build keyed records,
+/// stable-partition them by the most significant active digit, LSD-sort
+/// each partition over the remaining digits, return the input-index
+/// order and the pass count.
+fn par_sort_compact<T, K, C>(
+    data: &[T],
+    key_of: &(impl Fn(&T) -> K + Sync),
+    active: &[usize],
+) -> (Vec<u32>, usize)
+where
+    T: Copy + Send + Sync,
+    K: RadixKey,
+    C: CompactKey + Send + Sync,
+{
+    use rayon::prelude::*;
+    let n = data.len();
+    let keyed: Vec<(C, u32)> = data
+        .par_iter()
+        .enumerate()
+        .map(|(i, x)| {
+            let k = key_of(x);
+            let mut c = C::default();
+            for (slot, &b) in active.iter().enumerate() {
+                c.set_byte(slot, k.radix_byte(b));
+            }
+            (c, i as u32)
+        })
+        .collect();
+    // Stable MSD partition: per-chunk histograms of the top digit …
+    let top = active.len() - 1;
+    let chunks = n.div_ceil(PAR_RADIX_CHUNK);
+    let hists: Vec<[u32; 256]> = (0..chunks)
+        .into_par_iter()
+        .map(|c| {
+            let lo = c * PAR_RADIX_CHUNK;
+            let hi = n.min(lo + PAR_RADIX_CHUNK);
+            let mut h = [0u32; 256];
+            for (k, _) in &keyed[lo..hi] {
+                h[k.digit8(top)] += 1;
+            }
+            h
+        })
+        .collect();
+    // … combined into partition bounds and per-(chunk, digit) offsets …
+    let mut bounds = [0usize; 257];
+    for h in &hists {
+        for (d, &c) in h.iter().enumerate() {
+            bounds[d + 1] += c as usize;
+        }
+    }
+    for d in 0..256 {
+        bounds[d + 1] += bounds[d];
+    }
+    let mut starts = vec![0usize; chunks * 256];
+    let mut run: Vec<usize> = bounds[..256].to_vec();
+    for (c, h) in hists.iter().enumerate() {
+        for d in 0..256 {
+            starts[c * 256 + d] = run[d];
+            run[d] += h[d] as usize;
+        }
+    }
+    // … then a chunk-ordered scatter into disjoint ranges.
+    let mut part: Vec<(C, u32)> = vec![(C::default(), 0u32); n];
+    let part_ptr = SendMutPtr(part.as_mut_ptr());
+    (0..chunks).into_par_iter().for_each(|c| {
+        let _ = &part_ptr;
+        let lo = c * PAR_RADIX_CHUNK;
+        let hi = n.min(lo + PAR_RADIX_CHUNK);
+        let mut pos = starts[c * 256..(c + 1) * 256].to_vec();
+        for &(k, i) in &keyed[lo..hi] {
+            let d = k.digit8(top);
+            unsafe { part_ptr.0.add(pos[d]).write((k, i)) };
+            pos[d] += 1;
+        }
+    });
+    drop(keyed);
+    // LSD passes over the remaining digits, independent per partition.
+    if top > 0 {
+        let part_ptr = SendMutPtr(part.as_mut_ptr());
+        (0..256usize).into_par_iter().for_each(|d| {
+            let _ = &part_ptr;
+            let (lo, hi) = (bounds[d], bounds[d + 1]);
+            if hi - lo > 1 {
+                let bucket = unsafe { std::slice::from_raw_parts_mut(part_ptr.0.add(lo), hi - lo) };
+                lsd_passes(bucket, top);
+            }
+        });
+    }
+    (part.into_par_iter().map(|(_, i)| i).collect(), active.len())
+}
+
+/// Sequential stable LSD counting passes over digits `0..digits` of a
+/// keyed-record slice (the per-partition tail of the parallel sorter).
+fn lsd_passes<C: CompactKey>(records: &mut [(C, u32)], digits: usize) {
+    let mut keyed = records.to_vec();
+    let mut scratch = keyed.clone();
+    for d in 0..digits {
+        let mut hist = [0u32; 256];
+        for (c, _) in keyed.iter() {
+            hist[c.digit8(d)] += 1;
+        }
+        let mut acc = 0usize;
+        let mut offs = [0usize; 256];
+        for (o, &h) in offs.iter_mut().zip(hist.iter()) {
+            *o = acc;
+            acc += h as usize;
+        }
+        for &(c, i) in keyed.iter() {
+            let digit = c.digit8(d);
+            scratch[offs[digit]] = (c, i);
+            offs[digit] += 1;
+        }
+        std::mem::swap(&mut keyed, &mut scratch);
+    }
+    records.copy_from_slice(&keyed);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -370,5 +586,71 @@ mod tests {
         let outcome = radix_sort_keys(&mut v);
         assert_eq!(outcome, SortOutcome::Comparison);
         assert_eq!(v, vec![1, 3, 5, 9]);
+    }
+
+    fn width(t: usize) -> rayon::ThreadPool {
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(t)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn parallel_radix_is_bit_identical_across_widths() {
+        // Low-entropy keys with payload tags: the radix path runs, and
+        // stability makes the output unique — every width must match
+        // the sequential sorter exactly, outcome included.
+        let mut s = 23u64;
+        let items: Vec<(u32, u32)> = (0..100_000)
+            .map(|i| ((splitmix(&mut s) % 65_536) as u32, i as u32))
+            .collect();
+        let mut seq = items.clone();
+        let seq_out = radix_sort_by_key(&mut seq, |&(k, _)| k);
+        assert!(matches!(seq_out, SortOutcome::Radix(_)));
+        for t in [1usize, 2, 8] {
+            let mut par = items.clone();
+            let par_out = width(t).install(|| par_radix_sort_by_key(&mut par, |&(k, _)| k));
+            assert_eq!(par_out, seq_out, "outcome at width {t}");
+            assert_eq!(par, seq, "permutation at width {t}");
+        }
+    }
+
+    #[test]
+    fn parallel_radix_matches_sequential_decisions() {
+        // Already-sorted input: the parallel chunk folds must reach the
+        // same AlreadySorted verdict (boundary checks included).
+        let sorted_in: Vec<u64> = (0..80_000u64).map(|i| i * 3).collect();
+        let mut v = sorted_in.clone();
+        let out = width(8).install(|| par_radix_sort_by_key(&mut v, |&k| k));
+        assert_eq!(out, SortOutcome::AlreadySorted);
+        assert_eq!(v, sorted_in);
+        // Full-entropy keys: both sides must take the comparison
+        // fallback and, keys being distinct, agree on the result.
+        let mut s = 29u64;
+        let items: Vec<u64> = (0..80_000).map(|_| splitmix(&mut s)).collect();
+        let mut seq = items.clone();
+        let seq_out = radix_sort_by_key(&mut seq, |&k| k);
+        assert_eq!(seq_out, SortOutcome::Comparison);
+        let mut par = items.clone();
+        let par_out = width(8).install(|| par_radix_sort_by_key(&mut par, |&k| k));
+        assert_eq!(par_out, SortOutcome::Comparison);
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn parallel_radix_tuple_keys_cross_word_boundary() {
+        // Active bytes straddle the (hi, lo) halves of a tuple key, so
+        // the parallel folds and compact-key build exercise the tuple
+        // digit indexing; the unique low word keeps the order total.
+        let mut s = 31u64;
+        let items: Vec<(u64, u64)> = (0..80_000).map(|i| (splitmix(&mut s) % 256, i)).collect();
+        let key = |&(k, i): &(u64, u64)| ((k as u128) << 64, i);
+        let mut seq = items.clone();
+        let seq_out = radix_sort_by_key(&mut seq, key);
+        assert!(matches!(seq_out, SortOutcome::Radix(_)), "{seq_out:?}");
+        let mut par = items.clone();
+        let par_out = width(8).install(|| par_radix_sort_by_key(&mut par, key));
+        assert_eq!(par_out, seq_out);
+        assert_eq!(par, seq);
     }
 }

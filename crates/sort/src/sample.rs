@@ -37,11 +37,11 @@ pub fn sample_sort_by_key<T, K>(
     comm: &Comm,
     data: Vec<T>,
     seed: u64,
-    key_of: impl Fn(&T) -> K + Copy,
+    key_of: impl Fn(&T) -> K + Copy + Sync,
 ) -> Vec<T>
 where
     T: Wire + Ord + Copy + Send + Sync + 'static,
-    K: RadixKey,
+    K: RadixKey + Send,
 {
     sample_sort_impl(comm, data, seed, move |c, d| local_radix_sort(c, d, key_of))
 }

@@ -1,0 +1,556 @@
+//! Parallel iterators over indexed sources: slices, vectors, and
+//! integer ranges, split into contiguous chunks and driven through a
+//! binary [`join`](crate::join) tree.
+//!
+//! # Determinism
+//!
+//! Ordered drivers (`collect`) concatenate chunk results in chunk-index
+//! order, and every adapter sees the item's **source index**, so the
+//! output of a pipeline is a pure function of the source — independent
+//! of the ambient width, the chunk boundaries, and the interleaving of
+//! chunk execution. Unordered drivers (`for_each`) guarantee only that
+//! each item is visited exactly once; side effects must commute, as in
+//! real rayon.
+
+use crate::pool::{current_num_threads, join};
+use std::mem::ManuallyDrop;
+use std::ops::Range;
+use std::sync::Arc;
+
+/// Below this many items a parallel call runs inline on the caller.
+const SEQ_CUTOFF: usize = 2048;
+/// Minimum chunk size: chunk bookkeeping is one queue round-trip, so
+/// chunks stay coarse enough for that to vanish in the noise.
+const MIN_CHUNK: usize = 1024;
+
+/// Chunk size for `len` items at `width`-way parallelism: ~4 chunks per
+/// lane for steal-back load balancing, floored at [`MIN_CHUNK`].
+fn grain(len: usize, width: usize) -> usize {
+    (len / (width.max(1) * 4)).max(MIN_CHUNK)
+}
+
+/// An indexed, splittable producer of items — the base of every
+/// parallel iterator here.
+pub trait Source: Send + Sized {
+    type Item: Send;
+    fn len(&self) -> usize;
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Split into `[0, at)` and `[at, len)`.
+    fn split_at(self, at: usize) -> (Self, Self);
+    /// Consume the chunk sequentially; `f` receives
+    /// `(base + position, item)` with `position` the index within this
+    /// chunk — i.e. the item's index in the original source.
+    fn for_each_indexed(self, base: usize, f: &mut impl FnMut(usize, Self::Item));
+}
+
+impl<'a, T: Sync + 'a> Source for &'a [T] {
+    type Item = &'a T;
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+    fn split_at(self, at: usize) -> (Self, Self) {
+        (*self).split_at(at)
+    }
+    fn for_each_indexed(self, base: usize, f: &mut impl FnMut(usize, &'a T)) {
+        for (i, x) in self.iter().enumerate() {
+            f(base + i, x);
+        }
+    }
+}
+
+impl<'a, T: Send + 'a> Source for &'a mut [T] {
+    type Item = &'a mut T;
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+    fn split_at(self, at: usize) -> (Self, Self) {
+        self.split_at_mut(at)
+    }
+    fn for_each_indexed(self, base: usize, f: &mut impl FnMut(usize, &'a mut T)) {
+        for (i, x) in self.iter_mut().enumerate() {
+            f(base + i, x);
+        }
+    }
+}
+
+macro_rules! range_source {
+    ($t:ty) => {
+        impl Source for Range<$t> {
+            type Item = $t;
+            fn len(&self) -> usize {
+                if self.end > self.start {
+                    (self.end - self.start) as usize
+                } else {
+                    0
+                }
+            }
+            fn split_at(self, at: usize) -> (Self, Self) {
+                let mid = self.start + at as $t;
+                (self.start..mid, mid..self.end)
+            }
+            fn for_each_indexed(self, base: usize, f: &mut impl FnMut(usize, $t)) {
+                for (i, v) in self.enumerate() {
+                    f(base + i, v);
+                }
+            }
+        }
+
+        impl IntoParallelIterator for Range<$t> {
+            type Item = $t;
+            type Iter = ParIter<Range<$t>, Identity>;
+            fn into_par_iter(self) -> Self::Iter {
+                ParIter::new(self)
+            }
+        }
+    };
+}
+
+range_source!(u32);
+range_source!(u64);
+range_source!(usize);
+
+/// Keeper of a `Vec`'s allocation while its elements are consumed by
+/// value across chunks; frees the (by then element-less) buffer when
+/// the last chunk drops.
+struct RawAlloc<T> {
+    ptr: *mut T,
+    cap: usize,
+}
+
+unsafe impl<T: Send> Send for RawAlloc<T> {}
+unsafe impl<T: Send> Sync for RawAlloc<T> {}
+
+impl<T> Drop for RawAlloc<T> {
+    fn drop(&mut self) {
+        // SAFETY: every element was either moved out by a chunk's
+        // `for_each_indexed` or dropped by that chunk's own `Drop`; only
+        // the raw buffer remains.
+        unsafe { drop(Vec::from_raw_parts(self.ptr, 0, self.cap)) };
+    }
+}
+
+/// An owning chunk of a consumed `Vec<T>`: elements `[start, end)`.
+pub struct VecSource<T: Send> {
+    alloc: Arc<RawAlloc<T>>,
+    start: usize,
+    end: usize,
+}
+
+impl<T: Send> Source for VecSource<T> {
+    type Item = T;
+    fn len(&self) -> usize {
+        self.end - self.start
+    }
+    fn split_at(mut self, at: usize) -> (Self, Self) {
+        let mid = self.start + at;
+        let right = VecSource {
+            alloc: Arc::clone(&self.alloc),
+            start: mid,
+            end: self.end,
+        };
+        self.end = mid;
+        (self, right)
+    }
+    fn for_each_indexed(mut self, base: usize, f: &mut impl FnMut(usize, T)) {
+        let mut i = 0;
+        while self.start < self.end {
+            // SAFETY: `[start, end)` is owned by this chunk alone; the
+            // cursor moves past the element before `f` runs, so a
+            // panicking `f` leaves `Drop` to free exactly the rest.
+            let item = unsafe { self.alloc.ptr.add(self.start).read() };
+            self.start += 1;
+            f(base + i, item);
+            i += 1;
+        }
+    }
+}
+
+impl<T: Send> Drop for VecSource<T> {
+    fn drop(&mut self) {
+        let rest = std::ptr::slice_from_raw_parts_mut(
+            // SAFETY: the chunk exclusively owns `[start, end)`.
+            unsafe { self.alloc.ptr.add(self.start) },
+            self.end - self.start,
+        );
+        unsafe { std::ptr::drop_in_place(rest) };
+    }
+}
+
+/// A per-item transformation chain, applied with the item's source
+/// index. `None` means the item was filtered out.
+pub trait Pipeline<In>: Send + Sync {
+    type Out: Send;
+    fn apply(&self, index: usize, item: In) -> Option<Self::Out>;
+}
+
+/// The empty pipeline.
+pub struct Identity;
+
+impl<T: Send> Pipeline<T> for Identity {
+    type Out = T;
+    fn apply(&self, _index: usize, item: T) -> Option<T> {
+        Some(item)
+    }
+}
+
+pub struct Map<P, F> {
+    pipe: P,
+    f: F,
+}
+
+impl<In, P, F, R> Pipeline<In> for Map<P, F>
+where
+    P: Pipeline<In>,
+    F: Fn(P::Out) -> R + Send + Sync,
+    R: Send,
+{
+    type Out = R;
+    fn apply(&self, index: usize, item: In) -> Option<R> {
+        self.pipe.apply(index, item).map(&self.f)
+    }
+}
+
+pub struct Filter<P, F> {
+    pipe: P,
+    f: F,
+}
+
+impl<In, P, F> Pipeline<In> for Filter<P, F>
+where
+    P: Pipeline<In>,
+    F: Fn(&P::Out) -> bool + Send + Sync,
+{
+    type Out = P::Out;
+    fn apply(&self, index: usize, item: In) -> Option<P::Out> {
+        self.pipe.apply(index, item).filter(|v| (self.f)(v))
+    }
+}
+
+pub struct FilterMap<P, F> {
+    pipe: P,
+    f: F,
+}
+
+impl<In, P, F, R> Pipeline<In> for FilterMap<P, F>
+where
+    P: Pipeline<In>,
+    F: Fn(P::Out) -> Option<R> + Send + Sync,
+    R: Send,
+{
+    type Out = R;
+    fn apply(&self, index: usize, item: In) -> Option<R> {
+        self.pipe.apply(index, item).and_then(&self.f)
+    }
+}
+
+/// Pairs each surviving item with its **source** index (identical to
+/// sequential `enumerate` when no prior adapter filters, which is the
+/// only indexed shape real rayon permits anyway).
+pub struct Enumerate<P> {
+    pipe: P,
+}
+
+impl<In, P> Pipeline<In> for Enumerate<P>
+where
+    P: Pipeline<In>,
+{
+    type Out = (usize, P::Out);
+    fn apply(&self, index: usize, item: In) -> Option<(usize, P::Out)> {
+        self.pipe.apply(index, item).map(|v| (index, v))
+    }
+}
+
+/// A parallel iterator: an indexed [`Source`] plus a [`Pipeline`] of
+/// per-item adapters.
+pub struct ParIter<S, P> {
+    source: S,
+    pipe: P,
+}
+
+impl<S: Source> ParIter<S, Identity> {
+    fn new(source: S) -> Self {
+        ParIter {
+            source,
+            pipe: Identity,
+        }
+    }
+}
+
+impl<S, P> ParIter<S, P>
+where
+    S: Source,
+    P: Pipeline<S::Item>,
+{
+    pub fn map<F, R>(self, f: F) -> ParIter<S, Map<P, F>>
+    where
+        F: Fn(P::Out) -> R + Send + Sync,
+        R: Send,
+    {
+        ParIter {
+            source: self.source,
+            pipe: Map { pipe: self.pipe, f },
+        }
+    }
+
+    pub fn filter<F>(self, f: F) -> ParIter<S, Filter<P, F>>
+    where
+        F: Fn(&P::Out) -> bool + Send + Sync,
+    {
+        ParIter {
+            source: self.source,
+            pipe: Filter { pipe: self.pipe, f },
+        }
+    }
+
+    pub fn filter_map<F, R>(self, f: F) -> ParIter<S, FilterMap<P, F>>
+    where
+        F: Fn(P::Out) -> Option<R> + Send + Sync,
+        R: Send,
+    {
+        ParIter {
+            source: self.source,
+            pipe: FilterMap { pipe: self.pipe, f },
+        }
+    }
+
+    pub fn enumerate(self) -> ParIter<S, Enumerate<P>> {
+        ParIter {
+            source: self.source,
+            pipe: Enumerate { pipe: self.pipe },
+        }
+    }
+
+    /// Visit every surviving item once; chunks run concurrently, so `f`
+    /// must be safe to call from multiple threads at once.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(P::Out) + Send + Sync,
+    {
+        let width = current_num_threads();
+        let len = self.source.len();
+        if width <= 1 || len <= SEQ_CUTOFF {
+            let pipe = &self.pipe;
+            self.source.for_each_indexed(0, &mut |i, x| {
+                if let Some(v) = pipe.apply(i, x) {
+                    f(v);
+                }
+            });
+            return;
+        }
+        for_each_rec(self.source, 0, grain(len, width), &self.pipe, &f);
+    }
+
+    /// Collect surviving items in source order. The result is identical
+    /// at every width: chunk outputs are concatenated in chunk order.
+    pub fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<P::Out>,
+    {
+        let width = current_num_threads();
+        let len = self.source.len();
+        let vec = if width <= 1 || len <= SEQ_CUTOFF {
+            let mut out = Vec::new();
+            let pipe = &self.pipe;
+            self.source.for_each_indexed(0, &mut |i, x| {
+                if let Some(v) = pipe.apply(i, x) {
+                    out.push(v);
+                }
+            });
+            out
+        } else {
+            collect_rec(self.source, 0, grain(len, width), &self.pipe)
+        };
+        C::from_vec(vec)
+    }
+
+    /// Number of surviving items.
+    pub fn count(self) -> usize {
+        let width = current_num_threads();
+        let len = self.source.len();
+        if width <= 1 || len <= SEQ_CUTOFF {
+            let mut n = 0usize;
+            let pipe = &self.pipe;
+            self.source.for_each_indexed(0, &mut |i, x| {
+                if pipe.apply(i, x).is_some() {
+                    n += 1;
+                }
+            });
+            return n;
+        }
+        count_rec(self.source, 0, grain(len, width), &self.pipe)
+    }
+}
+
+fn for_each_rec<S, P, F>(source: S, base: usize, grain: usize, pipe: &P, f: &F)
+where
+    S: Source,
+    P: Pipeline<S::Item>,
+    F: Fn(P::Out) + Send + Sync,
+{
+    let len = source.len();
+    if len <= grain {
+        source.for_each_indexed(base, &mut |i, x| {
+            if let Some(v) = pipe.apply(i, x) {
+                f(v);
+            }
+        });
+        return;
+    }
+    let mid = len / 2;
+    let (l, r) = source.split_at(mid);
+    join(
+        || for_each_rec(l, base, grain, pipe, f),
+        || for_each_rec(r, base + mid, grain, pipe, f),
+    );
+}
+
+fn collect_rec<S, P>(source: S, base: usize, grain: usize, pipe: &P) -> Vec<P::Out>
+where
+    S: Source,
+    P: Pipeline<S::Item>,
+{
+    let len = source.len();
+    if len <= grain {
+        let mut out = Vec::new();
+        source.for_each_indexed(base, &mut |i, x| {
+            if let Some(v) = pipe.apply(i, x) {
+                out.push(v);
+            }
+        });
+        return out;
+    }
+    let mid = len / 2;
+    let (l, r) = source.split_at(mid);
+    let (mut lv, rv) = join(
+        || collect_rec(l, base, grain, pipe),
+        || collect_rec(r, base + mid, grain, pipe),
+    );
+    lv.extend(rv);
+    lv
+}
+
+fn count_rec<S, P>(source: S, base: usize, grain: usize, pipe: &P) -> usize
+where
+    S: Source,
+    P: Pipeline<S::Item>,
+{
+    let len = source.len();
+    if len <= grain {
+        let mut n = 0usize;
+        source.for_each_indexed(base, &mut |i, x| {
+            if pipe.apply(i, x).is_some() {
+                n += 1;
+            }
+        });
+        return n;
+    }
+    let mid = len / 2;
+    let (l, r) = source.split_at(mid);
+    let (ln, rn) = join(
+        || count_rec(l, base, grain, pipe),
+        || count_rec(r, base + mid, grain, pipe),
+    );
+    ln + rn
+}
+
+/// Collection types a parallel iterator can gather into.
+pub trait FromParallelIterator<T: Send> {
+    fn from_vec(v: Vec<T>) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_vec(v: Vec<T>) -> Self {
+        v
+    }
+}
+
+/// By-value parallel iteration.
+pub trait IntoParallelIterator {
+    type Item: Send;
+    type Iter;
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelIterator for &'a [T] {
+    type Item = &'a T;
+    type Iter = ParIter<&'a [T], Identity>;
+    fn into_par_iter(self) -> Self::Iter {
+        ParIter::new(self)
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelIterator for &'a Vec<T> {
+    type Item = &'a T;
+    type Iter = ParIter<&'a [T], Identity>;
+    fn into_par_iter(self) -> Self::Iter {
+        ParIter::new(self.as_slice())
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelIterator for &'a mut [T] {
+    type Item = &'a mut T;
+    type Iter = ParIter<&'a mut [T], Identity>;
+    fn into_par_iter(self) -> Self::Iter {
+        ParIter::new(self)
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelIterator for &'a mut Vec<T> {
+    type Item = &'a mut T;
+    type Iter = ParIter<&'a mut [T], Identity>;
+    fn into_par_iter(self) -> Self::Iter {
+        ParIter::new(self.as_mut_slice())
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = ParIter<VecSource<T>, Identity>;
+    fn into_par_iter(self) -> Self::Iter {
+        let mut v = ManuallyDrop::new(self);
+        let (ptr, len, cap) = (v.as_mut_ptr(), v.len(), v.capacity());
+        ParIter::new(VecSource {
+            alloc: Arc::new(RawAlloc { ptr, cap }),
+            start: 0,
+            end: len,
+        })
+    }
+}
+
+/// `par_iter()` — by-shared-reference parallel iteration.
+pub trait IntoParallelRefIterator<'data> {
+    type Item: Send;
+    type Iter;
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+impl<'data, I: 'data + ?Sized> IntoParallelRefIterator<'data> for I
+where
+    &'data I: IntoParallelIterator,
+{
+    type Item = <&'data I as IntoParallelIterator>::Item;
+    type Iter = <&'data I as IntoParallelIterator>::Iter;
+    fn par_iter(&'data self) -> Self::Iter {
+        self.into_par_iter()
+    }
+}
+
+/// `par_iter_mut()` — by-mutable-reference parallel iteration.
+pub trait IntoParallelRefMutIterator<'data> {
+    type Item: Send;
+    type Iter;
+    fn par_iter_mut(&'data mut self) -> Self::Iter;
+}
+
+impl<'data, I: 'data + ?Sized> IntoParallelRefMutIterator<'data> for I
+where
+    &'data mut I: IntoParallelIterator,
+{
+    type Item = <&'data mut I as IntoParallelIterator>::Item;
+    type Iter = <&'data mut I as IntoParallelIterator>::Iter;
+    fn par_iter_mut(&'data mut self) -> Self::Iter {
+        self.into_par_iter()
+    }
+}

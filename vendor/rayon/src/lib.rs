@@ -1,127 +1,302 @@
-//! Offline stand-in for the subset of the `rayon` API this workspace
-//! uses. "Parallel" iterators are plain sequential `std` iterators — the
-//! simulated machine already runs one OS thread per PE, so shared-memory
-//! kernels degrade gracefully to sequential execution while keeping the
-//! exact call shapes (`par_iter`, `into_par_iter`, `par_sort_unstable`)
-//! of the real crate.
+//! Offline work-stealing stand-in for the subset of the `rayon` API
+//! this workspace uses — with a **real** thread pool underneath.
+//!
+//! One lazy global pool (`available_parallelism()` workers) executes
+//! chunked jobs from every caller; per-call parallelism is governed by
+//! an ambient *width* installed via [`ThreadPool::install`], so a
+//! simulated machine of `p` PE threads × `t` hybrid threads shares one
+//! worker set instead of oversubscribing `p × t` OS threads. Width 1
+//! (the default for non-hybrid PEs) executes strictly sequentially on
+//! the calling thread — zero overhead, bit-identical to the old
+//! sequential stand-in.
+//!
+//! See [`mod@pool`] for the execution model (chunk queue, steal-back,
+//! help-while-waiting, panic routing), [`mod@iter`] for the
+//! deterministic chunk-splitting drivers behind `par_iter` /
+//! `into_par_iter` / `par_iter_mut`, and [`mod@slice`] for the parallel
+//! merge sort behind `par_sort_unstable*`.
+
+pub mod iter;
+pub mod pool;
+pub mod slice;
+
+pub use pool::{
+    current_num_threads, join, scope, Scope, ThreadPool, ThreadPoolBuildError, ThreadPoolBuilder,
+};
 
 pub mod prelude {
-    /// `into_par_iter()` — sequential: any `IntoIterator` qualifies.
-    pub trait IntoParallelIterator: IntoIterator + Sized {
-        fn into_par_iter(self) -> Self::IntoIter {
-            self.into_iter()
-        }
-    }
-
-    impl<I: IntoIterator> IntoParallelIterator for I {}
-
-    /// `par_iter()` — sequential borrow iteration.
-    pub trait IntoParallelRefIterator<'a> {
-        type Iter: Iterator;
-        fn par_iter(&'a self) -> Self::Iter;
-    }
-
-    impl<'a, I: 'a + ?Sized> IntoParallelRefIterator<'a> for I
-    where
-        &'a I: IntoIterator,
-    {
-        type Iter = <&'a I as IntoIterator>::IntoIter;
-        fn par_iter(&'a self) -> Self::Iter {
-            self.into_iter()
-        }
-    }
-
-    /// `par_iter_mut()` — sequential mutable borrow iteration.
-    pub trait IntoParallelRefMutIterator<'a> {
-        type Iter: Iterator;
-        fn par_iter_mut(&'a mut self) -> Self::Iter;
-    }
-
-    impl<'a, I: 'a + ?Sized> IntoParallelRefMutIterator<'a> for I
-    where
-        &'a mut I: IntoIterator,
-    {
-        type Iter = <&'a mut I as IntoIterator>::IntoIter;
-        fn par_iter_mut(&'a mut self) -> Self::Iter {
-            self.into_iter()
-        }
-    }
-
-    /// `par_sort_unstable` and friends on slices.
-    pub trait ParallelSliceMut<T> {
-        fn as_parallel_slice_mut(&mut self) -> &mut [T];
-
-        fn par_sort_unstable(&mut self)
-        where
-            T: Ord,
-        {
-            self.as_parallel_slice_mut().sort_unstable();
-        }
-
-        fn par_sort_unstable_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, f: F) {
-            self.as_parallel_slice_mut().sort_unstable_by_key(f);
-        }
-
-        fn par_sort_unstable_by<F: FnMut(&T, &T) -> std::cmp::Ordering>(&mut self, f: F) {
-            self.as_parallel_slice_mut().sort_unstable_by(f);
-        }
-    }
-
-    impl<T> ParallelSliceMut<T> for [T] {
-        fn as_parallel_slice_mut(&mut self) -> &mut [T] {
-            self
-        }
-    }
-}
-
-/// Sequential stand-in for `rayon::join`.
-pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
-where
-    A: FnOnce() -> RA,
-    B: FnOnce() -> RB,
-{
-    (a(), b())
-}
-
-/// Sequential stand-in for `rayon::scope`.
-pub fn scope<'scope, F, R>(f: F) -> R
-where
-    F: FnOnce(&Scope<'scope>) -> R,
-{
-    f(&Scope {
-        _marker: std::marker::PhantomData,
-    })
-}
-
-/// Scope handle whose `spawn` runs the closure immediately.
-pub struct Scope<'scope> {
-    _marker: std::marker::PhantomData<&'scope ()>,
-}
-
-impl<'scope> Scope<'scope> {
-    pub fn spawn<F>(&self, f: F)
-    where
-        F: FnOnce(&Scope<'scope>) + 'scope,
-    {
-        f(self);
-    }
+    pub use crate::iter::{
+        FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator,
+        IntoParallelRefMutIterator,
+    };
+    pub use crate::slice::ParallelSliceMut;
 }
 
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    /// A handle wide enough to force the parallel paths even on a
+    /// single-core host.
+    fn wide() -> ThreadPool {
+        ThreadPoolBuilder::new().num_threads(8).build().unwrap()
+    }
 
     #[test]
     fn par_iter_shapes_compile_and_run() {
         let v = vec![3u64, 1, 2];
         let doubled: Vec<u64> = v.par_iter().map(|&x| x * 2).collect();
         assert_eq!(doubled, vec![6, 2, 4]);
-        let sum: u64 = (0..5u64).into_par_iter().sum();
-        assert_eq!(sum, 10);
         let mut s = vec![5, 4, 1];
         s.par_sort_unstable();
         assert_eq!(s, vec![1, 4, 5]);
-        let (a, b) = super::join(|| 1, || 2);
+        let (a, b) = join(|| 1, || 2);
         assert_eq!(a + b, 3);
+        let idx: Vec<(usize, u32)> = vec![9u32, 8]
+            .par_iter()
+            .enumerate()
+            .map(|(i, &x)| (i, x))
+            .collect();
+        assert_eq!(idx, vec![(0, 9), (1, 8)]);
+        let kept: Vec<u64> = (0..10u64).into_par_iter().filter(|x| x % 2 == 0).collect();
+        assert_eq!(kept, vec![0, 2, 4, 6, 8]);
+        let fm: Vec<u64> = (0..10u64)
+            .into_par_iter()
+            .filter_map(|x| (x % 3 == 0).then_some(x * 10))
+            .collect();
+        assert_eq!(fm, vec![0, 30, 60, 90]);
+    }
+
+    #[test]
+    fn join_runs_both_and_returns_in_order() {
+        wide().install(|| {
+            let (a, b) = join(|| "left", || "right");
+            assert_eq!((a, b), ("left", "right"));
+        });
+    }
+
+    #[test]
+    fn nested_join_fan_out() {
+        fn fib(n: u64) -> u64 {
+            if n < 2 {
+                return n;
+            }
+            let (a, b) = join(|| fib(n - 1), || fib(n - 2));
+            a + b
+        }
+        assert_eq!(wide().install(|| fib(16)), 987);
+    }
+
+    #[test]
+    fn join_borrows_the_stack() {
+        wide().install(|| {
+            let mut left = vec![0u64; 10_000];
+            let mut right = vec![0u64; 10_000];
+            join(
+                || left.iter_mut().enumerate().for_each(|(i, x)| *x = i as u64),
+                || right.iter_mut().for_each(|x| *x = 7),
+            );
+            assert_eq!(left[9_999], 9_999);
+            assert!(right.iter().all(|&x| x == 7));
+        });
+    }
+
+    #[test]
+    fn join_propagates_panic_from_either_side() {
+        for side in 0..2 {
+            let r = std::panic::catch_unwind(|| {
+                wide().install(|| {
+                    join(
+                        || {
+                            if side == 0 {
+                                panic!("left boom")
+                            }
+                        },
+                        || {
+                            if side == 1 {
+                                panic!("right boom")
+                            }
+                        },
+                    )
+                })
+            });
+            assert!(r.is_err(), "side {side} must propagate");
+        }
+    }
+
+    #[test]
+    fn scope_spawn_runs_all_jobs_with_borrows() {
+        let counter = AtomicUsize::new(0);
+        wide().install(|| {
+            scope(|s| {
+                for _ in 0..64 {
+                    s.spawn(|inner| {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                        inner.spawn(|_| {
+                            counter.fetch_add(1, Ordering::Relaxed);
+                        });
+                    });
+                }
+            });
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 128);
+    }
+
+    #[test]
+    fn scope_propagates_spawned_panic_after_draining() {
+        let finished = AtomicUsize::new(0);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            wide().install(|| {
+                scope(|s| {
+                    s.spawn(|_| panic!("job boom"));
+                    for _ in 0..8 {
+                        s.spawn(|_| {
+                            finished.fetch_add(1, Ordering::Relaxed);
+                        });
+                    }
+                });
+            });
+        }));
+        assert!(r.is_err(), "spawned panic must surface at scope exit");
+        // Every sibling ran to completion before the panic resumed.
+        assert_eq!(finished.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn zero_len_and_tiny_splits() {
+        wide().install(|| {
+            let empty: Vec<u64> = Vec::new();
+            let out: Vec<u64> = empty.par_iter().map(|&x| x).collect();
+            assert!(out.is_empty());
+            let out: Vec<u64> = (0..0u64).into_par_iter().collect();
+            assert!(out.is_empty());
+            let one: Vec<u64> = vec![42].into_par_iter().collect();
+            assert_eq!(one, vec![42]);
+            let mut tiny = [3u8, 1, 2];
+            tiny.par_sort_unstable();
+            assert_eq!(tiny, [1, 2, 3]);
+            let mut empty_mut: [u8; 0] = [];
+            empty_mut.par_sort_unstable();
+        });
+    }
+
+    #[test]
+    fn collect_is_identical_across_widths() {
+        let n = 100_000u64;
+        let seq: Vec<u64> = (0..n)
+            .into_par_iter()
+            .filter(|x| x % 3 != 0)
+            .map(|x| x.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .collect();
+        for t in [2usize, 3, 8, 17] {
+            let par: Vec<u64> = ThreadPoolBuilder::new()
+                .num_threads(t)
+                .build()
+                .unwrap()
+                .install(|| {
+                    (0..n)
+                        .into_par_iter()
+                        .filter(|x| x % 3 != 0)
+                        .map(|x| x.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                        .collect()
+                });
+            assert_eq!(par, seq, "width {t} must not change ordered output");
+        }
+    }
+
+    #[test]
+    fn for_each_visits_every_item_once() {
+        let n = 50_000usize;
+        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        wide().install(|| {
+            (0..n).into_par_iter().for_each(|i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn vec_into_par_iter_drops_every_element_exactly_once() {
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        struct D(#[allow(dead_code)] u64);
+        impl Drop for D {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let v: Vec<D> = (0..10_000).map(D).collect();
+        wide().install(|| {
+            let lens: Vec<usize> = v.into_par_iter().map(|d| d.0 as usize).collect();
+            assert_eq!(lens.len(), 10_000);
+        });
+        assert_eq!(DROPS.load(Ordering::Relaxed), 10_000);
+    }
+
+    #[test]
+    fn par_iter_mut_writes_through() {
+        let mut v = vec![0u64; 30_000];
+        wide().install(|| {
+            v.par_iter_mut()
+                .enumerate()
+                .for_each(|(i, x)| *x = i as u64 * 2);
+        });
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i as u64 * 2));
+    }
+
+    #[test]
+    fn par_sort_matches_std_across_widths() {
+        let mut state = 99u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 16
+        };
+        let orig: Vec<u64> = (0..200_000).map(|_| next() % 10_000).collect();
+        let mut expect = orig.clone();
+        expect.sort_unstable();
+        for t in [1usize, 2, 8] {
+            let mut v = orig.clone();
+            ThreadPoolBuilder::new()
+                .num_threads(t)
+                .build()
+                .unwrap()
+                .install(|| v.par_sort_unstable());
+            assert_eq!(v, expect, "width {t}");
+        }
+        let mut v = orig.clone();
+        wide().install(|| v.par_sort_unstable_by(|a, b| b.cmp(a)));
+        let mut rev = expect.clone();
+        rev.reverse();
+        assert_eq!(v, rev);
+        let mut v = orig;
+        wide().install(|| v.par_sort_unstable_by_key(|&x| u64::MAX - x));
+        assert_eq!(v, rev);
+    }
+
+    #[test]
+    fn install_sets_and_restores_width() {
+        let outside = current_num_threads();
+        wide().install(|| {
+            assert_eq!(current_num_threads(), 8);
+            ThreadPoolBuilder::new()
+                .num_threads(3)
+                .build()
+                .unwrap()
+                .install(|| assert_eq!(current_num_threads(), 3));
+            assert_eq!(current_num_threads(), 8);
+        });
+        assert_eq!(current_num_threads(), outside);
+    }
+
+    #[test]
+    fn spawned_jobs_inherit_the_spawner_width() {
+        wide().install(|| {
+            let (w1, w2) = join(current_num_threads, current_num_threads);
+            assert_eq!((w1, w2), (8, 8));
+        });
     }
 }

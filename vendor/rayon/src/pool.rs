@@ -1,0 +1,478 @@
+//! The process-wide worker pool and the structured-parallelism
+//! primitives built on it: [`join`], [`scope`], and the ambient-width
+//! machinery behind [`ThreadPool::install`].
+//!
+//! # Architecture
+//!
+//! One lazy **global pool** per process, spawned on first parallel use,
+//! with `available_parallelism()` detached worker threads. Callers never
+//! block while work is pending: `join` runs its first closure inline and
+//! then either *steals back* the second (if no worker claimed it yet) or
+//! *helps* — executing other queued jobs — until it completes. Worker
+//! threads park on a condvar when the queue is empty, so an idle pool
+//! costs nothing.
+//!
+//! Instead of per-worker Chase-Lev deques there is a single
+//! mutex-guarded chunk queue (the "chunk-queue equivalent"): every job
+//! in this workspace is a coarse chunk of an indexed split (thousands of
+//! elements), so queue contention is negligible and the steal-back path
+//! keeps granularity adaptive exactly like a work-stealing deque would —
+//! a caller that finds its spawned half unclaimed runs it inline,
+//! collapsing to sequential execution with one atomic exchange of
+//! overhead.
+//!
+//! # Widths
+//!
+//! Parallelism is governed by a thread-local **width** — the number of
+//! chunks a data-parallel call may split into concurrently. Width 1
+//! means strictly sequential (no job is ever spawned; `join(a, b)` is
+//! exactly `(a(), b())`). [`ThreadPool::install`] sets the width for a
+//! closure's dynamic extent, and spawned jobs inherit the width of their
+//! spawner, so a simulated PE installed at `threads_per_pe` keeps that
+//! width across nested `join`/iterator calls. The machine harness
+//! installs each PE's rank closure at its configured `threads_per_pe`,
+//! which is how `p × t` stops oversubscribing blindly: the global pool
+//! has `available_parallelism()` workers *total*, no matter how many PEs
+//! ask for how many threads — excess chunks queue and are drained by
+//! the PE threads themselves through the help loop.
+//!
+//! # Panics and safety
+//!
+//! Every spawned closure runs under `catch_unwind`; panics are re-thrown
+//! at the `join`/`scope` boundary on the spawning thread. Spawned jobs
+//! may borrow the spawner's stack: this is sound because `join` and
+//! `scope` never return — normally or by unwinding — before every job
+//! they spawned has run to completion or been reclaimed and executed
+//! inline.
+
+use std::any::Any;
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Duration;
+
+/// A type-erased, lifetime-erased unit of work. Invariant: the boxed
+/// closure never unwinds (user code inside is wrapped in
+/// `catch_unwind`), so a worker thread survives any panicking job.
+type Task = Box<dyn FnOnce() + Send>;
+
+const PENDING: u8 = 0;
+const DONE: u8 = 1;
+
+/// One spawned job: the task itself (claimable exactly once) plus the
+/// completion flag the spawner waits on.
+struct JobSlot {
+    task: Mutex<Option<Task>>,
+    state: AtomicU8,
+    lock: Mutex<()>,
+    cv: Condvar,
+}
+
+impl JobSlot {
+    fn new(task: Task) -> Arc<Self> {
+        Arc::new(JobSlot {
+            task: Mutex::new(Some(task)),
+            state: AtomicU8::new(PENDING),
+            lock: Mutex::new(()),
+            cv: Condvar::new(),
+        })
+    }
+
+    /// Take the task for execution; the winner of this race runs it.
+    fn claim(&self) -> Option<Task> {
+        self.task.lock().unwrap().take()
+    }
+
+    /// Run a claimed task and publish completion.
+    fn execute(&self, task: Task) {
+        task();
+        let _g = self.lock.lock().unwrap();
+        self.state.store(DONE, Ordering::Release);
+        self.cv.notify_all();
+    }
+
+    fn is_done(&self) -> bool {
+        self.state.load(Ordering::Acquire) == DONE
+    }
+}
+
+/// The global injector queue plus the condvar idle workers park on.
+struct Pool {
+    queue: Mutex<VecDeque<Arc<JobSlot>>>,
+    available: Condvar,
+}
+
+impl Pool {
+    fn inject(&self, job: Arc<JobSlot>) {
+        self.queue.lock().unwrap().push_back(job);
+        self.available.notify_one();
+    }
+
+    fn try_pop(&self) -> Option<Arc<JobSlot>> {
+        self.queue.lock().unwrap().pop_front()
+    }
+
+    /// Worker main loop: pop, claim, execute, forever. Workers are
+    /// detached daemon threads; they die with the process.
+    fn worker_loop(&self) {
+        loop {
+            let job = {
+                let mut q = self.queue.lock().unwrap();
+                loop {
+                    if let Some(j) = q.pop_front() {
+                        break j;
+                    }
+                    q = self.available.wait(q).unwrap();
+                }
+            };
+            if let Some(task) = job.claim() {
+                job.execute(task);
+            }
+        }
+    }
+
+    /// Wait until `done()` holds, executing queued jobs in the meantime
+    /// (the "help" half of help-first stealing). When the queue is dry,
+    /// spin briefly, then park on `(lock, cv)` with a short timeout —
+    /// the timeout bounds the stall if a new job is injected between
+    /// the emptiness check and the park.
+    fn help_until(&self, lock: &Mutex<()>, cv: &Condvar, done: impl Fn() -> bool) {
+        const SPIN: usize = 64;
+        loop {
+            if done() {
+                return;
+            }
+            if let Some(job) = self.try_pop() {
+                if let Some(task) = job.claim() {
+                    job.execute(task);
+                }
+                continue;
+            }
+            for _ in 0..SPIN {
+                if done() {
+                    return;
+                }
+                std::hint::spin_loop();
+            }
+            let g = lock.lock().unwrap();
+            if done() {
+                return;
+            }
+            let _ = cv.wait_timeout(g, Duration::from_micros(200)).unwrap();
+        }
+    }
+}
+
+/// The process-wide pool, spawned lazily on first parallel call.
+fn pool() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    static START: std::sync::Once = std::sync::Once::new();
+    let p = POOL.get_or_init(|| Pool {
+        queue: Mutex::new(VecDeque::new()),
+        available: Condvar::new(),
+    });
+    START.call_once(|| {
+        for i in 0..default_width() {
+            std::thread::Builder::new()
+                .name(format!("rayon-worker-{i}"))
+                .spawn(move || p.worker_loop())
+                .expect("spawn global pool worker");
+        }
+    });
+    p
+}
+
+thread_local! {
+    /// 0 = "unset": fall back to [`default_width`].
+    static WIDTH: Cell<usize> = const { Cell::new(0) };
+}
+
+/// The machine's core count — the default width outside any
+/// [`ThreadPool::install`], and the global pool's worker count.
+fn default_width() -> usize {
+    static N: AtomicUsize = AtomicUsize::new(0);
+    match N.load(Ordering::Relaxed) {
+        0 => {
+            let n = std::thread::available_parallelism().map_or(1, |n| n.get());
+            N.store(n, Ordering::Relaxed);
+            n
+        }
+        n => n,
+    }
+}
+
+/// The width governing parallel calls on the current thread: the
+/// innermost [`ThreadPool::install`]'s thread count, or the machine's
+/// core count outside any install.
+pub fn current_num_threads() -> usize {
+    let w = WIDTH.with(|c| c.get());
+    if w == 0 {
+        default_width()
+    } else {
+        w
+    }
+}
+
+/// Run `f` with the current thread's width set to `w` (restored on exit,
+/// including by unwinding).
+pub(crate) fn with_width<R>(w: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            WIDTH.with(|c| c.set(self.0));
+        }
+    }
+    let prev = WIDTH.with(|c| c.get());
+    let _restore = Restore(prev);
+    WIDTH.with(|c| c.set(w.max(1)));
+    f()
+}
+
+/// Erase the lifetime of a task so it can sit in the global queue.
+///
+/// # Safety
+///
+/// The caller must not return or unwind past the lifetime `'a` before
+/// the task has run to completion or been reclaimed and dropped.
+unsafe fn erase<'a>(task: Box<dyn FnOnce() + Send + 'a>) -> Task {
+    unsafe { std::mem::transmute(task) }
+}
+
+/// Execute the two closures, potentially in parallel, and return both
+/// results. With width 1 this is exactly `(a(), b())`. Otherwise `b` is
+/// published to the pool, `a` runs inline, and `b` is stolen back (run
+/// inline too) if no worker claimed it — so granularity adapts to load
+/// like a work-stealing deque's. Panics from either closure resume on
+/// the calling thread once both halves have settled.
+pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let width = current_num_threads();
+    if width <= 1 {
+        let ra = oper_a();
+        let rb = oper_b();
+        return (ra, rb);
+    }
+
+    struct SendPtr<T>(*mut T);
+    unsafe impl<T> Send for SendPtr<T> {}
+
+    let p = pool();
+    let mut rb_slot: Option<std::thread::Result<RB>> = None;
+    let rb_ptr = SendPtr(&mut rb_slot as *mut Option<std::thread::Result<RB>>);
+    let task: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+        let rb_ptr = rb_ptr;
+        let r = panic::catch_unwind(AssertUnwindSafe(|| with_width(width, oper_b)));
+        // SAFETY: the spawning `join` frame is alive until this job is
+        // DONE (it waits below), so the result slot pointer is valid.
+        unsafe { *rb_ptr.0 = Some(r) };
+    });
+    // SAFETY: `join` does not return — normally or by unwinding — before
+    // the job has run or been reclaimed and executed inline below, so
+    // every borrow captured by `oper_b` outlives its last use.
+    let job = JobSlot::new(unsafe { erase(task) });
+    p.inject(Arc::clone(&job));
+
+    let ra = panic::catch_unwind(AssertUnwindSafe(oper_a));
+
+    if let Some(task) = job.claim() {
+        // No worker picked it up: steal it back and run inline.
+        job.execute(task);
+    } else {
+        p.help_until(&job.lock, &job.cv, || job.is_done());
+    }
+
+    let rb = rb_slot.expect("rayon::join: spawned half finished without a result");
+    match (ra, rb) {
+        (Ok(ra), Ok(rb)) => (ra, rb),
+        (Err(e), _) => panic::resume_unwind(e),
+        (_, Err(e)) => panic::resume_unwind(e),
+    }
+}
+
+/// Shared state of one [`scope`]: the outstanding-job latch and the
+/// first captured panic.
+struct ScopeData {
+    pending: AtomicUsize,
+    lock: Mutex<()>,
+    cv: Condvar,
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+    width: usize,
+}
+
+impl ScopeData {
+    fn store_panic(&self, e: Box<dyn Any + Send>) {
+        let mut p = self.panic.lock().unwrap();
+        if p.is_none() {
+            *p = Some(e);
+        }
+    }
+}
+
+/// A scope for spawning borrowing jobs; see [`scope`].
+pub struct Scope<'scope> {
+    data: Arc<ScopeData>,
+    marker: PhantomData<&'scope mut &'scope ()>,
+}
+
+impl<'scope> Scope<'scope> {
+    /// Spawn `body` into the scope. The closure may borrow anything that
+    /// outlives the scope; it runs at the spawner's width. Panics are
+    /// captured and re-thrown when the scope closes (the first one
+    /// wins), matching real rayon.
+    pub fn spawn<BODY>(&self, body: BODY)
+    where
+        BODY: FnOnce(&Scope<'scope>) + Send + 'scope,
+    {
+        let data = Arc::clone(&self.data);
+        if data.width <= 1 {
+            // Sequential width: run inline, deferring any panic to the
+            // scope end exactly like the parallel path would.
+            let nested = Scope {
+                data: Arc::clone(&data),
+                marker: PhantomData,
+            };
+            if let Err(e) = panic::catch_unwind(AssertUnwindSafe(|| body(&nested))) {
+                data.store_panic(e);
+            }
+            return;
+        }
+        data.pending.fetch_add(1, Ordering::AcqRel);
+        let task: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
+            let nested = Scope {
+                data: Arc::clone(&data),
+                marker: PhantomData,
+            };
+            let r = panic::catch_unwind(AssertUnwindSafe(|| {
+                with_width(data.width, || body(&nested))
+            }));
+            if let Err(e) = r {
+                data.store_panic(e);
+            }
+            let _g = data.lock.lock().unwrap();
+            data.pending.fetch_sub(1, Ordering::AcqRel);
+            data.cv.notify_all();
+        });
+        // SAFETY: `scope` does not return before `pending` drains to
+        // zero, so borrows of `'scope` data stay valid for the job.
+        pool().inject(JobSlot::new(unsafe { erase(task) }));
+    }
+}
+
+/// Create a scope in which borrowing jobs can be spawned; returns once
+/// `op` and every spawned job (including nested spawns) have finished.
+/// The calling thread executes queued jobs while it waits. The first
+/// panic — from `op` or any job — resumes here after the scope drains.
+pub fn scope<'scope, OP, R>(op: OP) -> R
+where
+    OP: FnOnce(&Scope<'scope>) -> R + Send,
+    R: Send,
+{
+    let width = current_num_threads();
+    let data = Arc::new(ScopeData {
+        pending: AtomicUsize::new(0),
+        lock: Mutex::new(()),
+        cv: Condvar::new(),
+        panic: Mutex::new(None),
+        width,
+    });
+    let s = Scope {
+        data: Arc::clone(&data),
+        marker: PhantomData,
+    };
+    let result = panic::catch_unwind(AssertUnwindSafe(|| op(&s)));
+    // Even when `op` panicked: spawned jobs borrow `'scope` data that
+    // unwinding would invalidate, so the latch must drain first.
+    if width > 1 {
+        pool().help_until(&data.lock, &data.cv, || {
+            data.pending.load(Ordering::Acquire) == 0
+        });
+    }
+    let job_panic = data.panic.lock().unwrap().take();
+    match result {
+        Err(e) => panic::resume_unwind(e),
+        Ok(r) => {
+            if let Some(e) = job_panic {
+                panic::resume_unwind(e);
+            }
+            r
+        }
+    }
+}
+
+/// A width handle: `install` runs a closure whose parallel calls split
+/// into at most `num_threads` concurrent chunks, all executed by the
+/// one global pool. Handles are cheap value types — building one does
+/// not spawn threads.
+#[derive(Clone, Debug)]
+pub struct ThreadPool {
+    width: usize,
+}
+
+impl ThreadPool {
+    /// Run `op` with this pool's width as the ambient parallelism.
+    ///
+    /// Unlike real rayon, `op` runs **inline on the calling thread**
+    /// (only its parallel calls fan out), so neither `op` nor its
+    /// result needs to be `Send` — which lets a simulated PE install
+    /// its width around a closure borrowing thread-local machine state.
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R,
+    {
+        with_width(self.width, op)
+    }
+
+    /// The width `install` grants.
+    pub fn current_num_threads(&self) -> usize {
+        self.width
+    }
+}
+
+/// Error type kept for API compatibility; building a width handle
+/// cannot actually fail.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for [`ThreadPool`] width handles.
+#[derive(Clone, Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Width of the handle; `0` (the default) means the machine's core
+    /// count.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let width = if self.num_threads == 0 {
+            default_width()
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { width })
+    }
+}
