@@ -17,7 +17,12 @@
 //!   cliffs from landing silently;
 //! * a static entry missing `wall_speedup_vs_baseline` entirely — every
 //!   gated family must be measured against a baseline row; a silent gap
-//!   is how the geometric families escaped the gate before PR 8.
+//!   is how the geometric families escaped the gate before PR 8;
+//! * `transport_tax` (the `-sockets` entries' wall over the same
+//!   family's `boruvka-1` wall, both from the same session) above the
+//!   bound — the sockets/cells gap regressed past the post-PR-10
+//!   byte-transport data path's level. The ratio is host-neutral:
+//!   numerator and denominator share the session's conditions.
 //!
 //! Environment:
 //!
@@ -25,6 +30,10 @@
 //!   `0.9`: fail on a >10% wall-time regression);
 //! * `KAMSTA_PERF_MAX_DIVERGENCE_GROWTH` — maximum acceptable
 //!   `divergence_vs_baseline` (default `10.0`);
+//! * `KAMSTA_PERF_MAX_TRANSPORT_TAX` — maximum acceptable
+//!   `transport_tax` on `-sockets` entries (default `12.0`; the
+//!   post-PR-10 levels sit at 2–7× on an oversubscribed single-core
+//!   host, family-dependent);
 //! * `KAMSTA_PERF_ALLOW_MISSING` — set to `1` to demote missing
 //!   speedup fields back to a warning (for trajectory runs taken
 //!   without a baseline file).
@@ -41,9 +50,10 @@ fn env_f64(name: &str, default: f64) -> f64 {
 fn main() {
     let path = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_pr9.json".to_string());
+        .unwrap_or_else(|| "BENCH_pr10.json".to_string());
     let min = env_f64("KAMSTA_PERF_MIN_SPEEDUP", 0.9);
     let max_div = env_f64("KAMSTA_PERF_MAX_DIVERGENCE_GROWTH", 10.0);
+    let max_tax = env_f64("KAMSTA_PERF_MAX_TRANSPORT_TAX", 12.0);
     let allow_missing = std::env::var("KAMSTA_PERF_ALLOW_MISSING").is_ok_and(|v| v == "1");
     let text = std::fs::read_to_string(&path)
         .unwrap_or_else(|e| panic!("perf_check: cannot read {path}: {e}"));
@@ -75,11 +85,21 @@ fn main() {
         };
         checked += 1;
         let div: Option<f64> = field(line, "divergence_vs_baseline").and_then(|s| s.parse().ok());
+        let tax: Option<f64> = field(line, "transport_tax").and_then(|s| s.parse().ok());
         let speed_ok = speedup >= min;
         let div_ok = div.is_none_or(|d| d <= max_div);
-        let status = if speed_ok && div_ok { "ok" } else { "FAIL" };
+        let tax_ok = tax.is_none_or(|t| t <= max_tax);
+        let status = if speed_ok && div_ok && tax_ok {
+            "ok"
+        } else {
+            "FAIL"
+        };
         let div_str = div.map_or(String::new(), |d| format!(" divergence x{d:.2}"));
-        eprintln!("perf_check: {inst:>5}/{algo:<16} wall speedup {speedup:.3}{div_str} [{status}]");
+        let tax_str = tax.map_or(String::new(), |t| format!(" tax x{t:.2}"));
+        eprintln!(
+            "perf_check: {inst:>5}/{algo:<16} wall speedup {speedup:.3}{div_str}{tax_str} \
+             [{status}]"
+        );
         if !speed_ok {
             failures.push(format!("{inst}/{algo}: speedup {speedup:.3} < {min:.3}"));
         }
@@ -88,6 +108,13 @@ fn main() {
                 "{inst}/{algo}: wall/modeled divergence grew x{:.2} > x{max_div:.2} \
                  vs baseline (wall cliff outside the modeled scopes)",
                 div.unwrap()
+            ));
+        }
+        if !tax_ok {
+            failures.push(format!(
+                "{inst}/{algo}: transport tax x{:.2} > x{max_tax:.2} \
+                 (sockets wall regressed relative to the cells wall)",
+                tax.unwrap()
             ));
         }
     }

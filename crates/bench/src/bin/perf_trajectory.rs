@@ -49,7 +49,7 @@
 //!   nested `"baseline"` section is ignored) are embedded under
 //!   `"baseline"` together with a `"baseline_source"` naming the file
 //!   they came from, and per-entry speedups are computed;
-//! * `KAMSTA_PERF_OUT` — output path (default `BENCH_pr9.json`);
+//! * `KAMSTA_PERF_OUT` — output path (default `BENCH_pr10.json`);
 //! * `KAMSTA_TRANSPORT` — transport backend (`cells` | `bytes` |
 //!   `sockets`) for the simulated machines, resolved by `MachineConfig`
 //!   itself.
@@ -58,7 +58,11 @@
 //! `boruvka-1-sockets` entry per family: the same workload pinned to
 //! the TCP socket transport, so the real-wire overhead is tracked PR
 //! over PR (modeled counters are transport-invariant by construction —
-//! only the walls differ).
+//! only the walls differ). Since PR 10 each `-sockets` entry also
+//! carries `transport_tax` — its wall over the same family's
+//! `boruvka-1` wall from this run — the sockets/cells gap as one
+//! number, gated by `perf_check` so it cannot silently regress past
+//! its post-PR-10 level.
 //!
 //! Since PR 7 one `chaos-overhead` entry rides along: the GNM workload
 //! on sockets with fault-injection hooks **armed but empty**
@@ -167,8 +171,9 @@ fn run_entry(
 }
 
 /// One entry line. `baseline` is the matched `(wall, modeled)` row of
-/// the previous run, if any.
-fn json_entry(e: &Entry, baseline: Option<(f64, f64)>) -> String {
+/// the previous run, if any; `transport_tax` is the sockets-over-cells
+/// wall ratio of `-sockets` entries (see module docs).
+fn json_entry(e: &Entry, baseline: Option<(f64, f64)>, transport_tax: Option<f64>) -> String {
     let mut s = format!(
         "    {{\"instance\": \"{}\", \"cores\": {}, \"algo\": \"{}\", \
          \"wall_time\": {:.6}, \"modeled_time\": {:.6}, \
@@ -193,6 +198,9 @@ fn json_entry(e: &Entry, baseline: Option<(f64, f64)>) -> String {
         ", \"wall_modeled_divergence\": {:.3}",
         e.divergence()
     ));
+    if let Some(tax) = transport_tax {
+        s.push_str(&format!(", \"transport_tax\": {tax:.3}"));
+    }
     if let Some((bw, bm)) = baseline {
         let base_div = bw / bm.max(f64::MIN_POSITIVE);
         s.push_str(&format!(
@@ -243,7 +251,7 @@ fn main() {
     let ws = WeakScale::from_env();
     let cfg = bench_mst_config();
     let out_path =
-        std::env::var("KAMSTA_PERF_OUT").unwrap_or_else(|_| "BENCH_pr9.json".to_string());
+        std::env::var("KAMSTA_PERF_OUT").unwrap_or_else(|_| "BENCH_pr10.json".to_string());
     let baseline_source = std::env::var("KAMSTA_BASELINE").ok();
     let baseline: Vec<(String, String, f64, f64)> = baseline_source
         .as_ref()
@@ -371,6 +379,16 @@ fn main() {
 
     let mut body: Vec<String> = Vec::new();
     for e in &entries {
+        // Sockets-over-cells wall ratio of this run: the real-wire tax
+        // per family, measured against the env-transport `boruvka-1`
+        // sibling from the same session (cells under the default CI
+        // configuration, so host conditions cancel out of the ratio).
+        let tax = e.algo.strip_suffix("-sockets").and_then(|sibling| {
+            entries
+                .iter()
+                .find(|c| c.instance == e.instance && c.algo == sibling)
+                .map(|c| e.wall_time / c.wall_time.max(f64::MIN_POSITIVE))
+        });
         let base = lookup(e.instance, &e.algo);
         if base.is_none() && !baseline.is_empty() {
             // A baseline was supplied but has no row for this entry —
@@ -382,7 +400,7 @@ fn main() {
                 e.instance, e.algo
             );
         }
-        body.push(json_entry(e, base));
+        body.push(json_entry(e, base, tax));
     }
     let mut json = String::from("{\n");
     json.push_str(&format!(

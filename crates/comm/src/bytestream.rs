@@ -50,6 +50,39 @@ use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::sync::Arc;
 
+/// An encoded frame payload: owned by exactly one queue slot, or shared
+/// by every destination of a broadcast. `To::All` posts encode **once**
+/// and enqueue `p − 1` `Arc` clones — the queue layer never copies
+/// payload bytes.
+pub(crate) enum Payload {
+    Owned(Vec<u8>),
+    Shared(Arc<Vec<u8>>),
+}
+
+impl Payload {
+    #[inline]
+    pub(crate) fn as_slice(&self) -> &[u8] {
+        match self {
+            Payload::Owned(v) => v,
+            Payload::Shared(a) => a,
+        }
+    }
+
+    /// The bytes by value, copying only when still shared.
+    pub(crate) fn into_vec(self) -> Vec<u8> {
+        match self {
+            Payload::Owned(v) => v,
+            Payload::Shared(a) => Arc::try_unwrap(a).unwrap_or_else(|a| (*a).clone()),
+        }
+    }
+}
+
+impl From<Vec<u8>> for Payload {
+    fn from(v: Vec<u8>) -> Self {
+        Payload::Owned(v)
+    }
+}
+
 /// One encoded message travelling a PE-pair queue.
 pub(crate) struct Frame {
     /// The sender's round sequence number at post time.
@@ -59,7 +92,7 @@ pub(crate) struct Frame {
     tag: u64,
     /// Frame checksum, stamped/verified only while faults are armed.
     sum: u64,
-    bytes: Vec<u8>,
+    bytes: Payload,
 }
 
 /// The per-communicator queue fabric: `p × p` ordered byte queues.
@@ -105,7 +138,7 @@ impl ByteHub {
         dst: usize,
         seq: u64,
         tag: u64,
-        bytes: Vec<u8>,
+        bytes: Payload,
     ) -> Result<(), TransportError> {
         let Some(fx) = self.faults.as_deref() else {
             self.queue(src, dst).lock().push_back(Frame {
@@ -119,7 +152,7 @@ impl ByteHub {
         // Stamp the checksum over the *intended* bytes first: lethal
         // corruption below happens after, which is exactly what makes it
         // detectable at pop time.
-        let sum = frame_checksum(CH_DATA, 0, seq, tag, &bytes);
+        let sum = frame_checksum(CH_DATA, 0, seq, tag, bytes.as_slice());
         let f = fx.send_faults(CH_DATA, src, dst, 0, seq);
         if let Some(d) = f.delay {
             std::thread::sleep(d);
@@ -129,30 +162,47 @@ impl ByteHub {
         for attempt in 0..f.failed_attempts {
             std::thread::sleep(fx.backoff(f.key, attempt));
         }
-        let mut bytes = bytes;
-        match f.lethal {
+        let bytes = match f.lethal {
             Some(LethalKind::Disconnect) => {
                 return Err(TransportError::Io(
                     "injected fault: mid-frame disconnect".into(),
                 ));
             }
             Some(LethalKind::Truncate) => {
-                bytes.truncate(bytes.len() / 2);
+                // Corruption mutates: take the bytes by value (copying
+                // only if another destination still shares them).
+                let mut v = bytes.into_vec();
+                v.truncate(v.len() / 2);
+                Payload::Owned(v)
             }
-            Some(LethalKind::BitFlip) if !bytes.is_empty() => {
-                let bit = fx.flip_bit(f.key, bytes.len() * 8);
-                bytes[bit / 8] ^= 1 << (bit % 8);
+            Some(LethalKind::BitFlip) if !bytes.as_slice().is_empty() => {
+                let mut v = bytes.into_vec();
+                let bit = fx.flip_bit(f.key, v.len() * 8);
+                v[bit / 8] ^= 1 << (bit % 8);
+                Payload::Owned(v)
             }
-            Some(LethalKind::BitFlip) | None => {}
-        }
+            Some(LethalKind::BitFlip) | None => bytes,
+        };
         let mut q = self.queue(src, dst).lock();
         if f.duplicate && f.lethal.is_none() {
+            // The twin shares the bytes instead of cloning them.
+            let shared = match bytes {
+                Payload::Owned(v) => Arc::new(v),
+                Payload::Shared(a) => a,
+            };
             q.push_back(Frame {
                 seq,
                 tag,
                 sum,
-                bytes: bytes.clone(),
+                bytes: Payload::Shared(Arc::clone(&shared)),
             });
+            q.push_back(Frame {
+                seq,
+                tag,
+                sum,
+                bytes: Payload::Shared(shared),
+            });
+            return Ok(());
         }
         q.push_back(Frame {
             seq,
@@ -166,15 +216,16 @@ impl ByteHub {
     /// Pop the frame of round `seq` from the `(src → dst)` queue,
     /// discarding stale (never-consumed or duplicated) frames from
     /// earlier rounds. Protocol violations are typed errors, mirroring
-    /// the socket path.
-    pub(crate) fn pop(
+    /// the socket path. The caller decodes from the returned payload's
+    /// slice view and recycles owned buffers into its pool.
+    pub(crate) fn pop_frame(
         &self,
         src: usize,
         dst: usize,
         seq: u64,
         tag: u64,
         what: &str,
-    ) -> Result<Vec<u8>, TransportError> {
+    ) -> Result<Payload, TransportError> {
         let mut q = self.queue(src, dst).lock();
         loop {
             let Some(frame) = q.pop_front() else {
@@ -194,7 +245,8 @@ impl ByteHub {
                 )));
             }
             if self.faults.is_some()
-                && frame_checksum(CH_DATA, 0, frame.seq, frame.tag, &frame.bytes) != frame.sum
+                && frame_checksum(CH_DATA, 0, frame.seq, frame.tag, frame.bytes.as_slice())
+                    != frame.sum
             {
                 return Err(TransportError::Protocol(format!(
                     "byte-stream {what} of round {seq}: frame from PE {src} \
@@ -203,6 +255,20 @@ impl ByteHub {
             }
             return Ok(frame.bytes);
         }
+    }
+
+    /// Test convenience: pop and own the bytes.
+    #[cfg(test)]
+    fn pop(
+        &self,
+        src: usize,
+        dst: usize,
+        seq: u64,
+        tag: u64,
+        what: &str,
+    ) -> Result<Vec<u8>, TransportError> {
+        self.pop_frame(src, dst, seq, tag, what)
+            .map(Payload::into_vec)
     }
 }
 
@@ -220,12 +286,15 @@ mod tests {
         ByteHub::new(p, Some(Arc::new(FaultyTransport::new(plan))))
     }
 
+    fn owned<T: wire::Wire>(v: &T) -> Payload {
+        wire::encode(v).into()
+    }
+
     #[test]
     fn push_pop_roundtrip() {
         let hub = hub(2);
         let tag = type_tag::<Vec<u64>>();
-        hub.push(0, 1, 1, tag, wire::encode(&vec![1u64, 2, 3]))
-            .unwrap();
+        hub.push(0, 1, 1, tag, owned(&vec![1u64, 2, 3])).unwrap();
         let got: Vec<u64> = wire::decode(&hub.pop(0, 1, 1, tag, "test").unwrap()).unwrap();
         assert_eq!(got, vec![1, 2, 3]);
     }
@@ -234,8 +303,8 @@ mod tests {
     fn stale_frames_are_discarded() {
         let hub = hub(2);
         let tag = type_tag::<u32>();
-        hub.push(0, 1, 1, tag, wire::encode(&7u32)).unwrap(); // never consumed
-        hub.push(0, 1, 3, tag, wire::encode(&9u32)).unwrap();
+        hub.push(0, 1, 1, tag, owned(&7u32)).unwrap(); // never consumed
+        hub.push(0, 1, 3, tag, owned(&9u32)).unwrap();
         let got: u32 = wire::decode(&hub.pop(0, 1, 3, tag, "test").unwrap()).unwrap();
         assert_eq!(got, 9);
     }
@@ -254,7 +323,7 @@ mod tests {
     fn future_frame_is_a_typed_error() {
         let hub = hub(2);
         let tag = type_tag::<u8>();
-        hub.push(0, 1, 5, tag, wire::encode(&1u8)).unwrap();
+        hub.push(0, 1, 5, tag, owned(&1u8)).unwrap();
         let err = hub.pop(0, 1, 2, tag, "test").unwrap_err();
         assert!(
             matches!(err, TransportError::Protocol(ref m) if m.contains("skipped a send")),
@@ -265,8 +334,7 @@ mod tests {
     #[test]
     fn tag_mismatch_is_a_typed_error() {
         let hub = hub(2);
-        hub.push(0, 1, 1, type_tag::<u8>(), wire::encode(&1u8))
-            .unwrap();
+        hub.push(0, 1, 1, type_tag::<u8>(), owned(&1u8)).unwrap();
         let err = hub.pop(0, 1, 1, type_tag::<u16>(), "test").unwrap_err();
         assert!(matches!(err, TransportError::Protocol(_)), "{err:?}");
     }
@@ -276,8 +344,7 @@ mod tests {
         let hub = faulty(2, FaultPlan::seeded(5).with_duplicates(1.0));
         let tag = type_tag::<u32>();
         for round in 1..=8u64 {
-            hub.push(0, 1, round, tag, wire::encode(&(round as u32)))
-                .unwrap();
+            hub.push(0, 1, round, tag, owned(&(round as u32))).unwrap();
         }
         for round in 1..=8u64 {
             let got: u32 = wire::decode(&hub.pop(0, 1, round, tag, "test").unwrap()).unwrap();
@@ -296,8 +363,7 @@ mod tests {
             }),
         );
         let tag = type_tag::<Vec<u64>>();
-        hub.push(0, 1, 1, tag, wire::encode(&vec![1u64, 2, 3]))
-            .unwrap();
+        hub.push(0, 1, 1, tag, owned(&vec![1u64, 2, 3])).unwrap();
         let err = hub.pop(0, 1, 1, tag, "test").unwrap_err();
         assert!(
             matches!(err, TransportError::Protocol(ref m) if m.contains("checksum")),
@@ -316,8 +382,7 @@ mod tests {
             }),
         );
         let tag = type_tag::<Vec<u64>>();
-        hub.push(0, 1, 0, tag, wire::encode(&vec![9u64; 16]))
-            .unwrap();
+        hub.push(0, 1, 0, tag, owned(&vec![9u64; 16])).unwrap();
         let err = hub.pop(0, 1, 0, tag, "test").unwrap_err();
         assert!(
             matches!(err, TransportError::Protocol(ref m) if m.contains("checksum")),
@@ -336,14 +401,14 @@ mod tests {
             }),
         );
         let tag = type_tag::<u8>();
-        hub.push(1, 0, 1, tag, wire::encode(&1u8)).unwrap();
-        let err = hub.push(1, 0, 2, tag, wire::encode(&2u8)).unwrap_err();
+        hub.push(1, 0, 1, tag, owned(&1u8)).unwrap();
+        let err = hub.push(1, 0, 2, tag, owned(&2u8)).unwrap_err();
         assert!(
             matches!(err, TransportError::Io(ref m) if m.contains("injected")),
             "{err:?}"
         );
         // The other direction is unaffected.
-        hub.push(0, 1, 2, tag, wire::encode(&3u8)).unwrap();
+        hub.push(0, 1, 2, tag, owned(&3u8)).unwrap();
     }
 
     #[test]
@@ -357,8 +422,7 @@ mod tests {
         );
         let tag = type_tag::<u64>();
         for round in 0..32u64 {
-            hub.push(0, 1, round, tag, wire::encode(&(round * 3)))
-                .unwrap();
+            hub.push(0, 1, round, tag, owned(&(round * 3))).unwrap();
         }
         for round in 0..32u64 {
             let got: u64 = wire::decode(&hub.pop(0, 1, round, tag, "test").unwrap()).unwrap();

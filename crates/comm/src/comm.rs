@@ -16,7 +16,7 @@
 
 use crate::alltoall::AlltoallKind;
 use crate::barrier::ClockBarrier;
-use crate::bytestream::ByteHub;
+use crate::bytestream::{ByteHub, Payload};
 use crate::cells::{CellRegistry, CellSet, Round};
 use crate::cost::{Clock, CostModel, PeStats};
 use crate::fault::FaultyTransport;
@@ -112,6 +112,11 @@ pub struct Comm {
     splits: Cell<u64>,
     pub(crate) alltoall_kind: AlltoallKind,
     pub(crate) grid_threshold_bytes: usize,
+    /// Reusable send/scratch buffers for the byte lane. Buckets are
+    /// encoded directly into a pooled buffer, handed to the transport,
+    /// and recycled once the bytes are on the wire — steady-state rounds
+    /// allocate nothing on the send path.
+    pool: RefCell<Vec<Vec<u8>>>,
 }
 
 impl std::fmt::Debug for Comm {
@@ -155,6 +160,7 @@ impl Comm {
             splits: Cell::new(0),
             alltoall_kind,
             grid_threshold_bytes,
+            pool: RefCell::new(Vec::new()),
         }
     }
 
@@ -314,31 +320,109 @@ impl Comm {
         self.socket.is_some() || self.shared.bytes.is_some()
     }
 
-    /// Push an encoded frame to local rank `dst` on whichever byte lane
-    /// this communicator runs. Transport failures abort the PE with a
-    /// typed error (see [`crate::transport::raise`]).
-    pub(crate) fn lane_push(&self, dst: usize, seq: u64, tag: u64, bytes: Vec<u8>) {
-        if let Some(fab) = &self.socket {
-            fab.send_data(self.world_of(dst), self.comm_id, seq, tag, &bytes)
-                .unwrap_or_else(|e| raise(e));
-        } else if let Some(hub) = self.hub() {
-            hub.push(self.rank, dst, seq, tag, bytes)
-                .unwrap_or_else(|e| raise(e));
-        } else {
-            unreachable!("lane_push on the cells transport");
+    /// Take a cleared scratch buffer from the lane pool (or allocate a
+    /// fresh one on the first rounds). Return it with [`Comm::buf_put`]
+    /// once the bytes are on the wire so later rounds reuse the capacity.
+    pub(crate) fn buf_take(&self) -> Vec<u8> {
+        let mut buf = self.pool.borrow_mut().pop().unwrap_or_default();
+        buf.clear();
+        buf
+    }
+
+    /// Recycle a scratch buffer into the lane pool. The pool is bounded;
+    /// beyond that, buffers are simply dropped.
+    pub(crate) fn buf_put(&self, buf: Vec<u8>) {
+        let mut pool = self.pool.borrow_mut();
+        if pool.len() < 32 {
+            pool.push(buf);
         }
     }
 
-    /// Pop the round-`seq` frame from local rank `src` off the byte lane.
-    pub(crate) fn lane_pop(&self, src: usize, seq: u64, tag: u64, what: &str) -> Vec<u8> {
-        let popped = if let Some(fab) = &self.socket {
-            fab.recv_data(self.world_of(src), self.comm_id, seq, tag, what)
+    /// Send one coalesced bucket frame to local rank `dst` on whichever
+    /// byte lane this communicator runs, recycling the buffer afterwards.
+    /// Transport failures abort the PE with a typed error (see
+    /// [`crate::transport::raise`]).
+    pub(crate) fn lane_send(&self, dst: usize, seq: u64, tag: u64, buf: Vec<u8>) {
+        if let Some(fab) = &self.socket {
+            fab.send_data(self.world_of(dst), self.comm_id, seq, tag, &buf)
+                .unwrap_or_else(|e| raise(e));
+            self.buf_put(buf);
         } else if let Some(hub) = self.hub() {
-            hub.pop(src, self.rank, seq, tag, what)
+            hub.push(self.rank, dst, seq, tag, Payload::Owned(buf))
+                .unwrap_or_else(|e| raise(e));
         } else {
-            unreachable!("lane_pop on the cells transport");
+            unreachable!("lane_send on the cells transport");
+        }
+    }
+
+    /// Broadcast one encoded frame to every *other* rank of this
+    /// communicator. The bytes are encoded exactly once: sockets write
+    /// the same buffer to each peer, the in-process hub shares them via
+    /// `Arc` — no per-destination clone anywhere.
+    pub(crate) fn lane_broadcast(&self, seq: u64, tag: u64, buf: Vec<u8>) {
+        if let Some(fab) = &self.socket {
+            for dst in 0..self.size {
+                if dst == self.rank {
+                    continue;
+                }
+                fab.send_data(self.world_of(dst), self.comm_id, seq, tag, &buf)
+                    .unwrap_or_else(|e| raise(e));
+            }
+            self.buf_put(buf);
+        } else if let Some(hub) = self.hub() {
+            let shared = Arc::new(buf);
+            for dst in 0..self.size {
+                if dst == self.rank {
+                    continue;
+                }
+                hub.push(
+                    self.rank,
+                    dst,
+                    seq,
+                    tag,
+                    Payload::Shared(Arc::clone(&shared)),
+                )
+                .unwrap_or_else(|e| raise(e));
+            }
+        } else {
+            unreachable!("lane_broadcast on the cells transport");
+        }
+    }
+
+    /// Pop the round-`seq` frame from local rank `src` off the byte lane
+    /// and decode it in place: `f` gets a borrowed view of the payload
+    /// (no copy out of the receive buffer), and the buffer itself is
+    /// recycled into the lane pool where ownership allows.
+    pub(crate) fn lane_pop_with<R>(
+        &self,
+        src: usize,
+        seq: u64,
+        tag: u64,
+        what: &str,
+        f: impl FnOnce(&[u8]) -> Result<R, crate::wire::WireError>,
+    ) -> R {
+        let decoded = if let Some(fab) = &self.socket {
+            fab.recv_data_with(self.world_of(src), self.comm_id, seq, tag, what, |bytes| {
+                f(bytes)
+            })
+            .unwrap_or_else(|e| raise(e))
+        } else if let Some(hub) = self.hub() {
+            let payload = hub
+                .pop_frame(src, self.rank, seq, tag, what)
+                .unwrap_or_else(|e| raise(e));
+            let out = f(payload.as_slice());
+            if let Payload::Owned(buf) = payload {
+                self.buf_put(buf);
+            }
+            out
+        } else {
+            unreachable!("lane_pop_with on the cells transport");
         };
-        popped.unwrap_or_else(|e| raise(e))
+        decoded.unwrap_or_else(|e| {
+            raise(crate::transport::TransportError::Protocol(format!(
+                "decoding {what} of round {seq}: {e}"
+            )))
+        })
     }
 
     /// The transport this communicator runs over.

@@ -297,6 +297,22 @@ pub(crate) struct SendFaults {
     pub(crate) lethal: Option<LethalKind>,
 }
 
+impl SendFaults {
+    /// Whether this frame drew *any* fault. The socket send path routes
+    /// clean frames through its vectored fast path even with a plan
+    /// armed (an empty plan only arms checksums — the `chaos-overhead`
+    /// shape); a drawn fault of any kind takes the legacy byte-at-a-time
+    /// path, whose chunked writes and whole-frame buffer the injections
+    /// are specified against.
+    pub(crate) fn any(&self) -> bool {
+        self.delay.is_some()
+            || self.failed_attempts > 0
+            || self.duplicate
+            || self.write_chunk.is_some()
+            || self.lethal.is_some()
+    }
+}
+
 /// The injection engine wrapping both byte-lane backends: the socket
 /// fabric and the in-process byte hub consult it on every frame they
 /// move. Holding one (even with an empty plan) arms the per-frame

@@ -339,6 +339,28 @@ impl<T> FlatBuilder<T> {
         self.data.push(v);
     }
 
+    /// Decode a [`crate::wire::write_slice`]-framed bucket straight into
+    /// the current (unsealed) bucket: elements land in the final payload
+    /// allocation as they decode, with no intermediate per-peer `Vec`.
+    /// This is the byte lane's receive path for flat exchanges — the
+    /// reader borrows the transport's recycled frame buffer, so the only
+    /// copy is wire bytes → typed payload. The length prefix is bounds-
+    /// checked against the remaining bytes before any reservation.
+    pub fn extend_from_wire(
+        &mut self,
+        r: &mut crate::wire::WireReader<'_>,
+    ) -> Result<usize, crate::wire::WireError>
+    where
+        T: crate::wire::Wire,
+    {
+        let n = r.length(T::wire_min_size())?;
+        self.data.reserve(n);
+        for _ in 0..n {
+            self.data.push(T::wire_read(r)?);
+        }
+        Ok(n)
+    }
+
     /// Close the current bucket; subsequent elements go to the next one.
     #[inline]
     pub fn seal(&mut self) {

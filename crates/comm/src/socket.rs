@@ -78,10 +78,50 @@ use crate::wire::{
 };
 use parking_lot::Mutex;
 use std::collections::{HashMap, VecDeque};
-use std::io::{ErrorKind, Read, Write};
+use std::io::{ErrorKind, IoSlice, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Kernel-level waiting via `poll(2)`, declared directly against the
+/// system libc (no crate dependency). The pump loops park the thread
+/// here until a link has bytes (or the kernel send buffer of a blocked
+/// write drains) instead of spinning on `WouldBlock` reads with a
+/// sleep back-off — on oversubscribed hosts running p processes per
+/// core that spin was the dominant socket-transport cost.
+#[cfg(unix)]
+mod kernel_wait {
+    use std::time::Duration;
+
+    pub const POLLIN: i16 = 0x001;
+    pub const POLLOUT: i16 = 0x004;
+
+    #[repr(C)]
+    pub struct PollFd {
+        pub fd: i32,
+        pub events: i16,
+        pub revents: i16,
+    }
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: u64, timeout: i32) -> i32;
+    }
+
+    /// Block until any fd is ready or `timeout` elapses. Errors (and
+    /// EINTR) are deliberately swallowed: the caller re-checks its
+    /// queues and enforces its own deadline on every iteration, so a
+    /// spurious early return costs one loop turn, never correctness.
+    pub fn wait(fds: &mut [PollFd], timeout: Duration) {
+        if fds.is_empty() {
+            std::thread::sleep(timeout.min(Duration::from_millis(5)));
+            return;
+        }
+        let ms = timeout.as_millis().clamp(1, i32::MAX as u128) as i32;
+        unsafe {
+            poll(fds.as_mut_ptr(), fds.len() as u64, ms);
+        }
+    }
+}
 
 /// Magic carried in the `b` field of hello frames, guarding against a
 /// non-kamsta peer (or a different protocol revision) joining the mesh.
@@ -155,7 +195,16 @@ struct Link {
     pongs: u64,
     /// Reads performed on this link (keys the short-read fault draw).
     reads: u64,
+    /// Retired payload buffers awaiting reuse: consumed data frames
+    /// return their `Vec` here and `parse_frames` refills from it, so
+    /// steady-state rounds allocate nothing on the receive path.
+    spare: Vec<Vec<u8>>,
 }
+
+/// Bound of each link's spare-buffer freelist (and of the communicator
+/// send pool): enough to cover the frames in flight of one superstep,
+/// small enough that retired capacity cannot pile up.
+const SPARE_BUFS: usize = 8;
 
 impl Link {
     fn new(stream: TcpStream) -> Self {
@@ -169,6 +218,7 @@ impl Link {
             pings_sent: 0,
             pongs: 0,
             reads: 0,
+            spare: Vec::new(),
         }
     }
 
@@ -182,6 +232,21 @@ impl Link {
         let mut progressed = false;
         let mut buf = [0u8; 64 * 1024];
         loop {
+            // With no faults armed and a large partial frame at the
+            // head of `rd`, read its remainder straight into `rd` —
+            // funnelling multi-megabyte buckets through the 64 KiB
+            // stack window would double-copy every byte. The fault
+            // path keeps the windowed reads: short-read injection
+            // must cap each syscall deterministically.
+            if fx.is_none() {
+                if let Some(need) = self.large_frame_need() {
+                    if self.read_into_rd(peer, need)? {
+                        progressed = true;
+                        continue;
+                    }
+                    break; // WouldBlock or EOF
+                }
+            }
             // A short-read fault shrinks one read's window, fragmenting
             // frame arrival across syscalls — reassembly absorbs it.
             let cap = fx
@@ -210,6 +275,50 @@ impl Link {
         Ok(progressed)
     }
 
+    /// How many more bytes the partial frame at the head of `rd` still
+    /// needs, when that remainder is large enough (beyond the stack
+    /// window) to justify reading straight into `rd`. `rd` always
+    /// starts at a frame boundary — `parse_frames` drains whole frames.
+    fn large_frame_need(&self) -> Option<usize> {
+        let h = FrameHeader::parse(self.rd.get(..FRAME_HEADER_LEN)?).ok()?;
+        let total = FRAME_HEADER_LEN.checked_add(h.len as usize)?;
+        let need = total.checked_sub(self.rd.len())?;
+        (need > 64 * 1024).then_some(need)
+    }
+
+    /// One direct read of up to `need` bytes (capped per call) into the
+    /// tail of `rd`. Returns whether bytes arrived; EOF marks the link
+    /// closed, `WouldBlock` just reports no progress.
+    fn read_into_rd(&mut self, peer: usize, need: usize) -> Result<bool, TransportError> {
+        let chunk = need.min(4 * 1024 * 1024);
+        let old = self.rd.len();
+        self.rd.resize(old + chunk, 0);
+        self.reads = self.reads.wrapping_add(1);
+        loop {
+            match self.stream.read(&mut self.rd[old..]) {
+                Ok(0) => {
+                    self.rd.truncate(old);
+                    self.closed = true;
+                    return Ok(false);
+                }
+                Ok(n) => {
+                    self.rd.truncate(old + n);
+                    return Ok(true);
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    self.rd.truncate(old);
+                    return Ok(false);
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) => {
+                    self.rd.truncate(old);
+                    self.closed = true;
+                    return Err(io_error(peer, &e));
+                }
+            }
+        }
+    }
+
     fn parse_frames(
         &mut self,
         peer: usize,
@@ -232,19 +341,25 @@ impl Link {
                     "frame from PE {peer} failed its checksum (corrupt frame)"
                 )));
             }
-            let payload = payload.to_vec();
             off += total;
             match h.channel {
-                CH_DATA => self
-                    .pending
-                    .entry(h.comm)
-                    .or_default()
-                    .data
-                    .push_back(DataFrame {
-                        seq: h.a,
-                        tag: h.b,
-                        bytes: payload,
-                    }),
+                CH_DATA => {
+                    // Land the payload in a recycled buffer: the only
+                    // copy on the whole receive path (out of the
+                    // stream reassembly buffer), into capacity retired
+                    // by an earlier round.
+                    let mut bytes = self.spare.pop().unwrap_or_default();
+                    bytes.extend_from_slice(payload);
+                    self.pending
+                        .entry(h.comm)
+                        .or_default()
+                        .data
+                        .push_back(DataFrame {
+                            seq: h.a,
+                            tag: h.b,
+                            bytes,
+                        })
+                }
                 CH_BARRIER => self
                     .pending
                     .entry(h.comm)
@@ -296,6 +411,39 @@ impl Link {
             }
         }
         Ok(())
+    }
+
+    /// Pop the round-`seq` data frame of communicator `comm` if it has
+    /// arrived, discarding stale frames of earlier rounds along the way
+    /// (their buffers go back to the freelist). `Err(got)` reports a
+    /// wrong-round frame at the queue head — a protocol violation the
+    /// caller turns into a typed error.
+    fn take_data(&mut self, comm: u64, seq: u64, tag: u64) -> Result<Option<DataFrame>, u64> {
+        let pending = self.pending.entry(comm).or_default();
+        while let Some(front) = pending.data.front() {
+            if front.seq < seq {
+                let stale = pending.data.pop_front().expect("front just probed");
+                if self.spare.len() < SPARE_BUFS {
+                    let mut buf = stale.bytes;
+                    buf.clear();
+                    self.spare.push(buf);
+                }
+                continue;
+            }
+            if front.seq == seq && front.tag == tag {
+                return Ok(pending.data.pop_front());
+            }
+            return Err(front.seq);
+        }
+        Ok(None)
+    }
+
+    /// Return a consumed frame's buffer to the freelist.
+    fn recycle(&mut self, mut buf: Vec<u8>) {
+        if self.spare.len() < SPARE_BUFS {
+            buf.clear();
+            self.spare.push(buf);
+        }
     }
 }
 
@@ -458,6 +606,67 @@ impl SocketFabric {
             .expect("no socket link to self or out-of-range peer")
     }
 
+    /// Park this thread in the kernel until any link becomes readable
+    /// (or, for a blocked send, until `write_to`'s stream drains),
+    /// bounded by `timeout`. The pump loops call this instead of a
+    /// sleep back-off: a blocked receive wakes the instant bytes
+    /// arrive rather than on the next poll tick, and an idle PE costs
+    /// the host nothing — the difference between a syscall storm and a
+    /// parked thread when p processes share a core.
+    /// Returns the peers whose links came back ready — the caller pumps
+    /// exactly those instead of sweeping all p − 1 links on every wake.
+    fn wait_links(&self, write_to: Option<usize>, timeout: Duration) -> Vec<usize> {
+        #[cfg(unix)]
+        {
+            use std::os::fd::AsRawFd;
+            let mut fds = Vec::with_capacity(self.p);
+            let mut peers = Vec::with_capacity(self.p);
+            for (peer, link) in self.links.iter().enumerate() {
+                if let Some(l) = link {
+                    let l = l.lock();
+                    if l.closed {
+                        continue;
+                    }
+                    let mut events = kernel_wait::POLLIN;
+                    if write_to == Some(peer) {
+                        events |= kernel_wait::POLLOUT;
+                    }
+                    fds.push(kernel_wait::PollFd {
+                        fd: l.stream.as_raw_fd(),
+                        events,
+                        revents: 0,
+                    });
+                    peers.push(peer);
+                }
+            }
+            kernel_wait::wait(&mut fds, timeout);
+            fds.iter()
+                .zip(peers)
+                .filter(|(fd, _)| fd.revents != 0)
+                .map(|(_, peer)| peer)
+                .collect()
+        }
+        #[cfg(not(unix))]
+        {
+            let _ = write_to;
+            std::thread::sleep(timeout.min(PUMP_IDLE));
+            (0..self.p).filter(|&j| j != self.rank).collect()
+        }
+    }
+
+    /// Drain the readable bytes of exactly `peers` (a `wait_links`
+    /// ready set).
+    fn pump_peers(&self, peers: &[usize]) -> Result<bool, TransportError> {
+        let fx = self.faults.as_deref();
+        let mut progressed = false;
+        for &peer in peers {
+            if let Some(l) = &self.links[peer] {
+                progressed |= l.lock().pump(peer, fx)?;
+            }
+        }
+        Ok(progressed)
+    }
+
     /// Drain every link's readable bytes. Returns whether any byte moved
     /// anywhere — the caller's cue to back off when idle.
     fn pump_all(&self) -> Result<bool, TransportError> {
@@ -485,6 +694,88 @@ impl SocketFabric {
         link.pings_sent += 1;
         push_ping_frame(&mut link.wr_backlog, nonce, 0, fx);
         link.flush_backlog(peer)
+    }
+
+    /// Fast-path transmission of one data-plane frame as header +
+    /// borrowed payload: control backlog, header tail, and payload tail
+    /// are gathered into a single `write_vectored` call — the frame is
+    /// never assembled into a contiguous buffer and the common case is
+    /// one syscall per (peer, round). Used whenever no fault is drawn
+    /// for the frame; the fault schedules keep the scalar
+    /// [`SocketFabric::send_frame`], whose short writes, retransmits
+    /// and lethal injections need a contiguous frame to slice.
+    fn send_frame_parts(
+        &self,
+        peer: usize,
+        header: &[u8; FRAME_HEADER_LEN],
+        payload: &[u8],
+    ) -> Result<(), TransportError> {
+        let total = FRAME_HEADER_LEN + payload.len();
+        let deadline = Instant::now() + self.timeout;
+        let mut off: usize = 0; // frame bytes (header + payload) on the wire
+        loop {
+            {
+                let mut link = self.link(peer).lock();
+                if link.closed {
+                    return Err(TransportError::PeerClosed {
+                        peer,
+                        mid_frame: off > 0,
+                    });
+                }
+                let Link {
+                    stream, wr_backlog, ..
+                } = &mut *link;
+                while off < total {
+                    let (h_from, p_from) = if off < FRAME_HEADER_LEN {
+                        (off, 0)
+                    } else {
+                        (FRAME_HEADER_LEN, off - FRAME_HEADER_LEN)
+                    };
+                    // Backlog first: queued pings/pongs must never land
+                    // inside this data frame.
+                    let slices = [
+                        IoSlice::new(wr_backlog),
+                        IoSlice::new(&header[h_from..]),
+                        IoSlice::new(&payload[p_from..]),
+                    ];
+                    match stream.write_vectored(&slices) {
+                        Ok(0) => {
+                            return Err(TransportError::PeerClosed {
+                                peer,
+                                mid_frame: off > 0,
+                            })
+                        }
+                        Ok(n) => {
+                            let from_backlog = n.min(wr_backlog.len());
+                            wr_backlog.drain(..from_backlog);
+                            off += n - from_backlog;
+                        }
+                        Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                        Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                        Err(e) => return Err(io_error(peer, &e)),
+                    }
+                }
+            }
+            if off == total {
+                return Ok(());
+            }
+            if Instant::now() > deadline {
+                return Err(TransportError::Timeout {
+                    peer,
+                    waited: self.timeout,
+                });
+            }
+            // Kernel send buffer full: park until the peer's pump makes
+            // room or any link becomes readable, then drain exactly the
+            // readable ones (the all-to-all deadlock guard).
+            let ready = self.wait_links(
+                Some(peer),
+                deadline
+                    .saturating_duration_since(Instant::now())
+                    .min(Duration::from_millis(500)),
+            );
+            self.pump_peers(&ready)?;
+        }
     }
 
     /// Write one whole frame to `peer`, pumping receives while the send
@@ -664,23 +955,28 @@ impl SocketFabric {
                 Some(fx.send_faults(CH_DATA, self.rank, peer, comm, seq)),
             ),
         };
-        let mut frame = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
-        FrameHeader {
+        let header = FrameHeader {
             channel: CH_DATA,
             comm,
             a: seq,
             b: tag,
             len: payload.len() as u32,
             sum,
+        };
+        // Clean frames — unarmed runs, and armed rounds whose draw came
+        // up empty — take the zero-copy vectored path. Any drawn fault
+        // needs the contiguous frame of the scalar path to mangle.
+        if sf.as_ref().is_none_or(|s| !s.any()) {
+            return self.send_frame_parts(peer, &header.to_array(), payload);
         }
-        .write(&mut frame);
+        let sf = sf.expect("fault schedule just probed");
+        let mut frame = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
+        header.write(&mut frame);
         frame.extend_from_slice(payload);
-        if let Some(sf) = &sf {
-            if let Some(kind) = sf.lethal {
-                return self.inject_lethal(kind, peer, frame, sf);
-            }
+        if let Some(kind) = sf.lethal {
+            return self.inject_lethal(kind, peer, frame, &sf);
         }
-        self.send_frame(peer, &frame, sf.as_ref())
+        self.send_frame(peer, &frame, Some(&sf))
     }
 
     /// Send a barrier signal (`code` = `episode << 8 | round`) carrying
@@ -699,31 +995,38 @@ impl SocketFabric {
                 Some(fx.send_faults(CH_BARRIER, self.rank, peer, comm, code)),
             ),
         };
-        let mut frame = Vec::with_capacity(FRAME_HEADER_LEN);
-        FrameHeader {
+        let header = FrameHeader {
             channel: CH_BARRIER,
             comm,
             a: code,
             b: clock_bits,
             len: 0,
             sum,
+        };
+        if sf.as_ref().is_none_or(|s| !s.any()) {
+            return self.send_frame_parts(peer, &header.to_array(), &[]);
         }
-        .write(&mut frame);
+        let mut frame = Vec::with_capacity(FRAME_HEADER_LEN);
+        header.write(&mut frame);
         self.send_frame(peer, &frame, sf.as_ref())
     }
 
     /// Receive the round-`seq` data frame from `peer` on communicator
-    /// `comm`, discarding stale frames of earlier rounds (posted but
-    /// never consumed, or injected duplicates of already-consumed
-    /// rounds — the socket analogue of a stale byte-hub frame).
-    pub(crate) fn recv_data(
+    /// `comm` and consume it in place: `f` gets a borrowed view of the
+    /// payload (decoded straight out of the recycled receive buffer,
+    /// which goes back to the link's freelist afterwards — no copy).
+    /// Stale frames of earlier rounds (posted but never consumed, or
+    /// injected duplicates of already-consumed rounds — the socket
+    /// analogue of a stale byte-hub frame) are discarded along the way.
+    pub(crate) fn recv_data_with<R>(
         &self,
         peer: usize,
         comm: u64,
         seq: u64,
         tag: u64,
         what: &str,
-    ) -> Result<Vec<u8>, TransportError> {
+        f: impl FnOnce(&[u8]) -> R,
+    ) -> Result<R, TransportError> {
         let fx = self.faults.as_deref();
         let deadline = Instant::now() + self.timeout;
         let probe_every = ping_interval(self.timeout);
@@ -732,21 +1035,19 @@ impl SocketFabric {
             {
                 let mut link = self.link(peer).lock();
                 link.pump(peer, fx)?;
-                let pending = link.pending.entry(comm).or_default();
-                while let Some(front) = pending.data.front() {
-                    if front.seq < seq {
-                        pending.data.pop_front(); // stale or duplicate, never consumed
-                        continue;
+                match link.take_data(comm, seq, tag) {
+                    Ok(Some(frame)) => {
+                        let out = f(&frame.bytes);
+                        link.recycle(frame.bytes);
+                        return Ok(out);
                     }
-                    if front.seq == seq && front.tag == tag {
-                        let frame = pending.data.pop_front().expect("front just probed");
-                        return Ok(frame.bytes);
+                    Ok(None) => {}
+                    Err(got) => {
+                        return Err(TransportError::Protocol(format!(
+                            "socket {what} of round {seq}: found frame of round {got} from \
+                             PE {peer} — a PE skipped a send or collectives ran out of order"
+                        )));
                     }
-                    return Err(TransportError::Protocol(format!(
-                        "socket {what} of round {seq}: found frame of round {} from PE {peer} — \
-                         a PE skipped a send or collectives ran out of order",
-                        front.seq
-                    )));
                 }
                 if link.closed {
                     return Err(TransportError::PeerClosed {
@@ -765,10 +1066,25 @@ impl SocketFabric {
                 self.send_ping(peer)?;
                 next_probe = Instant::now() + probe_every;
             }
-            if !self.pump_all()? {
-                std::thread::sleep(PUMP_IDLE);
-            }
+            let wake = deadline.min(next_probe);
+            let ready = self.wait_links(None, wake.saturating_duration_since(Instant::now()));
+            self.pump_peers(&ready)?;
         }
+    }
+
+    /// Receive the round-`seq` data frame from `peer` as an owned
+    /// buffer — the copying convenience form of
+    /// [`SocketFabric::recv_data_with`].
+    #[cfg(test)]
+    pub(crate) fn recv_data(
+        &self,
+        peer: usize,
+        comm: u64,
+        seq: u64,
+        tag: u64,
+        what: &str,
+    ) -> Result<Vec<u8>, TransportError> {
+        self.recv_data_with(peer, comm, seq, tag, what, |b| b.to_vec())
     }
 
     /// Receive the barrier signal with exactly `code` from `peer`.
@@ -828,9 +1144,9 @@ impl SocketFabric {
                 self.send_ping(peer)?;
                 next_probe = Instant::now() + probe_every;
             }
-            if !self.pump_all()? {
-                std::thread::sleep(PUMP_IDLE);
-            }
+            let wake = deadline.min(next_probe);
+            let ready = self.wait_links(None, wake.saturating_duration_since(Instant::now()));
+            self.pump_peers(&ready)?;
         }
     }
 }

@@ -214,14 +214,16 @@ impl<'c, T: Wire + Send + 'static> LaneRound<'c, T> {
         let tag = wire::type_tag::<T>();
         match to {
             To::All => {
-                let bytes = wire::encode(&value);
-                for dst in (0..self.comm.size()).filter(|&d| d != me) {
-                    self.comm.lane_push(dst, self.seq, tag, bytes.clone());
-                }
+                // Encode exactly once into a pooled buffer; the lane
+                // shares the bytes across all p − 1 destinations.
+                let mut buf = self.comm.buf_take();
+                wire::encode_into(&value, &mut buf);
+                self.comm.lane_broadcast(self.seq, tag, buf);
             }
             To::One(dst) if dst != me => {
-                self.comm
-                    .lane_push(dst, self.seq, tag, wire::encode(&value));
+                let mut buf = self.comm.buf_take();
+                wire::encode_into(&value, &mut buf);
+                self.comm.lane_send(dst, self.seq, tag, buf);
             }
             To::One(_) => {}
         }
@@ -236,13 +238,8 @@ impl<'c, T: Wire + Send + 'static> LaneRound<'c, T> {
                 .expect("byte-lane round: own value taken twice or never posted")
         } else {
             let tag = wire::type_tag::<T>();
-            let bytes = self.comm.lane_pop(src, self.seq, tag, "round");
-            wire::decode(&bytes).unwrap_or_else(|e| {
-                raise(TransportError::Protocol(format!(
-                    "round {}: decode of PE {src}'s value failed: {e}",
-                    self.seq
-                )))
-            })
+            self.comm
+                .lane_pop_with(src, self.seq, tag, "round", wire::decode)
         }
     }
 }
@@ -336,24 +333,24 @@ impl Comm {
                     if dst == me {
                         continue;
                     }
-                    let mut out = Vec::new();
+                    // One coalesced frame per (peer, round): the whole
+                    // bucket, serialized into a pooled buffer that the
+                    // lane recycles once the bytes are on the wire.
+                    let mut out = self.buf_take();
                     wire::write_slice(&mut out, bufs.bucket(dst));
-                    self.lane_push(dst, seq, tag, out);
+                    self.lane_send(dst, seq, tag, out);
                 }
                 self.sync();
                 let owned: Vec<(usize, Vec<T>)> = recv_from
                     .iter()
                     .filter(|&&src| src != me)
                     .map(|&src| {
-                        let bytes = self.lane_pop(src, seq, tag, "flat exchange");
-                        let mut r = WireReader::new(&bytes);
-                        let part = wire::read_vec::<T>(&mut r)
-                            .and_then(|v| r.finish().map(|()| v))
-                            .unwrap_or_else(|e| {
-                                raise(TransportError::Protocol(format!(
-                                    "flat exchange of round {seq}: decode failed: {e}"
-                                )))
-                            });
+                        let part = self.lane_pop_with(src, seq, tag, "flat exchange", |bytes| {
+                            let mut r = WireReader::new(bytes);
+                            let v = wire::read_vec::<T>(&mut r)?;
+                            r.finish()?;
+                            Ok(v)
+                        });
                         (src, part)
                     })
                     .collect();
@@ -414,27 +411,22 @@ impl Comm {
                     if dst == me {
                         continue;
                     }
-                    let mut out = Vec::new();
+                    let mut out = self.buf_take();
                     wire::write_slice(&mut out, sub.bucket(dst));
                     wire::write_slice(&mut out, data.bucket(dst));
-                    self.lane_push(dst, seq, tag, out);
+                    self.lane_send(dst, seq, tag, out);
                 }
                 self.sync();
                 let owned: Vec<(Vec<T>, Vec<u32>)> = recv_from
                     .iter()
                     .filter(|&&src| src != me)
                     .map(|&src| {
-                        let bytes = self.lane_pop(src, seq, tag, "paired flat exchange");
-                        let mut r = WireReader::new(&bytes);
-                        let decoded = wire::read_vec::<u32>(&mut r).and_then(|s| {
+                        self.lane_pop_with(src, seq, tag, "paired flat exchange", |bytes| {
+                            let mut r = WireReader::new(bytes);
+                            let s = wire::read_vec::<u32>(&mut r)?;
                             let d = wire::read_vec::<T>(&mut r)?;
                             r.finish()?;
                             Ok((d, s))
-                        });
-                        decoded.unwrap_or_else(|e| {
-                            raise(TransportError::Protocol(format!(
-                                "paired flat exchange of round {seq}: decode failed: {e}"
-                            )))
                         })
                     })
                     .collect();
@@ -471,6 +463,42 @@ impl Comm {
             } else {
                 bufs
             };
+        }
+        if self.has_byte_lane() {
+            // Byte-lane fast path: decode each peer's frame straight into
+            // the result payload via `FlatBuilder::extend_from_wire` — no
+            // intermediate per-peer `Vec<T>` between the recycled frame
+            // buffer and the final allocation.
+            let me = self.rank();
+            let seq = self.next_seq();
+            let tag = wire::type_tag::<FlatBuckets<T>>();
+            for &dst in send_to {
+                if dst == me {
+                    continue;
+                }
+                let mut out = self.buf_take();
+                wire::write_slice(&mut out, bufs.bucket(dst));
+                self.lane_send(dst, seq, tag, out);
+            }
+            self.sync();
+            let mut out = FlatBuilder::with_capacity(0, p);
+            let mut it = recv_from.iter().peekable();
+            for src in 0..p {
+                if it.peek() == Some(&&src) {
+                    it.next();
+                    if src == me {
+                        out.extend_from_slice(bufs.bucket(me));
+                    } else {
+                        self.lane_pop_with(src, seq, tag, "flat exchange", |bytes| {
+                            let mut r = WireReader::new(bytes);
+                            out.extend_from_wire(&mut r)?;
+                            r.finish()
+                        });
+                    }
+                }
+                out.seal();
+            }
+            return out.finish(p);
         }
         self.flat_round_with(bufs, send_to, recv_from, |parts| {
             let total: usize = parts.iter().map(|(_, b)| b.len()).sum();

@@ -21,6 +21,21 @@
 //! so a corrupt frame from a (future) remote peer cannot take the
 //! process down.
 //!
+//! ## Coalesced bucket frames
+//!
+//! The byte-lane collectives ship **one `CH_DATA` frame per (peer,
+//! round)**: a flat exchange serializes the whole destination bucket —
+//! varint element count followed by the elements ([`write_slice`]) —
+//! into a single pooled buffer, and a paired flat exchange prepends the
+//! sub-message `u32` count header the same way (`write_slice(sub)`
+//! then `write_slice(data)`). Framing cost is therefore per peer per
+//! superstep, not per value, and the fault-injection checksum of
+//! `crate::fault` covers the coalesced payload as one unit. Senders
+//! encode with [`encode_into`] into buffers recycled across rounds
+//! (the `Comm` buffer pool), and receivers decode from borrowed
+//! `&[u8]` views of the transport's own receive buffers — the data
+//! path allocates nothing per value in steady state.
+//!
 //! The **modeled** β-cost of a collective is charged on
 //! `size_of::<T>()`-based logical bytes (see [`crate::bytes_for`]), *not*
 //! on the encoded length — the cost model describes the simulated
@@ -98,6 +113,19 @@ impl FrameHeader {
         out.extend_from_slice(&self.b.to_le_bytes());
         out.extend_from_slice(&self.len.to_le_bytes());
         out.extend_from_slice(&self.sum.to_le_bytes());
+    }
+
+    /// The encoded header as a stack array — the vectored socket send
+    /// path writes `[header, payload]` without assembling a frame `Vec`.
+    pub fn to_array(&self) -> [u8; FRAME_HEADER_LEN] {
+        let mut out = [0u8; FRAME_HEADER_LEN];
+        out[0] = self.channel;
+        out[1..9].copy_from_slice(&self.comm.to_le_bytes());
+        out[9..17].copy_from_slice(&self.a.to_le_bytes());
+        out[17..25].copy_from_slice(&self.b.to_le_bytes());
+        out[25..29].copy_from_slice(&self.len.to_le_bytes());
+        out[29..37].copy_from_slice(&self.sum.to_le_bytes());
+        out
     }
 
     /// Decode a header from the first [`FRAME_HEADER_LEN`] bytes of `buf`.
@@ -318,6 +346,16 @@ pub trait Wire: Sized {
     fn wire_min_size() -> usize {
         1
     }
+
+    /// Append the encodings of every element of `xs`. The default is
+    /// the element-wise loop; byte slices override it with one
+    /// `extend_from_slice` (their encoding *is* their memory).
+    #[inline]
+    fn wire_write_many(xs: &[Self], out: &mut Vec<u8>) {
+        for x in xs {
+            x.wire_write(out);
+        }
+    }
 }
 
 /// Encode one value into a fresh buffer.
@@ -325,6 +363,15 @@ pub fn encode<T: Wire>(value: &T) -> Vec<u8> {
     let mut out = Vec::new();
     value.wire_write(&mut out);
     out
+}
+
+/// Encode one value into a reused buffer: `out` is cleared, then filled
+/// with exactly the bytes [`encode`] would produce — but the buffer's
+/// capacity is retained, so a pool of these amortises every allocation
+/// of the send path away after the first round.
+pub fn encode_into<T: Wire>(value: &T, out: &mut Vec<u8>) {
+    out.clear();
+    value.wire_write(out);
 }
 
 /// Decode one value, requiring the buffer to be consumed exactly.
@@ -338,9 +385,7 @@ pub fn decode<T: Wire>(buf: &[u8]) -> Result<T, WireError> {
 /// Append a varint count followed by the elements of `s`.
 pub fn write_slice<T: Wire>(out: &mut Vec<u8>, s: &[T]) {
     write_uvarint(out, s.len() as u64);
-    for x in s {
-        x.wire_write(out);
-    }
+    T::wire_write_many(s, out);
 }
 
 /// Decode a counted slice written by [`write_slice`].
@@ -372,7 +417,28 @@ macro_rules! wire_le_int {
     )*};
 }
 
-wire_le_int!(u8, u16, u32, u64, u128, i8, i16, i32, i64, i128);
+wire_le_int!(u16, u32, u64, u128, i8, i16, i32, i64, i128);
+
+/// `u8` gets the LE-int impl plus a bulk path: a byte slice's encoding
+/// is its memory, so `write_slice(&[u8])` is one memcpy.
+impl Wire for u8 {
+    #[inline]
+    fn wire_write(&self, out: &mut Vec<u8>) {
+        out.push(*self);
+    }
+    #[inline]
+    fn wire_read(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(r.take_array::<1>()?[0])
+    }
+    #[inline]
+    fn wire_min_size() -> usize {
+        1
+    }
+    #[inline]
+    fn wire_write_many(xs: &[Self], out: &mut Vec<u8>) {
+        out.extend_from_slice(xs);
+    }
+}
 
 impl Wire for f32 {
     #[inline]

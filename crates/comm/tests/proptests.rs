@@ -179,6 +179,90 @@ proptest! {
     }
 
     #[test]
+    fn coalesced_frames_reassemble_under_any_fragmentation(
+        buckets in prop::collection::vec(prop::collection::vec(any::<u64>(), 0..40), 1..6),
+        cuts in prop::collection::vec(any::<usize>(), 0..12),
+    ) {
+        // PR 10 frame layout: one coalesced CH_DATA frame per
+        // (peer, round), payload = wire::write_slice of the whole
+        // bucket. The stream below is what a peer's TCP connection
+        // delivers for several rounds back to back; the kernel may
+        // hand it to us in arbitrary fragments. Reassembling through
+        // the same split_frame loop the receive pump runs must
+        // recover every bucket exactly, regardless of where the
+        // fragment boundaries fall.
+        let mut stream = Vec::new();
+        for (seq, bucket) in buckets.iter().enumerate() {
+            let mut payload = Vec::new();
+            wire::write_slice(&mut payload, bucket);
+            stream.extend_from_slice(&good_frame(7, seq as u64, 3, &payload));
+        }
+
+        // Arbitrary cut points — including cuts inside headers, inside
+        // payloads, and duplicate/zero-width cuts.
+        let mut points: Vec<usize> = cuts.iter().map(|c| c % (stream.len() + 1)).collect();
+        points.push(0);
+        points.push(stream.len());
+        points.sort_unstable();
+        points.dedup();
+
+        // Feed each fragment into a growing rd buffer, draining
+        // complete frames as they appear (Link::parse_frames' shape).
+        let mut rd: Vec<u8> = Vec::new();
+        let mut got: Vec<(u64, Vec<u64>)> = Vec::new();
+        for w in points.windows(2) {
+            rd.extend_from_slice(&stream[w[0]..w[1]]);
+            let mut off = 0;
+            while let Some((h, total)) = split_frame(&rd[off..]).unwrap() {
+                prop_assert_eq!(h.channel, CH_DATA);
+                prop_assert_eq!((h.comm, h.b), (7, 3));
+                let payload = &rd[off + FRAME_HEADER_LEN..off + total];
+                let mut r = wire::WireReader::new(payload);
+                let vals = wire::read_vec::<u64>(&mut r).unwrap();
+                r.finish().unwrap();
+                got.push((h.a, vals));
+                off += total;
+            }
+            rd.drain(..off);
+        }
+        prop_assert!(rd.is_empty(), "stream fully consumed");
+        let expected: Vec<(u64, Vec<u64>)> = buckets
+            .iter()
+            .enumerate()
+            .map(|(s, b)| (s as u64, b.clone()))
+            .collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn coalesced_frame_corruption_is_a_typed_error(
+        bucket in prop::collection::vec(any::<u64>(), 1..40),
+        flip_pick in any::<usize>(),
+    ) {
+        // A bit flip anywhere in a coalesced frame must surface as a
+        // typed WireError from exactly one of the two decode layers
+        // (split_frame on the header, read_vec/finish on the payload)
+        // — or leave a value-level change the checksum layer catches.
+        // Never a panic, never an out-of-bounds read.
+        let mut payload = Vec::new();
+        wire::write_slice(&mut payload, &bucket);
+        let mut frame = good_frame(7, 0, 0, &payload);
+        let bit = flip_pick % (frame.len() * 8);
+        frame[bit / 8] ^= 1 << (bit % 8);
+
+        match split_frame(&frame) {
+            Err(WireError::Malformed(_)) | Err(WireError::Truncated) => {}
+            Ok(None) => {} // length grew: looks like a partial frame
+            Ok(Some((_, total))) => {
+                let end = total.min(frame.len());
+                let mut r = wire::WireReader::new(&frame[FRAME_HEADER_LEN..end]);
+                let _ = wire::read_vec::<u64>(&mut r).and_then(|_| r.finish());
+            }
+            Err(e) => return Err(TestCaseError::fail(format!("unexpected error class: {e:?}"))),
+        }
+    }
+
+    #[test]
     fn split_frame_rejects_length_lies_before_allocating(
         lie in MAX_FRAME_PAYLOAD + 1..u32::MAX,
     ) {
